@@ -1,0 +1,26 @@
+# Convenience targets for the repro package.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples export clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; $(PYTHON) $$script || exit 1; \
+	done
+
+export:
+	$(PYTHON) -m repro.circuits.export exported_suite
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_benchmarks .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

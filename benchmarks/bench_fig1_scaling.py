@@ -1,0 +1,43 @@
+"""Figure 1 — scaling with operand width (adder series).
+
+Two series per method (monolithic, CEC engine): solve time and proof
+resolutions as the adder width grows. The paper's shape: the gap widens
+with size, because sweeping cost grows with the number of internal
+equivalences while monolithic search grows with the whole miter.
+"""
+
+import pytest
+
+from repro.circuits import adder_scaling_series
+from repro.proof.stats import proof_stats
+
+from conftest import report_table, run_monolithic, run_sweep
+
+SERIES = adder_scaling_series(widths=(2, 4, 6, 8, 10, 12, 14, 16))
+_ROWS = {}
+
+
+@pytest.mark.parametrize("pair", SERIES, ids=lambda p: p.name)
+def test_scaling_point(benchmark, pair, engine_cache):
+    def both():
+        return (
+            run_monolithic(engine_cache, pair),
+            run_sweep(engine_cache, pair),
+        )
+
+    mono, sweep = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert mono.equivalent is True and sweep.equivalent is True
+    width = int(pair.name[3:])
+    _ROWS[width] = [
+        width,
+        "%.3f" % mono.elapsed_seconds,
+        "%.3f" % sweep.elapsed_seconds,
+        proof_stats(mono.proof).num_resolutions,
+        proof_stats(sweep.proof).num_resolutions,
+    ]
+    report_table(
+        "Figure 1 (series data): scaling on ripple-carry vs Kogge-Stone adders",
+        ["width", "mono time(s)", "cec time(s)", "mono res", "cec res"],
+        [_ROWS[w] for w in sorted(_ROWS)],
+        notes=["plot time and resolutions against width; log-y recommended"],
+    )

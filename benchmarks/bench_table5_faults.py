@@ -1,0 +1,76 @@
+"""Table 5 (extension) — fault-detection campaign.
+
+The refutation half of the checker's contract: inject sampled gate-level
+faults into each benchmark's circuit A and run the sweeping engine on
+golden-vs-faulty. Every non-redundant fault must be *detected* (refuted
+with a counterexample); redundant faults must be *proved* equivalent.
+Detection is cross-checked against random simulation so the table also
+records how many faults needed SAT to find (simulation-resistant bugs).
+"""
+
+import random
+
+import pytest
+
+from repro.aig.simulate import random_equivalence_test
+from repro.circuits import SUITE, by_name
+from repro.circuits.faults import enumerate_faults, inject
+from repro.core.cec import check_equivalence
+from repro.core.fraig import SweepOptions
+
+from conftest import report_table
+
+# A representative cross-section (full-suite campaigns would be slow).
+PAIR_NAMES = ["add08", "mul04", "cmp10", "alu06", "sbsh08", "par16"]
+_ROWS = {}
+
+
+@pytest.mark.parametrize("name", PAIR_NAMES)
+def test_fault_campaign(benchmark, name):
+    pair = by_name(name)
+    golden, _ = pair.build()
+    rng = random.Random(42)
+    faults = enumerate_faults(golden, rng=rng, per_kind=3)
+
+    def campaign():
+        outcomes = []
+        for fault in faults:
+            mutated = inject(golden, fault)
+            sim_caught = (
+                random_equivalence_test(golden, mutated, rounds=64)
+                is not None
+            )
+            result = check_equivalence(golden, mutated, SweepOptions())
+            outcomes.append((fault, result, sim_caught))
+        return outcomes
+
+    outcomes = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    detected = sum(1 for _, r, _ in outcomes if r.equivalent is False)
+    redundant = sum(1 for _, r, _ in outcomes if r.equivalent is True)
+    sim_missed = sum(
+        1
+        for _, r, sim_caught in outcomes
+        if r.equivalent is False and not sim_caught
+    )
+    # Soundness: every verdict must come with a valid witness/proof.
+    for fault, result, _ in outcomes:
+        if result.equivalent is False:
+            mutated = inject(golden, fault)
+            assert golden.evaluate(result.counterexample) != \
+                mutated.evaluate(result.counterexample), fault
+    _ROWS[name] = [
+        name,
+        len(outcomes),
+        detected,
+        redundant,
+        sim_missed,
+    ]
+    report_table(
+        "Table 5 (extension): fault-detection campaign (sampled faults)",
+        ["pair", "faults", "detected", "redundant", "SAT-only detections"],
+        [_ROWS[key] for key in sorted(_ROWS)],
+        notes=[
+            "redundant = fault proved functionally invisible (with proof)",
+            "SAT-only = counterexample missed by 64 random patterns",
+        ],
+    )

@@ -1,0 +1,98 @@
+"""Benchmark-harness infrastructure.
+
+Each ``bench_*.py`` module regenerates one table or figure of the
+evaluation (see DESIGN.md §3). Modules compute their rows, register them
+with :func:`report_table`, and the tables are printed in the terminal
+summary at the end of the run — so ``pytest benchmarks/ --benchmark-only``
+shows both pytest-benchmark's timing panel and the paper-style tables.
+
+Engine results are memoized per session (`engine_cache`) so the
+comparison table reuses the runs already performed by the per-engine
+tables instead of re-solving every miter.
+"""
+
+import pytest
+
+_TABLES = {}
+
+
+def report_table(title, header, rows, notes=()):
+    """Register (or replace) a formatted table for the end-of-run summary.
+
+    Re-registering under the same title replaces the previous rows, so
+    benches can update their table incrementally after every case and the
+    summary still prints each table once.
+    """
+    _TABLES[title] = (header, [list(map(str, row)) for row in rows],
+                      list(notes))
+
+
+def format_table(header, rows):
+    """Plain-text aligned table."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(widths[k]) for k, cell in enumerate(cells))
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([line(header), sep] + [line(r) for r in rows])
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 78)
+    write("EVALUATION TABLES (paper reproduction)")
+    write("=" * 78)
+    for title, (header, rows, notes) in _TABLES.items():
+        write("")
+        write(title)
+        write("")
+        for text_line in format_table(header, rows).splitlines():
+            write(text_line)
+        for note in notes:
+            write("  note: %s" % note)
+    write("")
+
+
+@pytest.fixture(scope="session")
+def engine_cache():
+    """Session-wide memo of engine runs keyed by (engine, pair name)."""
+    return {}
+
+
+def run_sweep(cache, pair, **options):
+    """Memoized proof-producing CEC run on a benchmark pair."""
+    from repro.core.cec import check_equivalence
+    from repro.core.fraig import SweepOptions
+
+    key = ("sweep", pair.name, tuple(sorted(options.items())))
+    if key not in cache:
+        aig_a, aig_b = pair.build()
+        cache[key] = check_equivalence(aig_a, aig_b, SweepOptions(**options))
+    return cache[key]
+
+
+def run_monolithic(cache, pair, **options):
+    """Memoized monolithic-SAT run on a benchmark pair."""
+    from repro.baselines.monolithic import monolithic_check
+
+    key = ("mono", pair.name, tuple(sorted(options.items())))
+    if key not in cache:
+        aig_a, aig_b = pair.build()
+        cache[key] = monolithic_check(aig_a, aig_b, **options)
+    return cache[key]
+
+
+def geometric_mean(values):
+    """Geometric mean of positive values (1.0 for empty input)."""
+    cleaned = [v for v in values if v > 0]
+    if not cleaned:
+        return 1.0
+    product = 1.0
+    for value in cleaned:
+        product *= value
+    return product ** (1.0 / len(cleaned))

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Comparing three equivalence-checking engines on one design family.
+
+Runs the BDD baseline, the monolithic proof-logging SAT baseline, and the
+proof-producing sweeping engine on array-vs-Wallace multiplier miters of
+growing width, printing a small table. The point the numbers make:
+
+* BDDs are unbeatable while the canonical form stays small, but node
+  counts explode with multiplier width (and produce no certificate);
+* monolithic SAT scales past BDDs but its runtime and proof sizes grow
+  with raw search effort;
+* the sweeping engine exploits internal equivalences and produces the
+  smallest certificates.
+
+Run:
+    python examples/engine_comparison.py [max_width]
+"""
+
+import sys
+
+from repro import check_equivalence
+from repro.baselines import bdd_check, monolithic_check
+from repro.circuits import array_multiplier, wallace_multiplier
+from repro.proof.stats import proof_stats
+
+
+def main(max_width=5):
+    header = (
+        "width", "bdd time", "bdd nodes", "mono time", "mono res",
+        "cec time", "cec res",
+    )
+    print(("%6s " * len(header)) % header)
+    for width in range(2, max_width + 1):
+        bdd = bdd_check(
+            array_multiplier(width), wallace_multiplier(width),
+            max_nodes=2_000_000,
+        )
+        mono = monolithic_check(
+            array_multiplier(width), wallace_multiplier(width)
+        )
+        sweep = check_equivalence(
+            array_multiplier(width), wallace_multiplier(width)
+        )
+        assert mono.equivalent and sweep.equivalent
+        bdd_time = "%.3f" % bdd.elapsed_seconds
+        bdd_nodes = str(bdd.bdd_nodes) if bdd.equivalent else "ovfl"
+        row = (
+            str(width),
+            bdd_time,
+            bdd_nodes,
+            "%.3f" % mono.elapsed_seconds,
+            str(proof_stats(mono.proof).num_resolutions),
+            "%.3f" % sweep.elapsed_seconds,
+            str(proof_stats(sweep.proof).num_resolutions),
+        )
+        print(("%6s " * len(row)) % row)
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 5)

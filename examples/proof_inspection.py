@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Dissecting a resolution proof.
+
+Produces a proof for a small miter and walks through its anatomy: the
+axiom/derived breakdown, the widest clauses, the derivation depth, the
+effect of backward trimming, how much of the miter CNF the refutation
+actually touches, and a dump of the final derivation steps.
+
+Run:
+    python examples/proof_inspection.py
+"""
+
+from repro import check_equivalence
+from repro.circuits import comparator, comparator_subtract
+from repro.proof import AXIOM
+from repro.proof.stats import proof_stats
+from repro.proof.trim import needed_ids, trim
+
+
+def main():
+    result = check_equivalence(comparator(6), comparator_subtract(6))
+    assert result.equivalent
+    store = result.proof
+
+    stats = proof_stats(store)
+    print("proof anatomy")
+    print("  clauses:       %d (%d axioms, %d derived)" % (
+        stats.num_clauses, stats.num_axioms, stats.num_derived))
+    print("  resolutions:   %d" % stats.num_resolutions)
+    print("  max width:     %d literals" % stats.max_width)
+    print("  avg derived:   %.2f literals" % stats.avg_derived_width)
+    print("  depth:         %d" % stats.depth)
+
+    # How much of the CNF does the refutation actually use?
+    core = needed_ids(store)
+    core_axioms = sum(
+        1 for cid in core if store.kind(cid) == AXIOM
+    )
+    print("  core axioms:   %d of %d CNF clauses" % (
+        core_axioms, len(result.cnf)))
+
+    trimmed, _ = trim(store)
+    trimmed_stats = proof_stats(trimmed)
+    print("  after trim:    %d clauses, %d resolutions (%.0f%% survive)" % (
+        trimmed_stats.num_clauses,
+        trimmed_stats.num_resolutions,
+        100.0 * trimmed_stats.num_resolutions / max(stats.num_resolutions, 1),
+    ))
+
+    # The last few derivation steps before the empty clause.
+    print("\nfinal derivation steps")
+    empty_id = store.find_empty_clause()
+    shown = 0
+    cid = empty_id
+    frontier = [empty_id]
+    seen = set()
+    while frontier and shown < 8:
+        cid = frontier.pop(0)
+        if cid in seen or store.kind(cid) == AXIOM:
+            continue
+        seen.add(cid)
+        chain = store.chain(cid)
+        print(
+            "  clause %5d %-24r from %d antecedents"
+            % (cid, store.clause(cid), len(chain))
+        )
+        frontier.extend(store.antecedents(cid))
+        shown += 1
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro — resolution proofs for combinational equivalence checking.
+
+A reproduction of "On Resolution Proofs for Combinational Equivalence"
+(DAC 2007): a SAT-sweeping combinational equivalence checker whose entire
+run — simulation, structural hashing, local SAT calls — is emitted as a
+single, independently checkable resolution proof of the miter's
+unsatisfiability.
+
+Quickstart::
+
+    from repro import check_equivalence, certify
+    from repro.circuits import ripple_carry_adder, carry_lookahead_adder
+
+    a = ripple_carry_adder(8)
+    b = carry_lookahead_adder(8)
+    result = check_equivalence(a, b)
+    assert result.equivalent
+    certify(result)          # replays the resolution proof end to end
+"""
+
+__version__ = "1.0.0"
+
+_LAZY = {
+    "CecResult": ("repro.core.cec", "CecResult"),
+    "check_equivalence": ("repro.core.cec", "check_equivalence"),
+    "certify": ("repro.core.certify", "certify"),
+}
+
+__all__ = sorted(_LAZY) + ["__version__"]
+
+
+def __getattr__(name):
+    """Lazy top-level exports so sub-packages import independently."""
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError("module 'repro' has no attribute %r" % name)
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)

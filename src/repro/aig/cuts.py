@@ -1,0 +1,171 @@
+"""K-feasible cut enumeration.
+
+A *cut* of node ``n`` is a set of nodes (leaves) such that every path
+from the inputs to ``n`` passes through a leaf; it is k-feasible when it
+has at most k leaves. Cuts are the unit of local resynthesis (technology
+mapping, rewriting) and are computed bottom-up: the cuts of an AND node
+are the pairwise unions of its fanins' cuts, filtered by size and
+dominance, plus the trivial cut ``{n}``.
+
+The enumerator also computes each cut's local truth table (over its
+leaves, LSB-first), which is what cut-based rewriting consumes.
+"""
+
+from .literal import lit_sign, lit_var
+
+
+class Cut:
+    """One cut: a leaf tuple (sorted vars) plus the node's truth table.
+
+    Attributes:
+        leaves: sorted tuple of leaf variables.
+        table: truth table of the node over the leaves (bit ``i`` is the
+            node value when leaf ``j`` takes bit ``j`` of ``i``), masked
+            to ``2**len(leaves)`` bits.
+    """
+
+    __slots__ = ("leaves", "table")
+
+    def __init__(self, leaves, table):
+        self.leaves = leaves
+        self.table = table
+
+    def __repr__(self):
+        return "Cut(leaves=%r, table=0x%x)" % (self.leaves, self.table)
+
+    def dominates(self, other):
+        """True when this cut's leaves are a subset of *other*'s."""
+        return set(self.leaves) <= set(other.leaves)
+
+
+def _expand_table(cut, union_leaves):
+    """Re-express *cut*'s table over the superset *union_leaves*."""
+    table = cut.table
+    # Insert missing variables one at a time, from low position up.
+    positions = {leaf: pos for pos, leaf in enumerate(union_leaves)}
+    result = 0
+    bits = 1 << len(union_leaves)
+    small_positions = [positions[leaf] for leaf in cut.leaves]
+    for minterm in range(bits):
+        small_index = 0
+        for j, pos in enumerate(small_positions):
+            if (minterm >> pos) & 1:
+                small_index |= 1 << j
+        if (table >> small_index) & 1:
+            result |= 1 << minterm
+    return result
+
+
+def enumerate_cuts(aig, k=4, max_cuts=8):
+    """Enumerate k-feasible cuts (with truth tables) for every variable.
+
+    Args:
+        aig: the AIG.
+        k: maximum leaves per cut (1..6).
+        max_cuts: per-node cut-set size limit (the trivial cut is always
+            kept and does not count against the limit).
+
+    Returns:
+        List indexed by variable holding lists of :class:`Cut`. The
+        constant variable has a single empty cut with table 0.
+    """
+    if not 1 <= k <= 6:
+        raise ValueError("k must be between 1 and 6")
+    cuts = [None] * aig.num_vars
+    cuts[0] = [Cut((), 0)]
+    for var in aig.inputs:
+        cuts[var] = [Cut((var,), 0b10)]
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        candidates = {}
+        for cut0 in cuts[lit_var(f0)]:
+            table0_negated = lit_sign(f0)
+            for cut1 in cuts[lit_var(f1)]:
+                union = tuple(sorted(set(cut0.leaves) | set(cut1.leaves)))
+                if len(union) > k:
+                    continue
+                mask = (1 << (1 << len(union))) - 1
+                t0 = _expand_table(cut0, union)
+                if table0_negated:
+                    t0 = ~t0 & mask
+                t1 = _expand_table(cut1, union)
+                if lit_sign(f1):
+                    t1 = ~t1 & mask
+                table = t0 & t1
+                existing = candidates.get(union)
+                if existing is None:
+                    candidates[union] = table
+        merged = [Cut(leaves, table) for leaves, table in candidates.items()]
+        merged = _filter_dominated(merged)
+        merged.sort(key=lambda c: (len(c.leaves), c.leaves))
+        merged = merged[:max_cuts]
+        trivial = Cut((var,), 0b10)
+        cuts[var] = merged + [trivial]
+    return cuts
+
+
+def _filter_dominated(cut_list):
+    kept = []
+    for cut in sorted(cut_list, key=lambda c: len(c.leaves)):
+        if any(other.dominates(cut) for other in kept):
+            continue
+        kept.append(cut)
+    return kept
+
+
+def cut_function(aig, root_lit, leaves):
+    """Truth table of *root_lit* over the ordered *leaves* (variable ids).
+
+    Brute-force local evaluation: correct for any cut, used to cross-check
+    the enumerator and by rewriting when it needs a specific leaf order.
+    Leaves must actually cut the cone of *root_lit* (every path from the
+    inputs passes through one) — otherwise unreached variables default to
+    constant 0 and the table is not a function of the leaves only.
+    """
+    count = len(leaves)
+    if count > 16:
+        raise ValueError("cut_function limited to 16 leaves")
+    position = {leaf: idx for idx, leaf in enumerate(leaves)}
+    table = 0
+    root_var = lit_var(root_lit)
+    cone = _cone_to_leaves(aig, root_var, set(leaves))
+    for minterm in range(1 << count):
+        values = {0: 0}
+        for leaf, idx in position.items():
+            values[leaf] = (minterm >> idx) & 1
+        for var in cone:
+            f0, f1 = aig.fanins(var)
+            v0 = values.get(lit_var(f0), 0) ^ (1 if lit_sign(f0) else 0)
+            v1 = values.get(lit_var(f1), 0) ^ (1 if lit_sign(f1) else 0)
+            values[var] = v0 & v1
+        value = values.get(root_var, 0)
+        if lit_sign(root_lit):
+            value ^= 1
+        if value:
+            table |= 1 << minterm
+    return table
+
+
+def _cone_to_leaves(aig, root_var, leaves):
+    """Topologically ordered AND vars between *leaves* and *root_var*."""
+    order = []
+    seen = set(leaves)
+    seen.add(0)
+
+    stack = [(root_var, False)]
+    while stack:
+        var, expanded = stack.pop()
+        if var in seen:
+            continue
+        if not aig.is_and(var):
+            seen.add(var)
+            continue
+        if expanded:
+            seen.add(var)
+            order.append(var)
+            continue
+        stack.append((var, True))
+        f0, f1 = aig.fanins(var)
+        stack.append((lit_var(f0), False))
+        stack.append((lit_var(f1), False))
+    return order

@@ -1,0 +1,66 @@
+"""Graphviz (DOT) export of AIGs.
+
+Visualization aid for documentation and debugging: AND nodes as circles,
+inputs as boxes, outputs as inverted houses; complemented edges drawn
+dashed (the standard AIG drawing convention).
+"""
+
+from .literal import lit_sign, lit_var
+
+
+def write_dot(aig, path_or_file, max_nodes=2000):
+    """Write *aig* in DOT format.
+
+    Args:
+        aig: the circuit.
+        path_or_file: path or writable text file object.
+        max_nodes: safety bound; larger graphs are refused (they would be
+            unreadable anyway).
+
+    Raises:
+        ValueError: when the AIG exceeds *max_nodes*.
+    """
+    if aig.num_vars > max_nodes:
+        raise ValueError(
+            "AIG has %d nodes; raise max_nodes to export anyway"
+            % aig.num_vars
+        )
+    if hasattr(path_or_file, "write"):
+        _write(aig, path_or_file)
+    else:
+        with open(path_or_file, "w") as handle:
+            _write(aig, handle)
+
+
+def _edge(out, source_lit, target):
+    style = ' [style=dashed]' if lit_sign(source_lit) else ""
+    out.write('  n%d -> %s%s;\n' % (lit_var(source_lit), target, style))
+
+
+def _write(aig, out):
+    out.write("digraph aig {\n")
+    out.write('  rankdir=BT;\n')
+    out.write('  node [fontname="Helvetica"];\n')
+    used = aig.cone_vars(aig.outputs)
+    if 0 in used:
+        out.write('  n0 [label="0" shape=box style=filled];\n')
+    for position, var in enumerate(aig.inputs):
+        if var not in used:
+            continue
+        name = aig.input_names[position] or ("i%d" % position)
+        out.write('  n%d [label="%s" shape=box];\n' % (var, name))
+    for var in aig.and_vars():
+        if var not in used:
+            continue
+        out.write('  n%d [label="%d" shape=circle];\n' % (var, var))
+        f0, f1 = aig.fanins(var)
+        _edge(out, f0, "n%d" % var)
+        _edge(out, f1, "n%d" % var)
+    for position, lit in enumerate(aig.outputs):
+        name = aig.output_names[position] or ("o%d" % position)
+        out.write(
+            '  out%d [label="%s" shape=invhouse style=filled];\n'
+            % (position, name)
+        )
+        _edge(out, lit, "out%d" % position)
+    out.write("}\n")

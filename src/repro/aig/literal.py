@@ -1,0 +1,56 @@
+"""Literal arithmetic for And-Inverter Graphs.
+
+Literals follow the AIGER convention: a literal is ``2 * var + sign`` where
+``sign`` is 1 for a complemented reference. Variable 0 is the constant, so
+literal 0 is FALSE and literal 1 is TRUE.
+"""
+
+FALSE = 0
+TRUE = 1
+
+
+def make_lit(var, sign=False):
+    """Build the literal for *var*, complemented when *sign* is true."""
+    if var < 0:
+        raise ValueError("variable index must be non-negative, got %d" % var)
+    return 2 * var + (1 if sign else 0)
+
+
+def lit_var(lit):
+    """Variable index of *lit*."""
+    return lit >> 1
+
+
+def lit_sign(lit):
+    """True when *lit* is a complemented reference."""
+    return bool(lit & 1)
+
+
+def lit_not(lit):
+    """Complement of *lit*."""
+    return lit ^ 1
+
+
+def lit_not_cond(lit, cond):
+    """Complement of *lit* when *cond* is true, else *lit* unchanged."""
+    return lit ^ 1 if cond else lit
+
+
+def lit_regular(lit):
+    """The non-complemented literal of *lit*'s variable."""
+    return lit & ~1
+
+
+def is_const(lit):
+    """True for the constant literals 0 (FALSE) and 1 (TRUE)."""
+    return lit <= 1
+
+
+def lit_to_str(lit):
+    """Human-readable rendering, e.g. ``~7`` for literal 15."""
+    if lit == FALSE:
+        return "0"
+    if lit == TRUE:
+        return "1"
+    prefix = "~" if lit_sign(lit) else ""
+    return "%sn%d" % (prefix, lit_var(lit))

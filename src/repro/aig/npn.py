@@ -1,0 +1,122 @@
+"""NPN canonization of small truth tables.
+
+Two Boolean functions are NPN-equivalent when one becomes the other by
+Negating inputs, Permuting inputs, and/or Negating the output. NPN
+classes are the working currency of rewriting libraries (all 2²²²
+4-input functions collapse to 222 classes) and a useful diversity metric
+for cut functions.
+
+Canonization here is exact brute force over the transform group — fine
+for k ≤ 4 (768 transforms) and usable for k = 5.
+"""
+
+import itertools
+
+_CANON_CACHE = {}
+
+
+def table_mask(num_vars):
+    """All-ones truth table over *num_vars* variables."""
+    return (1 << (1 << num_vars)) - 1
+
+
+def apply_transform(table, num_vars, permutation, input_flips, output_flip):
+    """Transform a truth table.
+
+    Args:
+        table: the truth table (bit ``m`` = value on minterm ``m``).
+        num_vars: number of variables.
+        permutation: tuple ``p`` meaning new variable ``j`` reads old
+            variable ``p[j]``.
+        input_flips: bitmask; bit ``j`` complements new variable ``j``.
+        output_flip: complement the output.
+
+    Returns:
+        The transformed table: ``g(x) = f(old-vars built from x) ^ out``.
+    """
+    result = 0
+    for minterm in range(1 << num_vars):
+        source = 0
+        for new_pos in range(num_vars):
+            bit = (minterm >> new_pos) & 1
+            bit ^= (input_flips >> new_pos) & 1
+            if bit:
+                source |= 1 << permutation[new_pos]
+        if (table >> source) & 1:
+            result |= 1 << minterm
+    if output_flip:
+        result ^= table_mask(num_vars)
+    return result
+
+
+def npn_transforms(num_vars):
+    """Iterate the whole NPN transform group for *num_vars* variables."""
+    for permutation in itertools.permutations(range(num_vars)):
+        for input_flips in range(1 << num_vars):
+            for output_flip in (0, 1):
+                yield permutation, input_flips, output_flip
+
+
+def npn_canon(table, num_vars):
+    """Canonical representative of *table*'s NPN class.
+
+    Returns:
+        ``(canonical_table, (permutation, input_flips, output_flip))``
+        where applying the transform to *table* yields the canonical
+        table (the numerically smallest member of the class).
+    """
+    if num_vars > 5:
+        raise ValueError("npn_canon is exact brute force; num_vars <= 5")
+    table &= table_mask(num_vars)
+    cached = _CANON_CACHE.get((table, num_vars))
+    if cached is not None:
+        return cached
+    best = None
+    best_transform = None
+    for transform in npn_transforms(num_vars):
+        candidate = apply_transform(table, num_vars, *transform)
+        if best is None or candidate < best:
+            best = candidate
+            best_transform = transform
+    result = (best, best_transform)
+    _CANON_CACHE[(table, num_vars)] = result
+    return result
+
+
+def npn_classes(num_vars):
+    """Set of canonical tables of every function on *num_vars* variables.
+
+    Exact enumeration; practical for ``num_vars <= 3`` (use sampling for
+    4 variables — the full space has 65536 functions).
+    """
+    if num_vars > 3:
+        raise ValueError("full enumeration limited to 3 variables")
+    return {
+        npn_canon(table, num_vars)[0]
+        for table in range(1 << (1 << num_vars))
+    }
+
+
+def cut_class_histogram(aig, k=4, max_cuts=8):
+    """NPN-class histogram of all k-cut functions in *aig*.
+
+    A diversity metric for benchmark circuits: how many distinct local
+    functions (up to NPN) the network contains.
+
+    Returns:
+        dict canonical-table -> occurrence count (cuts are counted with
+        their own leaf count's canonization).
+    """
+    from .cuts import enumerate_cuts
+
+    histogram = {}
+    cuts = enumerate_cuts(aig, k=k, max_cuts=max_cuts)
+    for var in aig.and_vars():
+        for cut in cuts[var]:
+            width = len(cut.leaves)
+            if width == 0 or width > 4:
+                continue
+            canon, _ = npn_canon(cut.table, width)
+            key = (width, canon)
+            histogram[key] = histogram.get(key, 0) + 1
+    return histogram

@@ -1,0 +1,126 @@
+"""Bit-parallel random simulation of AIGs.
+
+Simulation assigns every variable a *signature*: a W-bit integer whose bit
+k is the node's value under the k-th input pattern. Python's arbitrary-
+precision integers make W-wide bitwise simulation a single pass of ``&``
+and ``^`` per node, so hundreds of patterns are evaluated at once.
+
+Signatures drive the sweeping engine: nodes with equal (or complementary)
+signatures are *candidates* for equivalence; SAT decides. Counterexamples
+returned by SAT are appended as new patterns to refine the partition.
+"""
+
+import random
+
+
+class Simulator:
+    """Incremental bit-parallel simulator for one AIG.
+
+    The simulator owns a pattern set of ``num_words * 64`` input patterns
+    and the resulting per-variable signatures. Patterns can be appended
+    (counterexample refinement) which re-simulates in one pass.
+    """
+
+    WORD_BITS = 64
+
+    def __init__(self, aig, num_words=4, seed=2007):
+        self.aig = aig
+        self._rng = random.Random(seed)
+        self._num_bits = 0
+        # Input patterns indexed by input position (not variable).
+        self._patterns = [0] * aig.num_inputs
+        self.signatures = [0] * aig.num_vars
+        if num_words:
+            self.add_random_patterns(num_words * self.WORD_BITS)
+
+    @property
+    def num_patterns(self):
+        """Number of input patterns currently simulated."""
+        return self._num_bits
+
+    @property
+    def mask(self):
+        """Bit mask covering all current patterns."""
+        return (1 << self._num_bits) - 1
+
+    def add_random_patterns(self, count):
+        """Append *count* uniformly random input patterns and re-simulate."""
+        for idx in range(self.aig.num_inputs):
+            self._patterns[idx] |= self._rng.getrandbits(count) << self._num_bits
+        self._num_bits += count
+        self._resimulate()
+
+    def add_pattern(self, input_bits):
+        """Append one explicit pattern (sequence of 0/1 per input)."""
+        if len(input_bits) != self.aig.num_inputs:
+            raise ValueError(
+                "expected %d input bits, got %d"
+                % (self.aig.num_inputs, len(input_bits))
+            )
+        for idx, bit in enumerate(input_bits):
+            if bit:
+                self._patterns[idx] |= 1 << self._num_bits
+        self._num_bits += 1
+        self._resimulate()
+
+    def _resimulate(self):
+        aig = self.aig
+        sigs = self.signatures = [0] * aig.num_vars
+        mask = self.mask
+        for pos, var in enumerate(aig.inputs):
+            sigs[var] = self._patterns[pos]
+        full = mask
+        for var in aig.and_vars():
+            f0, f1 = aig.fanins(var)
+            a = sigs[f0 >> 1] ^ (full if f0 & 1 else 0)
+            b = sigs[f1 >> 1] ^ (full if f1 & 1 else 0)
+            sigs[var] = a & b
+        self._mask_cache = mask
+
+    def lit_signature(self, lit):
+        """Signature of a literal (complemented signatures are masked)."""
+        sig = self.signatures[lit >> 1]
+        return sig ^ self.mask if lit & 1 else sig
+
+    def output_signatures(self):
+        """Signatures of all outputs."""
+        return [self.lit_signature(lit) for lit in self.aig.outputs]
+
+    def pattern(self, k):
+        """The k-th input pattern as a list of 0/1 ints."""
+        if not 0 <= k < self._num_bits:
+            raise IndexError("pattern index out of range")
+        return [(p >> k) & 1 for p in self._patterns]
+
+
+def simulate_once(aig, input_values):
+    """Convenience single-pattern simulation returning output values."""
+    return aig.evaluate(input_values)
+
+
+def random_equivalence_test(aig_a, aig_b, rounds=256, seed=2007):
+    """Cheap refutation test: simulate both AIGs on shared random patterns.
+
+    Returns ``None`` when no difference was observed, otherwise a
+    counterexample input assignment (list of 0/1).
+    """
+    if aig_a.num_inputs != aig_b.num_inputs:
+        raise ValueError("input counts differ")
+    if aig_a.num_outputs != aig_b.num_outputs:
+        raise ValueError("output counts differ")
+    rng = random.Random(seed)
+    sim_a = Simulator(aig_a, num_words=0, seed=seed)
+    sim_b = Simulator(aig_b, num_words=0, seed=seed)
+    patterns = [rng.getrandbits(rounds) for _ in range(aig_a.num_inputs)]
+    sim_a._patterns = list(patterns)
+    sim_b._patterns = list(patterns)
+    sim_a._num_bits = rounds
+    sim_b._num_bits = rounds
+    sim_a._resimulate()
+    sim_b._resimulate()
+    for out_a, out_b in zip(sim_a.output_signatures(), sim_b.output_signatures()):
+        diff = out_a ^ out_b
+        if diff:
+            k = (diff & -diff).bit_length() - 1
+            return sim_a.pattern(k)
+    return None

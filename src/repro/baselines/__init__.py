@@ -1,0 +1,14 @@
+"""Baseline equivalence-checking engines: monolithic SAT, BDDs, BDD sweeping."""
+
+from .bdd_cec import BddCecResult, bdd_check
+from .bdd_sweep import BddSweepResult, bdd_sweep_check
+from .monolithic import MonolithicResult, monolithic_check
+
+__all__ = [
+    "BddCecResult",
+    "BddSweepResult",
+    "MonolithicResult",
+    "bdd_check",
+    "bdd_sweep_check",
+    "monolithic_check",
+]

@@ -1,0 +1,84 @@
+"""BDD-based equivalence checking baseline.
+
+Builds canonical ROBDDs for both circuits over a shared manager and
+compares node ids per output — the classical pre-SAT approach. Fast on
+functions with compact BDDs (adders, comparators under interleaved
+orders), exponential on multipliers; no proof artifact is produced, which
+is exactly the gap the paper's proof-producing SAT flow fills.
+"""
+
+import time
+
+from ..bdd.bdd import BddManager, BddOverflowError, build_output_bdds, \
+    interleaved_order
+
+
+class BddCecResult:
+    """Outcome of a BDD equivalence check.
+
+    Attributes:
+        equivalent: True / False / None (node budget exceeded).
+        counterexample: differing input assignment on non-equivalence.
+        bdd_nodes: total manager nodes allocated.
+        elapsed_seconds: wall-clock time.
+    """
+
+    def __init__(self, equivalent, counterexample, bdd_nodes, elapsed_seconds):
+        self.equivalent = equivalent
+        self.counterexample = counterexample
+        self.bdd_nodes = bdd_nodes
+        self.elapsed_seconds = elapsed_seconds
+
+    def __repr__(self):
+        return "BddCecResult(equivalent=%r, nodes=%d)" % (
+            self.equivalent,
+            self.bdd_nodes,
+        )
+
+
+def bdd_check(aig_a, aig_b, interleave=True, max_nodes=1_000_000):
+    """Check equivalence by canonical BDD comparison.
+
+    Args:
+        aig_a, aig_b: input-compatible circuits.
+        interleave: use the interleaved a/b variable order (recommended
+            for two-operand datapath circuits).
+        max_nodes: node budget; an overflow yields ``equivalent=None``.
+
+    Returns:
+        A :class:`BddCecResult`.
+    """
+    if aig_a.num_inputs != aig_b.num_inputs:
+        raise ValueError("input counts differ")
+    if aig_a.num_outputs != aig_b.num_outputs:
+        raise ValueError("output counts differ")
+    start = time.perf_counter()
+    manager = BddManager(aig_a.num_inputs, max_nodes=max_nodes)
+    order = interleaved_order(aig_a) if interleave else None
+    try:
+        _, outs_a = build_output_bdds(aig_a, manager=manager, order=order)
+        _, outs_b = build_output_bdds(aig_b, manager=manager, order=order)
+    except BddOverflowError:
+        return BddCecResult(
+            None, None, manager.num_nodes, time.perf_counter() - start
+        )
+    order = order or list(range(aig_a.num_inputs))
+    for node_a, node_b in zip(outs_a, outs_b):
+        if node_a == node_b:
+            continue
+        try:
+            diff = manager.apply_xor(node_a, node_b)
+        except BddOverflowError:
+            return BddCecResult(
+                None, None, manager.num_nodes, time.perf_counter() - start
+            )
+        assignment = manager.any_sat(diff)
+        cex = [
+            assignment.get(order[pos], 0) for pos in range(aig_a.num_inputs)
+        ]
+        return BddCecResult(
+            False, cex, manager.num_nodes, time.perf_counter() - start
+        )
+    return BddCecResult(
+        True, None, manager.num_nodes, time.perf_counter() - start
+    )

@@ -1,0 +1,129 @@
+"""BDD sweeping baseline (simplified Kuehlmann-style).
+
+Historically the step between plain BDD comparison and SAT sweeping:
+process the miter's nodes in topological order, building each node's BDD
+over the primary inputs inside a *bounded* manager, and merge nodes whose
+BDDs hash to the same id (canonicity makes equality a pointer check).
+Merged nodes share one BDD, keeping the unique table lean — the sweeping
+advantage — while any node whose BDD would exceed the budget is left
+*unknown* rather than built, so the engine degrades gracefully on
+BDD-hostile logic (multipliers) instead of blowing up.
+
+Verdicts: equivalent when the miter output's BDD reaches constant FALSE;
+not equivalent with a counterexample when it reaches anything else;
+undecided when budget losses block the output. No proof artifact is
+produced — the gap the paper's SAT flow fills.
+"""
+
+import time
+
+from ..aig.literal import lit_sign, lit_var
+from ..aig.miter import build_miter
+from ..bdd.bdd import BddManager, BddOverflowError, interleaved_order
+
+
+class BddSweepResult:
+    """Outcome of :func:`bdd_sweep_check`.
+
+    Attributes:
+        equivalent: True / False / None (budget losses).
+        counterexample: differing inputs on non-equivalence.
+        bdd_nodes: manager nodes allocated.
+        merged_nodes: AIG nodes that shared an earlier node's BDD.
+        unknown_nodes: AIG nodes skipped because of the budget.
+        elapsed_seconds: wall-clock time.
+    """
+
+    def __init__(self, equivalent, counterexample, bdd_nodes, merged_nodes,
+                 unknown_nodes, elapsed_seconds):
+        self.equivalent = equivalent
+        self.counterexample = counterexample
+        self.bdd_nodes = bdd_nodes
+        self.merged_nodes = merged_nodes
+        self.unknown_nodes = unknown_nodes
+        self.elapsed_seconds = elapsed_seconds
+
+    def __repr__(self):
+        return (
+            "BddSweepResult(equivalent=%r, merged=%d, unknown=%d, nodes=%d)"
+            % (
+                self.equivalent,
+                self.merged_nodes,
+                self.unknown_nodes,
+                self.bdd_nodes,
+            )
+        )
+
+
+def bdd_sweep_check(aig_a, aig_b, max_nodes=500_000, interleave=True):
+    """Check equivalence by bounded BDD sweeping over the shared miter.
+
+    Args:
+        aig_a, aig_b: input-compatible circuits.
+        max_nodes: BDD manager node budget.
+        interleave: use the interleaved a/b input order.
+
+    Returns:
+        A :class:`BddSweepResult`.
+    """
+    start = time.perf_counter()
+    miter = build_miter(aig_a, aig_b)
+    aig = miter.aig
+    manager = BddManager(aig.num_inputs, max_nodes=max_nodes)
+    order = (
+        interleaved_order(aig) if interleave else list(range(aig.num_inputs))
+    )
+    node_bdd = [None] * aig.num_vars
+    node_bdd[0] = manager.FALSE
+    for position, var in enumerate(aig.inputs):
+        node_bdd[var] = manager.var(order[position])
+    seen_bdds = {}
+    merged = 0
+    unknown = 0
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        b0 = node_bdd[lit_var(f0)]
+        b1 = node_bdd[lit_var(f1)]
+        if b0 is None or b1 is None:
+            node_bdd[var] = None
+            unknown += 1
+            continue
+        try:
+            if lit_sign(f0):
+                b0 = manager.apply_not(b0)
+            if lit_sign(f1):
+                b1 = manager.apply_not(b1)
+            result = manager.apply_and(b0, b1)
+        except BddOverflowError:
+            node_bdd[var] = None
+            unknown += 1
+            continue
+        if result in seen_bdds:
+            merged += 1
+        else:
+            seen_bdds[result] = var
+        node_bdd[var] = result
+    out_lit = miter.output
+    out_bdd = node_bdd[lit_var(out_lit)]
+    elapsed = time.perf_counter() - start
+    if out_bdd is None:
+        return BddSweepResult(
+            None, None, manager.num_nodes, merged, unknown, elapsed
+        )
+    if lit_sign(out_lit):
+        try:
+            out_bdd = manager.apply_not(out_bdd)
+        except BddOverflowError:
+            return BddSweepResult(
+                None, None, manager.num_nodes, merged, unknown, elapsed
+            )
+    if out_bdd == manager.FALSE:
+        return BddSweepResult(
+            True, None, manager.num_nodes, merged, unknown, elapsed
+        )
+    assignment = manager.any_sat(out_bdd)
+    cex = [assignment.get(order[pos], 0) for pos in range(aig.num_inputs)]
+    elapsed = time.perf_counter() - start
+    return BddSweepResult(
+        False, cex, manager.num_nodes, merged, unknown, elapsed
+    )

@@ -1,0 +1,93 @@
+"""Monolithic SAT baseline: one proof-logging solve of the whole miter.
+
+This is the comparison point the paper measures against: encode the miter
+to CNF, assert the output unit clause, and hand everything to a CDCL
+solver with proof logging. Correct and certificate-producing, but blind
+to the structural similarity of the two circuits — the sweeping engine's
+advantage is exactly that it exploits it.
+"""
+
+import time
+
+from ..aig.miter import build_miter
+from ..cnf.tseitin import tseitin_encode
+from ..proof.store import ProofStore
+from ..sat.solver import SAT, UNKNOWN, Solver
+
+
+class MonolithicResult:
+    """Outcome of a monolithic miter solve.
+
+    Attributes:
+        equivalent: True / False / None (budget exhausted).
+        counterexample: input assignment on non-equivalence.
+        proof: :class:`~repro.proof.store.ProofStore` on equivalence
+            (when logging was enabled).
+        cnf: the refuted axiom set (miter CNF + output unit).
+        solver_stats: the solver's counters.
+        elapsed_seconds: wall-clock solve time (encoding included).
+    """
+
+    def __init__(
+        self, equivalent, counterexample, proof, cnf, solver_stats,
+        elapsed_seconds,
+    ):
+        self.equivalent = equivalent
+        self.counterexample = counterexample
+        self.proof = proof
+        self.cnf = cnf
+        self.solver_stats = solver_stats
+        self.elapsed_seconds = elapsed_seconds
+
+    def __repr__(self):
+        return "MonolithicResult(equivalent=%r)" % (self.equivalent,)
+
+
+def monolithic_check(aig_a, aig_b, proof=True, max_conflicts=None,
+                     validate_proof=False):
+    """Check equivalence with a single monolithic SAT call.
+
+    Args:
+        aig_a, aig_b: input-compatible circuits.
+        proof: enable resolution-proof logging.
+        max_conflicts: optional conflict budget (None = unlimited).
+        validate_proof: validate derivations at insertion (tests only).
+
+    Returns:
+        A :class:`MonolithicResult`.
+    """
+    start = time.perf_counter()
+    miter = build_miter(aig_a, aig_b)
+    enc = tseitin_encode(miter.aig)
+    store = ProofStore(validate=validate_proof) if proof else None
+    solver = Solver(proof=store)
+    consistent = True
+    for clause in enc.cnf.clauses:
+        if not solver.add_clause(clause):
+            consistent = False
+            break
+    out_cnf = enc.lit_to_cnf(miter.output)
+    cnf = enc.cnf.copy()
+    cnf.add_clause([out_cnf])
+    if consistent:
+        consistent = solver.add_clause([out_cnf])
+    if consistent:
+        result = solver.solve(max_conflicts=max_conflicts)
+        status = result.status
+    else:
+        status = False
+    elapsed = time.perf_counter() - start
+    if status is SAT:
+        cex = [
+            result.model_value(enc.var_of[var]) for var in miter.aig.inputs
+        ]
+        out_a = aig_a.evaluate(cex)
+        out_b = aig_b.evaluate(cex)
+        if out_a == out_b:
+            raise RuntimeError("monolithic counterexample invalid")
+        return MonolithicResult(
+            False, cex, None, cnf, solver.stats, elapsed
+        )
+    if status is UNKNOWN:
+        return MonolithicResult(None, None, None, cnf, solver.stats, elapsed)
+    return MonolithicResult(True, None, store, cnf, solver.stats, elapsed)

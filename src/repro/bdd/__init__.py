@@ -1,0 +1,15 @@
+"""ROBDD package (baseline engine and test oracle)."""
+
+from .bdd import (
+    BddManager,
+    BddOverflowError,
+    build_output_bdds,
+    interleaved_order,
+)
+
+__all__ = [
+    "BddManager",
+    "BddOverflowError",
+    "build_output_bdds",
+    "interleaved_order",
+]

@@ -1,0 +1,246 @@
+"""Reduced Ordered Binary Decision Diagrams.
+
+A compact ROBDD package used as the classical baseline engine for
+combinational equivalence (canonical-form comparison) and as an
+independent oracle in the test suite. Nodes live in a manager-owned arena
+with a unique table (hash-consing) and an ITE computed table, giving
+canonicity: two functions are equal iff their node ids are equal.
+
+The variable order is fixed at manager construction. For two-operand
+word-level circuits an interleaved order (a0 b0 a1 b1 ...) keeps adders
+and comparators polynomial; multipliers blow up under every order, which
+is itself one of the evaluation's data points.
+"""
+
+from ..aig.literal import lit_sign, lit_var
+
+
+class BddOverflowError(RuntimeError):
+    """Raised when the manager exceeds its node budget."""
+
+
+class BddManager:
+    """Owner of BDD nodes for a fixed variable order.
+
+    Args:
+        num_vars: number of BDD variables (0 .. num_vars-1 in order).
+        max_nodes: node budget; exceeding it raises
+            :class:`BddOverflowError` (the blow-up guard for baselines).
+    """
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self, num_vars, max_nodes=1_000_000):
+        self.num_vars = num_vars
+        self.max_nodes = max_nodes
+        # Arena: parallel lists (var, low, high); ids 0/1 are terminals.
+        self._var = [num_vars, num_vars]
+        self._low = [0, 1]
+        self._high = [0, 1]
+        self._unique = {}
+        self._ite_cache = {}
+
+    @property
+    def num_nodes(self):
+        """Total allocated nodes including terminals."""
+        return len(self._var)
+
+    def var(self, index):
+        """The BDD of variable *index*."""
+        if not 0 <= index < self.num_vars:
+            raise ValueError("variable index %d out of range" % index)
+        return self._node(index, self.FALSE, self.TRUE)
+
+    def _node(self, var, low, high):
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._var)
+            if node >= self.max_nodes:
+                raise BddOverflowError(
+                    "BDD node budget of %d exhausted" % self.max_nodes
+                )
+            self._var.append(var)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def ite(self, f, g, h):
+        """If-then-else: ``f ? g : h`` (the universal connective)."""
+        if f == self.TRUE:
+            return g
+        if f == self.FALSE:
+            return h
+        if g == h:
+            return g
+        if g == self.TRUE and h == self.FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self._var[f], self._var[g], self._var[h])
+        f0, f1 = self._cofactors(f, top)
+        g0, g1 = self._cofactors(g, top)
+        h0, h1 = self._cofactors(h, top)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._node(top, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node, var):
+        if self._var[node] == var:
+            return self._low[node], self._high[node]
+        return node, node
+
+    def apply_not(self, f):
+        """Negation."""
+        return self.ite(f, self.FALSE, self.TRUE)
+
+    def apply_and(self, f, g):
+        """Conjunction."""
+        return self.ite(f, g, self.FALSE)
+
+    def apply_or(self, f, g):
+        """Disjunction."""
+        return self.ite(f, self.TRUE, g)
+
+    def apply_xor(self, f, g):
+        """Exclusive or."""
+        return self.ite(f, self.apply_not(g), g)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def evaluate(self, node, assignment):
+        """Evaluate *node* under *assignment* (sequence indexed by var)."""
+        while node > self.TRUE:
+            if assignment[self._var[node]]:
+                node = self._high[node]
+            else:
+                node = self._low[node]
+        return node
+
+    def any_sat(self, node):
+        """Some satisfying assignment (dict var -> 0/1), or None."""
+        if node == self.FALSE:
+            return None
+        assignment = {}
+        while node > self.TRUE:
+            var = self._var[node]
+            if self._high[node] != self.FALSE:
+                assignment[var] = 1
+                node = self._high[node]
+            else:
+                assignment[var] = 0
+                node = self._low[node]
+        return assignment
+
+    def count_sat(self, node, num_vars=None):
+        """Number of satisfying assignments over *num_vars* variables."""
+        if num_vars is None:
+            num_vars = self.num_vars
+        cache = {}
+
+        def walk(n):
+            if n == self.FALSE:
+                return 0
+            if n == self.TRUE:
+                return 1 << num_vars
+            hit = cache.get(n)
+            if hit is not None:
+                return hit
+            low = walk(self._low[n]) >> 1
+            high = walk(self._high[n]) >> 1
+            cache[n] = low + high
+            return low + high
+
+        return walk(node)
+
+    def size(self, node):
+        """Number of distinct nodes reachable from *node* (terminals excluded)."""
+        seen = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n <= self.TRUE or n in seen:
+                continue
+            seen.add(n)
+            stack.append(self._low[n])
+            stack.append(self._high[n])
+        return len(seen)
+
+
+def interleaved_order(aig):
+    """Variable order interleaving the two halves of the input vector.
+
+    For the two-operand circuits in :mod:`repro.circuits` the inputs come
+    as ``a0..a{n-1} b0..b{n-1} [extras]``; pairing ``a_k`` with ``b_k``
+    keeps adder/comparator BDDs linear. Returns a list mapping input
+    position -> BDD variable index.
+    """
+    count = aig.num_inputs
+    half = count // 2
+    order = [0] * count
+    slot = 0
+    for k in range(half):
+        order[k] = slot
+        slot += 1
+        order[half + k] = slot
+        slot += 1
+    for k in range(2 * half, count):
+        order[k] = slot
+        slot += 1
+    return order
+
+
+def build_output_bdds(aig, manager=None, order=None, max_nodes=1_000_000):
+    """Build BDDs for every output of *aig*.
+
+    Args:
+        aig: the circuit.
+        manager: optional shared :class:`BddManager` (one is created
+            otherwise).
+        order: list mapping input position -> BDD variable index
+            (identity when None; see :func:`interleaved_order`).
+        max_nodes: node budget for a fresh manager.
+
+    Returns:
+        ``(manager, [output_node_ids])``.
+
+    Raises:
+        BddOverflowError: when the build exceeds the node budget.
+    """
+    if manager is None:
+        manager = BddManager(aig.num_inputs, max_nodes=max_nodes)
+    if order is None:
+        order = list(range(aig.num_inputs))
+    node_of = [manager.FALSE] * aig.num_vars
+    for position, var in enumerate(aig.inputs):
+        node_of[var] = manager.var(order[position])
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        b0 = node_of[lit_var(f0)]
+        if lit_sign(f0):
+            b0 = manager.apply_not(b0)
+        b1 = node_of[lit_var(f1)]
+        if lit_sign(f1):
+            b1 = manager.apply_not(b1)
+        node_of[var] = manager.apply_and(b0, b1)
+    outputs = []
+    for lit in aig.outputs:
+        node = node_of[lit_var(lit)]
+        if lit_sign(lit):
+            node = manager.apply_not(node)
+        outputs.append(node)
+    return manager, outputs

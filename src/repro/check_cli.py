@@ -1,0 +1,93 @@
+"""Command-line interface: ``repro-checkproof``.
+
+A standalone proof checker in the spirit of TraceCheck: validates a
+resolution trace, optionally against the DIMACS formula it claims to
+refute::
+
+    repro-checkproof trace.tc
+    repro-checkproof trace.tc --cnf formula.cnf
+    repro-checkproof trace.tc --cnf formula.cnf --rup
+
+Exit codes: 0 = proof valid, 1 = invalid, 2 = I/O or parse error.
+"""
+
+import argparse
+import sys
+import time
+
+from .cnf.dimacs import DimacsError, read_dimacs
+from .proof.checker import check_proof
+from .proof.drup import check_rup_proof
+from .proof.store import ProofError
+from .proof.tracecheck import read_tracecheck
+
+
+def build_parser():
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-checkproof",
+        description="Independent resolution-trace checker (TraceCheck format)",
+    )
+    parser.add_argument("trace", help="TraceCheck resolution trace")
+    parser.add_argument(
+        "--cnf",
+        metavar="FILE",
+        help="DIMACS formula the trace must refute (axioms are checked "
+        "for membership)",
+    )
+    parser.add_argument(
+        "--rup",
+        action="store_true",
+        help="additionally validate by reverse unit propagation",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="no statistics output"
+    )
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        store, _ = read_tracecheck(args.trace)
+    except (OSError, ProofError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    axioms = None
+    if args.cnf:
+        try:
+            axioms = read_dimacs(args.cnf).clauses
+        except (OSError, DimacsError) as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+    start = time.perf_counter()
+    try:
+        result = check_proof(store, axioms=axioms, require_empty=True)
+    except ProofError as exc:
+        print("INVALID: %s" % exc)
+        return 1
+    elapsed = time.perf_counter() - start
+    if args.rup:
+        try:
+            check_rup_proof(store, axioms=axioms)
+        except ProofError as exc:
+            print("INVALID (RUP): %s" % exc)
+            return 1
+    print("VALID")
+    if not args.quiet:
+        print(
+            "c %d axioms, %d derived clauses, %d resolutions, "
+            "checked in %.3fs"
+            % (
+                result.num_axioms,
+                result.num_derived,
+                result.num_resolutions,
+                elapsed,
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

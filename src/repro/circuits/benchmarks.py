@@ -1,0 +1,222 @@
+"""Named benchmark pairs for the evaluation suite.
+
+The paper evaluates on industrial original-vs-synthesized miters; those
+netlists are unavailable, so (per DESIGN.md's substitution table) each
+benchmark here pairs two *structurally different, functionally identical*
+implementations — either two textbook architectures of the same word-level
+function or a circuit against its randomized function-preserving
+restructuring. Both kinds exhibit the abundant internal equivalences that
+make SAT sweeping (and the paper's measurements) meaningful.
+
+Every entry is constructed lazily and deterministically, so all benches
+and tests agree on the exact circuits.
+"""
+
+from ..transforms.restructure import restructure
+from ..transforms.rewrite import rewrite
+from . import generators as gen
+
+
+class BenchmarkPair:
+    """A named equivalence-checking instance.
+
+    Attributes:
+        name: short unique identifier used in tables.
+        category: ``"arch"`` (two architectures) or ``"synth"``
+            (original vs. restructured).
+        description: human-readable summary.
+    """
+
+    def __init__(self, name, category, description, factory):
+        self.name = name
+        self.category = category
+        self.description = description
+        self._factory = factory
+
+    def build(self):
+        """Construct and return the pair ``(aig_a, aig_b)``."""
+        return self._factory()
+
+    def __repr__(self):
+        return "BenchmarkPair(%r)" % self.name
+
+
+def _arch(name, description, factory):
+    return BenchmarkPair(name, "arch", description, factory)
+
+
+def _synth(name, description, make, seed=1, intensity=0.4, redundancy=0.15):
+    def factory():
+        original = make()
+        variant = restructure(
+            original, seed=seed, intensity=intensity, redundancy=redundancy
+        )
+        return original, variant
+
+    return BenchmarkPair(name, "synth", description, factory)
+
+
+def _rewritten(name, description, make, seed=1, selection=0.6, k=4):
+    def factory():
+        original = make()
+        variant = rewrite(original, k=k, selection=selection, seed=seed)
+        return original, variant
+
+    return BenchmarkPair(name, "synth", description, factory)
+
+
+SUITE = [
+    _arch(
+        "add08",
+        "8-bit ripple-carry vs. carry-lookahead adder",
+        lambda: (gen.ripple_carry_adder(8), gen.carry_lookahead_adder(8)),
+    ),
+    _arch(
+        "add16",
+        "16-bit ripple-carry vs. carry-lookahead adder",
+        lambda: (gen.ripple_carry_adder(16), gen.carry_lookahead_adder(16)),
+    ),
+    _arch(
+        "add16k",
+        "16-bit ripple-carry vs. Kogge-Stone adder",
+        lambda: (gen.ripple_carry_adder(16), gen.kogge_stone_adder(16)),
+    ),
+    _arch(
+        "add16s",
+        "16-bit ripple-carry vs. carry-select adder",
+        lambda: (gen.ripple_carry_adder(16), gen.carry_select_adder(16)),
+    ),
+    _arch(
+        "add24",
+        "24-bit ripple-carry vs. Kogge-Stone adder",
+        lambda: (gen.ripple_carry_adder(24), gen.kogge_stone_adder(24)),
+    ),
+    _arch(
+        "mul03",
+        "3x3 array vs. Wallace-tree multiplier",
+        lambda: (gen.array_multiplier(3), gen.wallace_multiplier(3)),
+    ),
+    _arch(
+        "mul04",
+        "4x4 array vs. Wallace-tree multiplier",
+        lambda: (gen.array_multiplier(4), gen.wallace_multiplier(4)),
+    ),
+    _arch(
+        "mul05",
+        "5x5 array vs. Wallace-tree multiplier",
+        lambda: (gen.array_multiplier(5), gen.wallace_multiplier(5)),
+    ),
+    _arch(
+        "cmp10",
+        "10-bit priority comparator vs. subtractor-based comparator",
+        lambda: (gen.comparator(10), gen.comparator_subtract(10)),
+    ),
+    _arch(
+        "alu06",
+        "6-bit four-function ALU, two mux organizations",
+        lambda: (gen.alu(6), gen.alu_mux_first(6)),
+    ),
+    _arch(
+        "par16",
+        "16-input parity, balanced tree vs. linear chain",
+        lambda: (gen.parity_tree(16), gen.parity_chain(16)),
+    ),
+    _synth(
+        "sadd12",
+        "12-bit carry-lookahead adder vs. its restructuring",
+        lambda: gen.carry_lookahead_adder(12),
+        seed=7,
+    ),
+    _synth(
+        "smul04",
+        "4x4 array multiplier vs. its restructuring",
+        lambda: gen.array_multiplier(4),
+        seed=11,
+        intensity=0.5,
+        redundancy=0.2,
+    ),
+    _synth(
+        "sbsh08",
+        "8-bit barrel shifter vs. its restructuring",
+        lambda: gen.barrel_shifter(3),
+        seed=3,
+        intensity=0.5,
+    ),
+    _synth(
+        "smaj09",
+        "9-input majority vs. its restructuring",
+        lambda: gen.majority(9),
+        seed=5,
+    ),
+    _arch(
+        "add20k",
+        "20-bit ripple-carry vs. carry-skip adder",
+        lambda: (gen.ripple_carry_adder(20), gen.carry_skip_adder(20)),
+    ),
+    _arch(
+        "add12c",
+        "12-bit carry-lookahead vs. conditional-sum adder",
+        lambda: (
+            gen.carry_lookahead_adder(12),
+            gen.conditional_sum_adder(12),
+        ),
+    ),
+    _arch(
+        "mul04d",
+        "4x4 Wallace vs. Dadda multiplier",
+        lambda: (gen.wallace_multiplier(4), gen.dadda_multiplier(4)),
+    ),
+    _rewritten(
+        "rcmp08",
+        "8-bit comparator vs. its cut-rewritten form",
+        lambda: gen.comparator(8),
+        seed=2,
+    ),
+    _rewritten(
+        "rpop12",
+        "12-input popcount vs. its cut-rewritten form",
+        lambda: gen.popcount(12),
+        seed=4,
+        selection=0.5,
+    ),
+]
+
+
+def by_name(name):
+    """Look up a suite entry by name."""
+    for pair in SUITE:
+        if pair.name == name:
+            return pair
+    raise KeyError("no benchmark named %r" % name)
+
+
+def adder_scaling_series(widths=(2, 4, 6, 8, 10, 12, 14, 16)):
+    """Ripple-carry vs. Kogge-Stone pairs across widths (Figure 1)."""
+    return [
+        BenchmarkPair(
+            "add%02d" % width,
+            "scaling",
+            "%d-bit ripple-carry vs. Kogge-Stone" % width,
+            (lambda w: lambda: (
+                gen.ripple_carry_adder(w),
+                gen.kogge_stone_adder(w),
+            ))(width),
+        )
+        for width in widths
+    ]
+
+
+def multiplier_scaling_series(widths=(2, 3, 4, 5)):
+    """Array vs. Wallace multiplier pairs across widths."""
+    return [
+        BenchmarkPair(
+            "mul%02d" % width,
+            "scaling",
+            "%dx%d array vs. Wallace multiplier" % (width, width),
+            (lambda w: lambda: (
+                gen.array_multiplier(w),
+                gen.wallace_multiplier(w),
+            ))(width),
+        )
+        for width in widths
+    ]

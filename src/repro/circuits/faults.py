@@ -1,0 +1,161 @@
+"""Systematic fault injection.
+
+Equivalence checkers are judged on both halves of their contract:
+proving equal circuits equal *and* refuting unequal ones. This module
+injects classical gate-level faults into AIGs — stuck-at nodes, edge
+polarity flips, gate substitutions, wrong-wire hookups — producing
+mutated circuits for the refutation half of the evaluation (and for the
+test suite's soundness checks).
+
+A fault may be *functionally redundant* (the mutated circuit still
+computes the same function); callers decide semantically, e.g. by
+running the checker itself. :func:`inject` reports enough metadata to
+tell what was mutated where.
+"""
+
+import random
+
+from ..aig.aig import AIG
+from ..aig.literal import FALSE, TRUE, lit_not, lit_not_cond, lit_sign, lit_var
+
+FAULT_KINDS = (
+    "stuck_at_0",
+    "stuck_at_1",
+    "edge_flip",
+    "and_to_or",
+    "wrong_fanin",
+    "output_flip",
+)
+
+
+class Fault:
+    """Description of one injected fault.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        node: the AIG variable (or output index for ``output_flip``) hit.
+        detail: human-readable specifics.
+    """
+
+    def __init__(self, kind, node, detail=""):
+        if kind not in FAULT_KINDS:
+            raise ValueError("unknown fault kind %r" % kind)
+        self.kind = kind
+        self.node = node
+        self.detail = detail
+
+    def __repr__(self):
+        return "Fault(%s @ %d%s)" % (
+            self.kind,
+            self.node,
+            ", %s" % self.detail if self.detail else "",
+        )
+
+
+def inject(aig, fault):
+    """Return a copy of *aig* with *fault* applied.
+
+    Raises:
+        ValueError: when the fault's target does not exist.
+    """
+    if fault.kind == "output_flip":
+        if not 0 <= fault.node < aig.num_outputs:
+            raise ValueError("no output %d" % fault.node)
+        mutated = aig.copy()
+        mutated.set_output(fault.node, lit_not(mutated.outputs[fault.node]))
+        return mutated
+    if not aig.is_and(fault.node):
+        raise ValueError("fault target %d is not an AND node" % fault.node)
+    mutated = AIG((aig.name or "aig") + "~" + fault.kind)
+    lit_map = [None] * aig.num_vars
+    lit_map[0] = FALSE
+    for var, name in zip(aig.inputs, aig.input_names):
+        lit_map[var] = mutated.add_input(name)
+
+    def mapped(lit):
+        return lit_not_cond(lit_map[lit_var(lit)], lit_sign(lit))
+
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        m0, m1 = mapped(f0), mapped(f1)
+        if var != fault.node:
+            lit_map[var] = mutated.add_and(m0, m1)
+            continue
+        lit_map[var] = _apply_node_fault(mutated, fault, m0, m1, lit_map)
+    for lit, name in zip(aig.outputs, aig.output_names):
+        mutated.add_output(mapped(lit), name)
+    return mutated
+
+
+def _apply_node_fault(mutated, fault, m0, m1, lit_map):
+    if fault.kind == "stuck_at_0":
+        return FALSE
+    if fault.kind == "stuck_at_1":
+        return TRUE
+    if fault.kind == "edge_flip":
+        return mutated.add_and(lit_not(m0), m1)
+    if fault.kind == "and_to_or":
+        return mutated.add_or(m0, m1)
+    if fault.kind == "wrong_fanin":
+        # Replace the first fanin by another already-built signal.
+        candidates = [
+            lit for lit in lit_map
+            if lit is not None and lit > TRUE and lit != m0
+        ]
+        if not candidates:
+            raise ValueError("no replacement signal for wrong_fanin")
+        replacement = candidates[fault.node % len(candidates)]
+        return mutated.add_and(replacement, m1)
+    raise AssertionError(fault.kind)
+
+
+def enumerate_faults(aig, kinds=FAULT_KINDS, rng=None, per_kind=None):
+    """Generate a deterministic fault list for *aig*.
+
+    Args:
+        aig: target circuit.
+        kinds: fault kinds to include.
+        rng: optional ``random.Random`` for sampling node targets; when
+            None every AND node is targeted.
+        per_kind: with *rng*, how many targets to sample per kind.
+
+    Returns:
+        List of :class:`Fault`.
+    """
+    and_vars = list(aig.and_vars())
+    faults = []
+    for kind in kinds:
+        if kind == "output_flip":
+            targets = list(range(aig.num_outputs))
+        elif rng is not None and per_kind is not None:
+            count = min(per_kind, len(and_vars))
+            targets = rng.sample(and_vars, count) if count else []
+        else:
+            targets = and_vars
+        for target in targets:
+            faults.append(Fault(kind, target))
+    return faults
+
+
+def fault_campaign(aig, checker, kinds=FAULT_KINDS, seed=0, per_kind=3):
+    """Inject sampled faults and classify each by *checker*.
+
+    Args:
+        aig: golden circuit.
+        checker: callable ``(golden, mutated) -> True/False/None`` for
+            equivalent / different / undecided (e.g. a wrapper around
+            :func:`repro.core.cec.check_equivalence`).
+        kinds: fault kinds to exercise.
+        seed: sampling seed.
+        per_kind: sampled targets per kind.
+
+    Returns:
+        List of ``(Fault, verdict)`` pairs. A verdict of False means the
+        fault was *detected*; True means it was functionally redundant.
+    """
+    rng = random.Random(seed)
+    results = []
+    for fault in enumerate_faults(aig, kinds, rng=rng, per_kind=per_kind):
+        mutated = inject(aig, fault)
+        results.append((fault, checker(aig, mutated)))
+    return results

@@ -1,0 +1,605 @@
+"""Benchmark circuit generators.
+
+Each generator builds a self-contained :class:`~repro.aig.AIG` for a
+word-level function. Several functions come in multiple *structurally
+different* implementations of the *same* word-level specification (e.g.
+ripple-carry vs. carry-lookahead vs. carry-select adders): pairing two
+implementations yields exactly the kind of structurally-similar-but-not-
+identical miter that equivalence-checking papers evaluate on.
+
+Words are little-endian lists of literals (index 0 = LSB).
+"""
+
+import random
+
+from ..aig.aig import AIG
+from ..aig.literal import FALSE, TRUE, lit_not
+
+
+def _two_operand_inputs(aig, width):
+    a = [aig.add_input("a%d" % k) for k in range(width)]
+    b = [aig.add_input("b%d" % k) for k in range(width)]
+    return a, b
+
+
+def full_adder(aig, a, b, cin):
+    """One-bit full adder; returns ``(sum, carry)`` literals."""
+    axb = aig.add_xor(a, b)
+    total = aig.add_xor(axb, cin)
+    carry = aig.add_or(aig.add_and(a, b), aig.add_and(axb, cin))
+    return total, carry
+
+
+def ripple_carry_adder(width, carry_in=False, name=None):
+    """N-bit ripple-carry adder: outputs ``s0..s{n-1}, cout``."""
+    aig = AIG(name or "rca%d" % width)
+    a, b = _two_operand_inputs(aig, width)
+    cin = aig.add_input("cin") if carry_in else FALSE
+    carry = cin
+    for k in range(width):
+        s, carry = full_adder(aig, a[k], b[k], carry)
+        aig.add_output(s, "s%d" % k)
+    aig.add_output(carry, "cout")
+    return aig
+
+
+def carry_lookahead_adder(width, carry_in=False, name=None):
+    """N-bit carry-lookahead adder (flat lookahead per bit position).
+
+    Computes generate/propagate signals and expands every carry as
+    ``c[i+1] = g[i] + p[i]g[i-1] + ... + p[i]..p[0]c0`` — a structure very
+    different from the ripple chain, with the same function.
+    """
+    aig = AIG(name or "cla%d" % width)
+    a, b = _two_operand_inputs(aig, width)
+    cin = aig.add_input("cin") if carry_in else FALSE
+    gen = [aig.add_and(a[k], b[k]) for k in range(width)]
+    prop = [aig.add_xor(a[k], b[k]) for k in range(width)]
+    carries = [cin]
+    for k in range(width):
+        # c[k+1] = g[k] | p[k] g[k-1] | ... | p[k]..p[1] g[0] | p[k]..p[0] c0
+        terms = []
+        for j in range(k, -1, -1):
+            prefix = aig.add_and_multi(prop[j + 1 : k + 1] + [gen[j]])
+            terms.append(prefix)
+        terms.append(aig.add_and_multi(prop[0 : k + 1] + [cin]))
+        carries.append(aig.add_or_multi(terms))
+    for k in range(width):
+        aig.add_output(aig.add_xor(prop[k], carries[k]), "s%d" % k)
+    aig.add_output(carries[width], "cout")
+    return aig
+
+
+def carry_select_adder(width, block=4, name=None):
+    """N-bit carry-select adder: per-block dual ripple chains plus muxes."""
+    aig = AIG(name or "csel%d" % width)
+    a, b = _two_operand_inputs(aig, width)
+    carry = FALSE
+    sums = []
+    for start in range(0, width, block):
+        end = min(start + block, width)
+        # Two speculative chains: carry-in 0 and carry-in 1.
+        sums0, carry0 = _ripple_block(aig, a[start:end], b[start:end], FALSE)
+        sums1, carry1 = _ripple_block(aig, a[start:end], b[start:end], TRUE)
+        for s0, s1 in zip(sums0, sums1):
+            sums.append(aig.add_mux(carry, s1, s0))
+        carry = aig.add_mux(carry, carry1, carry0)
+    for k, s in enumerate(sums):
+        aig.add_output(s, "s%d" % k)
+    aig.add_output(carry, "cout")
+    return aig
+
+
+def _ripple_block(aig, a_bits, b_bits, cin):
+    sums = []
+    carry = cin
+    for a_bit, b_bit in zip(a_bits, b_bits):
+        s, carry = full_adder(aig, a_bit, b_bit, carry)
+        sums.append(s)
+    return sums, carry
+
+
+def kogge_stone_adder(width, name=None):
+    """N-bit Kogge-Stone parallel-prefix adder."""
+    aig = AIG(name or "ks%d" % width)
+    a, b = _two_operand_inputs(aig, width)
+    gen = [aig.add_and(a[k], b[k]) for k in range(width)]
+    prop = [aig.add_xor(a[k], b[k]) for k in range(width)]
+    g, p = list(gen), list(prop)
+    dist = 1
+    while dist < width:
+        new_g, new_p = list(g), list(p)
+        for k in range(dist, width):
+            new_g[k] = aig.add_or(g[k], aig.add_and(p[k], g[k - dist]))
+            new_p[k] = aig.add_and(p[k], p[k - dist])
+        g, p = new_g, new_p
+        dist <<= 1
+    carries = [FALSE] + g
+    for k in range(width):
+        aig.add_output(aig.add_xor(prop[k], carries[k]), "s%d" % k)
+    aig.add_output(carries[width], "cout")
+    return aig
+
+
+def subtractor(width, name=None):
+    """N-bit subtractor ``a - b`` via two's complement; outputs diff + borrow."""
+    aig = AIG(name or "sub%d" % width)
+    a, b = _two_operand_inputs(aig, width)
+    carry = TRUE
+    for k in range(width):
+        s, carry = full_adder(aig, a[k], lit_not(b[k]), carry)
+        aig.add_output(s, "d%d" % k)
+    aig.add_output(lit_not(carry), "borrow")
+    return aig
+
+
+def array_multiplier(width, name=None):
+    """N×N array multiplier producing a 2N-bit product.
+
+    Partial products are reduced row by row with ripple-carry adders,
+    mirroring a classic combinational array.
+    """
+    aig = AIG(name or "mul%d" % width)
+    a, b = _two_operand_inputs(aig, width)
+    acc = [FALSE] * (2 * width)
+    for i in range(width):
+        row = [aig.add_and(a[j], b[i]) for j in range(width)]
+        carry = FALSE
+        for j in range(width):
+            pos = i + j
+            s, c1 = full_adder(aig, acc[pos], row[j], carry)
+            acc[pos] = s
+            carry = c1
+        pos = i + width
+        while carry != FALSE and pos < 2 * width:
+            s, carry = full_adder(aig, acc[pos], carry, FALSE)
+            acc[pos] = s
+            pos += 1
+    for k in range(2 * width):
+        aig.add_output(acc[k], "p%d" % k)
+    return aig
+
+
+def shift_add_multiplier(width, name=None):
+    """N×N multiplier structured as a chain of conditional wide additions.
+
+    Functionally identical to :func:`array_multiplier` but reduces each
+    shifted operand with one full-width adder per multiplier bit, so the
+    internal structure differs substantially.
+    """
+    aig = AIG(name or "mulsa%d" % width)
+    a, b = _two_operand_inputs(aig, width)
+    acc = [FALSE] * (2 * width)
+    for i in range(width):
+        addend = [FALSE] * i
+        addend += [aig.add_and(a[j], b[i]) for j in range(width)]
+        addend += [FALSE] * (2 * width - len(addend))
+        carry = FALSE
+        new_acc = []
+        for pos in range(2 * width):
+            s, carry = full_adder(aig, acc[pos], addend[pos], carry)
+            new_acc.append(s)
+        acc = new_acc
+    for k in range(2 * width):
+        aig.add_output(acc[k], "p%d" % k)
+    return aig
+
+
+def wallace_multiplier(width, name=None):
+    """N×N multiplier with a Wallace-style carry-save reduction tree.
+
+    Partial-product bits are grouped per column and reduced three at a
+    time with full adders (and pairs with half adders) until every column
+    holds at most two bits; a final ripple-carry adder merges the two
+    remaining rows. The carry-save structure is very different from the
+    row-by-row array of :func:`array_multiplier` while computing the same
+    product.
+    """
+    aig = AIG(name or "mulw%d" % width)
+    a, b = _two_operand_inputs(aig, width)
+    columns = [[] for _ in range(2 * width)]
+    for i in range(width):
+        for j in range(width):
+            columns[i + j].append(aig.add_and(a[j], b[i]))
+    reduced = True
+    while reduced:
+        reduced = False
+        next_columns = [[] for _ in range(2 * width)]
+        for pos, col in enumerate(columns):
+            k = 0
+            while len(col) - k >= 3:
+                s, c = full_adder(aig, col[k], col[k + 1], col[k + 2])
+                next_columns[pos].append(s)
+                if pos + 1 < 2 * width:
+                    next_columns[pos + 1].append(c)
+                k += 3
+                reduced = True
+            if len(col) - k == 2 and len(col) > 2:
+                s, c = full_adder(aig, col[k], col[k + 1], FALSE)
+                next_columns[pos].append(s)
+                if pos + 1 < 2 * width:
+                    next_columns[pos + 1].append(c)
+                k += 2
+                reduced = True
+            next_columns[pos].extend(col[k:])
+        columns = next_columns
+    carry = FALSE
+    for pos in range(2 * width):
+        col = columns[pos] + [FALSE] * (2 - len(columns[pos]))
+        s, carry_next = full_adder(aig, col[0], col[1], carry)
+        aig.add_output(s, "p%d" % pos)
+        carry = carry_next
+    return aig
+
+
+def comparator(width, name=None):
+    """N-bit unsigned comparator: outputs ``lt``, ``eq``, ``gt``."""
+    aig = AIG(name or "cmp%d" % width)
+    a, b = _two_operand_inputs(aig, width)
+    lt = FALSE
+    gt = FALSE
+    for k in range(width - 1, -1, -1):
+        bit_lt = aig.add_and(lit_not(a[k]), b[k])
+        bit_gt = aig.add_and(a[k], lit_not(b[k]))
+        lt = aig.add_or(lt, aig.add_and_multi([lit_not(gt), lit_not(lt), bit_lt]))
+        gt = aig.add_or(gt, aig.add_and_multi([lit_not(gt), lit_not(lt), bit_gt]))
+    eq = aig.add_and(lit_not(lt), lit_not(gt))
+    aig.add_output(lt, "lt")
+    aig.add_output(eq, "eq")
+    aig.add_output(gt, "gt")
+    return aig
+
+
+def comparator_subtract(width, name=None):
+    """N-bit comparator implemented via a subtractor (different structure)."""
+    aig = AIG(name or "cmpsub%d" % width)
+    a, b = _two_operand_inputs(aig, width)
+    carry = TRUE
+    diff = []
+    for k in range(width):
+        s, carry = full_adder(aig, a[k], lit_not(b[k]), carry)
+        diff.append(s)
+    lt = lit_not(carry)
+    eq = lit_not(aig.add_or_multi(diff))
+    gt = aig.add_and(carry, lit_not(eq))
+    aig.add_output(lt, "lt")
+    aig.add_output(eq, "eq")
+    aig.add_output(gt, "gt")
+    return aig
+
+
+def alu(width, name=None):
+    """N-bit four-function ALU: op ∈ {ADD, AND, OR, XOR} via 2-bit opcode."""
+    aig = AIG(name or "alu%d" % width)
+    a, b = _two_operand_inputs(aig, width)
+    op0 = aig.add_input("op0")
+    op1 = aig.add_input("op1")
+    carry = FALSE
+    add_bits = []
+    for k in range(width):
+        s, carry = full_adder(aig, a[k], b[k], carry)
+        add_bits.append(s)
+    for k in range(width):
+        and_bit = aig.add_and(a[k], b[k])
+        or_bit = aig.add_or(a[k], b[k])
+        xor_bit = aig.add_xor(a[k], b[k])
+        low = aig.add_mux(op0, and_bit, add_bits[k])
+        high = aig.add_mux(op0, xor_bit, or_bit)
+        aig.add_output(aig.add_mux(op1, high, low), "r%d" % k)
+    return aig
+
+
+def alu_mux_first(width, name=None):
+    """The same four-function ALU with operand-level muxing.
+
+    Selects per-bit operand transforms before a shared adder-like skeleton,
+    yielding a structurally different network with the same function.
+    """
+    aig = AIG(name or "alu_mf%d" % width)
+    a, b = _two_operand_inputs(aig, width)
+    op0 = aig.add_input("op0")
+    op1 = aig.add_input("op1")
+    is_add = aig.add_and(lit_not(op0), lit_not(op1))
+    carry = FALSE
+    for k in range(width):
+        axb = aig.add_xor(a[k], b[k])
+        anb = aig.add_and(a[k], b[k])
+        sum_bit = aig.add_xor(axb, aig.add_and(is_add, carry))
+        carry = aig.add_or(anb, aig.add_and(axb, carry))
+        logic = aig.add_mux(op1, aig.add_mux(op0, axb, aig.add_or(a[k], b[k])),
+                            aig.add_mux(op0, anb, sum_bit))
+        aig.add_output(logic, "r%d" % k)
+    return aig
+
+
+def parity_tree(width, name=None):
+    """Parity of N inputs as a balanced XOR tree."""
+    aig = AIG(name or "parity%d" % width)
+    bits = [aig.add_input("x%d" % k) for k in range(width)]
+    aig.add_output(aig.add_xor_multi(bits), "parity")
+    return aig
+
+
+def parity_chain(width, name=None):
+    """Parity of N inputs as a linear XOR chain (same function, deep)."""
+    aig = AIG(name or "paritychain%d" % width)
+    bits = [aig.add_input("x%d" % k) for k in range(width)]
+    acc = FALSE
+    for bit in bits:
+        acc = aig.add_xor(acc, bit)
+    aig.add_output(acc, "parity")
+    return aig
+
+
+def majority(width, name=None):
+    """Majority-of-N (N odd) via a popcount-and-compare construction."""
+    if width % 2 == 0:
+        raise ValueError("majority needs an odd width")
+    aig = AIG(name or "maj%d" % width)
+    bits = [aig.add_input("x%d" % k) for k in range(width)]
+    count = _popcount(aig, bits)
+    threshold = width // 2 + 1
+    aig.add_output(_geq_const(aig, count, threshold), "maj")
+    return aig
+
+
+def _popcount(aig, bits):
+    """Popcount of literals as a little-endian sum word."""
+    words = [[bit] for bit in bits]
+    while len(words) > 1:
+        merged = []
+        for k in range(0, len(words) - 1, 2):
+            merged.append(_add_words(aig, words[k], words[k + 1]))
+        if len(words) % 2:
+            merged.append(words[-1])
+        words = merged
+    return words[0]
+
+
+def _add_words(aig, wa, wb):
+    width = max(len(wa), len(wb))
+    wa = wa + [FALSE] * (width - len(wa))
+    wb = wb + [FALSE] * (width - len(wb))
+    out = []
+    carry = FALSE
+    for a_bit, b_bit in zip(wa, wb):
+        s, carry = full_adder(aig, a_bit, b_bit, carry)
+        out.append(s)
+    out.append(carry)
+    return out
+
+
+def _geq_const(aig, word, threshold):
+    """Literal for ``word >= threshold`` (unsigned).
+
+    Folds LSB to MSB with the invariant that ``ge`` compares the suffix
+    processed so far: at a constant 1-bit, staying >= requires the word bit
+    set *and* the lower part >=; at a constant 0-bit, a set word bit wins
+    outright.
+    """
+    if threshold >> len(word):
+        return FALSE
+    ge = TRUE
+    for k in range(len(word)):
+        if (threshold >> k) & 1:
+            ge = aig.add_and(word[k], ge)
+        else:
+            ge = aig.add_or(word[k], ge)
+    return ge
+
+
+def barrel_shifter(width_log, name=None):
+    """Left barrel shifter of a ``2**width_log``-bit word, zero filling."""
+    width = 1 << width_log
+    aig = AIG(name or "bshift%d" % width)
+    data = [aig.add_input("d%d" % k) for k in range(width)]
+    shamt = [aig.add_input("s%d" % k) for k in range(width_log)]
+    for stage in range(width_log):
+        offset = 1 << stage
+        sel = shamt[stage]
+        data = [
+            aig.add_mux(sel, data[k - offset] if k >= offset else FALSE, data[k])
+            for k in range(width)
+        ]
+    for k, bit in enumerate(data):
+        aig.add_output(bit, "q%d" % k)
+    return aig
+
+
+def mux_tree(select_bits, name=None):
+    """2**k-to-1 multiplexer tree."""
+    count = 1 << select_bits
+    aig = AIG(name or "mux%d" % count)
+    data = [aig.add_input("d%d" % k) for k in range(count)]
+    sels = [aig.add_input("s%d" % k) for k in range(select_bits)]
+    layer = data
+    for sel in sels:
+        layer = [
+            aig.add_mux(sel, layer[2 * k + 1], layer[2 * k])
+            for k in range(len(layer) // 2)
+        ]
+    aig.add_output(layer[0], "q")
+    return aig
+
+
+def carry_skip_adder(width, block=4, name=None):
+    """N-bit carry-skip adder: ripple blocks with propagate bypass muxes."""
+    aig = AIG(name or "cskip%d" % width)
+    a, b = _two_operand_inputs(aig, width)
+    carry = FALSE
+    sums = []
+    for start in range(0, width, block):
+        end = min(start + block, width)
+        block_in = carry
+        props = []
+        for k in range(start, end):
+            s, carry = full_adder(aig, a[k], b[k], carry)
+            sums.append(s)
+            props.append(aig.add_xor(a[k], b[k]))
+        bypass = aig.add_and_multi(props)
+        carry = aig.add_mux(bypass, block_in, carry)
+    for k, s in enumerate(sums):
+        aig.add_output(s, "s%d" % k)
+    aig.add_output(carry, "cout")
+    return aig
+
+
+def conditional_sum_adder(width, name=None):
+    """N-bit conditional-sum adder (recursive halving with dual chains)."""
+    aig = AIG(name or "csum%d" % width)
+    a, b = _two_operand_inputs(aig, width)
+
+    def build(lo, hi):
+        """Return (sums0, carry0, sums1, carry1) for slice [lo, hi)."""
+        if hi - lo == 1:
+            s0 = aig.add_xor(a[lo], b[lo])
+            c0 = aig.add_and(a[lo], b[lo])
+            s1 = lit_not(s0)
+            c1 = aig.add_or(a[lo], b[lo])
+            return [s0], c0, [s1], c1
+        mid = (lo + hi) // 2
+        low0, lc0, low1, lc1 = build(lo, mid)
+        high0, hc0, high1, hc1 = build(mid, hi)
+        sums0 = low0 + [aig.add_mux(lc0, s1, s0) for s0, s1 in zip(high0, high1)]
+        carry0 = aig.add_mux(lc0, hc1, hc0)
+        sums1 = low1 + [aig.add_mux(lc1, s1, s0) for s0, s1 in zip(high0, high1)]
+        carry1 = aig.add_mux(lc1, hc1, hc0)
+        return sums0, carry0, sums1, carry1
+
+    sums, carry, _, _ = build(0, width)
+    for k, s in enumerate(sums):
+        aig.add_output(s, "s%d" % k)
+    aig.add_output(carry, "cout")
+    return aig
+
+
+def dadda_multiplier(width, name=None):
+    """N×N multiplier with a Dadda-style staged reduction.
+
+    Like Wallace, a carry-save tree — but columns are only reduced down
+    to the Dadda height sequence (2, 3, 4, 6, 9, ...) at each stage,
+    using as few adders as possible. Yet another structurally distinct
+    implementation of the same product.
+    """
+    aig = AIG(name or "muld%d" % width)
+    a, b = _two_operand_inputs(aig, width)
+    columns = [[] for _ in range(2 * width)]
+    for i in range(width):
+        for j in range(width):
+            columns[i + j].append(aig.add_and(a[j], b[i]))
+    heights = [2]
+    while heights[-1] < width:
+        heights.append(int(heights[-1] * 3 / 2))
+    for target in reversed(heights):
+        next_columns = [[] for _ in range(2 * width)]
+        carry_in = [[] for _ in range(2 * width + 1)]
+        for pos in range(2 * width):
+            col = columns[pos] + carry_in[pos]
+            while len(col) > target:
+                if len(col) == target + 1:
+                    s, c = full_adder(aig, col.pop(), col.pop(), FALSE)
+                else:
+                    s, c = full_adder(aig, col.pop(), col.pop(), col.pop())
+                col.append(s)
+                if pos + 1 <= 2 * width:
+                    carry_in[pos + 1].append(c)
+            next_columns[pos] = col
+        columns = next_columns
+    carry = FALSE
+    for pos in range(2 * width):
+        col = columns[pos] + [FALSE] * (2 - len(columns[pos]))
+        s, carry = full_adder(aig, col[0], col[1], carry)
+        aig.add_output(s, "p%d" % pos)
+    return aig
+
+
+def priority_encoder(width, name=None):
+    """Priority encoder: index of the highest set input bit, plus valid.
+
+    Outputs ``ceil(log2(width))`` index bits and a ``valid`` flag (0 when
+    no input is set; the index is 0 in that case).
+    """
+    aig = AIG(name or "prienc%d" % width)
+    bits = [aig.add_input("x%d" % k) for k in range(width)]
+    index_bits = max(1, (width - 1).bit_length())
+    valid = FALSE
+    index = [FALSE] * index_bits
+    # Scan from LSB to MSB; later (higher) bits override.
+    for position, bit in enumerate(bits):
+        for j in range(index_bits):
+            const = TRUE if (position >> j) & 1 else FALSE
+            index[j] = aig.add_mux(bit, const, index[j])
+        valid = aig.add_or(valid, bit)
+    for j in range(index_bits):
+        aig.add_output(index[j], "y%d" % j)
+    aig.add_output(valid, "valid")
+    return aig
+
+
+def decoder(select_bits, enable=False, name=None):
+    """Binary decoder: 2**k one-hot outputs from a k-bit select."""
+    count = 1 << select_bits
+    aig = AIG(name or "dec%d" % count)
+    sels = [aig.add_input("s%d" % k) for k in range(select_bits)]
+    en = aig.add_input("en") if enable else TRUE
+    for value in range(count):
+        terms = [
+            sels[k] if (value >> k) & 1 else lit_not(sels[k])
+            for k in range(select_bits)
+        ]
+        aig.add_output(aig.add_and_multi(terms + [en]), "d%d" % value)
+    return aig
+
+
+def binary_to_gray(width, name=None):
+    """Binary-to-Gray converter: ``g[k] = b[k] ^ b[k+1]``."""
+    aig = AIG(name or "b2g%d" % width)
+    bits = [aig.add_input("b%d" % k) for k in range(width)]
+    for k in range(width):
+        if k + 1 < width:
+            aig.add_output(aig.add_xor(bits[k], bits[k + 1]), "g%d" % k)
+        else:
+            aig.add_output(bits[k], "g%d" % k)
+    return aig
+
+
+def gray_to_binary(width, name=None):
+    """Gray-to-binary converter: suffix XOR chain from the MSB down."""
+    aig = AIG(name or "g2b%d" % width)
+    bits = [aig.add_input("g%d" % k) for k in range(width)]
+    acc = FALSE
+    outputs = [None] * width
+    for k in range(width - 1, -1, -1):
+        acc = aig.add_xor(acc, bits[k])
+        outputs[k] = acc
+    for k in range(width):
+        aig.add_output(outputs[k], "b%d" % k)
+    return aig
+
+
+def popcount(width, name=None):
+    """Population count of N inputs as a little-endian sum word."""
+    aig = AIG(name or "popcount%d" % width)
+    bits = [aig.add_input("x%d" % k) for k in range(width)]
+    word = _popcount(aig, bits)
+    for k, lit in enumerate(word):
+        aig.add_output(lit, "c%d" % k)
+    return aig
+
+
+def random_aig(num_inputs, num_ands, num_outputs=1, seed=0, name=None):
+    """A random, fully reproducible AIG (for fuzzing and stress tests)."""
+    rng = random.Random(seed)
+    aig = AIG(name or "rand_i%d_a%d_s%d" % (num_inputs, num_ands, seed))
+    lits = [aig.add_input("x%d" % k) for k in range(num_inputs)]
+    attempts = 0
+    while aig.num_ands < num_ands and attempts < 20 * num_ands + 100:
+        attempts += 1
+        a = rng.choice(lits) ^ rng.randint(0, 1)
+        b = rng.choice(lits) ^ rng.randint(0, 1)
+        lit = aig.add_and(a, b)
+        if lit not in lits:
+            lits.append(lit)
+    for k in range(num_outputs):
+        aig.add_output(lits[-1 - k] if k < len(lits) else FALSE, "y%d" % k)
+    return aig

@@ -1,0 +1,217 @@
+"""Command-line interface: ``repro-cec``.
+
+Check two AIGER files for combinational equivalence and optionally emit
+the resolution proof::
+
+    repro-cec a.aag b.aag --proof out.drup --engine sweep
+    repro-cec a.aag b.aag --engine monolithic
+    repro-cec a.aag b.aag --engine bdd
+"""
+
+import argparse
+import sys
+
+from .aig.aiger import read_auto
+from .baselines.bdd_cec import bdd_check
+from .baselines.monolithic import monolithic_check
+from .core.cec import check_equivalence
+from .core.certify import certify
+from .core.fraig import SweepOptions
+from .proof.drup import write_drup
+from .proof.stats import proof_stats
+from .proof.trim import trim
+
+
+def build_parser():
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cec",
+        description="Combinational equivalence checking with resolution proofs",
+    )
+    parser.add_argument("file_a", help="first circuit (AIGER .aag/.aig)")
+    parser.add_argument("file_b", help="second circuit (AIGER .aag/.aig)")
+    parser.add_argument(
+        "--engine",
+        choices=("sweep", "monolithic", "bdd", "bddsweep"),
+        default="sweep",
+        help="checking engine (default: proof-producing SAT sweeping)",
+    )
+    parser.add_argument(
+        "--proof",
+        metavar="FILE",
+        help="write the (trimmed) resolution proof in DRUP format",
+    )
+    parser.add_argument(
+        "--no-trim",
+        action="store_true",
+        help="emit the untrimmed proof",
+    )
+    parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="replay the proof with the independent checker before exiting",
+    )
+    parser.add_argument(
+        "--sim-words",
+        type=int,
+        default=4,
+        help="initial simulation words of 64 patterns (sweep engine)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2007, help="simulation seed"
+    )
+    parser.add_argument(
+        "--per-output",
+        action="store_true",
+        help="report a verdict for every output pair individually",
+    )
+    parser.add_argument(
+        "--match-names",
+        action="store_true",
+        help="match the circuits' interfaces by port names instead of "
+        "position (sweep engine only; requires fully named ports)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress statistics output"
+    )
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point. Returns the process exit code.
+
+    Exit codes: 0 = equivalent, 1 = not equivalent, 2 = undecided/error.
+    """
+    args = build_parser().parse_args(argv)
+    try:
+        aig_a = read_auto(args.file_a)
+        aig_b = read_auto(args.file_b)
+    except (OSError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.engine == "bdd":
+        return _run_bdd(aig_a, aig_b, args)
+    if args.engine == "bddsweep":
+        return _run_bdd_sweep(aig_a, aig_b, args)
+    if args.engine == "monolithic":
+        result = monolithic_check(aig_a, aig_b, proof=True)
+        return _report(
+            result.equivalent, result.counterexample, result.proof,
+            result.cnf, args,
+        )
+    options = SweepOptions(sim_words=args.sim_words, seed=args.seed)
+    if args.match_names:
+        from .aig.miter import match_interfaces_by_name
+
+        try:
+            aig_b = match_interfaces_by_name(aig_a, aig_b)
+        except ValueError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+    if args.per_output:
+        return _run_per_output(aig_a, aig_b, options)
+    result = check_equivalence(aig_a, aig_b, options)
+    if args.certify and result.equivalent:
+        certify(result)
+        if not args.quiet:
+            print("certified: proof replayed successfully")
+    return _report(
+        result.equivalent, result.counterexample, result.proof,
+        result.cnf, args,
+    )
+
+
+def _run_bdd_sweep(aig_a, aig_b, args):
+    from .baselines.bdd_sweep import bdd_sweep_check
+
+    result = bdd_sweep_check(aig_a, aig_b)
+    if result.equivalent is None:
+        print("UNDECIDED (BDD node budget exceeded)")
+        return 2
+    if result.equivalent:
+        if not args.quiet:
+            print(
+                "c %d merged nodes, %d BDD nodes"
+                % (result.merged_nodes, result.bdd_nodes)
+            )
+        print("EQUIVALENT (no proof artifact from the BDD-sweep engine)")
+        return 0
+    print("NOT EQUIVALENT")
+    print(
+        "counterexample: %s" % "".join(str(b) for b in result.counterexample)
+    )
+    return 1
+
+
+def _run_per_output(aig_a, aig_b, options):
+    from .core.outputs import check_outputs
+
+    report = check_outputs(aig_a, aig_b, options)
+    for verdict in report.verdicts:
+        label = verdict.name or ("output %d" % verdict.index)
+        if verdict.equivalent is True:
+            print("  %-16s EQUIVALENT" % label)
+        elif verdict.equivalent is False:
+            print(
+                "  %-16s DIFFERS (cex %s)"
+                % (
+                    label,
+                    "".join(str(b) for b in verdict.counterexample),
+                )
+            )
+        else:
+            print("  %-16s UNDECIDED" % label)
+    if report.equivalent:
+        print("EQUIVALENT")
+        return 0
+    print("NOT EQUIVALENT (%d outputs differ)" % len(report.failing()))
+    return 1
+
+
+def _run_bdd(aig_a, aig_b, args):
+    result = bdd_check(aig_a, aig_b)
+    if result.equivalent is None:
+        print("UNDECIDED (BDD node budget exceeded)")
+        return 2
+    if result.equivalent:
+        print("EQUIVALENT (no proof artifact from the BDD engine)")
+        return 0
+    print("NOT EQUIVALENT")
+    print("counterexample: %s" % "".join(str(b) for b in result.counterexample))
+    return 1
+
+
+def _report(equivalent, counterexample, proof, cnf, args):
+    if equivalent is None:
+        print("UNDECIDED")
+        return 2
+    if not equivalent:
+        print("NOT EQUIVALENT")
+        print(
+            "counterexample: %s" % "".join(str(b) for b in counterexample)
+        )
+        return 1
+    print("EQUIVALENT")
+    if proof is not None and not args.quiet:
+        stats = proof_stats(proof)
+        print(
+            "proof: %d clauses (%d axioms, %d derived), %d resolutions"
+            % (
+                stats.num_clauses,
+                stats.num_axioms,
+                stats.num_derived,
+                stats.num_resolutions,
+            )
+        )
+    if args.proof and proof is not None:
+        to_write = proof
+        if not args.no_trim:
+            to_write, _ = trim(proof)
+        write_drup(to_write, args.proof)
+        if not args.quiet:
+            print("proof written to %s" % args.proof)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Clause and CNF containers.
+
+Literals use the DIMACS convention: nonzero integers, negative meaning
+complemented. A clause is stored as a sorted tuple of distinct literals,
+which makes clause identity well-defined for proof bookkeeping.
+"""
+
+
+def normalize_clause(lits):
+    """Sorted tuple of distinct literals; raises on tautologies and zeros.
+
+    Tautologies (containing both ``v`` and ``-v``) are rejected rather than
+    silently dropped because resolution-proof bookkeeping must never emit
+    them; a caller that can legitimately produce tautologies should filter
+    first with :func:`is_tautology`.
+    """
+    clause = tuple(sorted(set(lits)))
+    for lit in clause:
+        if lit == 0:
+            raise ValueError("literal 0 is not allowed in a clause")
+        if -lit in clause and lit > 0:
+            raise ValueError("tautological clause: %r" % (clause,))
+    return clause
+
+
+def is_tautology(lits):
+    """True when *lits* contains a complementary pair."""
+    seen = set(lits)
+    return any(-lit in seen for lit in seen)
+
+
+class CNF:
+    """A CNF formula: a clause list plus a variable count.
+
+    Clauses are normalized tuples. The container preserves insertion order
+    (proof axiom ids follow clause order).
+    """
+
+    def __init__(self, num_vars=0, clauses=()):
+        self.num_vars = num_vars
+        self.clauses = []
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def new_var(self):
+        """Allocate and return a fresh variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, lits):
+        """Normalize and append a clause, growing the variable count."""
+        clause = normalize_clause(lits)
+        for lit in clause:
+            var = abs(lit)
+            if var > self.num_vars:
+                self.num_vars = var
+        self.clauses.append(clause)
+        return clause
+
+    def __len__(self):
+        return len(self.clauses)
+
+    def __iter__(self):
+        return iter(self.clauses)
+
+    def __repr__(self):
+        return "CNF(vars=%d, clauses=%d)" % (self.num_vars, len(self.clauses))
+
+    def evaluate(self, assignment):
+        """Evaluate under a full assignment.
+
+        Args:
+            assignment: dict or sequence mapping variable -> truthy/falsy.
+                A sequence is indexed by variable (index 0 unused).
+
+        Returns:
+            True when every clause is satisfied.
+        """
+        return all(self.clause_satisfied(clause, assignment) for clause in self)
+
+    @staticmethod
+    def clause_satisfied(clause, assignment):
+        """True when *clause* has a satisfied literal under *assignment*."""
+        for lit in clause:
+            value = assignment[abs(lit)]
+            if bool(value) == (lit > 0):
+                return True
+        return False
+
+    def copy(self):
+        """Shallow copy (clauses are immutable tuples)."""
+        dup = CNF(self.num_vars)
+        dup.clauses = list(self.clauses)
+        return dup

@@ -1,0 +1,83 @@
+"""DIMACS CNF reader/writer."""
+
+from .clause import CNF
+
+
+class DimacsError(ValueError):
+    """Raised on malformed DIMACS input."""
+
+
+def write_dimacs(cnf, path_or_file, comments=()):
+    """Write *cnf* in DIMACS format, with optional comment lines."""
+    if hasattr(path_or_file, "write"):
+        _write(cnf, path_or_file, comments)
+    else:
+        with open(path_or_file, "w") as handle:
+            _write(cnf, handle, comments)
+
+
+def _write(cnf, out, comments):
+    for comment in comments:
+        out.write("c %s\n" % comment)
+    out.write("p cnf %d %d\n" % (cnf.num_vars, len(cnf.clauses)))
+    for clause in cnf.clauses:
+        out.write(" ".join(str(lit) for lit in clause))
+        out.write(" 0\n")
+
+
+def read_dimacs(path_or_file):
+    """Parse a DIMACS file into a :class:`CNF`."""
+    if hasattr(path_or_file, "read"):
+        text = path_or_file.read()
+    else:
+        with open(path_or_file) as handle:
+            text = handle.read()
+    return parse_dimacs(text)
+
+
+def parse_dimacs(text):
+    """Parse DIMACS text into a :class:`CNF`."""
+    declared_vars = None
+    declared_clauses = None
+    cnf = CNF()
+    pending = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            fields = line.split()
+            if len(fields) != 4 or fields[1] != "cnf":
+                raise DimacsError("bad problem line %d: %r" % (lineno, raw))
+            try:
+                declared_vars = int(fields[2])
+                declared_clauses = int(fields[3])
+            except ValueError:
+                raise DimacsError("non-numeric problem line %d" % lineno)
+            continue
+        try:
+            numbers = [int(tok) for tok in line.split()]
+        except ValueError:
+            raise DimacsError("bad clause line %d: %r" % (lineno, raw))
+        for num in numbers:
+            if num == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                pending.append(num)
+    if pending:
+        raise DimacsError("last clause not terminated by 0")
+    if declared_vars is None:
+        raise DimacsError("missing problem line")
+    if cnf.num_vars > declared_vars:
+        raise DimacsError(
+            "clauses use variable %d beyond declared %d"
+            % (cnf.num_vars, declared_vars)
+        )
+    cnf.num_vars = declared_vars
+    if declared_clauses is not None and len(cnf.clauses) != declared_clauses:
+        raise DimacsError(
+            "declared %d clauses but found %d"
+            % (declared_clauses, len(cnf.clauses))
+        )
+    return cnf

@@ -1,0 +1,77 @@
+"""Tseitin encoding of AIGs into CNF.
+
+Every AIG variable (constant, inputs, AND nodes) receives one CNF variable.
+The encoding is the textbook three-clause AND definition plus a unit clause
+forcing the constant variable to FALSE:
+
+    n = AND(l1, l2)   ~~>   (~n | l1), (~n | l2), (n | ~l1 | ~l2)
+
+The resulting :class:`TseitinResult` records which proof-relevant clause
+plays which role per node, because the proof-stitching engine must name the
+defining clauses of specific AND nodes when it builds structural-merge
+derivations.
+"""
+
+from ..aig.literal import lit_sign, lit_var
+from .clause import CNF
+
+
+class TseitinResult:
+    """CNF encoding of an AIG plus the node-to-clause bookkeeping.
+
+    Attributes:
+        cnf: the :class:`CNF` formula.
+        var_of: list mapping AIG variable -> CNF variable.
+        const_clause_index: index (into ``cnf.clauses``) of the unit clause
+            asserting the constant variable false.
+        defining_clauses: dict mapping AIG AND variable -> triple of clause
+            indices ``(c_a, c_b, c_o)`` for ``(~n|l1)``, ``(~n|l2)``,
+            ``(n|~l1|~l2)``.
+    """
+
+    def __init__(self, cnf, var_of, const_clause_index, defining_clauses):
+        self.cnf = cnf
+        self.var_of = var_of
+        self.const_clause_index = const_clause_index
+        self.defining_clauses = defining_clauses
+
+    def lit_to_cnf(self, aig_lit):
+        """Translate an AIG literal to a DIMACS literal."""
+        var = self.var_of[lit_var(aig_lit)]
+        return -var if lit_sign(aig_lit) else var
+
+
+def tseitin_encode(aig):
+    """Encode *aig* into CNF with full per-node bookkeeping.
+
+    Outputs are *not* constrained; callers add unit clauses or assumptions
+    for the properties they check (the miter flow adds the miter-output
+    unit clause).
+
+    Returns:
+        A :class:`TseitinResult`.
+    """
+    cnf = CNF()
+    var_of = [0] * aig.num_vars
+    for aig_var in range(aig.num_vars):
+        var_of[aig_var] = cnf.new_var()
+    const_var = var_of[0]
+    cnf.add_clause([-const_var])
+    const_clause_index = len(cnf.clauses) - 1
+    defining = {}
+    for aig_var in aig.and_vars():
+        f0, f1 = aig.fanins(aig_var)
+        n = var_of[aig_var]
+        l1 = _cnf_lit(var_of, f0)
+        l2 = _cnf_lit(var_of, f1)
+        cnf.add_clause([-n, l1])
+        cnf.add_clause([-n, l2])
+        cnf.add_clause([n, -l1, -l2])
+        count = len(cnf.clauses)
+        defining[aig_var] = (count - 3, count - 2, count - 1)
+    return TseitinResult(cnf, var_of, const_clause_index, defining)
+
+
+def _cnf_lit(var_of, aig_lit):
+    var = var_of[aig_lit >> 1]
+    return -var if aig_lit & 1 else var

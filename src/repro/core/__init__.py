@@ -1,0 +1,31 @@
+"""Core: the proof-producing combinational equivalence checking engine."""
+
+from .cec import CecResult, check_equivalence
+from .certify import CertificationError, certify
+from .fraig import SweepEngine, SweepOptions, SweepStats
+from .outputs import OutputVerdict, OutputsReport, check_outputs
+from .reduce import ReduceResult, certified_reduce, fraig_reduce
+from .witness import MinimizedWitness, minimize_counterexample
+from .stitch import EquivLemma, StitchError, StructuralStitcher, derive_subset
+
+__all__ = [
+    "CecResult",
+    "CertificationError",
+    "EquivLemma",
+    "StitchError",
+    "StructuralStitcher",
+    "SweepEngine",
+    "SweepOptions",
+    "SweepStats",
+    "OutputVerdict",
+    "OutputsReport",
+    "ReduceResult",
+    "check_outputs",
+    "MinimizedWitness",
+    "minimize_counterexample",
+    "certified_reduce",
+    "fraig_reduce",
+    "certify",
+    "check_equivalence",
+    "derive_subset",
+]

@@ -1,0 +1,183 @@
+"""Top-level combinational equivalence checking.
+
+:func:`check_equivalence` is the package's headline API: given two
+input-compatible AIGs it builds their miter, runs the proof-producing
+sweep engine, and returns either
+
+* an **equivalence verdict with a resolution proof** of the miter CNF
+  (plus the miter-output unit clause) deriving the empty clause, or
+* a **non-equivalence verdict with a counterexample** input assignment,
+  validated against both circuits.
+
+The proof is the checkable artifact the paper is about; pass the result
+to :func:`repro.core.certify.certify` to replay it independently.
+"""
+
+import time
+
+from ..aig.literal import FALSE
+from ..aig.miter import build_miter
+from ..sat.solver import SAT, UNSAT
+from .fraig import SweepEngine, SweepOptions
+
+
+class CecResult:
+    """Outcome of one equivalence check.
+
+    Attributes:
+        equivalent: True / False / None (undecided under resource limits).
+        counterexample: on non-equivalence, a list of 0/1 input values
+            (in shared input order) on which the outputs differ.
+        proof: the :class:`~repro.proof.store.ProofStore` refuting the
+            miter (None when non-equivalent or proof logging disabled).
+        empty_clause_id: proof id of the empty clause.
+        miter: the :class:`~repro.aig.miter.Miter` that was analyzed.
+        cnf: the miter CNF *including* the output unit clause — the
+            axiom set the proof refutes.
+        engine: the :class:`~repro.core.fraig.SweepEngine` (stats access).
+        elapsed_seconds: wall-clock time of the whole check.
+    """
+
+    def __init__(
+        self,
+        equivalent,
+        counterexample,
+        proof,
+        empty_clause_id,
+        miter,
+        cnf,
+        engine,
+        elapsed_seconds,
+    ):
+        self.equivalent = equivalent
+        self.counterexample = counterexample
+        self.proof = proof
+        self.empty_clause_id = empty_clause_id
+        self.miter = miter
+        self.cnf = cnf
+        self.engine = engine
+        self.elapsed_seconds = elapsed_seconds
+
+    def __repr__(self):
+        if self.equivalent:
+            return "CecResult(equivalent=True, proof_clauses=%s)" % (
+                len(self.proof) if self.proof is not None else "off"
+            )
+        if self.equivalent is False:
+            return "CecResult(equivalent=False, cex=%r)" % (
+                self.counterexample,
+            )
+        return "CecResult(equivalent=None)"
+
+
+def check_equivalence(aig_a, aig_b, options=None, match_names=False):
+    """Check combinational equivalence of two AIGs.
+
+    Args:
+        aig_a, aig_b: circuits with matching input/output counts
+            (positional correspondence by default).
+        options: :class:`~repro.core.fraig.SweepOptions` overriding the
+            engine defaults.
+        match_names: permute *aig_b*'s interface by port names before
+            building the miter (requires fully named interfaces).
+
+    Returns:
+        A :class:`CecResult`.
+    """
+    start = time.perf_counter()
+    miter = build_miter(aig_a, aig_b, match_names=match_names)
+    engine = SweepEngine(miter.aig, options or SweepOptions())
+    engine.sweep()
+    out_lit = miter.output
+    result = _conclude(miter, engine, out_lit)
+    result.elapsed_seconds = time.perf_counter() - start
+    if result.equivalent is False:
+        _validate_counterexample(aig_a, aig_b, result.counterexample)
+    return result
+
+
+def _conclude(miter, engine, out_lit):
+    """Turn the post-sweep state into a verdict."""
+    if engine.rep_lit(out_lit) == FALSE:
+        return _finish_equivalent(miter, engine, out_lit)
+    # The output did not merge with constant 0 during the sweep: either the
+    # circuits differ (simulation already witnesses it) or a candidate was
+    # skipped under resource limits. One final SAT call settles it.
+    sig = engine.sim.lit_signature(out_lit)
+    if sig:
+        pattern_index = (sig & -sig).bit_length() - 1
+        cex = engine.sim.pattern(pattern_index)
+        return CecResult(
+            equivalent=False,
+            counterexample=cex,
+            proof=None,
+            empty_clause_id=None,
+            miter=miter,
+            cnf=None,
+            engine=engine,
+            elapsed_seconds=0.0,
+        )
+    final = engine.solver.solve(
+        assumptions=[engine.enc.lit_to_cnf(out_lit)],
+        max_conflicts=None,
+    )
+    if final.status is SAT:
+        cex = [
+            final.model_value(engine.enc.var_of[var])
+            for var in miter.aig.inputs
+        ]
+        return CecResult(
+            equivalent=False,
+            counterexample=cex,
+            proof=None,
+            empty_clause_id=None,
+            miter=miter,
+            cnf=None,
+            engine=engine,
+            elapsed_seconds=0.0,
+        )
+    if final.status is UNSAT and engine.proof is not None:
+        engine.solver.add_clause(
+            list(final.final_clause), axiom=False, proof_id=final.proof_id
+        )
+    return _finish_equivalent(miter, engine, out_lit)
+
+
+def _finish_equivalent(miter, engine, out_lit):
+    """Assert the miter-output unit clause and harvest the refutation."""
+    out_cnf = engine.enc.lit_to_cnf(out_lit)
+    still_consistent = engine.solver.add_clause([out_cnf])
+    if still_consistent:
+        # The output literal was not yet forced at level 0 (possible only
+        # without proof logging shortcuts); one unconditional solve must
+        # refute now.
+        final = engine.solver.solve()
+        if final.status is not UNSAT:
+            raise RuntimeError(
+                "engine concluded equivalence but the miter is satisfiable"
+            )
+    proof = engine.proof
+    empty_id = proof.find_empty_clause() if proof is not None else None
+    if proof is not None and empty_id is None:
+        raise RuntimeError("refutation finished without an empty clause")
+    cnf = engine.enc.cnf.copy()
+    cnf.add_clause([out_cnf])
+    return CecResult(
+        equivalent=True,
+        counterexample=None,
+        proof=proof,
+        empty_clause_id=empty_id,
+        miter=miter,
+        cnf=cnf,
+        engine=engine,
+        elapsed_seconds=0.0,
+    )
+
+
+def _validate_counterexample(aig_a, aig_b, cex):
+    out_a = aig_a.evaluate(cex)
+    out_b = aig_b.evaluate(cex)
+    if out_a == out_b:
+        raise RuntimeError(
+            "engine produced an invalid counterexample %r" % (cex,)
+        )

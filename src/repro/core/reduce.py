@@ -1,0 +1,110 @@
+"""Fraig-based AIG reduction.
+
+The classical *consumer* of SAT sweeping: merge all functionally
+equivalent internal nodes of one circuit and rebuild it, yielding a
+smaller functionally identical AIG. (The equivalence-checking flow is the
+same engine run on a miter; here it runs on a single network.)
+
+Optionally the reduction is self-certifying: with ``proof=True`` every
+merge's equivalence clauses carry resolution derivations over the
+circuit's own Tseitin encoding, and :func:`certified_reduce` re-checks
+them before returning.
+"""
+
+from ..aig.aig import AIG
+from ..aig.literal import lit_not_cond, lit_sign, lit_var
+from ..proof.checker import check_proof
+from .fraig import SweepEngine, SweepOptions
+
+
+class ReduceResult:
+    """Outcome of :func:`fraig_reduce`.
+
+    Attributes:
+        aig: the reduced circuit.
+        engine: the sweep engine (stats, proof store when enabled).
+        nodes_before: AND count of the input.
+        nodes_after: AND count of the result.
+    """
+
+    def __init__(self, aig, engine, nodes_before):
+        self.aig = aig
+        self.engine = engine
+        self.nodes_before = nodes_before
+        self.nodes_after = aig.num_ands
+
+    @property
+    def reduction(self):
+        """Fraction of AND nodes removed (0.0 when nothing merged)."""
+        if not self.nodes_before:
+            return 0.0
+        return 1.0 - self.nodes_after / float(self.nodes_before)
+
+    def __repr__(self):
+        return "ReduceResult(%d -> %d ands)" % (
+            self.nodes_before,
+            self.nodes_after,
+        )
+
+
+def fraig_reduce(aig, options=None):
+    """Merge functionally equivalent nodes of *aig* and rebuild it.
+
+    Args:
+        aig: the circuit to reduce.
+        options: :class:`~repro.core.fraig.SweepOptions`; defaults to a
+            proof-free configuration (pass ``SweepOptions(proof=True)``
+            for a certifiable reduction).
+
+    Returns:
+        A :class:`ReduceResult` whose ``aig`` is functionally identical
+        to the input (same inputs/outputs, usually fewer AND nodes).
+    """
+    options = options or SweepOptions(proof=False)
+    engine = SweepEngine(aig, options)
+    engine.sweep()
+    reduced = AIG(aig.name)
+    lit_map = [None] * aig.num_vars
+    lit_map[0] = 0
+    for var, name in zip(aig.inputs, aig.input_names):
+        lit_map[var] = reduced.add_input(name)
+
+    def mapped(lit):
+        return lit_not_cond(lit_map[lit >> 1], lit & 1)
+
+    for var in aig.and_vars():
+        rep = engine.rep_lit(2 * var)
+        if lit_var(rep) != var:
+            # Merged away: reuse the representative's construction.
+            lit_map[var] = lit_not_cond(
+                lit_map[lit_var(rep)], lit_sign(rep)
+            )
+            continue
+        f0, f1 = aig.fanins(var)
+        lit_map[var] = reduced.add_and(mapped(f0), mapped(f1))
+    for lit, name in zip(aig.outputs, aig.output_names):
+        reduced.add_output(mapped(lit), name)
+    compacted, _ = reduced.rebuild()
+    return ReduceResult(compacted, engine, aig.num_ands)
+
+
+def certified_reduce(aig, options=None):
+    """:func:`fraig_reduce` with mandatory proof logging and re-checking.
+
+    Every equivalence used by the reduction is re-verified by the
+    independent resolution checker against the circuit's Tseitin clauses
+    before the result is returned.
+
+    Returns:
+        ``(ReduceResult, CheckResult)``.
+    """
+    options = options or SweepOptions()
+    if not options.proof:
+        raise ValueError("certified_reduce requires proof logging")
+    result = fraig_reduce(aig, options)
+    check = check_proof(
+        result.engine.proof,
+        axioms=result.engine.enc.cnf.clauses,
+        require_empty=False,
+    )
+    return result, check

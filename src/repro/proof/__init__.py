@@ -1,0 +1,37 @@
+"""Resolution proofs: store, checkers, trimming, statistics, DRUP."""
+
+from .compress import lower_units
+from .checker import CheckResult, check_proof, check_refutation_of
+from .drup import check_rup_proof, write_drup
+from .interpolant import Interpolant, InterpolationError, interpolate, \
+    partition_vars
+from .stats import ProofStats, proof_stats
+from .store import AXIOM, DERIVED, ProofError, ProofStore, resolve
+from .tracecheck import parse_tracecheck, read_tracecheck, write_tracecheck
+from .trim import needed_ids, trim, trim_ratio
+
+__all__ = [
+    "AXIOM",
+    "CheckResult",
+    "DERIVED",
+    "Interpolant",
+    "InterpolationError",
+    "ProofError",
+    "ProofStats",
+    "ProofStore",
+    "check_proof",
+    "check_refutation_of",
+    "check_rup_proof",
+    "lower_units",
+    "interpolate",
+    "needed_ids",
+    "parse_tracecheck",
+    "partition_vars",
+    "proof_stats",
+    "read_tracecheck",
+    "resolve",
+    "trim",
+    "trim_ratio",
+    "write_drup",
+    "write_tracecheck",
+]

@@ -1,0 +1,115 @@
+"""Independent resolution-proof checker.
+
+The checker trusts nothing from the engines: it replays every derivation
+chain with explicit literal-level resolution, optionally verifies the
+axioms against a reference CNF, and confirms the proof culminates in the
+empty clause. It shares only the tiny :func:`repro.proof.store.resolve`
+primitive with the producer side (and that primitive is itself exercised
+against a second, set-based implementation in the test suite).
+"""
+
+from .store import AXIOM, DERIVED, ProofError, ProofStore, resolve
+
+
+class CheckResult:
+    """Outcome of a successful proof check.
+
+    Attributes:
+        num_axioms: axiom clauses seen.
+        num_derived: derived clauses replayed.
+        num_resolutions: total resolution steps replayed.
+        empty_clause_id: id of the verified empty clause (``None`` when the
+            check was run without requiring refutation).
+    """
+
+    def __init__(self, num_axioms, num_derived, num_resolutions, empty_clause_id):
+        self.num_axioms = num_axioms
+        self.num_derived = num_derived
+        self.num_resolutions = num_resolutions
+        self.empty_clause_id = empty_clause_id
+
+    def __repr__(self):
+        return (
+            "CheckResult(axioms=%d, derived=%d, resolutions=%d, empty=%r)"
+            % (
+                self.num_axioms,
+                self.num_derived,
+                self.num_resolutions,
+                self.empty_clause_id,
+            )
+        )
+
+
+def check_proof(store, axioms=None, require_empty=True):
+    """Verify every derivation in *store*.
+
+    Args:
+        store: the :class:`~repro.proof.store.ProofStore` to verify.
+        axioms: optional iterable of clauses (any literal order); when
+            given, every axiom in the proof must belong to this set. Pass
+            the original CNF's clauses to certify the refutation is *of
+            that formula*.
+        require_empty: when true, fail unless some clause is empty.
+
+    Returns:
+        A :class:`CheckResult`.
+
+    Raises:
+        ProofError: on the first invalid derivation, foreign axiom, or
+            (when *require_empty*) missing empty clause.
+    """
+    allowed = None
+    if axioms is not None:
+        allowed = {tuple(sorted(set(clause))) for clause in axioms}
+    num_axioms = 0
+    num_derived = 0
+    num_resolutions = 0
+    empty_id = None
+    for clause_id in store.ids():
+        clause = store.clause(clause_id)
+        kind = store.kind(clause_id)
+        if kind == AXIOM:
+            num_axioms += 1
+            if allowed is not None and clause not in allowed:
+                raise ProofError(
+                    "axiom %d = %r is not a clause of the reference CNF"
+                    % (clause_id, clause)
+                )
+        elif kind == DERIVED:
+            num_derived += 1
+            chain = store.chain(clause_id)
+            current = store.clause(chain[0])
+            _require_prior(chain[0], clause_id)
+            for pivot, antecedent_id in chain[1:]:
+                _require_prior(antecedent_id, clause_id)
+                current = resolve(current, store.clause(antecedent_id), pivot)
+                num_resolutions += 1
+            if current != clause:
+                raise ProofError(
+                    "clause %d claims %r but chain yields %r"
+                    % (clause_id, clause, current)
+                )
+        else:
+            raise ProofError("clause %d has unknown kind %r" % (clause_id, kind))
+        if not clause and empty_id is None:
+            empty_id = clause_id
+    if require_empty and empty_id is None:
+        raise ProofError("proof does not derive the empty clause")
+    return CheckResult(num_axioms, num_derived, num_resolutions, empty_id)
+
+
+def _require_prior(antecedent_id, clause_id):
+    if not 0 <= antecedent_id < clause_id:
+        raise ProofError(
+            "clause %d references antecedent %d that is not prior"
+            % (clause_id, antecedent_id)
+        )
+
+
+def check_refutation_of(store, cnf):
+    """Certify that *store* refutes exactly the formula *cnf*.
+
+    Convenience wrapper over :func:`check_proof` taking a
+    :class:`~repro.cnf.clause.CNF`.
+    """
+    return check_proof(store, axioms=cnf.clauses, require_empty=True)

@@ -1,0 +1,192 @@
+"""DRUP export and RUP checking.
+
+Resolution proofs can be exported in the DRUP clausal format used by
+proof-logging SAT solvers, and cross-validated with a *reverse unit
+propagation* (RUP) checker: a derived clause C is RUP with respect to a
+clause set S when asserting the negation of C and unit-propagating over S
+yields a conflict. Every clause derived by a trivial resolution chain from
+S is RUP over S, so this checker validates the same proofs through an
+entirely different mechanism than the resolution replayer — the test suite
+runs both.
+"""
+
+from .store import AXIOM, ProofError
+
+
+def write_drup(store, path_or_file):
+    """Write the derived clauses of *store* as DRUP lines (no deletions)."""
+    if hasattr(path_or_file, "write"):
+        _write(store, path_or_file)
+    else:
+        with open(path_or_file, "w") as handle:
+            _write(store, handle)
+
+
+def _write(store, out):
+    for clause_id in store.ids():
+        if store.kind(clause_id) == AXIOM:
+            continue
+        clause = store.clause(clause_id)
+        out.write(" ".join(str(lit) for lit in clause))
+        out.write(" 0\n" if clause else "0\n")
+
+
+class _Propagator:
+    """Two-watched-literal unit propagator over a growable clause set."""
+
+    def __init__(self, num_vars):
+        self.num_vars = num_vars
+        # assignment: 0 unknown, 1 true, -1 false, indexed by variable.
+        self._assign = [0] * (num_vars + 1)
+        self._trail = []
+        self._watches = {}
+        self._clauses = []
+        self._units = []
+
+    def _grow(self, var):
+        while self.num_vars < var:
+            self.num_vars += 1
+            self._assign.append(0)
+
+    def add_clause(self, clause):
+        """Add a clause to the watched database (state must be clean)."""
+        for lit in clause:
+            self._grow(abs(lit))
+        if not clause:
+            raise ProofError("cannot add the empty clause to a propagator")
+        if len(clause) == 1:
+            self._units.append(clause[0])
+            return
+        ref = len(self._clauses)
+        self._clauses.append(list(clause))
+        self._watches.setdefault(clause[0], []).append(ref)
+        self._watches.setdefault(clause[1], []).append(ref)
+
+    def value(self, lit):
+        val = self._assign[abs(lit)]
+        return val if lit > 0 else -val
+
+    def _enqueue(self, lit):
+        val = self.value(lit)
+        if val == 1:
+            return True
+        if val == -1:
+            return False
+        self._assign[abs(lit)] = 1 if lit > 0 else -1
+        self._trail.append(lit)
+        return True
+
+    def propagate(self, assumptions):
+        """Assert *assumptions*, propagate; return True on conflict.
+
+        The propagator state is rolled back before returning.
+        """
+        mark = len(self._trail)
+        conflict = False
+        try:
+            for lit in self._units:
+                if not self._enqueue(lit):
+                    conflict = True
+                    break
+            if not conflict:
+                for lit in assumptions:
+                    if not self._enqueue(lit):
+                        conflict = True
+                        break
+            if not conflict:
+                conflict = self._propagate_from(mark)
+            return conflict
+        finally:
+            while len(self._trail) > mark:
+                lit = self._trail.pop()
+                self._assign[abs(lit)] = 0
+
+    def _propagate_from(self, mark):
+        head = mark
+        while head < len(self._trail):
+            lit = self._trail[head]
+            head += 1
+            if self._visit_watchers(-lit):
+                return True
+        return False
+
+    def _visit_watchers(self, false_lit):
+        watchers = self._watches.get(false_lit)
+        if not watchers:
+            return False
+        keep = []
+        conflict = False
+        idx = 0
+        while idx < len(watchers):
+            ref = watchers[idx]
+            idx += 1
+            clause = self._clauses[ref]
+            # Ensure false_lit is at position 1.
+            if clause[0] == false_lit:
+                clause[0], clause[1] = clause[1], clause[0]
+            other = clause[0]
+            if self.value(other) == 1:
+                keep.append(ref)
+                continue
+            moved = False
+            for pos in range(2, len(clause)):
+                if self.value(clause[pos]) != -1:
+                    clause[1], clause[pos] = clause[pos], clause[1]
+                    self._watches.setdefault(clause[1], []).append(ref)
+                    moved = True
+                    break
+            if moved:
+                continue
+            keep.append(ref)
+            if not self._enqueue(other):
+                conflict = True
+                keep.extend(watchers[idx:])
+                break
+        self._watches[false_lit] = keep
+        return conflict
+
+
+def check_rup_proof(store, axioms=None):
+    """Validate every derived clause of *store* by reverse unit propagation.
+
+    Clauses are checked in store order against the axioms plus all earlier
+    derived clauses, mirroring DRUP checking (in the forward direction).
+
+    Args:
+        store: proof store to validate.
+        axioms: optional reference clause set; when given, axioms in the
+            store must belong to it (same contract as the resolution
+            checker).
+
+    Returns:
+        Number of derived clauses validated.
+
+    Raises:
+        ProofError: on the first non-RUP clause or foreign axiom.
+    """
+    allowed = None
+    if axioms is not None:
+        allowed = {tuple(sorted(set(clause))) for clause in axioms}
+    num_vars = 0
+    for clause_id in store.ids():
+        for lit in store.clause(clause_id):
+            num_vars = max(num_vars, abs(lit))
+    prop = _Propagator(num_vars)
+    checked = 0
+    for clause_id in store.ids():
+        clause = store.clause(clause_id)
+        if store.kind(clause_id) == AXIOM:
+            if allowed is not None and clause not in allowed:
+                raise ProofError(
+                    "axiom %d = %r not in reference CNF" % (clause_id, clause)
+                )
+            prop.add_clause(clause)
+            continue
+        if not prop.propagate([-lit for lit in clause]):
+            raise ProofError(
+                "derived clause %d = %r is not RUP" % (clause_id, clause)
+            )
+        checked += 1
+        if clause:
+            prop.add_clause(clause)
+    return checked

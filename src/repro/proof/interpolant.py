@@ -1,0 +1,156 @@
+"""Craig interpolation from resolution refutations (McMillan's system).
+
+One of the paper's stated motivations for extracting resolution proofs
+from equivalence checkers: a refutation of ``A ∧ B`` can be transformed,
+in one linear pass, into a *Craig interpolant* — a circuit ``I`` over the
+variables shared between A and B such that
+
+* ``A ⇒ I``,
+* ``I ∧ B`` is unsatisfiable.
+
+Interpolants drive unbounded model checking, abstraction refinement, and
+functional dependency extraction. This module implements McMillan's
+labeling:
+
+* leaf A-clause: the disjunction of its shared-variable literals,
+* leaf B-clause: constant TRUE,
+* resolution on an A-local pivot: OR of the operand interpolants,
+* resolution on any other pivot: AND of the operand interpolants,
+
+emitting the interpolant directly as a structurally hashed
+:class:`~repro.aig.AIG` over inputs named after the shared variables.
+"""
+
+from ..aig.aig import AIG
+from ..aig.literal import TRUE, lit_not
+from .store import AXIOM, ProofError
+
+
+class InterpolationError(ProofError):
+    """Raised when the proof/partition cannot yield an interpolant."""
+
+
+class Interpolant:
+    """Result of :func:`interpolate`.
+
+    Attributes:
+        aig: single-output AIG computing the interpolant.
+        shared_vars: CNF variables (sorted) corresponding positionally to
+            the AIG inputs.
+    """
+
+    def __init__(self, aig, shared_vars):
+        self.aig = aig
+        self.shared_vars = shared_vars
+
+    def evaluate(self, assignment):
+        """Evaluate under *assignment* (indexable by CNF variable)."""
+        bits = [1 if assignment[var] else 0 for var in self.shared_vars]
+        return self.aig.evaluate(bits)[0]
+
+    def __repr__(self):
+        return "Interpolant(shared=%d, ands=%d)" % (
+            len(self.shared_vars),
+            self.aig.num_ands,
+        )
+
+
+def partition_vars(a_clauses, b_clauses):
+    """Classify variables: returns ``(a_only, b_or_shared, shared)`` sets."""
+    a_vars = {abs(lit) for clause in a_clauses for lit in clause}
+    b_vars = {abs(lit) for clause in b_clauses for lit in clause}
+    shared = a_vars & b_vars
+    return a_vars - b_vars, b_vars, shared
+
+
+def interpolate(store, a_axiom_ids, root_id=None):
+    """Compute the McMillan interpolant of a refutation.
+
+    Args:
+        store: a proof store whose axioms are partitioned into A (ids in
+            *a_axiom_ids*) and B (all other axioms).
+        a_axiom_ids: set/iterable of axiom clause ids forming the A part.
+        root_id: id of the empty clause (defaults to the first one).
+
+    Returns:
+        An :class:`Interpolant`.
+
+    Raises:
+        InterpolationError: when the store holds no empty clause, the
+            root is not empty, or ids in *a_axiom_ids* are not axioms.
+    """
+    a_ids = set(a_axiom_ids)
+    if root_id is None:
+        root_id = store.find_empty_clause()
+        if root_id is None:
+            raise InterpolationError("store holds no empty clause")
+    if store.clause(root_id) != ():
+        raise InterpolationError("root clause %d is not empty" % root_id)
+    a_clauses = []
+    b_clauses = []
+    for clause_id in store.ids():
+        if store.kind(clause_id) != AXIOM:
+            continue
+        if clause_id in a_ids:
+            a_clauses.append(store.clause(clause_id))
+        else:
+            b_clauses.append(store.clause(clause_id))
+    for clause_id in a_ids:
+        if store.kind(clause_id) != AXIOM:
+            raise InterpolationError(
+                "id %d in the A partition is not an axiom" % clause_id
+            )
+    a_local, b_vars, shared = partition_vars(a_clauses, b_clauses)
+
+    aig = AIG("interpolant")
+    shared_sorted = sorted(shared)
+    input_of = {
+        var: aig.add_input("v%d" % var) for var in shared_sorted
+    }
+
+    def leaf_label(clause_id):
+        clause = store.clause(clause_id)
+        if clause_id in a_ids:
+            lits = []
+            for lit in clause:
+                var = abs(lit)
+                if var in shared:
+                    base = input_of[var]
+                    lits.append(base if lit > 0 else lit_not(base))
+            return aig.add_or_multi(lits)
+        return TRUE
+
+    labels = {}
+
+    # Iterative evaluation over the cone to avoid deep recursion.
+    stack = [root_id]
+    while stack:
+        clause_id = stack[-1]
+        if clause_id in labels:
+            stack.pop()
+            continue
+        if store.kind(clause_id) == AXIOM:
+            labels[clause_id] = leaf_label(clause_id)
+            stack.pop()
+            continue
+        pending = [
+            ante
+            for ante in store.antecedents(clause_id)
+            if ante not in labels
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        chain = store.chain(clause_id)
+        value = labels[chain[0]]
+        for pivot, antecedent in chain[1:]:
+            other = labels[antecedent]
+            if pivot in a_local:
+                value = aig.add_or(value, other)
+            else:
+                value = aig.add_and(value, other)
+        labels[clause_id] = value
+        stack.pop()
+    aig.add_output(labels[root_id], "itp")
+    result, _ = aig.rebuild()
+    return Interpolant(result, shared_sorted)

@@ -1,0 +1,108 @@
+"""Proof statistics: sizes, widths, depth.
+
+These are the quantities the paper's tables report for each produced
+proof: total clauses, derived clauses, resolution steps, maximum clause
+width, and derivation depth (longest antecedent path from an axiom to the
+empty clause).
+"""
+
+from .store import AXIOM
+
+
+class ProofStats:
+    """Aggregate statistics of one resolution proof.
+
+    Attributes:
+        num_clauses: total clauses in the store.
+        num_axioms: axiom clauses.
+        num_derived: derived clauses.
+        num_resolutions: total resolution steps across all chains.
+        max_width: widest clause.
+        avg_derived_width: mean width over derived clauses (0 when none).
+        depth: longest path (counted in derived clauses) from an axiom to
+            any clause.
+    """
+
+    def __init__(
+        self,
+        num_clauses,
+        num_axioms,
+        num_derived,
+        num_resolutions,
+        max_width,
+        avg_derived_width,
+        depth,
+    ):
+        self.num_clauses = num_clauses
+        self.num_axioms = num_axioms
+        self.num_derived = num_derived
+        self.num_resolutions = num_resolutions
+        self.max_width = max_width
+        self.avg_derived_width = avg_derived_width
+        self.depth = depth
+
+    def __repr__(self):
+        return (
+            "ProofStats(clauses=%d, axioms=%d, derived=%d, resolutions=%d, "
+            "max_width=%d, depth=%d)"
+            % (
+                self.num_clauses,
+                self.num_axioms,
+                self.num_derived,
+                self.num_resolutions,
+                self.max_width,
+                self.depth,
+            )
+        )
+
+
+def core_axioms(store, root_id=None):
+    """Axiom clause ids in the antecedent cone of the (empty) root.
+
+    The *unsatisfiable core* of the refutation: the subset of original
+    clauses the proof actually touches. Useful both as a table column and
+    for debugging over-constrained encodings.
+    """
+    from .trim import needed_ids
+
+    return {
+        clause_id
+        for clause_id in needed_ids(store, root_id)
+        if store.kind(clause_id) == AXIOM
+    }
+
+
+def proof_stats(store):
+    """Compute :class:`ProofStats` for *store* in one pass."""
+    num_axioms = 0
+    num_derived = 0
+    num_resolutions = 0
+    max_width = 0
+    derived_width_total = 0
+    depth = [0] * len(store)
+    max_depth = 0
+    for clause_id in store.ids():
+        clause = store.clause(clause_id)
+        max_width = max(max_width, len(clause))
+        if store.kind(clause_id) == AXIOM:
+            num_axioms += 1
+            continue
+        num_derived += 1
+        derived_width_total += len(clause)
+        chain = store.chain(clause_id)
+        num_resolutions += len(chain) - 1
+        node_depth = 1 + max(
+            depth[ref] for ref in store.antecedents(clause_id)
+        )
+        depth[clause_id] = node_depth
+        max_depth = max(max_depth, node_depth)
+    avg_width = derived_width_total / float(num_derived) if num_derived else 0.0
+    return ProofStats(
+        num_clauses=len(store),
+        num_axioms=num_axioms,
+        num_derived=num_derived,
+        num_resolutions=num_resolutions,
+        max_width=max_width,
+        avg_derived_width=avg_width,
+        depth=max_depth,
+    )

@@ -1,0 +1,204 @@
+"""Resolution proof store.
+
+A proof is a DAG of clauses. Leaves are *axioms* (clauses of the original
+CNF). Internal nodes are *derived* clauses, each annotated with a linear
+(trivial) resolution chain: a first antecedent followed by a sequence of
+``(pivot variable, antecedent)`` steps. Trivial chains are exactly what
+CDCL conflict analysis produces, and chaining them composes into general
+resolution, so this representation loses no generality while keeping
+checking simple and linear.
+
+The store assigns dense integer ids. Ids are stable: deleting a clause from
+a SAT solver's working set never removes it from the proof (the proof may
+still reference it).
+
+Example:
+    >>> store = ProofStore()
+    >>> a = store.add_axiom((1, 2))
+    >>> b = store.add_axiom((-1, 2))
+    >>> c = store.add_derived((2,), [a, (1, b)])
+    >>> store.clause(c)
+    (2,)
+"""
+
+from ..cnf.clause import normalize_clause
+
+AXIOM = "axiom"
+DERIVED = "derived"
+
+
+class ProofError(Exception):
+    """Raised when a proof object or derivation is invalid."""
+
+
+def resolve(clause_a, clause_b, pivot_var):
+    """Resolve two clauses on *pivot_var*.
+
+    One clause must contain ``pivot_var`` positively and the other
+    negatively; the resolvent is the union minus the pivot literals.
+
+    Raises:
+        ProofError: when the pivot does not occur with opposite phases, or
+            the resolvent is tautological (a sign of a malformed chain).
+    """
+    if pivot_var in clause_a and -pivot_var in clause_b:
+        pos, neg = clause_a, clause_b
+    elif pivot_var in clause_b and -pivot_var in clause_a:
+        pos, neg = clause_b, clause_a
+    else:
+        raise ProofError(
+            "pivot %d does not occur with opposite phases in %r and %r"
+            % (pivot_var, clause_a, clause_b)
+        )
+    merged = set(pos)
+    merged.discard(pivot_var)
+    for lit in neg:
+        if lit != -pivot_var:
+            merged.add(lit)
+    for lit in merged:
+        if -lit in merged:
+            raise ProofError(
+                "tautological resolvent on pivot %d from %r and %r"
+                % (pivot_var, clause_a, clause_b)
+            )
+    return tuple(sorted(merged))
+
+
+class ProofStore:
+    """Container for one resolution proof under construction.
+
+    Args:
+        validate: when true, every :meth:`add_derived` replays its chain
+            immediately and rejects mismatches. Slower; intended for tests
+            and debugging. The independent checker in
+            :mod:`repro.proof.checker` performs the same replay after the
+            fact regardless of this flag.
+    """
+
+    def __init__(self, validate=False):
+        self.validate = validate
+        self._clauses = []
+        self._kinds = []
+        self._chains = []
+        self._axiom_ids = {}
+
+    def __len__(self):
+        return len(self._clauses)
+
+    @property
+    def num_axioms(self):
+        """Number of axiom clauses."""
+        return sum(1 for kind in self._kinds if kind == AXIOM)
+
+    def clause(self, clause_id):
+        """The clause tuple stored under *clause_id*."""
+        return self._clauses[clause_id]
+
+    def kind(self, clause_id):
+        """``'axiom'`` or ``'derived'``."""
+        return self._kinds[clause_id]
+
+    def chain(self, clause_id):
+        """The derivation chain of a derived clause (``None`` for axioms).
+
+        A chain is ``[first_id, (pivot1, id1), (pivot2, id2), ...]``.
+        """
+        return self._chains[clause_id]
+
+    def ids(self):
+        """Iterate all clause ids in insertion (derivation) order."""
+        return range(len(self._clauses))
+
+    def add_axiom(self, lits):
+        """Register an axiom clause and return its id.
+
+        Re-registering an identical axiom returns the existing id, so the
+        CNF-loading code can be called idempotently.
+        """
+        clause = normalize_clause(lits)
+        existing = self._axiom_ids.get(clause)
+        if existing is not None:
+            return existing
+        clause_id = self._append(clause, AXIOM, None)
+        self._axiom_ids[clause] = clause_id
+        return clause_id
+
+    def add_derived(self, lits, chain):
+        """Register a derived clause with its resolution chain.
+
+        Args:
+            lits: the clause literals.
+            chain: ``[first_id, (pivot, id), ...]`` — at least one
+                resolution step.
+
+        Returns:
+            The new clause id.
+        """
+        clause = tuple(sorted(set(lits)))
+        chain = list(chain)
+        if len(chain) < 2:
+            raise ProofError("derivation chain needs at least two antecedents")
+        first = chain[0]
+        if not isinstance(first, int):
+            raise ProofError("chain must start with a clause id")
+        for step in chain[1:]:
+            if not (isinstance(step, tuple) and len(step) == 2):
+                raise ProofError("chain steps must be (pivot, id) pairs")
+        next_id = len(self._clauses)
+        for ref in self._chain_refs(chain):
+            if not 0 <= ref < next_id:
+                raise ProofError(
+                    "chain references clause %d not yet derived" % ref
+                )
+        if self.validate:
+            replayed = self.replay_chain(chain)
+            if replayed != clause:
+                raise ProofError(
+                    "chain replays to %r, not the claimed %r" % (replayed, clause)
+                )
+        return self._append(clause, DERIVED, chain)
+
+    def replay_chain(self, chain):
+        """Replay a chain and return the resulting clause."""
+        current = self._clauses[chain[0]]
+        for pivot, clause_id in chain[1:]:
+            current = resolve(current, self._clauses[clause_id], pivot)
+        return current
+
+    def _append(self, clause, kind, chain):
+        clause_id = len(self._clauses)
+        if chain is not None:
+            for ref in self._chain_refs(chain):
+                if not 0 <= ref < clause_id:
+                    raise ProofError(
+                        "chain references clause %d not yet derived" % ref
+                    )
+        self._clauses.append(clause)
+        self._kinds.append(kind)
+        self._chains.append(chain)
+        return clause_id
+
+    @staticmethod
+    def _chain_refs(chain):
+        yield chain[0]
+        for _, clause_id in chain[1:]:
+            yield clause_id
+
+    def antecedents(self, clause_id):
+        """Ids referenced by the derivation of *clause_id* (empty for axioms)."""
+        chain = self._chains[clause_id]
+        if chain is None:
+            return ()
+        return tuple(self._chain_refs(chain))
+
+    def find_empty_clause(self):
+        """Id of the first empty clause, or ``None``."""
+        for clause_id, clause in enumerate(self._clauses):
+            if not clause:
+                return clause_id
+        return None
+
+    def derive_resolvent(self, id_a, id_b, pivot_var):
+        """Resolve two stored clauses and record the result. Returns the id."""
+        clause = resolve(self._clauses[id_a], self._clauses[id_b], pivot_var)
+        return self._append(clause, DERIVED, [id_a, (pivot_var, id_b)])

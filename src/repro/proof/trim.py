@@ -1,0 +1,59 @@
+"""Backward proof trimming.
+
+A CDCL run logs every learned clause, but only the ones in the transitive
+antecedent cone of the final empty clause matter. Trimming computes that
+cone and can rebuild a compact store containing only the needed clauses,
+renumbered in a valid derivation order.
+"""
+
+from .store import AXIOM, ProofError, ProofStore
+
+
+def needed_ids(store, root_id=None):
+    """Set of clause ids in the antecedent cone of *root_id*.
+
+    *root_id* defaults to the store's (first) empty clause.
+    """
+    if root_id is None:
+        root_id = store.find_empty_clause()
+        if root_id is None:
+            raise ProofError("store has no empty clause to trim towards")
+    needed = set()
+    stack = [root_id]
+    while stack:
+        clause_id = stack.pop()
+        if clause_id in needed:
+            continue
+        needed.add(clause_id)
+        stack.extend(store.antecedents(clause_id))
+    return needed
+
+
+def trim(store, root_id=None):
+    """Rebuild a store containing only the cone of *root_id*.
+
+    Returns:
+        ``(trimmed_store, id_map)`` where ``id_map`` maps old ids of kept
+        clauses to their new ids.
+    """
+    keep = needed_ids(store, root_id)
+    trimmed = ProofStore()
+    id_map = {}
+    for clause_id in sorted(keep):
+        clause = store.clause(clause_id)
+        if store.kind(clause_id) == AXIOM:
+            id_map[clause_id] = trimmed.add_axiom(clause)
+        else:
+            chain = store.chain(clause_id)
+            new_chain = [id_map[chain[0]]]
+            for pivot, antecedent_id in chain[1:]:
+                new_chain.append((pivot, id_map[antecedent_id]))
+            id_map[clause_id] = trimmed.add_derived(clause, new_chain)
+    return trimmed, id_map
+
+
+def trim_ratio(store, root_id=None):
+    """Fraction of clauses surviving the trim, ``len(kept) / len(store)``."""
+    if not len(store):
+        return 1.0
+    return len(needed_ids(store, root_id)) / float(len(store))

@@ -1,0 +1,13 @@
+"""CDCL SAT solving with resolution-proof logging."""
+
+from .solver import SAT, UNKNOWN, UNSAT, SolveResult, Solver, SolverStats, luby
+
+__all__ = [
+    "SAT",
+    "UNKNOWN",
+    "UNSAT",
+    "SolveResult",
+    "Solver",
+    "SolverStats",
+    "luby",
+]

@@ -1,0 +1,120 @@
+"""Command-line interface: ``repro-sat``.
+
+A standalone DIMACS front end for the proof-logging CDCL solver::
+
+    repro-sat formula.cnf                      # SAT/UNSAT + model
+    repro-sat formula.cnf --proof out.drup     # trimmed DRUP refutation
+    repro-sat formula.cnf --trace out.tc       # TraceCheck trace
+    repro-sat formula.cnf --assume 3 -7        # solve under assumptions
+
+Exit codes follow the SAT-competition convention: 10 = SAT, 20 = UNSAT,
+0 = unknown/limit.
+"""
+
+import argparse
+import sys
+
+from .cnf.dimacs import DimacsError, read_dimacs
+from .proof.checker import check_proof
+from .proof.drup import write_drup
+from .proof.stats import proof_stats
+from .proof.store import ProofStore
+from .proof.tracecheck import write_tracecheck
+from .proof.trim import trim
+from .sat.solver import SAT, UNSAT, Solver
+
+
+def build_parser():
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sat",
+        description="CDCL SAT solving with resolution-proof logging",
+    )
+    parser.add_argument("cnf", help="DIMACS CNF file")
+    parser.add_argument(
+        "--proof", metavar="FILE", help="write a DRUP refutation on UNSAT"
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="write a TraceCheck resolution trace on UNSAT",
+    )
+    parser.add_argument(
+        "--no-trim", action="store_true", help="emit untrimmed proofs"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="self-check the refutation before reporting UNSAT",
+    )
+    parser.add_argument(
+        "--assume", type=int, nargs="+", default=[], metavar="LIT",
+        help="solve under the given assumption literals",
+    )
+    parser.add_argument(
+        "--max-conflicts", type=int, default=None,
+        help="conflict budget (exit 0 when exhausted)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the model/statistics"
+    )
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point. Returns 10 (SAT), 20 (UNSAT) or 0 (unknown)."""
+    args = build_parser().parse_args(argv)
+    try:
+        cnf = read_dimacs(args.cnf)
+    except (OSError, DimacsError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 0
+    wants_proof = bool(args.proof or args.trace or args.check)
+    store = ProofStore() if wants_proof else None
+    solver = Solver(proof=store)
+    solver.ensure_vars(cnf.num_vars)
+    alive = True
+    for clause in cnf.clauses:
+        if not solver.add_clause(clause):
+            alive = False
+            break
+    result = solver.solve(
+        assumptions=args.assume, max_conflicts=args.max_conflicts
+    ) if alive else None
+    status = result.status if alive else UNSAT
+    if status is SAT:
+        print("s SATISFIABLE")
+        if not args.quiet:
+            lits = [
+                var if result.model_value(var) else -var
+                for var in range(1, cnf.num_vars + 1)
+            ]
+            print("v %s 0" % " ".join(str(lit) for lit in lits))
+        return 10
+    if status is UNSAT:
+        print("s UNSATISFIABLE")
+        if alive and args.assume and result.final_clause:
+            print("c final clause: %s 0" % " ".join(
+                str(lit) for lit in result.final_clause))
+        if store is not None and not args.assume:
+            to_write = store
+            if not args.no_trim:
+                to_write, _ = trim(store)
+            if args.check:
+                check_proof(to_write, axioms=cnf.clauses)
+                print("c proof checked: OK")
+            if args.proof:
+                write_drup(to_write, args.proof)
+            if args.trace:
+                write_tracecheck(to_write, args.trace)
+            if not args.quiet:
+                stats = proof_stats(to_write)
+                print(
+                    "c proof: %d derived clauses, %d resolutions"
+                    % (stats.num_derived, stats.num_resolutions)
+                )
+        return 20
+    print("s UNKNOWN")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

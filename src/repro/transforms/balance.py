@@ -1,0 +1,80 @@
+"""AND-tree balancing.
+
+Collects maximal multi-input AND trees (following non-complemented,
+single-fanout edges) and rebuilds them as balanced trees, reducing logic
+depth. Function is preserved exactly; structure generally changes — which
+is exactly what the equivalence-checking benchmarks need from a
+"synthesis" step.
+"""
+
+from ..aig.aig import AIG
+from ..aig.literal import lit_not_cond
+
+
+def balance(aig):
+    """Return a depth-balanced, functionally identical copy of *aig*.
+
+    Every maximal AND tree reachable through non-complemented edges from a
+    multi-fanout or output boundary is flattened into its leaf literals and
+    rebuilt as a balanced tree, pairing shallow leaves first.
+    """
+    fanout = aig.fanout_counts()
+    new = AIG(aig.name)
+    lit_map = [None] * aig.num_vars
+    lit_map[0] = 0
+    for var, name in zip(aig.inputs, aig.input_names):
+        lit_map[var] = new.add_input(name)
+    # Levels of the new AIG, maintained incrementally as nodes are added.
+    nlevel = [0] * new.num_vars
+
+    def level_of(lit):
+        return nlevel[lit >> 1]
+
+    def sync_levels():
+        while len(nlevel) < new.num_vars:
+            var = len(nlevel)
+            f0, f1 = new.fanins(var)
+            nlevel.append(1 + max(nlevel[f0 >> 1], nlevel[f1 >> 1]))
+
+    def mapped(lit):
+        return lit_not_cond(lit_map[lit >> 1], lit & 1)
+
+    def leaves_of(root):
+        """Flatten the AND tree rooted at *root* into leaf literals."""
+        leaves = []
+        stack = [root]
+        while stack:
+            var = stack.pop()
+            for fanin in aig.fanins(var):
+                child = fanin >> 1
+                if not (fanin & 1) and aig.is_and(child) and fanout[child] == 1:
+                    stack.append(child)
+                else:
+                    leaves.append(fanin)
+        return leaves
+
+    def balanced_and(lits):
+        """Balanced conjunction pairing the shallowest literals first."""
+        if not lits:
+            return 1  # TRUE
+        pending = sorted(lits, key=level_of)
+        while len(pending) > 1:
+            a = pending.pop(0)
+            b = pending.pop(0)
+            lit = new.add_and(a, b)
+            sync_levels()
+            # Insert the result keeping the list sorted by level.
+            pos = 0
+            lvl = level_of(lit)
+            while pos < len(pending) and level_of(pending[pos]) <= lvl:
+                pos += 1
+            pending.insert(pos, lit)
+        return pending[0]
+
+    for var in aig.and_vars():
+        leaves = leaves_of(var)
+        lit_map[var] = balanced_and([mapped(lit) for lit in leaves])
+    for lit, name in zip(aig.outputs, aig.output_names):
+        new.add_output(mapped(lit), name)
+    result, _ = new.rebuild()
+    return result

@@ -1,0 +1,84 @@
+"""Composed optimization pipelines.
+
+:func:`optimize` is the package's "synthesis script": a fixed sequence of
+balancing, functional reduction (fraiging) and compaction, analogous to
+the resyn-style scripts of classical logic-synthesis flows. It never
+changes the function — and, thanks to :func:`repro.core.certified_reduce`,
+:func:`optimize_certified` returns a machine-checked certificate chain
+for the whole pipeline.
+"""
+
+from ..core.reduce import fraig_reduce
+from .balance import balance
+
+
+class PipelineResult:
+    """Result of :func:`optimize`.
+
+    Attributes:
+        aig: the optimized circuit.
+        nodes_before / nodes_after: AND counts around the pipeline.
+        depth_before / depth_after: logic depths around the pipeline.
+        steps: list of ``(step name, ands after step)`` records.
+    """
+
+    def __init__(self, aig, nodes_before, depth_before, steps):
+        self.aig = aig
+        self.nodes_before = nodes_before
+        self.nodes_after = aig.num_ands
+        self.depth_before = depth_before
+        self.depth_after = aig.depth()
+        self.steps = steps
+
+    def __repr__(self):
+        return "PipelineResult(ands %d -> %d, depth %d -> %d)" % (
+            self.nodes_before,
+            self.nodes_after,
+            self.depth_before,
+            self.depth_after,
+        )
+
+
+def optimize(aig, rounds=2):
+    """Balance + fraig-reduce the circuit for *rounds* iterations.
+
+    Returns:
+        A :class:`PipelineResult`; ``result.aig`` computes the same
+        function as the input (the round structure only affects size).
+    """
+    nodes_before = aig.num_ands
+    depth_before = aig.depth()
+    steps = []
+    current = aig
+    for _ in range(rounds):
+        current = balance(current)
+        steps.append(("balance", current.num_ands))
+        current = fraig_reduce(current).aig
+        steps.append(("fraig", current.num_ands))
+        if steps[-1][1] == nodes_before and len(steps) > 2:
+            break
+    return PipelineResult(current, nodes_before, depth_before, steps)
+
+
+def optimize_certified(aig, rounds=2):
+    """Like :func:`optimize` but every fraig step is proof-checked.
+
+    Returns:
+        ``(PipelineResult, [CheckResult, ...])`` with one check per
+        reduction round.
+    """
+    from ..core.reduce import certified_reduce
+
+    nodes_before = aig.num_ands
+    depth_before = aig.depth()
+    steps = []
+    checks = []
+    current = aig
+    for _ in range(rounds):
+        current = balance(current)
+        steps.append(("balance", current.num_ands))
+        reduced, check = certified_reduce(current)
+        checks.append(check)
+        current = reduced.aig
+        steps.append(("fraig", current.num_ands))
+    return PipelineResult(current, nodes_before, depth_before, steps), checks

@@ -1,0 +1,135 @@
+"""Randomized function-preserving restructuring.
+
+:func:`restructure` rebuilds an AIG while applying randomly selected local
+re-expressions that keep the function intact but change the structure:
+
+* **XOR/XNOR re-expression** — a detected ``(a & ~b) | (~a & b)`` shape is
+  rewritten to the dual ``(a & b) | (~a & ~b)`` sum-of-products (and vice
+  versa in spirit, since re-detection flips it back);
+* **MUX re-expression** — ``s ? t : e`` as and-or is rewritten to the
+  product-of-sums form ``(~s | t) & (s | e)``;
+* **redundancy insertion** — a node ``n`` is replaced by
+  ``(n & x) | (n & ~x)`` for a random already-built literal ``x``.
+
+The output is functionally equal to the input on all assignments (a
+property test in the suite verifies this exhaustively for small circuits).
+Because the rewrites are local, the restructured circuit retains an
+abundance of internally equivalent node pairs with the original — the
+precondition that makes SAT sweeping effective, and the reason these pairs
+model the paper's "original vs. synthesized" industrial miters.
+"""
+
+import random
+
+from ..aig.aig import AIG
+from ..aig.literal import lit_not, lit_not_cond
+
+
+def detect_xor(aig, var):
+    """Detect an XOR-rooted AND node.
+
+    A node ``v = AND(~c, ~d)`` with ``c = AND(x, ~y)`` and ``d = AND(~x, y)``
+    computes ``XOR(x, y)``; equivalently the fanin literal sets satisfy
+    ``{d0, d1} = {~c0, ~c1}``, and then ``v = XOR(c0, c1)``. Returns
+    ``(x, y)`` as literals of *aig*, or ``None``.
+    """
+    shape = _two_and_shape(aig, var)
+    if shape is None:
+        return None
+    (c0, c1), (d0, d1) = shape
+    if {lit_not(c0), lit_not(c1)} == {d0, d1}:
+        return c0, c1
+    return None
+
+
+def detect_mux(aig, var):
+    """Detect a MUX-rooted AND node.
+
+    A node ``v = AND(~c, ~d)`` with ``c = AND(s, t)`` and ``d = AND(~s, e)``
+    computes ``~(s ? t : e)``. Returns ``(s, t, e)`` literals, or ``None``.
+    """
+    shape = _two_and_shape(aig, var)
+    if shape is None:
+        return None
+    (c0, c1), (d0, d1) = shape
+    for s in (c0, c1):
+        if lit_not(s) in (d0, d1):
+            t = c1 if s == c0 else c0
+            e = d1 if d0 == lit_not(s) else d0
+            return s, t, e
+    return None
+
+
+def _two_and_shape(aig, var):
+    """Fanin literal pairs when *var* is AND of two complemented AND nodes."""
+    f0, f1 = aig.fanins(var)
+    if not (f0 & 1) or not (f1 & 1):
+        return None
+    c, d = f0 >> 1, f1 >> 1
+    if not aig.is_and(c) or not aig.is_and(d):
+        return None
+    return aig.fanins(c), aig.fanins(d)
+
+
+def restructure(aig, seed=0, intensity=0.3, redundancy=0.1):
+    """Return a functionally equal, structurally perturbed copy of *aig*.
+
+    Args:
+        aig: source AIG.
+        seed: RNG seed; the transform is fully reproducible.
+        intensity: probability of re-expressing a detected XOR/MUX node.
+        redundancy: probability of redundancy insertion at an AND node.
+
+    Returns:
+        A new :class:`~repro.aig.AIG` with the same inputs/outputs.
+    """
+    rng = random.Random(seed)
+    new = AIG(aig.name + "~r%d" % seed if aig.name else "restructured")
+    lit_map = [None] * aig.num_vars
+    lit_map[0] = 0
+    for var, name in zip(aig.inputs, aig.input_names):
+        lit_map[var] = new.add_input(name)
+    candidates = [lit_map[var] for var in aig.inputs]
+
+    def mapped(lit):
+        return lit_not_cond(lit_map[lit >> 1], lit & 1)
+
+    for var in aig.and_vars():
+        choice = rng.random()
+        produced = None
+        if choice < intensity:
+            xor_shape = detect_xor(aig, var)
+            if xor_shape is not None:
+                x, y = (mapped(lit) for lit in xor_shape)
+                # v = XOR(x,y) = ~((x & y) | (~x & ~y))
+                produced = lit_not(
+                    new.add_or(
+                        new.add_and(x, y),
+                        new.add_and(lit_not(x), lit_not(y)),
+                    )
+                )
+            else:
+                mux_shape = detect_mux(aig, var)
+                if mux_shape is not None:
+                    s, t, e = (mapped(lit) for lit in mux_shape)
+                    # v = ~(s ? t : e) = ~((~s | t) & (s | e))
+                    produced = lit_not(
+                        new.add_and(
+                            new.add_or(lit_not(s), t), new.add_or(s, e)
+                        )
+                    )
+        if produced is None:
+            f0, f1 = aig.fanins(var)
+            node = new.add_and(mapped(f0), mapped(f1))
+            if rng.random() < redundancy and candidates:
+                x = rng.choice(candidates) ^ rng.randint(0, 1)
+                node = new.add_or(new.add_and(node, x),
+                                  new.add_and(node, lit_not(x)))
+            produced = node
+        lit_map[var] = produced
+        if produced > 1:
+            candidates.append(produced & ~1)
+    for lit, name in zip(aig.outputs, aig.output_names):
+        new.add_output(mapped(lit), name)
+    result, _ = new.rebuild()
+    return result

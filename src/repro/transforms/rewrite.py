@@ -1,0 +1,145 @@
+"""Cut-based resynthesis.
+
+A synthesis-style pass in the spirit of AIG rewriting: for selected
+nodes, pick a k-feasible cut, take the node's local truth table over the
+cut leaves, and re-implement the function with a Shannon/cofactor
+decomposition (choosing the branch variable that maximizes sharing of
+constant cofactors). Structural hashing makes re-implementation reuse
+whatever already exists, so the pass can both shrink circuits and —
+with randomized node selection — manufacture structurally diverse,
+functionally identical variants for equivalence-checking benchmarks.
+"""
+
+import random
+
+from ..aig.aig import AIG
+from ..aig.cuts import enumerate_cuts
+from ..aig.literal import FALSE, TRUE, lit_not, lit_not_cond
+
+
+def synthesize_table(aig, table, leaf_lits):
+    """Build a literal computing *table* over *leaf_lits* in *aig*.
+
+    Shannon decomposition on the variable whose cofactors are simplest
+    (constants preferred), with memoization on (table, leaves). Tables
+    are LSB-first over the leaf order.
+
+    Args:
+        aig: target AIG (nodes are added through its strash tables).
+        table: truth table over ``len(leaf_lits)`` variables.
+        leaf_lits: literal of each table variable.
+
+    Returns:
+        The AIG literal implementing the function.
+    """
+    cache = {}
+
+    def build(tab, lits):
+        count = len(lits)
+        mask = (1 << (1 << count)) - 1
+        tab &= mask
+        if tab == 0:
+            return FALSE
+        if tab == mask:
+            return TRUE
+        if count == 1:
+            return lits[0] if tab == 0b10 else lit_not(lits[0])
+        key = (tab, tuple(lits))
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        # Pick the branch variable with the most decided cofactors.
+        best = None
+        for position in range(count):
+            neg, pos = _cofactors(tab, count, position)
+            sub_mask = (1 << (1 << (count - 1))) - 1
+            score = sum(
+                1 for c in (neg, pos) if c == 0 or c == sub_mask
+            )
+            equal = neg == pos
+            rank = (2 if equal else score, -position)
+            if best is None or rank > best[0]:
+                best = (rank, position, neg, pos)
+        _, position, neg, pos = best
+        rest = lits[:position] + lits[position + 1:]
+        if neg == pos:
+            result = build(neg, rest)
+        else:
+            sel = lits[position]
+            hi = build(pos, rest)
+            lo = build(neg, rest)
+            result = aig.add_mux(sel, hi, lo)
+        cache[key] = result
+        return result
+
+    return build(table, list(leaf_lits))
+
+
+def _cofactors(table, count, position):
+    """Negative/positive cofactors of *table* w.r.t. variable *position*."""
+    neg = 0
+    pos = 0
+    for minterm in range(1 << count):
+        bit = (table >> minterm) & 1
+        if not bit:
+            continue
+        reduced = _drop_bit(minterm, position)
+        if (minterm >> position) & 1:
+            pos |= 1 << reduced
+        else:
+            neg |= 1 << reduced
+    return neg, pos
+
+
+def _drop_bit(value, position):
+    low = value & ((1 << position) - 1)
+    high = value >> (position + 1)
+    return low | (high << position)
+
+
+def rewrite(aig, k=4, selection=1.0, seed=0):
+    """Resynthesize *aig* by cut-based Shannon re-implementation.
+
+    Args:
+        aig: source circuit (unchanged).
+        k: cut size (2..6).
+        selection: probability that an eligible node is resynthesized
+            from its largest non-trivial cut (1.0 = every node). Values
+            below 1 give reproducibly *randomized* restructurings.
+        seed: RNG seed for the selection.
+
+    Returns:
+        A functionally identical AIG.
+    """
+    if not 2 <= k <= 6:
+        raise ValueError("k must be between 2 and 6")
+    rng = random.Random(seed)
+    cuts = enumerate_cuts(aig, k=k)
+    new = AIG(aig.name + "~rw" if aig.name else "rewritten")
+    lit_map = [None] * aig.num_vars
+    lit_map[0] = 0
+    for var, name in zip(aig.inputs, aig.input_names):
+        lit_map[var] = new.add_input(name)
+
+    def mapped(lit):
+        return lit_not_cond(lit_map[lit >> 1], lit & 1)
+
+    for var in aig.and_vars():
+        chosen = None
+        if rng.random() < selection:
+            # The widest non-trivial cut: the deepest restructuring.
+            candidates = [
+                cut for cut in cuts[var] if cut.leaves != (var,)
+            ]
+            if candidates:
+                chosen = max(candidates, key=lambda c: len(c.leaves))
+        if chosen is None:
+            f0, f1 = aig.fanins(var)
+            lit_map[var] = new.add_and(mapped(f0), mapped(f1))
+        else:
+            leaf_lits = [mapped(2 * leaf) for leaf in chosen.leaves]
+            lit_map[var] = synthesize_table(new, chosen.table, leaf_lits)
+    for lit, name in zip(aig.outputs, aig.output_names):
+        new.add_output(mapped(lit), name)
+    result, _ = new.rebuild()
+    return result

@@ -1,0 +1,259 @@
+"""Unit tests for the AIG data structure."""
+
+import pytest
+
+from repro.aig import AIG, FALSE, TRUE, lit_not
+
+
+class TestConstruction:
+    def test_empty(self):
+        aig = AIG()
+        assert aig.num_vars == 1
+        assert aig.num_inputs == 0
+        assert aig.num_ands == 0
+
+    def test_add_input_returns_even_literal(self):
+        aig = AIG()
+        lit = aig.add_input("x")
+        assert lit == 2
+        assert aig.num_inputs == 1
+        assert aig.input_names == ("x",)
+
+    def test_inputs_before_ands_enforced(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        aig.add_and(a, b)
+        with pytest.raises(ValueError):
+            aig.add_input()
+
+    def test_add_inputs_bulk(self):
+        aig = AIG()
+        lits = aig.add_inputs(3, prefix="p")
+        assert lits == [2, 4, 6]
+        assert aig.input_names == ("p0", "p1", "p2")
+
+    def test_output_literal_validated(self):
+        aig = AIG()
+        aig.add_input()
+        with pytest.raises(ValueError):
+            aig.add_output(100)
+
+    def test_repr_mentions_counts(self):
+        aig = AIG("x")
+        assert "inputs=0" in repr(aig)
+
+
+class TestConstantFolding:
+    def setup_method(self):
+        self.aig = AIG()
+        self.a = self.aig.add_input()
+        self.b = self.aig.add_input()
+
+    def test_and_with_false(self):
+        assert self.aig.add_and(self.a, FALSE) == FALSE
+
+    def test_and_with_true(self):
+        assert self.aig.add_and(self.a, TRUE) == self.a
+
+    def test_and_idempotent(self):
+        assert self.aig.add_and(self.a, self.a) == self.a
+
+    def test_and_contradiction(self):
+        assert self.aig.add_and(self.a, lit_not(self.a)) == FALSE
+
+    def test_no_node_allocated_by_folds(self):
+        self.aig.add_and(self.a, TRUE)
+        self.aig.add_and(self.a, self.a)
+        assert self.aig.num_ands == 0
+
+
+class TestStructuralHashing:
+    def test_same_operands_shared(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        n1 = aig.add_and(a, b)
+        n2 = aig.add_and(b, a)
+        assert n1 == n2
+        assert aig.num_ands == 1
+
+    def test_different_polarity_not_shared(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        n1 = aig.add_and(a, b)
+        n2 = aig.add_and(a, lit_not(b))
+        assert n1 != n2
+        assert aig.num_ands == 2
+
+    def test_find_and_existing(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        n = aig.add_and(a, b)
+        assert aig.find_and(a, b) == n
+        assert aig.find_and(b, a) == n
+
+    def test_find_and_missing(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        assert aig.find_and(a, b) is None
+        assert aig.num_ands == 0
+
+    def test_find_and_folds_constants(self):
+        aig = AIG()
+        a = aig.add_input()
+        assert aig.find_and(a, FALSE) == FALSE
+        assert aig.find_and(a, TRUE) == a
+
+
+class TestDerivedGates:
+    def _truth(self, builder, inputs=2):
+        aig = AIG()
+        lits = aig.add_inputs(inputs)
+        aig.add_output(builder(aig, lits))
+        return aig.truth_table(aig.outputs[0])
+
+    def test_or(self):
+        table = self._truth(lambda g, l: g.add_or(l[0], l[1]))
+        assert table == 0b1110
+
+    def test_xor(self):
+        table = self._truth(lambda g, l: g.add_xor(l[0], l[1]))
+        assert table == 0b0110
+
+    def test_mux(self):
+        # mux(sel=l2, then=l0, else=l1)
+        table = self._truth(
+            lambda g, l: g.add_mux(l[2], l[0], l[1]), inputs=3
+        )
+        # sel=0 -> l1 (assignments 2,3 and 6,7 pattern); brute force:
+        expected = 0
+        for k in range(8):
+            l0, l1, l2 = k & 1, (k >> 1) & 1, (k >> 2) & 1
+            if (l0 if l2 else l1):
+                expected |= 1 << k
+        assert table == expected
+
+    def test_and_multi_empty_is_true(self):
+        aig = AIG()
+        assert aig.add_and_multi([]) == TRUE
+
+    def test_or_multi_empty_is_false(self):
+        aig = AIG()
+        assert aig.add_or_multi([]) == FALSE
+
+    def test_xor_multi_parity(self):
+        aig = AIG()
+        lits = aig.add_inputs(5)
+        aig.add_output(aig.add_xor_multi(lits))
+        for value in range(32):
+            bits = [(value >> k) & 1 for k in range(5)]
+            assert aig.evaluate(bits)[0] == bin(value).count("1") % 2
+
+    def test_and_multi_singleton(self):
+        aig = AIG()
+        (a,) = aig.add_inputs(1)
+        assert aig.add_and_multi([a]) == a
+
+
+class TestEvaluate:
+    def test_requires_matching_arity(self, tiny_aig):
+        with pytest.raises(ValueError):
+            tiny_aig.evaluate([0, 1])
+
+    def test_semantics(self, tiny_aig):
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    expected = (a & b) | (1 - c)
+                    assert tiny_aig.evaluate([a, b, c]) == [expected]
+
+    def test_evaluate_all_covers_every_var(self, tiny_aig):
+        values = tiny_aig.evaluate_all([1, 1, 0])
+        assert len(values) == tiny_aig.num_vars
+        assert values[0] == 0  # constant var
+
+    def test_truth_table_limit(self):
+        aig = AIG()
+        aig.add_inputs(17)
+        with pytest.raises(ValueError):
+            aig.truth_table()
+
+
+class TestStructure:
+    def test_levels_inputs_zero(self, tiny_aig):
+        levels = tiny_aig.levels()
+        for var in tiny_aig.inputs:
+            assert levels[var] == 0
+
+    def test_depth(self, tiny_aig):
+        assert tiny_aig.depth() == 2
+
+    def test_depth_empty_outputs(self):
+        assert AIG().depth() == 0
+
+    def test_fanout_counts_include_outputs(self, tiny_aig):
+        counts = tiny_aig.fanout_counts()
+        out_var = tiny_aig.outputs[0] >> 1
+        assert counts[out_var] == 1
+
+    def test_cone_vars(self, tiny_aig):
+        cone = tiny_aig.cone_vars([tiny_aig.outputs[0]])
+        # Everything except the (unreferenced) constant is in the cone.
+        assert cone == set(range(1, tiny_aig.num_vars))
+
+    def test_cone_vars_partial(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        n = aig.add_and(a, b)
+        m = aig.add_and(a, lit_not(b))
+        cone = aig.cone_vars([n])
+        assert m >> 1 not in cone
+        assert n >> 1 in cone
+
+
+class TestCopyRebuild:
+    def test_copy_independent(self, tiny_aig):
+        dup = tiny_aig.copy()
+        a = dup.inputs[0]
+        dup.add_and(2 * a, 2 * a + 1)  # folds, no change
+        dup.add_output(TRUE)
+        assert tiny_aig.num_outputs == 1
+        assert dup.num_outputs == 2
+
+    def test_rebuild_drops_dead_logic(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        live = aig.add_and(a, b)
+        aig.add_and(a, lit_not(b))  # dead
+        aig.add_output(live, "y")
+        rebuilt, lit_map = aig.rebuild()
+        assert rebuilt.num_ands == 1
+        assert rebuilt.num_inputs == 2
+        assert lit_map[live >> 1] is not None
+
+    def test_rebuild_preserves_function(self, tiny_aig):
+        rebuilt, _ = tiny_aig.rebuild()
+        for value in range(8):
+            bits = [(value >> k) & 1 for k in range(3)]
+            assert rebuilt.evaluate(bits) == tiny_aig.evaluate(bits)
+
+    def test_rebuild_with_new_outputs(self, tiny_aig):
+        inner = tiny_aig.outputs[0]
+        rebuilt, _ = tiny_aig.rebuild(outputs=[(lit_not(inner), "ny")])
+        for value in range(8):
+            bits = [(value >> k) & 1 for k in range(3)]
+            assert rebuilt.evaluate(bits)[0] == 1 - tiny_aig.evaluate(bits)[0]
+
+    def test_set_output_redirects(self, tiny_aig):
+        tiny_aig.set_output(0, TRUE)
+        assert tiny_aig.evaluate([0, 0, 1]) == [1]
+
+    def test_fanins_of_non_and_rejected(self, tiny_aig):
+        with pytest.raises(ValueError):
+            tiny_aig.fanins(tiny_aig.inputs[0])

@@ -1,0 +1,170 @@
+"""Tests for AIGER reading/writing (ASCII and binary)."""
+
+import io
+
+import pytest
+
+from repro.aig import AIG, AigerError, read_aag, read_aig, read_auto, \
+    write_aag, write_aig
+from repro.circuits import (
+    alu,
+    array_multiplier,
+    carry_lookahead_adder,
+    majority,
+    ripple_carry_adder,
+)
+
+from conftest import assert_equivalent_exhaustive
+
+
+def roundtrip_aag(aig):
+    buffer = io.StringIO()
+    write_aag(aig, buffer)
+    buffer.seek(0)
+    return read_aag(buffer)
+
+
+def roundtrip_aig(aig):
+    buffer = io.BytesIO()
+    write_aig(aig, buffer)
+    buffer.seek(0)
+    return read_aig(buffer)
+
+
+CIRCUITS = [
+    ripple_carry_adder(3),
+    carry_lookahead_adder(3),
+    array_multiplier(3),
+    alu(2),
+    majority(5),
+]
+
+
+class TestAagRoundtrip:
+    @pytest.mark.parametrize("aig", CIRCUITS, ids=lambda a: a.name)
+    def test_function_preserved(self, aig):
+        assert_equivalent_exhaustive(aig, roundtrip_aag(aig))
+
+    @pytest.mark.parametrize("aig", CIRCUITS, ids=lambda a: a.name)
+    def test_counts_preserved(self, aig):
+        back = roundtrip_aag(aig)
+        assert back.num_inputs == aig.num_inputs
+        assert back.num_outputs == aig.num_outputs
+        assert back.num_ands == aig.num_ands
+
+    def test_symbols_preserved(self, tiny_aig):
+        back = roundtrip_aag(tiny_aig)
+        assert back.input_names == ("a", "b", "c")
+        assert back.output_names == ("y",)
+
+    def test_comment_becomes_name(self, tiny_aig):
+        back = roundtrip_aag(tiny_aig)
+        assert back.name == "tiny"
+
+
+class TestBinaryRoundtrip:
+    @pytest.mark.parametrize("aig", CIRCUITS, ids=lambda a: a.name)
+    def test_function_preserved(self, aig):
+        assert_equivalent_exhaustive(aig, roundtrip_aig(aig))
+
+    @pytest.mark.parametrize("aig", CIRCUITS, ids=lambda a: a.name)
+    def test_counts_preserved(self, aig):
+        back = roundtrip_aig(aig)
+        assert back.num_ands == aig.num_ands
+
+    def test_delta_encoding_is_compact(self):
+        aig = ripple_carry_adder(8)
+        text = io.StringIO()
+        write_aag(aig, text)
+        binary = io.BytesIO()
+        write_aig(aig, binary)
+        assert len(binary.getvalue()) < len(text.getvalue())
+
+
+class TestReadAuto:
+    def test_dispatch(self, tmp_path, tiny_aig):
+        ascii_path = tmp_path / "t.aag"
+        binary_path = tmp_path / "t.aig"
+        write_aag(tiny_aig, str(ascii_path))
+        write_aig(tiny_aig, str(binary_path))
+        assert_equivalent_exhaustive(tiny_aig, read_auto(str(ascii_path)))
+        assert_equivalent_exhaustive(tiny_aig, read_auto(str(binary_path)))
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("not an aiger file")
+        with pytest.raises(AigerError):
+            read_auto(str(path))
+
+
+class TestMalformedInput:
+    def test_empty(self):
+        with pytest.raises(AigerError):
+            read_aag(io.StringIO(""))
+
+    def test_bad_magic(self):
+        with pytest.raises(AigerError):
+            read_aag(io.StringIO("agg 1 1 0 0 0\n2\n"))
+
+    def test_latches_rejected(self):
+        with pytest.raises(AigerError, match="latches"):
+            read_aag(io.StringIO("aag 2 1 1 0 0\n2\n4 2\n"))
+
+    def test_inconsistent_header(self):
+        with pytest.raises(AigerError, match="inconsistent"):
+            read_aag(io.StringIO("aag 5 1 0 0 1\n2\n4 2 2\n"))
+
+    def test_truncated_body(self):
+        with pytest.raises(AigerError):
+            read_aag(io.StringIO("aag 2 2 0 1 0\n2\n"))
+
+    def test_odd_input_literal(self):
+        with pytest.raises(AigerError, match="input literal"):
+            read_aag(io.StringIO("aag 1 1 0 0 0\n3\n"))
+
+    def test_undefined_literal_in_output(self):
+        with pytest.raises(AigerError):
+            read_aag(io.StringIO("aag 1 1 0 1 0\n2\n8\n"))
+
+    def test_cyclic_ands(self):
+        text = "aag 3 1 0 1 2\n2\n4\n4 6 2\n6 4 2\n"
+        with pytest.raises(AigerError, match="cyclic"):
+            read_aag(io.StringIO(text))
+
+    def test_odd_and_lhs(self):
+        with pytest.raises(AigerError, match="lhs"):
+            read_aag(io.StringIO("aag 2 1 0 0 1\n2\n5 2 2\n"))
+
+    def test_symbol_out_of_range(self):
+        text = "aag 1 1 0 1 0\n2\n2\ni5 name\n"
+        with pytest.raises(AigerError, match="out of range"):
+            read_aag(io.StringIO(text))
+
+    def test_binary_truncated(self):
+        with pytest.raises(AigerError):
+            read_aig(io.BytesIO(b"aig 2 1 0 1 1\n2\n\x80"))
+
+
+class TestForeignEncodings:
+    def test_aag_with_non_contiguous_vars(self):
+        # Variables out of our writer's ordering: inputs at 4 and 2.
+        text = "aag 3 2 0 1 1\n4\n2\n6\n6 4 2\n"
+        aig = read_aag(io.StringIO(text))
+        assert aig.num_inputs == 2
+        assert aig.num_ands == 1
+        # Output is AND of the two inputs.
+        assert aig.evaluate([1, 1]) == [1]
+        assert aig.evaluate([1, 0]) == [0]
+
+    def test_aag_with_reordered_and_definitions(self):
+        # Second AND defined before its operand's definition appears.
+        text = "aag 4 2 0 1 2\n2\n4\n8\n8 6 2\n6 2 4\n"
+        aig = read_aag(io.StringIO(text))
+        assert aig.evaluate([1, 1]) == [1]
+        assert aig.evaluate([0, 1]) == [0]
+
+    def test_duplicate_ands_folded_by_strash(self):
+        text = "aag 4 2 0 2 2\n2\n4\n6\n8\n6 2 4\n8 2 4\n"
+        aig = read_aag(io.StringIO(text))
+        assert aig.num_ands == 1
+        assert aig.evaluate([1, 1]) == [1, 1]

@@ -1,0 +1,151 @@
+"""Tests for the ROBDD package."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BddManager, BddOverflowError, build_output_bdds, \
+    interleaved_order
+from repro.circuits import majority, parity_tree, ripple_carry_adder
+
+
+class TestManagerBasics:
+    def test_terminals(self):
+        manager = BddManager(2)
+        assert manager.FALSE == 0
+        assert manager.TRUE == 1
+        assert manager.num_nodes == 2
+
+    def test_var_nodes_shared(self):
+        manager = BddManager(2)
+        assert manager.var(0) == manager.var(0)
+
+    def test_var_range_check(self):
+        manager = BddManager(2)
+        with pytest.raises(ValueError):
+            manager.var(2)
+
+    def test_reduction_rule(self):
+        manager = BddManager(2)
+        x = manager.var(0)
+        # ite(x, TRUE, TRUE) must collapse to TRUE, allocating nothing.
+        before = manager.num_nodes
+        assert manager.ite(x, manager.TRUE, manager.TRUE) == manager.TRUE
+        assert manager.num_nodes == before
+
+
+class TestCanonicity:
+    def test_equal_functions_equal_nodes(self):
+        manager = BddManager(3)
+        x, y, z = (manager.var(k) for k in range(3))
+        lhs = manager.apply_and(x, manager.apply_or(y, z))
+        rhs = manager.apply_or(
+            manager.apply_and(x, y), manager.apply_and(x, z)
+        )
+        assert lhs == rhs
+
+    def test_demorgan(self):
+        manager = BddManager(2)
+        x, y = manager.var(0), manager.var(1)
+        lhs = manager.apply_not(manager.apply_and(x, y))
+        rhs = manager.apply_or(manager.apply_not(x), manager.apply_not(y))
+        assert lhs == rhs
+
+    def test_xor_semantics(self):
+        manager = BddManager(2)
+        x, y = manager.var(0), manager.var(1)
+        node = manager.apply_xor(x, y)
+        for a, b in itertools.product([0, 1], repeat=2):
+            assert manager.evaluate(node, [a, b]) == (a ^ b)
+
+    def test_double_negation(self):
+        manager = BddManager(2)
+        x = manager.var(0)
+        f = manager.apply_or(x, manager.var(1))
+        assert manager.apply_not(manager.apply_not(f)) == f
+
+
+class TestQueries:
+    def test_any_sat_none_for_false(self):
+        manager = BddManager(2)
+        assert manager.any_sat(manager.FALSE) is None
+
+    def test_any_sat_satisfies(self):
+        manager = BddManager(3)
+        f = manager.apply_and(
+            manager.var(0), manager.apply_not(manager.var(2))
+        )
+        assignment = manager.any_sat(f)
+        full = [assignment.get(v, 0) for v in range(3)]
+        assert manager.evaluate(f, full) == 1
+
+    def test_count_sat(self):
+        manager = BddManager(3)
+        f = manager.apply_or(manager.var(0), manager.var(1))
+        assert manager.count_sat(f) == 6  # 2^3 * 3/4
+
+    def test_count_sat_terminals(self):
+        manager = BddManager(4)
+        assert manager.count_sat(manager.TRUE) == 16
+        assert manager.count_sat(manager.FALSE) == 0
+
+    def test_size(self):
+        manager = BddManager(3)
+        f = manager.apply_xor(
+            manager.var(0), manager.apply_xor(manager.var(1), manager.var(2))
+        )
+        # Parity of 3 variables: 2 nodes per level = 5 internal... for this
+        # package (no complement edges): levels 0,1,2 hold 1,2,2 nodes.
+        assert manager.size(f) == 5
+
+    def test_overflow(self):
+        manager = BddManager(8, max_nodes=10)
+        with pytest.raises(BddOverflowError):
+            f = manager.TRUE
+            for k in range(8):
+                f = manager.apply_xor(f, manager.var(k))
+
+
+class TestBuildFromAig:
+    def test_semantics_match_circuit(self):
+        aig = majority(5)
+        manager, outputs = build_output_bdds(aig)
+        for bits in itertools.product([0, 1], repeat=5):
+            expected = aig.evaluate(list(bits))[0]
+            assert manager.evaluate(outputs[0], list(bits)) == expected
+
+    def test_multi_output(self):
+        aig = ripple_carry_adder(3)
+        manager, outputs = build_output_bdds(aig)
+        assert len(outputs) == 4
+        for bits in itertools.product([0, 1], repeat=6):
+            values = aig.evaluate(list(bits))
+            got = [manager.evaluate(node, list(bits)) for node in outputs]
+            assert got == values
+
+    def test_custom_order(self):
+        aig = ripple_carry_adder(4)
+        order = interleaved_order(aig)
+        manager, outputs = build_output_bdds(aig, order=order)
+        for bits in itertools.product([0, 1], repeat=8):
+            values = aig.evaluate(list(bits))
+            bdd_assignment = [0] * 8
+            for position, bit in enumerate(bits):
+                bdd_assignment[order[position]] = bit
+            got = [
+                manager.evaluate(node, bdd_assignment) for node in outputs
+            ]
+            assert got == values
+
+    def test_interleaving_shrinks_adder(self):
+        aig = ripple_carry_adder(8)
+        natural, outs_n = build_output_bdds(aig)
+        inter, outs_i = build_output_bdds(
+            aig, order=interleaved_order(aig)
+        )
+        assert inter.num_nodes < natural.num_nodes
+
+    def test_parity_linear_size(self):
+        aig = parity_tree(12)
+        manager, outputs = build_output_bdds(aig)
+        assert manager.size(outputs[0]) == 2 * 12 - 1

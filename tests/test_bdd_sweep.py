@@ -1,0 +1,108 @@
+"""Tests for the BDD-sweeping baseline."""
+
+import pytest
+
+from repro.aig import lit_not
+from repro.baselines import bdd_check, bdd_sweep_check
+from repro.circuits import (
+    array_multiplier,
+    carry_lookahead_adder,
+    comparator,
+    comparator_subtract,
+    parity_chain,
+    parity_tree,
+    ripple_carry_adder,
+    wallace_multiplier,
+)
+
+
+class TestVerdicts:
+    def test_equivalent_adders(self):
+        result = bdd_sweep_check(
+            ripple_carry_adder(8), carry_lookahead_adder(8)
+        )
+        assert result.equivalent is True
+        assert result.merged_nodes > 0
+
+    def test_counterexample_validated(self):
+        good = comparator(5)
+        bad = comparator_subtract(5).copy()
+        bad.set_output(2, lit_not(bad.outputs[2]))
+        result = bdd_sweep_check(good, bad)
+        assert result.equivalent is False
+        assert good.evaluate(result.counterexample) != bad.evaluate(
+            result.counterexample
+        )
+
+    def test_budget_degrades_to_unknown(self):
+        result = bdd_sweep_check(
+            array_multiplier(6), wallace_multiplier(6), max_nodes=2000
+        )
+        assert result.equivalent is None
+        assert result.unknown_nodes > 0
+
+    def test_unknowns_never_flip_verdicts(self):
+        """A budget too small for some nodes but large enough for the
+        output cone must still conclude correctly."""
+        result = bdd_sweep_check(
+            parity_tree(10), parity_chain(10), max_nodes=100_000
+        )
+        assert result.equivalent is True
+
+
+class TestMergeBehaviour:
+    def test_merging_detects_shared_functions(self):
+        result = bdd_sweep_check(
+            comparator(6), comparator_subtract(6)
+        )
+        # Functionally equal internal nodes across the two circuits give
+        # hash hits in the manager.
+        assert result.merged_nodes > 0
+
+    def test_merge_count_zero_on_overflowed_run(self):
+        result = bdd_sweep_check(
+            array_multiplier(6), wallace_multiplier(6), max_nodes=1500
+        )
+        assert result.merged_nodes >= 0  # well-defined even on failure
+
+    def test_interleave_toggle(self):
+        inter = bdd_sweep_check(
+            ripple_carry_adder(8), carry_lookahead_adder(8), interleave=True
+        )
+        natural = bdd_sweep_check(
+            ripple_carry_adder(8), carry_lookahead_adder(8), interleave=False
+        )
+        assert inter.equivalent and natural.equivalent
+        assert inter.bdd_nodes < natural.bdd_nodes
+
+
+class TestAgreementWithOtherEngines:
+    PAIRS = [
+        lambda: (ripple_carry_adder(5), carry_lookahead_adder(5)),
+        lambda: (comparator(4), comparator_subtract(4)),
+        lambda: (array_multiplier(3), wallace_multiplier(3)),
+    ]
+
+    @pytest.mark.parametrize("factory", PAIRS)
+    def test_agreement(self, factory):
+        from repro import check_equivalence
+
+        aig_a, aig_b = factory()
+        sweep = check_equivalence(aig_a, aig_b).equivalent
+        bdd = bdd_check(aig_a, aig_b).equivalent
+        bdd_sweep = bdd_sweep_check(aig_a, aig_b).equivalent
+        assert sweep == bdd == bdd_sweep is True
+
+    @pytest.mark.parametrize("factory", PAIRS)
+    def test_agreement_on_faults(self, factory):
+        from repro import check_equivalence
+
+        aig_a, aig_b = factory()
+        bad = aig_b.copy()
+        bad.set_output(0, lit_not(bad.outputs[0]))
+        assert check_equivalence(aig_a, bad).equivalent is False
+        assert bdd_sweep_check(aig_a, bad).equivalent is False
+
+    def test_repr(self):
+        result = bdd_sweep_check(parity_tree(4), parity_chain(4))
+        assert "merged" in repr(result)

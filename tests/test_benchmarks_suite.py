@@ -1,0 +1,79 @@
+"""Tests for the named benchmark suite."""
+
+import pytest
+
+from repro.aig import random_equivalence_test
+from repro.circuits import (
+    SUITE,
+    adder_scaling_series,
+    by_name,
+    multiplier_scaling_series,
+)
+
+
+class TestSuiteIntegrity:
+    def test_names_unique(self):
+        names = [pair.name for pair in SUITE]
+        assert len(names) == len(set(names))
+
+    def test_categories(self):
+        assert {pair.category for pair in SUITE} == {"arch", "synth"}
+
+    def test_by_name(self):
+        assert by_name("add08").name == "add08"
+
+    def test_by_name_missing(self):
+        with pytest.raises(KeyError):
+            by_name("nope")
+
+    @pytest.mark.parametrize("pair", SUITE, ids=lambda p: p.name)
+    def test_builds_and_interfaces_match(self, pair):
+        aig_a, aig_b = pair.build()
+        assert aig_a.num_inputs == aig_b.num_inputs
+        assert aig_a.num_outputs == aig_b.num_outputs
+        assert aig_a.num_ands > 0
+
+    @pytest.mark.parametrize("pair", SUITE, ids=lambda p: p.name)
+    def test_simulation_consistent(self, pair):
+        """A cheap necessary condition: no pair may be refuted by random
+        simulation (the full SAT verification runs in the benches)."""
+        aig_a, aig_b = pair.build()
+        assert random_equivalence_test(aig_a, aig_b, rounds=256) is None
+
+    @pytest.mark.parametrize("pair", SUITE, ids=lambda p: p.name)
+    def test_pairs_are_structurally_distinct(self, pair):
+        """Pairs must not strash to identical circuits, or the benchmark
+        measures nothing."""
+        from repro.aig import build_miter
+
+        aig_a, aig_b = pair.build()
+        miter = build_miter(aig_a, aig_b)
+        assert miter.aig.num_ands > max(aig_a.num_ands, aig_b.num_ands)
+
+    def test_deterministic_construction(self):
+        pair = by_name("sadd12")
+        first_a, first_b = pair.build()
+        second_a, second_b = pair.build()
+        assert first_b.num_ands == second_b.num_ands
+
+
+class TestScalingSeries:
+    def test_adder_series_widths(self):
+        series = adder_scaling_series(widths=(2, 4))
+        assert [pair.name for pair in series] == ["add02", "add04"]
+        for pair in series:
+            aig_a, aig_b = pair.build()
+            assert aig_a.num_inputs == aig_b.num_inputs
+
+    def test_multiplier_series(self):
+        series = multiplier_scaling_series(widths=(2, 3))
+        for pair in series:
+            aig_a, aig_b = pair.build()
+            assert random_equivalence_test(aig_a, aig_b, rounds=128) is None
+
+    def test_closure_captures_width_correctly(self):
+        series = adder_scaling_series(widths=(3, 5))
+        a3, _ = series[0].build()
+        a5, _ = series[1].build()
+        assert a3.num_inputs == 6
+        assert a5.num_inputs == 10

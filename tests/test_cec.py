@@ -1,0 +1,199 @@
+"""End-to-end equivalence checking tests."""
+
+import pytest
+
+from repro import check_equivalence
+from repro.aig import lit_not
+from repro.circuits import (
+    alu,
+    alu_mux_first,
+    array_multiplier,
+    barrel_shifter,
+    carry_lookahead_adder,
+    carry_select_adder,
+    comparator,
+    comparator_subtract,
+    kogge_stone_adder,
+    majority,
+    mux_tree,
+    parity_chain,
+    parity_tree,
+    ripple_carry_adder,
+    shift_add_multiplier,
+    wallace_multiplier,
+)
+from repro.core import CecResult, SweepOptions, certify
+from repro.transforms import balance, restructure
+
+EQUIVALENT_PAIRS = [
+    ("adders-rc-cla", lambda: (ripple_carry_adder(5), carry_lookahead_adder(5))),
+    ("adders-rc-ks", lambda: (ripple_carry_adder(5), kogge_stone_adder(5))),
+    ("adders-rc-csel", lambda: (ripple_carry_adder(6), carry_select_adder(6, block=2))),
+    ("mult-array-wallace", lambda: (array_multiplier(3), wallace_multiplier(3))),
+    ("comparators", lambda: (comparator(5), comparator_subtract(5))),
+    ("alus", lambda: (alu(3), alu_mux_first(3))),
+    ("parity", lambda: (parity_tree(9), parity_chain(9))),
+]
+
+
+class TestEquivalentPairs:
+    @pytest.mark.parametrize(
+        "factory", [f for _, f in EQUIVALENT_PAIRS],
+        ids=[n for n, _ in EQUIVALENT_PAIRS],
+    )
+    def test_verdict_and_certificate(self, factory):
+        aig_a, aig_b = factory()
+        result = check_equivalence(
+            aig_a, aig_b, SweepOptions(validate_proof=True)
+        )
+        assert result.equivalent is True
+        check = certify(result, rup=True)
+        assert check.empty_clause_id is not None
+
+    def test_identity_check(self):
+        aig = majority(7)
+        result = check_equivalence(aig, aig.copy())
+        assert result.equivalent is True
+        certify(result)
+
+    def test_restructured_variant(self):
+        aig = mux_tree(3)
+        variant = restructure(aig, seed=4, intensity=0.6, redundancy=0.3)
+        result = check_equivalence(aig, variant, SweepOptions(validate_proof=True))
+        assert result.equivalent is True
+        certify(result, rup=True)
+
+    def test_balanced_variant(self):
+        aig = comparator(6)
+        result = check_equivalence(aig, balance(aig))
+        assert result.equivalent is True
+        certify(result)
+
+    def test_proof_refutes_the_declared_cnf(self):
+        a, b = ripple_carry_adder(3), kogge_stone_adder(3)
+        result = check_equivalence(a, b)
+        # The CNF the proof refutes includes the output unit clause.
+        out_unit = max(len(c) == 1 for c in result.cnf)
+        assert out_unit
+
+
+class TestNonEquivalence:
+    def _flip(self, aig, index=0):
+        bad = aig.copy()
+        bad.set_output(index, lit_not(bad.outputs[index]))
+        return bad
+
+    def test_flipped_output(self):
+        a = ripple_carry_adder(5)
+        result = check_equivalence(a, self._flip(carry_lookahead_adder(5)))
+        assert result.equivalent is False
+        assert a.evaluate(result.counterexample) != self._flip(
+            carry_lookahead_adder(5)
+        ).evaluate(result.counterexample)
+        assert certify(result) is True
+
+    def test_flipped_high_output(self):
+        a = array_multiplier(3)
+        result = check_equivalence(a, self._flip(wallace_multiplier(3), 5))
+        assert result.equivalent is False
+
+    def test_swapped_outputs(self):
+        a = comparator(4)
+        bad = comparator_subtract(4).copy()
+        outputs = list(bad.outputs)
+        bad.set_output(0, outputs[2])
+        bad.set_output(2, outputs[0])
+        result = check_equivalence(a, bad)
+        assert result.equivalent is False
+
+    def test_off_by_one_adder(self):
+        """Adder vs adder-with-carry-in-forced: differs only when the
+        forced carry changes the sum -- a subtle, single-minterm-ish bug."""
+        from repro.aig import AIG
+        from repro.circuits import full_adder
+        from repro.aig.literal import TRUE, FALSE
+
+        width = 4
+        bad = AIG()
+        a_bits = [bad.add_input("a%d" % k) for k in range(width)]
+        b_bits = [bad.add_input("b%d" % k) for k in range(width)]
+        carry = FALSE
+        for k in range(width):
+            cin = carry if k != width - 1 else bad.add_or(carry, TRUE)
+            s, carry = full_adder(bad, a_bits[k], b_bits[k], cin)
+            bad.add_output(s, "s%d" % k)
+        bad.add_output(carry, "cout")
+        good = ripple_carry_adder(width)
+        result = check_equivalence(good, bad)
+        assert result.equivalent is False
+        cex = result.counterexample
+        assert good.evaluate(cex) != bad.evaluate(cex)
+
+    def test_wrong_gate_deep_inside(self):
+        """Replace one AND fanin polarity deep in a multiplier."""
+        good = array_multiplier(3)
+        bad = array_multiplier(3)
+        # Rebuild with one flipped internal edge via restructure-like copy.
+        from repro.aig import AIG
+        from repro.aig.literal import lit_not_cond, lit_sign, lit_var
+
+        mutated = AIG()
+        lit_map = [None] * bad.num_vars
+        lit_map[0] = 0
+        for var, name in zip(bad.inputs, bad.input_names):
+            lit_map[var] = mutated.add_input(name)
+        target = list(bad.and_vars())[len(list(bad.and_vars())) // 2]
+        for var in bad.and_vars():
+            f0, f1 = bad.fanins(var)
+            m0 = lit_not_cond(lit_map[lit_var(f0)], lit_sign(f0))
+            m1 = lit_not_cond(lit_map[lit_var(f1)], lit_sign(f1))
+            if var == target:
+                m0 = lit_not_cond(m0, True)
+            lit_map[var] = mutated.add_and(m0, m1)
+        for lit, name in zip(bad.outputs, bad.output_names):
+            mutated.add_output(
+                lit_not_cond(lit_map[lit_var(lit)], lit_sign(lit)), name
+            )
+        result = check_equivalence(good, mutated)
+        assert result.equivalent is False
+
+
+class TestResultObject:
+    def test_repr_equivalent(self):
+        result = check_equivalence(parity_tree(4), parity_chain(4))
+        assert "equivalent=True" in repr(result)
+
+    def test_repr_non_equivalent(self):
+        bad = parity_chain(4).copy()
+        bad.set_output(0, lit_not(bad.outputs[0]))
+        result = check_equivalence(parity_tree(4), bad)
+        assert "equivalent=False" in repr(result)
+
+    def test_elapsed_recorded(self):
+        result = check_equivalence(parity_tree(4), parity_chain(4))
+        assert result.elapsed_seconds > 0
+
+    def test_engine_stats_accessible(self):
+        result = check_equivalence(
+            ripple_carry_adder(4), kogge_stone_adder(4)
+        )
+        assert result.engine.stats.nodes_processed > 0
+
+
+class TestResourceLimits:
+    def test_conflict_budget_never_unsound(self):
+        """With a tiny per-call budget the engine may skip merges but must
+        still conclude correctly (falling back to the final SAT call)."""
+        a, b = array_multiplier(3), wallace_multiplier(3)
+        result = check_equivalence(
+            a, b, SweepOptions(max_conflicts=2, validate_proof=True)
+        )
+        assert result.equivalent is True
+        certify(result)
+
+    def test_budget_with_fault(self):
+        a = array_multiplier(3)
+        bad = wallace_multiplier(3).copy()
+        bad.set_output(1, lit_not(bad.outputs[1]))
+        result = check_equivalence(a, bad, SweepOptions(max_conflicts=2))
+        assert result.equivalent is False

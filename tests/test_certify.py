@@ -1,0 +1,100 @@
+"""Tests for end-to-end certification."""
+
+import pytest
+
+from repro import check_equivalence
+from repro.aig import lit_not
+from repro.circuits import parity_chain, parity_tree, ripple_carry_adder, \
+    kogge_stone_adder
+from repro.core import CertificationError, SweepOptions, certify
+from repro.core.cec import CecResult
+
+
+class TestCertifyEquivalence:
+    def test_valid_certificate(self):
+        result = check_equivalence(
+            ripple_carry_adder(4), kogge_stone_adder(4)
+        )
+        check = certify(result)
+        assert check.empty_clause_id is not None
+
+    def test_rup_cross_check(self):
+        result = check_equivalence(parity_tree(6), parity_chain(6))
+        certify(result, rup=True)
+
+    def test_tampered_proof_rejected(self):
+        result = check_equivalence(
+            ripple_carry_adder(3), kogge_stone_adder(3)
+        )
+        # Tamper with a derived clause.
+        store = result.proof
+        for cid in store.ids():
+            if store.kind(cid) == "derived" and store.clause(cid):
+                store._clauses[cid] = tuple(
+                    -lit for lit in store.clause(cid)
+                )
+                break
+        with pytest.raises(CertificationError, match="resolution check"):
+            certify(result)
+
+    def test_foreign_axiom_rejected(self):
+        result = check_equivalence(parity_tree(4), parity_chain(4))
+        result.proof.add_axiom([991, 992])
+        with pytest.raises(CertificationError):
+            certify(result)
+
+    def test_missing_proof_rejected(self):
+        result = check_equivalence(
+            parity_tree(4),
+            parity_chain(4),
+            SweepOptions(proof=False),
+        )
+        assert result.equivalent is True
+        with pytest.raises(CertificationError, match="no proof"):
+            certify(result)
+
+
+class TestCertifyNonEquivalence:
+    def test_valid_counterexample(self):
+        bad = parity_chain(5).copy()
+        bad.set_output(0, lit_not(bad.outputs[0]))
+        result = check_equivalence(parity_tree(5), bad)
+        assert certify(result) is True
+
+    def test_bogus_counterexample_rejected(self):
+        bad = parity_chain(5).copy()
+        bad.set_output(0, lit_not(bad.outputs[0]))
+        result = check_equivalence(parity_tree(5), bad)
+        result.counterexample = [1 - b for b in result.counterexample]
+        # Flipping all inputs of a parity pair still differs; craft a
+        # genuinely non-firing witness instead.
+        result.counterexample = None
+        with pytest.raises(CertificationError, match="witness"):
+            certify(result)
+
+    def test_non_firing_witness_rejected(self):
+        bad = parity_chain(5).copy()
+        bad.set_output(0, lit_not(bad.outputs[0]))
+        good = parity_tree(5)
+        result = check_equivalence(good, bad)
+        # Build a result whose miter is of two EQUAL circuits, with a
+        # stale counterexample attached.
+        equal = check_equivalence(good, parity_chain(5))
+        fake = CecResult(
+            equivalent=False,
+            counterexample=result.counterexample,
+            proof=None,
+            empty_clause_id=None,
+            miter=equal.miter,
+            cnf=None,
+            engine=equal.engine,
+            elapsed_seconds=0.0,
+        )
+        with pytest.raises(CertificationError, match="does not set"):
+            certify(fake)
+
+    def test_undecided_rejected(self):
+        result = check_equivalence(parity_tree(4), parity_chain(4))
+        result.equivalent = None
+        with pytest.raises(CertificationError, match="undecided"):
+            certify(result)

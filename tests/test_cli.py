@@ -1,0 +1,101 @@
+"""Tests for the repro-cec command-line interface."""
+
+import pytest
+
+from repro.aig import lit_not, write_aag, write_aig
+from repro.circuits import carry_lookahead_adder, ripple_carry_adder
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def circuit_files(tmp_path):
+    good_a = tmp_path / "a.aag"
+    good_b = tmp_path / "b.aig"
+    bad = tmp_path / "bad.aag"
+    write_aag(ripple_carry_adder(4), str(good_a))
+    write_aig(carry_lookahead_adder(4), str(good_b))
+    broken = carry_lookahead_adder(4).copy()
+    broken.set_output(1, lit_not(broken.outputs[1]))
+    write_aag(broken, str(bad))
+    return str(good_a), str(good_b), str(bad)
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["x", "y"])
+        assert args.engine == "sweep"
+        assert args.sim_words == 4
+
+    def test_engine_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["x", "y", "--engine", "zchaff"])
+
+
+class TestMain:
+    def test_equivalent_exit_code(self, circuit_files, capsys):
+        file_a, file_b, _ = circuit_files
+        assert main([file_a, file_b]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_non_equivalent_exit_code(self, circuit_files, capsys):
+        file_a, _, bad = circuit_files
+        assert main([file_a, bad]) == 1
+        out = capsys.readouterr().out
+        assert "NOT EQUIVALENT" in out
+        assert "counterexample" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent/a.aag", "/nonexistent/b.aag"]) == 2
+
+    def test_proof_written(self, circuit_files, tmp_path, capsys):
+        file_a, file_b, _ = circuit_files
+        proof_path = tmp_path / "out.drup"
+        assert main([file_a, file_b, "--proof", str(proof_path)]) == 0
+        content = proof_path.read_text()
+        assert content.strip().endswith("0")
+
+    def test_untrimmed_proof_is_larger(self, circuit_files, tmp_path):
+        file_a, file_b, _ = circuit_files
+        trimmed = tmp_path / "trim.drup"
+        full = tmp_path / "full.drup"
+        main([file_a, file_b, "--proof", str(trimmed)])
+        main([file_a, file_b, "--proof", str(full), "--no-trim"])
+        assert len(full.read_text()) >= len(trimmed.read_text())
+
+    def test_certify_flag(self, circuit_files, capsys):
+        file_a, file_b, _ = circuit_files
+        assert main([file_a, file_b, "--certify"]) == 0
+        assert "certified" in capsys.readouterr().out
+
+    def test_monolithic_engine(self, circuit_files, capsys):
+        file_a, file_b, _ = circuit_files
+        assert main([file_a, file_b, "--engine", "monolithic"]) == 0
+
+    def test_bdd_engine(self, circuit_files, capsys):
+        file_a, file_b, bad = circuit_files
+        assert main([file_a, file_b, "--engine", "bdd"]) == 0
+        assert main([file_a, bad, "--engine", "bdd"]) == 1
+
+    def test_quiet_suppresses_stats(self, circuit_files, capsys):
+        file_a, file_b, _ = circuit_files
+        main([file_a, file_b, "--quiet"])
+        out = capsys.readouterr().out
+        assert "resolutions" not in out
+
+    def test_seed_and_sim_words_accepted(self, circuit_files):
+        file_a, file_b, _ = circuit_files
+        assert main(
+            [file_a, file_b, "--sim-words", "1", "--seed", "42"]
+        ) == 0
+
+
+class TestBddSweepEngine:
+    def test_equivalent(self, circuit_files, capsys):
+        file_a, file_b, _ = circuit_files
+        assert main([file_a, file_b, "--engine", "bddsweep"]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_fault(self, circuit_files, capsys):
+        file_a, _, bad = circuit_files
+        assert main([file_a, bad, "--engine", "bddsweep"]) == 1
+        assert "counterexample" in capsys.readouterr().out

@@ -1,0 +1,117 @@
+"""Tests for clause containers and Tseitin encoding."""
+
+import itertools
+
+import pytest
+
+from repro.cnf import CNF, is_tautology, normalize_clause, tseitin_encode
+from repro.circuits import comparator, parity_tree, ripple_carry_adder
+
+
+class TestNormalizeClause:
+    def test_sorts_and_dedups(self):
+        assert normalize_clause([3, -1, 3, 2]) == (-1, 2, 3)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            normalize_clause([1, 0])
+
+    def test_rejects_tautology(self):
+        with pytest.raises(ValueError):
+            normalize_clause([1, -1])
+
+    def test_is_tautology(self):
+        assert is_tautology([1, -1, 2])
+        assert not is_tautology([1, 2, -3])
+
+
+class TestCNF:
+    def test_add_clause_grows_vars(self):
+        cnf = CNF()
+        cnf.add_clause([1, -7])
+        assert cnf.num_vars == 7
+        assert len(cnf) == 1
+
+    def test_new_var(self):
+        cnf = CNF(3)
+        assert cnf.new_var() == 4
+        assert cnf.num_vars == 4
+
+    def test_evaluate(self):
+        cnf = CNF(clauses=[[1, 2], [-1, 2]])
+        assert cnf.evaluate({1: 1, 2: 1})
+        assert not cnf.evaluate({1: 1, 2: 0})
+
+    def test_copy_isolated(self):
+        cnf = CNF(clauses=[[1]])
+        dup = cnf.copy()
+        dup.add_clause([2])
+        assert len(cnf) == 1
+        assert len(dup) == 2
+
+    def test_iteration_order(self):
+        cnf = CNF(clauses=[[1], [2], [3]])
+        assert list(cnf) == [(1,), (2,), (3,)]
+
+
+class TestTseitin:
+    def _roundtrip_models(self, aig):
+        """Every circuit evaluation must extend to a CNF model and the CNF
+        projected to inputs must agree with the circuit."""
+        enc = tseitin_encode(aig)
+        for bits in itertools.product([0, 1], repeat=aig.num_inputs):
+            values = aig.evaluate_all(list(bits))
+            assignment = [0] * (enc.cnf.num_vars + 1)
+            for aig_var in range(aig.num_vars):
+                assignment[enc.var_of[aig_var]] = values[aig_var]
+            assert enc.cnf.evaluate(assignment), (
+                "circuit evaluation is not a CNF model for %r" % (bits,)
+            )
+
+    def test_models_match_circuit(self, tiny_aig):
+        self._roundtrip_models(tiny_aig)
+
+    def test_models_match_adder(self):
+        self._roundtrip_models(ripple_carry_adder(2))
+
+    def test_models_match_parity(self):
+        self._roundtrip_models(parity_tree(4))
+
+    def test_clause_count(self):
+        aig = comparator(3)
+        enc = tseitin_encode(aig)
+        assert len(enc.cnf) == 3 * aig.num_ands + 1
+
+    def test_const_clause_is_unit(self):
+        aig = ripple_carry_adder(2)
+        enc = tseitin_encode(aig)
+        clause = enc.cnf.clauses[enc.const_clause_index]
+        assert clause == (-enc.var_of[0],)
+
+    def test_defining_clauses_shapes(self):
+        aig = ripple_carry_adder(2)
+        enc = tseitin_encode(aig)
+        for and_var, (c_a, c_b, c_o) in enc.defining_clauses.items():
+            n = enc.var_of[and_var]
+            assert -n in enc.cnf.clauses[c_a]
+            assert -n in enc.cnf.clauses[c_b]
+            assert n in enc.cnf.clauses[c_o]
+            assert len(enc.cnf.clauses[c_o]) == 3
+
+    def test_lit_to_cnf_signs(self, tiny_aig):
+        enc = tseitin_encode(tiny_aig)
+        lit = tiny_aig.outputs[0]
+        assert enc.lit_to_cnf(lit) == -enc.lit_to_cnf(lit ^ 1)
+
+    def test_only_circuit_consistent_models(self, tiny_aig):
+        """CNF models restricted to node vars must match circuit evaluation."""
+        enc = tseitin_encode(tiny_aig)
+        num_vars = enc.cnf.num_vars
+        for model_bits in itertools.product([0, 1], repeat=num_vars):
+            assignment = [0] + list(model_bits)
+            if not enc.cnf.evaluate(assignment):
+                continue
+            input_bits = [assignment[enc.var_of[v]] for v in tiny_aig.inputs]
+            values = tiny_aig.evaluate_all(input_bits)
+            for aig_var in range(tiny_aig.num_vars):
+                assert assignment[enc.var_of[aig_var]] == values[aig_var]

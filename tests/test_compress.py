@@ -1,0 +1,141 @@
+"""Tests for LowerUnits proof compression."""
+
+import random
+
+import pytest
+
+from repro.proof import ProofError, ProofStore, check_proof, check_rup_proof, \
+    proof_stats
+from repro.proof.compress import lower_units
+from repro.sat import UNSAT, Solver
+
+
+def solver_refutation(clauses):
+    store = ProofStore()
+    solver = Solver(proof=store)
+    alive = all(solver.add_clause(c) for c in clauses)
+    if alive:
+        assert solver.solve().status is UNSAT
+    return store
+
+
+def php_clauses(pigeons):
+    holes = pigeons - 1
+    var = lambda p, h: p * holes + h + 1
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return clauses
+
+
+def unit_rich_clauses():
+    """An UNSAT instance whose refutation leans on unit clauses."""
+    clauses = [[1], [2], [3]]
+    clauses += [[-1, -2, 4], [-1, -3, 5], [-2, -3, 6]]
+    clauses += [[-4, -5, -6, 7], [-7, 8], [-7, -8]]
+    return clauses
+
+
+class TestLowerUnits:
+    def test_still_refutes(self):
+        store = solver_refutation(unit_rich_clauses())
+        compressed, _ = lower_units(store)
+        result = check_proof(compressed, axioms=unit_rich_clauses())
+        assert result.empty_clause_id is not None
+
+    def test_rup_cross_check(self):
+        store = solver_refutation(unit_rich_clauses())
+        compressed, _ = lower_units(store)
+        check_rup_proof(compressed, axioms=unit_rich_clauses())
+
+    def test_no_empty_clause_rejected(self):
+        store = ProofStore()
+        store.add_axiom([1])
+        with pytest.raises(ProofError):
+            lower_units(store)
+
+    def test_php_proofs_compress_and_check(self):
+        clauses = php_clauses(5)
+        store = solver_refutation(clauses)
+        compressed, _ = lower_units(store)
+        check_proof(compressed, axioms=clauses)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_unsat_instances(self, seed):
+        rng = random.Random(seed)
+        import itertools
+
+        def brute_sat(num_vars, clauses):
+            for bits in itertools.product([False, True], repeat=num_vars):
+                if all(
+                    any(bits[abs(l) - 1] == (l > 0) for l in clause)
+                    for clause in clauses
+                ):
+                    return True
+            return False
+
+        produced = 0
+        while produced < 4:
+            num_vars = rng.randint(3, 7)
+            clauses = []
+            # Seed some units to give the transformation work to do.
+            for var in rng.sample(range(1, num_vars + 1), 2):
+                clauses.append([var if rng.random() < 0.5 else -var])
+            for _ in range(rng.randint(8, 26)):
+                width = rng.randint(1, 3)
+                variables = rng.sample(range(1, num_vars + 1), width)
+                clauses.append(
+                    [v if rng.random() < 0.5 else -v for v in variables]
+                )
+            if brute_sat(num_vars, clauses):
+                continue
+            produced += 1
+            store = solver_refutation(clauses)
+            compressed, _ = lower_units(store)
+            check_proof(compressed, axioms=clauses)
+            check_rup_proof(compressed, axioms=clauses)
+
+    def test_reduces_resolutions_on_unit_heavy_proofs(self):
+        reductions = []
+        for seed in range(8):
+            rng = random.Random(100 + seed)
+            clauses = [[v] for v in range(1, 4)]
+            for _ in range(30):
+                variables = rng.sample(range(1, 10), 3)
+                clauses.append(
+                    [v if rng.random() < 0.6 else -v for v in variables]
+                )
+            clauses.append([-1, -2, -3])
+            store = ProofStore()
+            solver = Solver(proof=store)
+            alive = all(solver.add_clause(c) for c in clauses)
+            if alive and solver.solve().status is not UNSAT:
+                continue
+            before = proof_stats(store).num_resolutions
+            compressed, _ = lower_units(store)
+            after = proof_stats(compressed).num_resolutions
+            reductions.append((before, after))
+            check_proof(compressed, axioms=clauses)
+        assert reductions, "no UNSAT instances generated"
+        assert any(after <= before for before, after in reductions)
+
+    def test_engine_proofs_compress(self):
+        from repro import check_equivalence
+        from repro.circuits import comparator, comparator_subtract
+
+        result = check_equivalence(comparator(4), comparator_subtract(4))
+        compressed, _ = lower_units(result.proof)
+        check_proof(compressed, axioms=result.cnf.clauses)
+
+    def test_monolithic_proofs_compress(self):
+        from repro.baselines import monolithic_check
+        from repro.circuits import kogge_stone_adder, ripple_carry_adder
+
+        result = monolithic_check(
+            ripple_carry_adder(6), kogge_stone_adder(6)
+        )
+        compressed, _ = lower_units(result.proof)
+        check_proof(compressed, axioms=result.cnf.clauses)
+        check_rup_proof(compressed, axioms=result.cnf.clauses)

@@ -1,0 +1,122 @@
+"""Tests for k-feasible cut enumeration."""
+
+import pytest
+
+from repro.aig import AIG, Cut, cut_function, enumerate_cuts
+from repro.circuits import comparator, full_adder, ripple_carry_adder
+
+
+class TestCutObject:
+    def test_dominates(self):
+        small = Cut((1, 2), 0)
+        big = Cut((1, 2, 3), 0)
+        assert small.dominates(big)
+        assert not big.dominates(small)
+
+    def test_repr(self):
+        assert "leaves" in repr(Cut((1,), 0b10))
+
+
+class TestEnumeration:
+    def test_k_range_validated(self):
+        aig = ripple_carry_adder(2)
+        with pytest.raises(ValueError):
+            enumerate_cuts(aig, k=0)
+        with pytest.raises(ValueError):
+            enumerate_cuts(aig, k=7)
+
+    def test_inputs_have_unit_cut(self):
+        aig = ripple_carry_adder(2)
+        cuts = enumerate_cuts(aig)
+        for var in aig.inputs:
+            assert len(cuts[var]) == 1
+            assert cuts[var][0].leaves == (var,)
+            assert cuts[var][0].table == 0b10
+
+    def test_every_node_keeps_trivial_cut(self):
+        aig = comparator(3)
+        cuts = enumerate_cuts(aig, k=3)
+        for var in aig.and_vars():
+            assert any(cut.leaves == (var,) for cut in cuts[var])
+
+    def test_leaf_bound_respected(self):
+        aig = ripple_carry_adder(4)
+        for k in (2, 3, 4, 5):
+            cuts = enumerate_cuts(aig, k=k)
+            for var in aig.and_vars():
+                for cut in cuts[var]:
+                    assert len(cut.leaves) <= max(k, 1)
+
+    def test_cut_limit_respected(self):
+        aig = ripple_carry_adder(6)
+        cuts = enumerate_cuts(aig, k=4, max_cuts=3)
+        for var in aig.and_vars():
+            assert len(cuts[var]) <= 4  # 3 + trivial
+
+    def test_no_dominated_cuts(self):
+        aig = comparator(4)
+        cuts = enumerate_cuts(aig, k=4)
+        for var in aig.and_vars():
+            non_trivial = [c for c in cuts[var] if c.leaves != (var,)]
+            for i, cut_a in enumerate(non_trivial):
+                for j, cut_b in enumerate(non_trivial):
+                    if i != j:
+                        assert not (
+                            cut_a.dominates(cut_b)
+                            and set(cut_a.leaves) != set(cut_b.leaves)
+                        )
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_tables_match_brute_force(self, k):
+        aig = ripple_carry_adder(3)
+        cuts = enumerate_cuts(aig, k=k)
+        for var in aig.and_vars():
+            for cut in cuts[var]:
+                assert cut.table == cut_function(
+                    aig, 2 * var, list(cut.leaves)
+                )
+
+    def test_full_adder_majority_cut(self):
+        """The carry of a full adder has a 3-cut computing majority."""
+        aig = AIG()
+        a, b, c = aig.add_inputs(3)
+        _, carry = full_adder(aig, a, b, c)
+        aig.add_output(carry)
+        cuts = enumerate_cuts(aig, k=3)
+        carry_var = carry >> 1
+        majority3 = 0b11101000  # MAJ(x0,x1,x2) LSB-first
+        # Tables are stored for the (non-complemented) node variable.
+        expected = majority3 ^ (0xFF if carry & 1 else 0)
+        tables = {
+            cut.table
+            for cut in cuts[carry_var]
+            if len(cut.leaves) == 3 and set(cut.leaves) == {1, 2, 3}
+        }
+        assert expected in tables
+
+
+class TestCutFunction:
+    def test_root_complemented(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        node = aig.add_and(a, b)
+        assert cut_function(aig, node, [1, 2]) == 0b1000
+        assert cut_function(aig, node ^ 1, [1, 2]) == 0b0111
+
+    def test_leaf_order_matters(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        node = aig.add_and(a, b ^ 1)
+        assert cut_function(aig, node, [1, 2]) == 0b0010
+        assert cut_function(aig, node, [2, 1]) == 0b0100
+
+    def test_leaf_limit(self):
+        aig = ripple_carry_adder(5)
+        with pytest.raises(ValueError):
+            cut_function(aig, aig.outputs[0], list(range(1, 19)))
+
+    def test_trivial_cut(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        node = aig.add_and(a, b)
+        assert cut_function(aig, node, [node >> 1]) == 0b10

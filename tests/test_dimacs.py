@@ -1,0 +1,77 @@
+"""Tests for DIMACS I/O."""
+
+import io
+
+import pytest
+
+from repro.cnf import CNF, DimacsError, parse_dimacs, read_dimacs, write_dimacs
+
+
+class TestWrite:
+    def test_basic_format(self):
+        cnf = CNF(clauses=[[1, -2], [2]])
+        buffer = io.StringIO()
+        write_dimacs(cnf, buffer, comments=["hello"])
+        text = buffer.getvalue()
+        assert text.startswith("c hello\np cnf 2 2\n")
+        assert "-2 1 0" in text or "1 -2 0" in text
+
+    def test_roundtrip(self):
+        cnf = CNF(clauses=[[1, -2, 3], [-1], [2, 3]])
+        buffer = io.StringIO()
+        write_dimacs(cnf, buffer)
+        buffer.seek(0)
+        back = read_dimacs(buffer)
+        assert back.num_vars == cnf.num_vars
+        assert list(back) == list(cnf)
+
+
+class TestParse:
+    def test_comments_ignored(self):
+        cnf = parse_dimacs("c comment\np cnf 2 1\n1 2 0\n")
+        assert list(cnf) == [(1, 2)]
+
+    def test_multiline_clause(self):
+        cnf = parse_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert list(cnf) == [(1, 2, 3)]
+
+    def test_multiple_clauses_one_line(self):
+        cnf = parse_dimacs("p cnf 2 2\n1 0 -2 0\n")
+        assert list(cnf) == [(1,), (-2,)]
+
+    def test_declared_vars_kept(self):
+        cnf = parse_dimacs("p cnf 9 1\n1 0\n")
+        assert cnf.num_vars == 9
+
+    def test_missing_problem_line(self):
+        with pytest.raises(DimacsError, match="problem line"):
+            parse_dimacs("1 2 0\n")
+
+    def test_unterminated_clause(self):
+        with pytest.raises(DimacsError, match="terminated"):
+            parse_dimacs("p cnf 2 1\n1 2\n")
+
+    def test_clause_count_mismatch(self):
+        with pytest.raises(DimacsError, match="declared"):
+            parse_dimacs("p cnf 2 2\n1 0\n")
+
+    def test_var_overflow(self):
+        with pytest.raises(DimacsError, match="beyond declared"):
+            parse_dimacs("p cnf 1 1\n2 0\n")
+
+    def test_bad_token(self):
+        with pytest.raises(DimacsError, match="bad clause"):
+            parse_dimacs("p cnf 1 1\nx 0\n")
+
+    def test_bad_problem_line(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf x y\n")
+
+
+class TestFileIO:
+    def test_path_roundtrip(self, tmp_path):
+        cnf = CNF(clauses=[[1, 2], [-1, -2]])
+        path = tmp_path / "f.cnf"
+        write_dimacs(cnf, str(path))
+        back = read_dimacs(str(path))
+        assert list(back) == list(cnf)

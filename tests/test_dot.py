@@ -1,0 +1,60 @@
+"""Tests for DOT export."""
+
+import io
+
+import pytest
+
+from repro.aig import AIG
+from repro.aig.dot import write_dot
+from repro.circuits import ripple_carry_adder
+
+
+def render(aig):
+    buffer = io.StringIO()
+    write_dot(aig, buffer)
+    return buffer.getvalue()
+
+
+class TestWriteDot:
+    def test_structure(self, tiny_aig):
+        text = render(tiny_aig)
+        assert text.startswith("digraph aig {")
+        assert text.rstrip().endswith("}")
+        assert '"a" shape=box' in text
+        assert '"y" shape=invhouse' in text
+
+    def test_every_and_node_present(self):
+        aig = ripple_carry_adder(2)
+        text = render(aig)
+        for var in aig.and_vars():
+            assert "n%d [" % var in text
+
+    def test_complement_edges_dashed(self, tiny_aig):
+        text = render(tiny_aig)
+        assert "style=dashed" in text
+
+    def test_dead_nodes_skipped(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        live = aig.add_and(a, b)
+        aig.add_and(a, b ^ 1)  # dead
+        aig.add_output(live)
+        text = render(aig)
+        dead_var = aig.num_vars - 1
+        assert "n%d [" % dead_var not in text
+
+    def test_size_guard(self):
+        aig = ripple_carry_adder(4)
+        with pytest.raises(ValueError):
+            write_dot(aig, io.StringIO(), max_nodes=10)
+
+    def test_path_output(self, tmp_path, tiny_aig):
+        path = tmp_path / "aig.dot"
+        write_dot(tiny_aig, str(path))
+        assert path.read_text().startswith("digraph")
+
+    def test_edge_count_matches(self):
+        aig = ripple_carry_adder(2)
+        text = render(aig)
+        arrow_lines = [l for l in text.splitlines() if "->" in l]
+        assert len(arrow_lines) == 2 * aig.num_ands + aig.num_outputs

@@ -1,0 +1,88 @@
+"""Tests for DRUP export and the RUP checker."""
+
+import io
+
+import pytest
+
+from repro.proof import ProofError, ProofStore, check_rup_proof, write_drup
+from repro.proof.drup import _Propagator
+
+
+def refutation_store():
+    store = ProofStore()
+    c1 = store.add_axiom([1, 2])
+    c2 = store.add_axiom([1, -2])
+    c3 = store.add_axiom([-1, 2])
+    c4 = store.add_axiom([-1, -2])
+    u1 = store.add_derived([1], [c1, (2, c2)])
+    u2 = store.add_derived([-1], [c3, (2, c4)])
+    store.add_derived([], [u1, (1, u2)])
+    return store
+
+
+class TestPropagator:
+    def test_unit_conflict(self):
+        prop = _Propagator(2)
+        prop.add_clause((1,))
+        assert prop.propagate([-1])
+        # State rolled back: propagation again behaves identically.
+        assert prop.propagate([-1])
+        assert not prop.propagate([1])
+
+    def test_chain_propagation(self):
+        prop = _Propagator(4)
+        prop.add_clause((-1, 2))
+        prop.add_clause((-2, 3))
+        prop.add_clause((-3, 4))
+        prop.add_clause((-4,))
+        assert prop.propagate([1])
+
+    def test_no_conflict(self):
+        prop = _Propagator(3)
+        prop.add_clause((1, 2, 3))
+        assert not prop.propagate([-1, -2])
+
+    def test_empty_clause_rejected(self):
+        prop = _Propagator(1)
+        with pytest.raises(ProofError):
+            prop.add_clause(())
+
+    def test_grows_variables(self):
+        prop = _Propagator(0)
+        prop.add_clause((5, 6))
+        assert not prop.propagate([-5])
+
+
+class TestRupChecker:
+    def test_accepts_valid(self):
+        assert check_rup_proof(refutation_store()) == 3
+
+    def test_axiom_filtering(self):
+        axioms = [[1, 2], [1, -2], [-1, 2], [-1, -2]]
+        assert check_rup_proof(refutation_store(), axioms=axioms) == 3
+
+    def test_foreign_axiom(self):
+        with pytest.raises(ProofError, match="not in reference"):
+            check_rup_proof(refutation_store(), axioms=[[1, 2]])
+
+    def test_rejects_non_rup(self):
+        store = ProofStore()
+        store.add_axiom([1, 2])
+        store._clauses.append((3,))
+        store._kinds.append("derived")
+        store._chains.append([0, (1, 0)])
+        with pytest.raises(ProofError, match="not RUP"):
+            check_rup_proof(store)
+
+
+class TestWriter:
+    def test_derived_clauses_only(self):
+        buffer = io.StringIO()
+        write_drup(refutation_store(), buffer)
+        lines = buffer.getvalue().splitlines()
+        assert lines == ["1 0", "-1 0", "0"]
+
+    def test_path_output(self, tmp_path):
+        path = tmp_path / "p.drup"
+        write_drup(refutation_store(), str(path))
+        assert path.read_text().endswith("0\n")

@@ -1,0 +1,131 @@
+"""Tests for fault injection and checker soundness under faults."""
+
+import random
+
+import pytest
+
+from repro import check_equivalence
+from repro.circuits import comparator, parity_tree, ripple_carry_adder
+from repro.circuits.faults import (
+    FAULT_KINDS,
+    Fault,
+    enumerate_faults,
+    fault_campaign,
+    inject,
+)
+
+from conftest import exhaustive_counterexample
+
+
+class TestFaultObject:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Fault("meltdown", 3)
+
+    def test_repr(self):
+        assert "stuck_at_0" in repr(Fault("stuck_at_0", 7))
+
+
+class TestInject:
+    def setup_method(self):
+        self.aig = ripple_carry_adder(3)
+        self.target = list(self.aig.and_vars())[4]
+
+    def test_stuck_at_0_changes_or_preserves_function(self):
+        mutated = inject(self.aig, Fault("stuck_at_0", self.target))
+        assert mutated.num_inputs == self.aig.num_inputs
+        # Semantics verified exhaustively against the checker below.
+
+    def test_output_flip_always_detected(self):
+        mutated = inject(self.aig, Fault("output_flip", 2))
+        cex = exhaustive_counterexample(self.aig, mutated)
+        assert cex is not None
+
+    def test_output_flip_bad_index(self):
+        with pytest.raises(ValueError):
+            inject(self.aig, Fault("output_flip", 99))
+
+    def test_non_and_target_rejected(self):
+        with pytest.raises(ValueError):
+            inject(self.aig, Fault("stuck_at_1", self.aig.inputs[0]))
+
+    def test_edge_flip_changes_function_somewhere(self):
+        # At least one edge flip in an adder must change the function.
+        changed = 0
+        for var in list(self.aig.and_vars())[:8]:
+            mutated = inject(self.aig, Fault("edge_flip", var))
+            if exhaustive_counterexample(self.aig, mutated) is not None:
+                changed += 1
+        assert changed > 0
+
+    def test_io_preserved(self):
+        mutated = inject(self.aig, Fault("and_to_or", self.target))
+        assert mutated.num_outputs == self.aig.num_outputs
+        assert mutated.input_names == self.aig.input_names
+
+
+class TestEnumerate:
+    def test_all_kinds_present(self):
+        faults = enumerate_faults(parity_tree(4))
+        assert {fault.kind for fault in faults} == set(FAULT_KINDS)
+
+    def test_sampling_bounds(self):
+        rng = random.Random(0)
+        faults = enumerate_faults(
+            parity_tree(6), rng=rng, per_kind=2
+        )
+        non_output = [f for f in faults if f.kind != "output_flip"]
+        per_kind = {}
+        for fault in non_output:
+            per_kind.setdefault(fault.kind, []).append(fault)
+        assert all(len(lst) <= 2 for lst in per_kind.values())
+
+
+class TestCheckerAgainstFaults:
+    """The central soundness property: the checker's verdict must agree
+    with exhaustive evaluation on every injected fault."""
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_verdicts_match_exhaustive(self, kind):
+        aig = comparator(3)
+        rng = random.Random(7)
+        for fault in enumerate_faults(
+            aig, kinds=(kind,), rng=rng, per_kind=4
+        ):
+            mutated = inject(aig, fault)
+            expected = exhaustive_counterexample(aig, mutated) is None
+            result = check_equivalence(aig, mutated)
+            assert result.equivalent is expected, fault
+            if not expected:
+                assert aig.evaluate(result.counterexample) != \
+                    mutated.evaluate(result.counterexample)
+
+    def test_campaign_classification(self):
+        aig = parity_tree(5)
+
+        def checker(golden, mutated):
+            return check_equivalence(golden, mutated).equivalent
+
+        results = fault_campaign(aig, checker, seed=1, per_kind=2)
+        assert results
+        for fault, verdict in results:
+            assert verdict in (True, False)
+        # Output flips on a parity tree are always detected.
+        for fault, verdict in results:
+            if fault.kind == "output_flip":
+                assert verdict is False
+
+    def test_campaign_against_baselines(self):
+        from repro.baselines import bdd_check, monolithic_check
+
+        aig = comparator(3)
+        faults = enumerate_faults(
+            aig, kinds=("stuck_at_0", "and_to_or"),
+            rng=random.Random(3), per_kind=2,
+        )
+        for fault in faults:
+            mutated = inject(aig, fault)
+            sweep = check_equivalence(aig, mutated).equivalent
+            mono = monolithic_check(aig, mutated, proof=False).equivalent
+            bdd = bdd_check(aig, mutated).equivalent
+            assert sweep == mono == bdd, fault

@@ -1,0 +1,182 @@
+"""Semantic tests for the extended generator set."""
+
+import random
+
+import pytest
+
+from repro.circuits import (
+    binary_to_gray,
+    carry_skip_adder,
+    conditional_sum_adder,
+    dadda_multiplier,
+    decoder,
+    gray_to_binary,
+    popcount,
+    priority_encoder,
+    ripple_carry_adder,
+    wallace_multiplier,
+)
+
+from conftest import bits_of, word_of
+
+
+class TestMoreAdders:
+    @pytest.mark.parametrize(
+        "make", [carry_skip_adder, conditional_sum_adder],
+        ids=lambda f: f.__name__,
+    )
+    @pytest.mark.parametrize("width", [1, 2, 3, 5, 8])
+    def test_exhaustive_small_random_large(self, make, width):
+        aig = make(width)
+        rng = random.Random(width)
+        cases = (
+            [(a, b) for a in range(1 << width) for b in range(1 << width)]
+            if width <= 3
+            else [
+                (rng.randrange(1 << width), rng.randrange(1 << width))
+                for _ in range(150)
+            ]
+        )
+        for a, b in cases:
+            got = word_of(
+                aig.evaluate(bits_of(a, width) + bits_of(b, width))
+            )
+            assert got == a + b
+
+    def test_carry_skip_blocks(self):
+        for block in (1, 2, 3, 5):
+            aig = carry_skip_adder(6, block=block)
+            rng = random.Random(block)
+            for _ in range(60):
+                a, b = rng.randrange(64), rng.randrange(64)
+                got = word_of(aig.evaluate(bits_of(a, 6) + bits_of(b, 6)))
+                assert got == a + b
+
+    def test_structures_differ(self):
+        from repro.aig import build_miter
+
+        rc = ripple_carry_adder(8)
+        cs = carry_skip_adder(8)
+        miter = build_miter(rc, cs)
+        assert miter.aig.num_ands > max(rc.num_ands, cs.num_ands)
+
+
+class TestDadda:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_exhaustive(self, width):
+        aig = dadda_multiplier(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                got = word_of(
+                    aig.evaluate(bits_of(a, width) + bits_of(b, width))
+                )
+                assert got == a * b
+
+    def test_differs_from_wallace(self):
+        from repro.aig import build_miter
+
+        dadda = dadda_multiplier(4)
+        wallace = wallace_multiplier(4)
+        miter = build_miter(dadda, wallace)
+        assert miter.aig.num_ands > max(dadda.num_ands, wallace.num_ands)
+
+
+class TestPriorityEncoder:
+    @pytest.mark.parametrize("width", [1, 2, 3, 5, 9])
+    def test_semantics(self, width):
+        aig = priority_encoder(width)
+        space = range(1 << width) if width <= 9 else []
+        for value in space:
+            outputs = aig.evaluate(bits_of(value, width))
+            valid = outputs[-1]
+            index = word_of(outputs[:-1])
+            if value == 0:
+                assert (valid, index) == (0, 0)
+            else:
+                expected = max(k for k in range(width) if (value >> k) & 1)
+                assert (valid, index) == (1, expected)
+
+
+class TestDecoder:
+    @pytest.mark.parametrize("select_bits", [1, 2, 3])
+    def test_one_hot(self, select_bits):
+        aig = decoder(select_bits)
+        for value in range(1 << select_bits):
+            outputs = aig.evaluate(bits_of(value, select_bits))
+            assert outputs == [
+                1 if k == value else 0 for k in range(1 << select_bits)
+            ]
+
+    def test_enable_gates_everything(self):
+        aig = decoder(2, enable=True)
+        for value in range(4):
+            assert aig.evaluate(bits_of(value, 2) + [0]) == [0, 0, 0, 0]
+            hot = aig.evaluate(bits_of(value, 2) + [1])
+            assert hot[value] == 1
+
+
+class TestGrayCodes:
+    @pytest.mark.parametrize("width", [1, 2, 4, 6])
+    def test_binary_to_gray(self, width):
+        aig = binary_to_gray(width)
+        for value in range(1 << width):
+            got = word_of(aig.evaluate(bits_of(value, width)))
+            assert got == value ^ (value >> 1)
+
+    @pytest.mark.parametrize("width", [1, 2, 4, 6])
+    def test_roundtrip(self, width):
+        b2g = binary_to_gray(width)
+        g2b = gray_to_binary(width)
+        for value in range(1 << width):
+            gray = b2g.evaluate(bits_of(value, width))
+            assert word_of(g2b.evaluate(gray)) == value
+
+    def test_gray_neighbors_differ_by_one_bit(self):
+        aig = binary_to_gray(5)
+        previous = None
+        for value in range(32):
+            gray = word_of(aig.evaluate(bits_of(value, 5)))
+            if previous is not None:
+                assert bin(gray ^ previous).count("1") == 1
+            previous = gray
+
+
+class TestPopcount:
+    @pytest.mark.parametrize("width", [1, 2, 5, 9])
+    def test_counts(self, width):
+        aig = popcount(width)
+        for value in range(1 << width):
+            got = word_of(aig.evaluate(bits_of(value, width)))
+            assert got == bin(value).count("1")
+
+    def test_output_width(self):
+        assert popcount(7).num_outputs == 3 + 1  # word grows by carries
+
+
+class TestNewPairsCheck:
+    """The new architecture pairs must actually be equivalent."""
+
+    def test_carry_skip_vs_ripple(self):
+        from repro import check_equivalence
+
+        result = check_equivalence(
+            ripple_carry_adder(8), carry_skip_adder(8)
+        )
+        assert result.equivalent is True
+
+    def test_conditional_sum_vs_ripple(self):
+        from repro import check_equivalence
+
+        result = check_equivalence(
+            ripple_carry_adder(8), conditional_sum_adder(8)
+        )
+        assert result.equivalent is True
+
+    def test_dadda_vs_wallace(self):
+        from repro import certify, check_equivalence
+
+        result = check_equivalence(
+            dadda_multiplier(4), wallace_multiplier(4)
+        )
+        assert result.equivalent is True
+        certify(result)

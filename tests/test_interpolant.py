@@ -1,0 +1,201 @@
+"""Tests for Craig interpolation from resolution refutations."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.cnf import tseitin_encode
+from repro.proof import (
+    AXIOM,
+    InterpolationError,
+    ProofStore,
+    interpolate,
+    partition_vars,
+)
+from repro.sat import UNSAT, Solver
+
+
+def refute(clauses):
+    """Solve A∪B and return the proof store (must be UNSAT)."""
+    store = ProofStore()
+    solver = Solver(proof=store)
+    alive = all(solver.add_clause(c) for c in clauses)
+    if alive:
+        assert solver.solve().status is UNSAT
+    return store
+
+
+def axiom_ids_of(store, clauses):
+    """Store ids of the given clauses (normalized lookup)."""
+    wanted = {tuple(sorted(set(c))) for c in clauses}
+    return {
+        cid
+        for cid in store.ids()
+        if store.kind(cid) == AXIOM and store.clause(cid) in wanted
+    }
+
+
+def check_interpolant_properties(a_clauses, b_clauses, itp):
+    """A ⇒ I and I ∧ B UNSAT, verified by fresh SAT solves."""
+    # Encode the interpolant circuit once.
+    enc = tseitin_encode(itp.aig)
+    base = max(
+        [abs(l) for clause in a_clauses + b_clauses for l in clause] + [0]
+    )
+
+    def install(solver):
+        # Map interpolant inputs onto the original shared variables and
+        # shift internal Tseitin variables above the original space.
+        mapping = {}
+        for position, var in enumerate(itp.shared_vars):
+            mapping[enc.var_of[itp.aig.inputs[position]]] = var
+        def tr(lit):
+            var = abs(lit)
+            target = mapping.get(var, base + var)
+            return target if lit > 0 else -target
+        for clause in enc.cnf.clauses:
+            solver.add_clause([tr(lit) for lit in clause])
+        return tr(enc.lit_to_cnf(itp.aig.outputs[0]))
+
+    # A and ~I must be UNSAT.
+    solver = Solver()
+    for clause in a_clauses:
+        solver.add_clause(clause)
+    root = install(solver)
+    assert solver.solve(assumptions=[-root]).status is UNSAT, "A => I fails"
+    # I and B must be UNSAT.
+    solver = Solver()
+    for clause in b_clauses:
+        solver.add_clause(clause)
+    root = install(solver)
+    assert solver.solve(assumptions=[root]).status is UNSAT, "I & B fails"
+
+
+class TestPartition:
+    def test_classification(self):
+        a = [[1, 2], [-2, 3]]
+        b = [[-3, 4], [-4]]
+        a_only, b_vars, shared = partition_vars(a, b)
+        assert a_only == {1, 2}
+        assert shared == {3}
+        assert b_vars == {3, 4}
+
+
+class TestBasicInterpolants:
+    def test_implication_chain(self):
+        # A: x1, x1->x2 ; B: x2->x3, ~x3. Shared var: x2. I must be ~= x2.
+        a_clauses = [[1], [-1, 2]]
+        b_clauses = [[-2, 3], [-3]]
+        store = refute(a_clauses + b_clauses)
+        itp = interpolate(store, axiom_ids_of(store, a_clauses))
+        assert itp.shared_vars == [2]
+        check_interpolant_properties(a_clauses, b_clauses, itp)
+        # Semantically the interpolant must be exactly x2 here.
+        assert itp.evaluate({2: 1}) == 1
+        assert itp.evaluate({2: 0}) == 0
+
+    def test_contradiction_inside_a(self):
+        a_clauses = [[1], [-1]]
+        b_clauses = [[2, 3]]
+        store = refute(a_clauses + b_clauses)
+        itp = interpolate(store, axiom_ids_of(store, a_clauses))
+        # No shared variables: the interpolant is constant FALSE.
+        assert itp.shared_vars == []
+        assert itp.aig.evaluate([]) == [0]
+        check_interpolant_properties(a_clauses, b_clauses, itp)
+
+    def test_contradiction_inside_b(self):
+        a_clauses = [[1, 2]]
+        b_clauses = [[3], [-3]]
+        store = refute(a_clauses + b_clauses)
+        itp = interpolate(store, axiom_ids_of(store, a_clauses))
+        # The interpolant must be implied by A and unnecessary: TRUE works.
+        check_interpolant_properties(a_clauses, b_clauses, itp)
+
+    def test_two_shared_vars(self):
+        # A forces x2 & x3; B forbids x2 & x3 together.
+        a_clauses = [[2], [3]]
+        b_clauses = [[-2, -3]]
+        store = refute(a_clauses + b_clauses)
+        itp = interpolate(store, axiom_ids_of(store, a_clauses))
+        check_interpolant_properties(a_clauses, b_clauses, itp)
+
+
+class TestRandomized:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_unsat_splits(self, seed):
+        rng = random.Random(seed)
+        found = 0
+        while found < 3:
+            num_vars = rng.randint(3, 8)
+            clauses = []
+            for _ in range(rng.randint(8, 30)):
+                width = rng.randint(1, 3)
+                variables = rng.sample(range(1, num_vars + 1), width)
+                clauses.append(
+                    tuple(v if rng.random() < 0.5 else -v for v in variables)
+                )
+            clauses = [list(c) for c in dict.fromkeys(clauses)]
+            if _brute_sat(num_vars, clauses):
+                continue
+            found += 1
+            split = rng.randint(0, len(clauses))
+            a_clauses = clauses[:split]
+            b_clauses = clauses[split:]
+            store = refute(clauses)
+            itp = interpolate(store, axiom_ids_of(store, a_clauses))
+            check_interpolant_properties(a_clauses, b_clauses, itp)
+            a_only, _, shared = partition_vars(a_clauses, b_clauses)
+            # Interpolant vocabulary restricted to shared variables.
+            assert set(itp.shared_vars) <= shared
+
+
+def _brute_sat(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(
+            any(bits[abs(l) - 1] == (l > 0) for l in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+class TestMiterInterpolants:
+    def test_circuit_partition(self):
+        """Partition a miter refutation into circuit-A clauses vs the
+        rest; the interpolant is a function of the interface variables."""
+        from repro.baselines.monolithic import monolithic_check
+        from repro.circuits import parity_chain, parity_tree
+
+        result = monolithic_check(parity_tree(5), parity_chain(5))
+        assert result.equivalent
+        store = result.proof
+        clauses = list(result.cnf.clauses)
+        split = len(clauses) // 2
+        a_clauses = clauses[:split]
+        b_clauses = clauses[split:]
+        itp = interpolate(store, axiom_ids_of(store, a_clauses))
+        check_interpolant_properties(a_clauses, b_clauses, itp)
+
+
+class TestErrors:
+    def test_no_empty_clause(self):
+        store = ProofStore()
+        store.add_axiom([1])
+        with pytest.raises(InterpolationError, match="no empty clause"):
+            interpolate(store, set())
+
+    def test_non_empty_root(self):
+        store = ProofStore()
+        cid = store.add_axiom([1])
+        with pytest.raises(InterpolationError, match="not empty"):
+            interpolate(store, set(), root_id=cid)
+
+    def test_derived_id_in_partition(self):
+        store = refute([[1], [-1]])
+        derived = [
+            cid for cid in store.ids() if store.kind(cid) != AXIOM
+        ]
+        with pytest.raises(InterpolationError, match="not an axiom"):
+            interpolate(store, {derived[0]})

@@ -1,0 +1,84 @@
+"""Unit tests for AIG literal arithmetic."""
+
+import pytest
+
+from repro.aig.literal import (
+    FALSE,
+    TRUE,
+    is_const,
+    lit_not,
+    lit_not_cond,
+    lit_regular,
+    lit_sign,
+    lit_to_str,
+    lit_var,
+    make_lit,
+)
+
+
+class TestMakeLit:
+    def test_positive(self):
+        assert make_lit(5) == 10
+
+    def test_complemented(self):
+        assert make_lit(5, True) == 11
+
+    def test_constant_literals(self):
+        assert make_lit(0) == FALSE
+        assert make_lit(0, True) == TRUE
+
+    def test_negative_var_rejected(self):
+        with pytest.raises(ValueError):
+            make_lit(-1)
+
+
+class TestAccessors:
+    def test_var(self):
+        assert lit_var(10) == 5
+        assert lit_var(11) == 5
+
+    def test_sign(self):
+        assert not lit_sign(10)
+        assert lit_sign(11)
+
+    def test_regular(self):
+        assert lit_regular(11) == 10
+        assert lit_regular(10) == 10
+
+
+class TestNot:
+    def test_not_involution(self):
+        for lit in range(20):
+            assert lit_not(lit_not(lit)) == lit
+
+    def test_not_flips_sign(self):
+        assert lit_not(10) == 11
+        assert lit_not(TRUE) == FALSE
+
+    def test_not_cond_true(self):
+        assert lit_not_cond(10, True) == 11
+
+    def test_not_cond_false(self):
+        assert lit_not_cond(10, False) == 10
+
+
+class TestConst:
+    def test_const_literals(self):
+        assert is_const(FALSE)
+        assert is_const(TRUE)
+
+    def test_non_const(self):
+        assert not is_const(2)
+        assert not is_const(3)
+
+
+class TestToStr:
+    def test_constants(self):
+        assert lit_to_str(FALSE) == "0"
+        assert lit_to_str(TRUE) == "1"
+
+    def test_regular(self):
+        assert lit_to_str(10) == "n5"
+
+    def test_complemented(self):
+        assert lit_to_str(11) == "~n5"

@@ -1,0 +1,110 @@
+"""Tests for name-based interface matching."""
+
+import pytest
+
+from repro import check_equivalence
+from repro.aig import AIG, build_miter, match_interfaces_by_name
+from repro.circuits import ripple_carry_adder
+
+
+def scrambled_adder(width):
+    """A ripple-carry adder with inputs declared in a different order."""
+    reference = ripple_carry_adder(width)
+    scrambled = AIG("scrambled")
+    # Declare b-inputs first, then a-inputs: positional matching breaks.
+    lit_of_name = {}
+    for k in range(width):
+        lit_of_name["b%d" % k] = scrambled.add_input("b%d" % k)
+    for k in range(width):
+        lit_of_name["a%d" % k] = scrambled.add_input("a%d" % k)
+    # Rebuild the reference logic against the scrambled inputs.
+    lit_map = [None] * reference.num_vars
+    lit_map[0] = 0
+    for var, name in zip(reference.inputs, reference.input_names):
+        lit_map[var] = lit_of_name[name]
+    from repro.aig.literal import lit_not_cond, lit_sign, lit_var
+
+    for var in reference.and_vars():
+        f0, f1 = reference.fanins(var)
+        lit_map[var] = scrambled.add_and(
+            lit_not_cond(lit_map[lit_var(f0)], lit_sign(f0)),
+            lit_not_cond(lit_map[lit_var(f1)], lit_sign(f1)),
+        )
+    # Outputs in reversed order: positional matching breaks here too.
+    pairs = list(zip(reference.outputs, reference.output_names))
+    for lit, name in reversed(pairs):
+        scrambled.add_output(
+            lit_not_cond(lit_map[lit_var(lit)], lit_sign(lit)), name
+        )
+    return scrambled
+
+
+class TestMatchInterfaces:
+    def test_positional_check_fails_on_scrambled(self):
+        reference = ripple_carry_adder(3)
+        result = check_equivalence(reference, scrambled_adder(3))
+        assert result.equivalent is False  # wrong wiring positionally
+
+    def test_name_matched_check_passes(self):
+        reference = ripple_carry_adder(3)
+        result = check_equivalence(
+            reference, scrambled_adder(3), match_names=True
+        )
+        assert result.equivalent is True
+
+    def test_reordered_copy_is_equivalent(self):
+        reference = ripple_carry_adder(4)
+        reordered = match_interfaces_by_name(
+            reference, scrambled_adder(4)
+        )
+        assert reordered.input_names == reference.input_names
+        assert reordered.output_names == reference.output_names
+
+    def test_miter_flag(self):
+        reference = ripple_carry_adder(2)
+        miter = build_miter(
+            reference, scrambled_adder(2), match_names=True
+        )
+        import itertools
+
+        for bits in itertools.product([0, 1], repeat=4):
+            assert miter.aig.evaluate(list(bits)) == [0]
+
+    def test_missing_names_rejected(self):
+        anonymous = AIG()
+        anonymous.add_input()
+        anonymous.add_output(2)
+        named = AIG()
+        named.add_input("x")
+        named.add_output(2, "y")
+        with pytest.raises(ValueError, match="fully named"):
+            match_interfaces_by_name(named, anonymous)
+
+    def test_name_set_mismatch_rejected(self):
+        first = AIG()
+        first.add_input("x")
+        first.add_output(2, "y")
+        second = AIG()
+        second.add_input("z")
+        second.add_output(2, "y")
+        with pytest.raises(ValueError, match="name sets differ"):
+            match_interfaces_by_name(first, second)
+
+    def test_duplicate_names_rejected(self):
+        first = AIG()
+        first.add_input("x")
+        first.add_input("x")
+        first.add_output(2, "y")
+        with pytest.raises(ValueError, match="duplicate"):
+            match_interfaces_by_name(first, first.copy())
+
+    def test_cli_flag(self, tmp_path, capsys):
+        from repro.aig import write_aag
+        from repro.cli import main
+
+        path_a = tmp_path / "a.aag"
+        path_b = tmp_path / "b.aag"
+        write_aag(ripple_carry_adder(3), str(path_a))
+        write_aag(scrambled_adder(3), str(path_b))
+        assert main([str(path_a), str(path_b)]) == 1
+        assert main([str(path_a), str(path_b), "--match-names"]) == 0

@@ -1,0 +1,124 @@
+"""Tests for NPN canonization."""
+
+import random
+
+import pytest
+
+from repro.aig.npn import (
+    apply_transform,
+    cut_class_histogram,
+    npn_canon,
+    npn_classes,
+    npn_transforms,
+    table_mask,
+)
+
+
+class TestApplyTransform:
+    def test_identity(self):
+        table = 0b0110  # XOR
+        assert apply_transform(table, 2, (0, 1), 0, 0) == table
+
+    def test_output_flip(self):
+        assert apply_transform(0b0110, 2, (0, 1), 0, 1) == 0b1001
+
+    def test_input_flip_on_and(self):
+        # AND(a,b) with a complemented = AND(~a, b): minterm a=0,b=1.
+        assert apply_transform(0b1000, 2, (0, 1), 0b01, 0) == 0b0100
+
+    def test_permutation(self):
+        # f = a & ~b -> swapping inputs gives ~a & b.
+        assert apply_transform(0b0010, 2, (1, 0), 0, 0) == 0b0100
+
+    def test_xor_invariant_under_swap(self):
+        assert apply_transform(0b0110, 2, (1, 0), 0, 0) == 0b0110
+
+    def test_transform_group_size(self):
+        assert len(list(npn_transforms(2))) == 2 * 4 * 2
+        assert len(list(npn_transforms(3))) == 6 * 8 * 2
+
+
+class TestCanon:
+    def test_invariance_under_any_transform(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            table = rng.randrange(1 << 16)
+            canon, _ = npn_canon(table, 4)
+            transforms = list(npn_transforms(4))
+            for transform in rng.sample(transforms, 10):
+                variant = apply_transform(table, 4, *transform)
+                assert npn_canon(variant, 4)[0] == canon
+
+    def test_returned_transform_maps_to_canon(self):
+        rng = random.Random(2)
+        for _ in range(20):
+            table = rng.randrange(256)
+            canon, transform = npn_canon(table, 3)
+            assert apply_transform(table, 3, *transform) == canon
+
+    def test_and_or_same_class(self):
+        # OR is AND with all inputs and output complemented.
+        canon_and, _ = npn_canon(0b1000, 2)
+        canon_or, _ = npn_canon(0b1110, 2)
+        assert canon_and == canon_or
+
+    def test_xor_xnor_same_class(self):
+        assert npn_canon(0b0110, 2)[0] == npn_canon(0b1001, 2)[0]
+
+    def test_constants_distinct_from_functions(self):
+        zero, _ = npn_canon(0, 2)
+        one, _ = npn_canon(table_mask(2), 2)
+        assert zero == one == 0  # constants form a single NPN class
+        assert npn_canon(0b1000, 2)[0] != 0
+
+    def test_var_limit(self):
+        with pytest.raises(ValueError):
+            npn_canon(0, 6)
+
+
+class TestClassCounts:
+    def test_two_variable_classes(self):
+        # Known: 4 NPN classes of 2-input functions
+        # (const, single-var, AND-type, XOR-type).
+        assert len(npn_classes(2)) == 4
+
+    def test_three_variable_classes(self):
+        # Known result: 14 NPN classes of 3-input functions.
+        assert len(npn_classes(3)) == 14
+
+    def test_one_variable_classes(self):
+        # const and identity.
+        assert len(npn_classes(1)) == 2
+
+    def test_enumeration_limit(self):
+        with pytest.raises(ValueError):
+            npn_classes(4)
+
+
+class TestCutHistogram:
+    def test_adder_contains_xor_and_maj(self):
+        from repro.circuits import ripple_carry_adder
+
+        aig = ripple_carry_adder(4)
+        histogram = cut_class_histogram(aig, k=3)
+        xor3 = npn_canon(0b10010110, 3)[0]
+        maj3 = npn_canon(0b11101000, 3)[0]
+        keys = set(histogram)
+        assert (3, xor3) in keys
+        assert (3, maj3) in keys
+
+    def test_counts_positive(self):
+        from repro.circuits import comparator
+
+        histogram = cut_class_histogram(comparator(4), k=4)
+        assert histogram
+        assert all(count > 0 for count in histogram.values())
+
+    def test_diversity_increases_with_function_mix(self):
+        from repro.circuits import alu, parity_tree
+
+        parity_hist = cut_class_histogram(parity_tree(8), k=3)
+        alu_hist = cut_class_histogram(alu(4), k=3)
+        parity_classes = {key for key in parity_hist}
+        alu_classes = {key for key in alu_hist}
+        assert len(alu_classes) > len(parity_classes)

@@ -1,0 +1,84 @@
+"""Tests for the composed optimization pipeline."""
+
+import pytest
+
+from repro.circuits import carry_lookahead_adder, comparator, parity_chain
+from repro.transforms import optimize, optimize_certified, restructure
+
+from conftest import assert_equivalent_exhaustive
+
+
+def bloated_comparator():
+    return restructure(comparator(4), seed=3, intensity=0.4, redundancy=0.4)
+
+
+class TestOptimize:
+    def test_function_preserved(self):
+        original = comparator(4)
+        result = optimize(bloated_comparator())
+        assert_equivalent_exhaustive(original, result.aig)
+
+    def test_shrinks_bloated_circuits(self):
+        bloated = bloated_comparator()
+        result = optimize(bloated)
+        assert result.nodes_after < bloated.num_ands
+
+    def test_steps_recorded(self):
+        result = optimize(bloated_comparator(), rounds=1)
+        assert [name for name, _ in result.steps] == ["balance", "fraig"]
+
+    def test_balances_deep_chains(self):
+        chain = parity_chain(12)
+        result = optimize(chain)
+        assert result.depth_after <= result.depth_before
+
+    def test_repr(self):
+        result = optimize(bloated_comparator())
+        assert "ands" in repr(result)
+
+    def test_rounds_respected(self):
+        result = optimize(bloated_comparator(), rounds=3)
+        assert len(result.steps) <= 6
+
+
+class TestOptimizeCertified:
+    def test_function_preserved_with_checks(self):
+        original = carry_lookahead_adder(4)
+        bloated = restructure(original, seed=5, redundancy=0.3)
+        result, checks = optimize_certified(bloated, rounds=1)
+        assert_equivalent_exhaustive(original, result.aig)
+        assert len(checks) == 1
+
+    def test_checks_counted_per_round(self):
+        _, checks = optimize_certified(bloated_comparator(), rounds=2)
+        assert len(checks) == 2
+
+
+class TestCliPerOutput:
+    def test_per_output_flag(self, tmp_path, capsys):
+        from repro.aig import lit_not, write_aag
+        from repro.circuits import comparator_subtract
+        from repro.cli import main
+
+        good = comparator(3)
+        bad = comparator_subtract(3).copy()
+        bad.set_output(1, lit_not(bad.outputs[1]))
+        path_a = tmp_path / "a.aag"
+        path_b = tmp_path / "b.aag"
+        write_aag(good, str(path_a))
+        write_aag(bad, str(path_b))
+        assert main([str(path_a), str(path_b), "--per-output"]) == 1
+        out = capsys.readouterr().out
+        assert "lt" in out and "DIFFERS" in out
+        assert out.count("EQUIVALENT") >= 2  # lt and gt lines
+
+    def test_per_output_all_good(self, tmp_path, capsys):
+        from repro.aig import write_aag
+        from repro.circuits import comparator_subtract
+        from repro.cli import main
+
+        path_a = tmp_path / "a.aag"
+        path_b = tmp_path / "b.aag"
+        write_aag(comparator(3), str(path_a))
+        write_aag(comparator_subtract(3), str(path_b))
+        assert main([str(path_a), str(path_b), "--per-output"]) == 0

@@ -1,0 +1,114 @@
+"""Tests for the independent resolution checker (and its mutation-hardness)."""
+
+import pytest
+
+from repro.proof import (
+    ProofError,
+    ProofStore,
+    check_proof,
+    check_refutation_of,
+    proof_stats,
+)
+from repro.cnf import CNF
+
+
+def refutation_store():
+    """A small complete refutation of {(1 2), (1 -2), (-1 2), (-1 -2)}."""
+    store = ProofStore()
+    c1 = store.add_axiom([1, 2])
+    c2 = store.add_axiom([1, -2])
+    c3 = store.add_axiom([-1, 2])
+    c4 = store.add_axiom([-1, -2])
+    u1 = store.add_derived([1], [c1, (2, c2)])
+    u2 = store.add_derived([-1], [c3, (2, c4)])
+    store.add_derived([], [u1, (1, u2)])
+    return store
+
+
+AXIOMS = [[1, 2], [1, -2], [-1, 2], [-1, -2]]
+
+
+class TestAccepts:
+    def test_valid_refutation(self):
+        result = check_proof(refutation_store(), axioms=AXIOMS)
+        assert result.num_axioms == 4
+        assert result.num_derived == 3
+        assert result.num_resolutions == 3
+        assert result.empty_clause_id is not None
+
+    def test_without_axiom_set(self):
+        check_proof(refutation_store())
+
+    def test_non_refutation_allowed_when_not_required(self):
+        store = ProofStore()
+        a = store.add_axiom([1, 2])
+        b = store.add_axiom([-1, 2])
+        store.add_derived([2], [a, (1, b)])
+        result = check_proof(store, require_empty=False)
+        assert result.empty_clause_id is None
+
+    def test_check_refutation_of_cnf(self):
+        cnf = CNF(clauses=AXIOMS)
+        check_refutation_of(refutation_store(), cnf)
+
+
+class TestRejects:
+    def test_foreign_axiom(self):
+        with pytest.raises(ProofError, match="not a clause"):
+            check_proof(refutation_store(), axioms=AXIOMS[:3])
+
+    def test_missing_empty_clause(self):
+        store = ProofStore()
+        a = store.add_axiom([1, 2])
+        b = store.add_axiom([-1, 2])
+        store.add_derived([2], [a, (1, b)])
+        with pytest.raises(ProofError, match="empty clause"):
+            check_proof(store)
+
+    def test_mutated_clause_detected(self):
+        store = refutation_store()
+        # Corrupt a derived clause behind the store's back.
+        store._clauses[4] = (1, 2)
+        with pytest.raises(ProofError, match="chain yields"):
+            check_proof(store, axioms=AXIOMS)
+
+    def test_mutated_pivot_detected(self):
+        store = refutation_store()
+        chain = store._chains[4]
+        store._chains[4] = [chain[0], (1, chain[1][1])]
+        with pytest.raises(ProofError):
+            check_proof(store, axioms=AXIOMS)
+
+    def test_mutated_antecedent_detected(self):
+        store = refutation_store()
+        chain = store._chains[6]
+        store._chains[6] = [chain[0], (chain[1][0], 0)]
+        with pytest.raises(ProofError):
+            check_proof(store, axioms=AXIOMS)
+
+    def test_unknown_kind(self):
+        store = refutation_store()
+        store._kinds[2] = "mystery"
+        with pytest.raises(ProofError, match="unknown kind"):
+            check_proof(store)
+
+
+class TestStats:
+    def test_counts(self):
+        stats = proof_stats(refutation_store())
+        assert stats.num_clauses == 7
+        assert stats.num_axioms == 4
+        assert stats.num_derived == 3
+        assert stats.num_resolutions == 3
+        assert stats.max_width == 2
+        assert stats.depth == 2
+
+    def test_avg_width(self):
+        stats = proof_stats(refutation_store())
+        # Derived clauses: (1), (-1), () -> mean 2/3.
+        assert stats.avg_derived_width == pytest.approx(2.0 / 3.0)
+
+    def test_empty_store(self):
+        stats = proof_stats(ProofStore())
+        assert stats.num_clauses == 0
+        assert stats.avg_derived_width == 0.0

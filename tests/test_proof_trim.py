@@ -1,0 +1,79 @@
+"""Tests for backward proof trimming."""
+
+import pytest
+
+from repro.proof import (
+    ProofError,
+    ProofStore,
+    check_proof,
+    needed_ids,
+    trim,
+    trim_ratio,
+)
+
+
+def padded_refutation():
+    """Refutation with deliberately unused derived clauses."""
+    store = ProofStore()
+    c1 = store.add_axiom([1, 2])
+    c2 = store.add_axiom([1, -2])
+    c3 = store.add_axiom([-1, 2])
+    c4 = store.add_axiom([-1, -2])
+    junk_axiom = store.add_axiom([5, 6])
+    u1 = store.add_derived([1], [c1, (2, c2)])
+    junk = store.add_derived([2], [c1, (1, c3)])  # unused downstream
+    u2 = store.add_derived([-1], [c3, (2, c4)])
+    empty = store.add_derived([], [u1, (1, u2)])
+    return store, {c1, c2, c3, c4, u1, u2, empty}, {junk_axiom, junk}
+
+
+class TestNeededIds:
+    def test_cone_exact(self):
+        store, needed, junk = padded_refutation()
+        assert needed_ids(store) == needed
+
+    def test_explicit_root(self):
+        store, _, _ = padded_refutation()
+        assert needed_ids(store, root_id=0) == {0}
+
+    def test_no_empty_clause(self):
+        store = ProofStore()
+        store.add_axiom([1])
+        with pytest.raises(ProofError, match="no empty clause"):
+            needed_ids(store)
+
+
+class TestTrim:
+    def test_removes_junk(self):
+        store, needed, junk = padded_refutation()
+        trimmed, id_map = trim(store)
+        assert len(trimmed) == len(needed)
+        for old in junk:
+            assert old not in id_map
+
+    def test_trimmed_proof_checks(self):
+        store, _, _ = padded_refutation()
+        trimmed, _ = trim(store)
+        result = check_proof(trimmed)
+        assert result.empty_clause_id is not None
+
+    def test_id_map_points_at_same_clauses(self):
+        store, needed, _ = padded_refutation()
+        trimmed, id_map = trim(store)
+        for old, new in id_map.items():
+            assert store.clause(old) == trimmed.clause(new)
+
+    def test_ratio(self):
+        store, needed, junk = padded_refutation()
+        assert trim_ratio(store) == pytest.approx(
+            len(needed) / float(len(needed) + len(junk))
+        )
+
+    def test_ratio_empty_store(self):
+        assert trim_ratio(ProofStore()) == 1.0
+
+    def test_idempotent(self):
+        store, _, _ = padded_refutation()
+        once, _ = trim(store)
+        twice, _ = trim(once)
+        assert len(once) == len(twice)

@@ -1,0 +1,286 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.aig import AIG, FALSE, TRUE, build_miter, lit_not
+from repro.cnf import tseitin_encode
+from repro.proof import ProofStore, check_proof, check_rup_proof, resolve, trim
+from repro.sat import SAT, UNSAT, Solver
+from repro.transforms import balance, restructure
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def random_aigs(draw, max_inputs=5, max_nodes=24, num_outputs=1):
+    """A random AIG described by a reproducible construction recipe."""
+    num_inputs = draw(st.integers(2, max_inputs))
+    aig = AIG()
+    lits = list(aig.add_inputs(num_inputs))
+    node_count = draw(st.integers(1, max_nodes))
+    for _ in range(node_count):
+        index_a = draw(st.integers(0, len(lits) - 1))
+        index_b = draw(st.integers(0, len(lits) - 1))
+        sign_a = draw(st.booleans())
+        sign_b = draw(st.booleans())
+        lit = aig.add_and(
+            lits[index_a] ^ int(sign_a), lits[index_b] ^ int(sign_b)
+        )
+        if lit > 1:
+            lits.append(lit)
+    for k in range(num_outputs):
+        index = draw(st.integers(0, len(lits) - 1))
+        aig.add_output(lits[index] ^ int(draw(st.booleans())))
+    return aig
+
+
+@st.composite
+def cnf_formulas(draw, max_vars=6, max_clauses=24):
+    num_vars = draw(st.integers(2, max_vars))
+    num_clauses = draw(st.integers(1, max_clauses))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(1, min(3, num_vars)))
+        variables = draw(
+            st.lists(
+                st.integers(1, num_vars),
+                min_size=width,
+                max_size=width,
+                unique=True,
+            )
+        )
+        clause = [
+            v if draw(st.booleans()) else -v for v in variables
+        ]
+        clauses.append(clause)
+    return num_vars, clauses
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(
+            any(bits[abs(l) - 1] == (l > 0) for l in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+RELAXED = settings(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# AIG invariants
+# ----------------------------------------------------------------------
+
+
+class TestAigProperties:
+    @RELAXED
+    @given(random_aigs())
+    def test_rebuild_preserves_function(self, aig):
+        rebuilt, _ = aig.rebuild()
+        for bits in itertools.product([0, 1], repeat=aig.num_inputs):
+            assert aig.evaluate(list(bits)) == rebuilt.evaluate(list(bits))
+
+    @RELAXED
+    @given(random_aigs())
+    def test_strash_no_duplicate_nodes(self, aig):
+        seen = set()
+        for var in aig.and_vars():
+            key = aig.fanins(var)
+            assert key not in seen
+            seen.add(key)
+
+    @RELAXED
+    @given(random_aigs())
+    def test_levels_monotone(self, aig):
+        levels = aig.levels()
+        for var in aig.and_vars():
+            f0, f1 = aig.fanins(var)
+            assert levels[var] == 1 + max(levels[f0 >> 1], levels[f1 >> 1])
+
+    @RELAXED
+    @given(random_aigs(), st.integers(0, 2 ** 32))
+    def test_transforms_preserve_function(self, aig, seed):
+        variant = restructure(
+            aig, seed=seed, intensity=0.5, redundancy=0.3
+        )
+        balanced = balance(aig)
+        for bits in itertools.product([0, 1], repeat=aig.num_inputs):
+            expected = aig.evaluate(list(bits))
+            assert variant.evaluate(list(bits)) == expected
+            assert balanced.evaluate(list(bits)) == expected
+
+    @RELAXED
+    @given(random_aigs(num_outputs=2))
+    def test_self_miter_is_constant_false(self, aig):
+        miter = build_miter(aig, aig.copy())
+        for bits in itertools.product([0, 1], repeat=aig.num_inputs):
+            assert miter.aig.evaluate(list(bits)) == [0]
+
+
+# ----------------------------------------------------------------------
+# Tseitin invariants
+# ----------------------------------------------------------------------
+
+
+class TestTseitinProperties:
+    @RELAXED
+    @given(random_aigs())
+    def test_circuit_evaluations_are_models(self, aig):
+        enc = tseitin_encode(aig)
+        for bits in itertools.product([0, 1], repeat=aig.num_inputs):
+            values = aig.evaluate_all(list(bits))
+            assignment = [0] * (enc.cnf.num_vars + 1)
+            for var in range(aig.num_vars):
+                assignment[enc.var_of[var]] = values[var]
+            assert enc.cnf.evaluate(assignment)
+
+    @RELAXED
+    @given(random_aigs())
+    def test_output_constraint_matches_circuit(self, aig):
+        """CNF + output unit is SAT iff the circuit can output 1."""
+        enc = tseitin_encode(aig)
+        solver = Solver()
+        for clause in enc.cnf.clauses:
+            solver.add_clause(clause)
+        out = enc.lit_to_cnf(aig.outputs[0])
+        result = solver.solve(assumptions=[out])
+        can_be_one = any(
+            aig.evaluate(list(bits))[0]
+            for bits in itertools.product([0, 1], repeat=aig.num_inputs)
+        )
+        assert (result.status is SAT) == can_be_one
+
+
+# ----------------------------------------------------------------------
+# SAT + proof invariants
+# ----------------------------------------------------------------------
+
+
+class TestSatProperties:
+    @RELAXED
+    @given(cnf_formulas())
+    def test_verdict_matches_brute_force(self, formula):
+        num_vars, clauses = formula
+        expected = brute_force_sat(num_vars, clauses)
+        solver = Solver()
+        alive = all(solver.add_clause(c) for c in clauses)
+        verdict = solver.solve().status if alive else UNSAT
+        assert verdict == expected
+
+    @RELAXED
+    @given(cnf_formulas())
+    def test_unsat_proofs_check_both_ways(self, formula):
+        num_vars, clauses = formula
+        if brute_force_sat(num_vars, clauses):
+            return
+        store = ProofStore(validate=True)
+        solver = Solver(proof=store)
+        alive = all(solver.add_clause(c) for c in clauses)
+        if alive:
+            assert solver.solve().status is UNSAT
+        check_proof(store, axioms=clauses)
+        check_rup_proof(store, axioms=clauses)
+        trimmed, _ = trim(store)
+        check_proof(trimmed, axioms=clauses)
+
+    @RELAXED
+    @given(cnf_formulas(), st.data())
+    def test_assumption_final_clause_implied(self, formula, data):
+        num_vars, clauses = formula
+        if not brute_force_sat(num_vars, clauses):
+            return
+        solver = Solver()
+        for clause in clauses:
+            assert solver.add_clause(clause)
+        count = data.draw(st.integers(1, min(3, num_vars)))
+        variables = data.draw(
+            st.lists(
+                st.integers(1, num_vars),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+        assumptions = [
+            v if data.draw(st.booleans()) else -v for v in variables
+        ]
+        result = solver.solve(assumptions=assumptions)
+        if result.status is UNSAT:
+            blocked = [-lit for lit in result.final_clause]
+            # CNF plus the negation of the final clause must be UNSAT.
+            probe = Solver()
+            for clause in clauses:
+                probe.add_clause(clause)
+            assert probe.solve(assumptions=blocked).status is UNSAT
+
+
+class TestResolutionProperties:
+    @RELAXED
+    @given(cnf_formulas())
+    def test_resolvent_is_implied(self, formula):
+        """Any single resolution step yields a clause implied by the pair."""
+        num_vars, clauses = formula
+        normalized = [tuple(sorted(set(c))) for c in clauses]
+        for clause_a in normalized:
+            for clause_b in normalized:
+                for lit in clause_a:
+                    if -lit not in clause_b:
+                        continue
+                    try:
+                        resolvent = resolve(clause_a, clause_b, abs(lit))
+                    except Exception:
+                        continue
+                    # Semantic check: {A, B, ~resolvent-literals} is UNSAT.
+                    solver = Solver()
+                    solver.add_clause(clause_a)
+                    solver.add_clause(clause_b)
+                    assumptions = [-l for l in resolvent]
+                    if len({abs(a) for a in assumptions}) != len(assumptions):
+                        continue
+                    assert solver.solve(
+                        assumptions=assumptions
+                    ).status is UNSAT
+                    return  # one verified step per example is plenty
+
+
+# ----------------------------------------------------------------------
+# End-to-end CEC property
+# ----------------------------------------------------------------------
+
+
+class TestCecProperties:
+    @RELAXED
+    @given(random_aigs(max_inputs=4, max_nodes=16), st.integers(0, 2 ** 16))
+    def test_verdict_matches_exhaustive(self, aig, seed):
+        from repro import check_equivalence
+
+        variant = restructure(aig, seed=seed, intensity=0.6, redundancy=0.3)
+        result = check_equivalence(aig, variant)
+        assert result.equivalent is True
+
+    @RELAXED
+    @given(random_aigs(max_inputs=4, max_nodes=12), st.data())
+    def test_mutations_detected_or_equal(self, aig, data):
+        """Flipping one output either changes the function (engine must
+        refute) or, for constant-false... flipped outputs always change
+        the function, so the engine must always refute."""
+        from repro import check_equivalence
+
+        mutated = aig.copy()
+        index = data.draw(st.integers(0, mutated.num_outputs - 1))
+        mutated.set_output(index, lit_not(mutated.outputs[index]))
+        result = check_equivalence(aig, mutated)
+        assert result.equivalent is False
+        assert aig.evaluate(result.counterexample) != mutated.evaluate(
+            result.counterexample
+        )

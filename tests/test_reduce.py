@@ -1,0 +1,106 @@
+"""Tests for fraig-based AIG reduction."""
+
+import pytest
+
+from repro.aig import AIG
+from repro.circuits import (
+    carry_lookahead_adder,
+    comparator,
+    parity_tree,
+    ripple_carry_adder,
+)
+from repro.core import SweepOptions, certified_reduce, fraig_reduce
+from repro.transforms import restructure
+
+from conftest import assert_equivalent_exhaustive
+
+
+def bloat(aig, seed=1):
+    return restructure(aig, seed=seed, intensity=0.3, redundancy=0.4)
+
+
+class TestFraigReduce:
+    def test_function_preserved(self):
+        original = comparator(4)
+        result = fraig_reduce(bloat(original))
+        assert_equivalent_exhaustive(original, result.aig)
+
+    def test_removes_redundancy(self):
+        original = carry_lookahead_adder(5)
+        bloated = bloat(original)
+        result = fraig_reduce(bloated)
+        assert result.nodes_after < bloated.num_ands
+        assert result.reduction > 0
+
+    def test_merges_duplicated_logic(self):
+        """Two structurally different XOR implementations collapse."""
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        canonical = aig.add_xor(a, b)
+        sop = aig.add_or(
+            aig.add_and(a, b ^ 1), aig.add_and(a ^ 1, b)
+        )
+        aig.add_output(canonical)
+        aig.add_output(sop)
+        result = fraig_reduce(aig)
+        out_a, out_b = result.aig.outputs
+        assert out_a == out_b
+
+    def test_constant_nodes_collapse(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        x1 = aig.add_xor(a, b)
+        x2 = aig.add_or(
+            aig.add_and(a, b ^ 1), aig.add_and(a ^ 1, b)
+        )
+        dead = aig.add_and(x1, x2 ^ 1)  # x1 & ~x1 = 0 semantically
+        aig.add_output(dead)
+        result = fraig_reduce(aig)
+        assert result.aig.outputs[0] == 0  # constant FALSE literal
+        assert result.nodes_after == 0
+
+    def test_idempotent_on_reduced(self):
+        original = ripple_carry_adder(4)
+        first = fraig_reduce(bloat(original))
+        second = fraig_reduce(first.aig)
+        assert second.nodes_after == second.nodes_before
+
+    def test_io_preserved(self):
+        original = comparator(4)
+        result = fraig_reduce(bloat(original))
+        assert result.aig.num_inputs == original.num_inputs
+        assert result.aig.output_names == original.output_names
+
+    def test_no_proof_by_default(self):
+        result = fraig_reduce(bloat(parity_tree(5)))
+        assert result.engine.proof is None
+
+    def test_repr(self):
+        result = fraig_reduce(bloat(parity_tree(5)))
+        assert "->" in repr(result)
+
+    def test_reduction_fraction_empty_circuit(self):
+        aig = AIG()
+        aig.add_inputs(2)
+        aig.add_output(2)
+        result = fraig_reduce(aig)
+        assert result.reduction == 0.0
+
+
+class TestCertifiedReduce:
+    def test_proof_checked(self):
+        original = comparator(4)
+        result, check = certified_reduce(bloat(original))
+        assert_equivalent_exhaustive(original, result.aig)
+        assert check.num_derived > 0
+
+    def test_requires_proof_logging(self):
+        with pytest.raises(ValueError):
+            certified_reduce(parity_tree(4), SweepOptions(proof=False))
+
+    def test_validated_options(self):
+        original = parity_tree(5)
+        result, check = certified_reduce(
+            bloat(original), SweepOptions(validate_proof=True)
+        )
+        assert result.nodes_after <= result.nodes_before

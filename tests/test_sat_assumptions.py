@@ -1,0 +1,174 @@
+"""Tests for assumption-based (incremental) solving."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.proof import ProofError, ProofStore, check_proof
+from repro.sat import SAT, UNSAT, Solver
+
+
+def brute_force_under(num_vars, clauses, assumptions):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if not all(bits[abs(a) - 1] == (a > 0) for a in assumptions):
+            continue
+        if all(
+            any(bits[abs(lit) - 1] == (lit > 0) for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+class TestBasicAssumptions:
+    def setup_method(self):
+        self.solver = Solver()
+        # (1 -> 2), (2 -> 3)
+        self.solver.add_clause([-1, 2])
+        self.solver.add_clause([-2, 3])
+
+    def test_sat_under_assumption(self):
+        result = self.solver.solve(assumptions=[1])
+        assert result.status is SAT
+        assert result.model_value(3) == 1
+
+    def test_unsat_under_contradicting_assumptions(self):
+        result = self.solver.solve(assumptions=[1, -3])
+        assert result.status is UNSAT
+        assert set(result.final_clause) <= {-1, 3}
+
+    def test_solver_usable_after_unsat(self):
+        self.solver.solve(assumptions=[1, -3])
+        assert self.solver.solve(assumptions=[1]).status is SAT
+
+    def test_assumption_order_irrelevant(self):
+        r1 = self.solver.solve(assumptions=[1, -3])
+        r2 = self.solver.solve(assumptions=[-3, 1])
+        assert r1.status is UNSAT and r2.status is UNSAT
+
+    def test_duplicate_assumption_variable_rejected(self):
+        with pytest.raises(ValueError):
+            self.solver.solve(assumptions=[1, -1])
+
+    def test_assumption_on_fresh_variable(self):
+        result = self.solver.solve(assumptions=[9])
+        assert result.status is SAT
+        assert result.model_value(9) == 1
+
+    def test_empty_final_clause_when_globally_unsat(self):
+        self.solver.add_clause([1])
+        self.solver.add_clause([-2])
+        result = self.solver.solve(assumptions=[3])
+        assert result.status is UNSAT
+        assert result.final_clause == ()
+
+
+class TestFinalClauseSemantics:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_final_clause_is_implied_subset(self, seed):
+        rng = random.Random(seed)
+        for _ in range(30):
+            num_vars = rng.randint(3, 8)
+            clauses = []
+            for _ in range(rng.randint(3, 25)):
+                width = rng.randint(1, 3)
+                variables = rng.sample(range(1, num_vars + 1), width)
+                clauses.append(
+                    [v if rng.random() < 0.5 else -v for v in variables]
+                )
+            if not brute_force_under(num_vars, clauses, []):
+                continue  # keep the base consistent
+            solver = Solver()
+            for clause in clauses:
+                assert solver.add_clause(clause)
+            for _ in range(3):
+                count = rng.randint(1, min(3, num_vars))
+                variables = rng.sample(range(1, num_vars + 1), count)
+                assumptions = [
+                    v if rng.random() < 0.5 else -v for v in variables
+                ]
+                expected = brute_force_under(num_vars, clauses, assumptions)
+                result = solver.solve(assumptions=assumptions)
+                assert (result.status is SAT) == expected
+                if result.status is UNSAT:
+                    final = result.final_clause
+                    assert set(final) <= {-a for a in assumptions}
+                    # The final clause must itself be implied by the CNF.
+                    assert not brute_force_under(
+                        num_vars, clauses, [-lit for lit in final]
+                    )
+
+
+class TestAssumptionProofs:
+    def test_final_clause_has_checked_derivation(self):
+        store = ProofStore(validate=True)
+        solver = Solver(proof=store)
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        result = solver.solve(assumptions=[1, -3])
+        assert result.status is UNSAT
+        assert store.clause(result.proof_id) == tuple(sorted(result.final_clause))
+        check_proof(store, require_empty=False)
+
+    def test_lemma_reusable_as_premise(self):
+        """The UNSAT-under-assumptions clause can seed another solver."""
+        store = ProofStore(validate=True)
+        solver = Solver(proof=store)
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        result = solver.solve(assumptions=[1, -3])
+        # Install the derived (-1 | 3) as a premise and use it.
+        solver.add_clause(
+            list(result.final_clause), axiom=False, proof_id=result.proof_id
+        )
+        follow_up = solver.solve(assumptions=[1])
+        assert follow_up.status is SAT
+        assert follow_up.model_value(3) == 1
+
+    def test_non_axiom_requires_proof_id(self):
+        solver = Solver(proof=ProofStore())
+        with pytest.raises(ProofError):
+            solver.add_clause([1], axiom=False)
+
+    def test_directly_contradictory_assumptions_raise(self):
+        solver = Solver(proof=ProofStore())
+        solver.ensure_vars(2)
+        # Assumptions [1, -1] are rejected upfront as duplicates.
+        with pytest.raises(ValueError):
+            solver.solve(assumptions=[1, -1])
+
+
+class TestIncrementalWorkflow:
+    def test_clauses_added_between_solves(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]).status is SAT
+        solver.add_clause([-2])
+        result = solver.solve(assumptions=[-1])
+        assert result.status is UNSAT
+
+    def test_learned_clauses_persist(self):
+        store = ProofStore()
+        solver = Solver(proof=store)
+        # Pigeonhole-ish core plus a relaxing variable.
+        clauses = [[1, 2], [1, -2], [-1, 2], [-1, -2]]
+        for clause in clauses:
+            solver.add_clause([9] + clause)
+        first = solver.solve(assumptions=[-9])
+        assert first.status is UNSAT
+        learned_before = solver.stats.learned
+        second = solver.solve(assumptions=[-9])
+        assert second.status is UNSAT
+        # The second call should reuse work (few or no new learned clauses).
+        assert solver.stats.learned - learned_before <= learned_before + 1
+
+    def test_many_alternating_queries(self):
+        solver = Solver()
+        for v in range(1, 30):
+            solver.add_clause([-v, v + 1])
+        for v in range(1, 29, 3):
+            sat_result = solver.solve(assumptions=[v])
+            assert sat_result.status is SAT
+            unsat_result = solver.solve(assumptions=[v, -(v + 1)])
+            assert unsat_result.status is UNSAT

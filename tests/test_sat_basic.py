@@ -1,0 +1,225 @@
+"""Basic CDCL solver tests: verdicts, models, small formulas."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat import SAT, UNKNOWN, UNSAT, Solver, luby
+from repro.proof import ProofStore, check_proof
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(
+            any(bits[abs(lit) - 1] == (lit > 0) for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def random_formula(rng, num_vars, num_clauses, max_width=3):
+    clauses = []
+    for _ in range(num_clauses):
+        width = rng.randint(1, max_width)
+        variables = rng.sample(range(1, num_vars + 1), min(width, num_vars))
+        clauses.append(
+            [v if rng.random() < 0.5 else -v for v in variables]
+        )
+    return clauses
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_invalid_index(self):
+        with pytest.raises(ValueError):
+            luby(0)
+
+
+class TestTrivial:
+    def test_empty_formula_sat(self):
+        assert Solver().solve().status is SAT
+
+    def test_single_unit(self):
+        solver = Solver()
+        solver.add_clause([3])
+        result = solver.solve()
+        assert result.status is SAT
+        assert result.model_value(3) == 1
+        assert result.model_value(-3) == 0
+
+    def test_conflicting_units(self):
+        solver = Solver()
+        assert solver.add_clause([1])
+        assert not solver.add_clause([-1])
+        assert solver.solve().status is UNSAT
+
+    def test_empty_clause(self):
+        solver = Solver()
+        assert not solver.add_clause([])
+        assert solver.solve().status is UNSAT
+
+    def test_tautology_skipped(self):
+        solver = Solver()
+        assert solver.add_clause([1, -1])
+        assert solver.solve().status is SAT
+
+    def test_duplicate_literals_collapsed(self):
+        solver = Solver()
+        solver.add_clause([2, 2, 2])
+        result = solver.solve()
+        assert result.model_value(2) == 1
+
+    def test_model_of_unconstrained_var(self):
+        solver = Solver()
+        solver.ensure_vars(2)
+        solver.add_clause([1])
+        result = solver.solve()
+        assert result.model_value(2) in (0, 1)
+
+    def test_model_unavailable_on_unsat(self):
+        solver = Solver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        result = solver.solve()
+        with pytest.raises(ValueError):
+            result.model()
+
+    def test_result_truthiness(self):
+        solver = Solver()
+        solver.add_clause([1])
+        assert solver.solve()
+        solver.add_clause([-1])
+        assert not solver.solve()
+
+
+class TestSmallFormulas:
+    def test_implication_chain(self):
+        solver = Solver()
+        for v in range(1, 20):
+            solver.add_clause([-v, v + 1])
+        solver.add_clause([1])
+        result = solver.solve()
+        assert result.status is SAT
+        assert result.model_value(20) == 1
+
+    def test_xor_chain_unsat(self):
+        # x1 xor x2, x2 xor x3, x1 xor x3 with odd parity forced: UNSAT.
+        solver = Solver()
+        def xor_clauses(a, b, parity):
+            if parity:
+                return [[a, b], [-a, -b]]
+            return [[-a, b], [a, -b]]
+        for clause in xor_clauses(1, 2, 1) + xor_clauses(2, 3, 1) + \
+                xor_clauses(1, 3, 1):
+            solver.add_clause(clause)
+        assert solver.solve().status is UNSAT
+
+    def test_at_most_one(self):
+        solver = Solver()
+        solver.add_clause([1, 2, 3])
+        for a, b in itertools.combinations([1, 2, 3], 2):
+            solver.add_clause([-a, -b])
+        result = solver.solve()
+        assert result.status is SAT
+        assert sum(result.model_value(v) for v in (1, 2, 3)) == 1
+
+
+class TestRandomAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_verdicts_match(self, seed):
+        rng = random.Random(seed)
+        for _ in range(40):
+            num_vars = rng.randint(2, 8)
+            clauses = random_formula(rng, num_vars, rng.randint(2, 35))
+            expected = brute_force_sat(num_vars, clauses)
+            solver = Solver()
+            alive = True
+            for clause in clauses:
+                if not solver.add_clause(clause):
+                    alive = False
+                    break
+            verdict = solver.solve().status if alive else UNSAT
+            assert verdict == expected, clauses
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_models_satisfy(self, seed):
+        rng = random.Random(100 + seed)
+        for _ in range(30):
+            num_vars = rng.randint(2, 10)
+            clauses = random_formula(rng, num_vars, rng.randint(2, 25))
+            solver = Solver()
+            alive = all(solver.add_clause(c) for c in clauses)
+            if not alive:
+                continue
+            result = solver.solve()
+            if result.status is SAT:
+                for clause in clauses:
+                    assert any(result.model_value(lit) for lit in clause)
+
+
+class TestPigeonhole:
+    @staticmethod
+    def php_clauses(pigeons):
+        holes = pigeons - 1
+        var = lambda p, h: p * holes + h + 1
+        clauses = [
+            [var(p, h) for h in range(holes)] for p in range(pigeons)
+        ]
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    clauses.append([-var(p1, h), -var(p2, h)])
+        return clauses
+
+    @pytest.mark.parametrize("pigeons", [3, 4, 5, 6])
+    def test_unsat(self, pigeons):
+        solver = Solver()
+        for clause in self.php_clauses(pigeons):
+            solver.add_clause(clause)
+        assert solver.solve().status is UNSAT
+
+    def test_unsat_with_checked_proof(self):
+        store = ProofStore()
+        solver = Solver(proof=store)
+        clauses = self.php_clauses(5)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve().status is UNSAT
+        result = check_proof(store, axioms=clauses)
+        assert result.empty_clause_id is not None
+
+
+class TestBudget:
+    def test_unknown_on_tiny_budget(self):
+        solver = Solver()
+        for clause in TestPigeonhole.php_clauses(7):
+            solver.add_clause(clause)
+        result = solver.solve(max_conflicts=3)
+        assert result.status is UNKNOWN
+
+    def test_solver_reusable_after_unknown(self):
+        solver = Solver()
+        for clause in TestPigeonhole.php_clauses(5):
+            solver.add_clause(clause)
+        assert solver.solve(max_conflicts=1).status is UNKNOWN
+        assert solver.solve().status is UNSAT
+
+
+class TestStats:
+    def test_counters_move(self):
+        solver = Solver()
+        for clause in TestPigeonhole.php_clauses(5):
+            solver.add_clause(clause)
+        solver.solve()
+        assert solver.stats.conflicts > 0
+        assert solver.stats.decisions > 0
+        assert solver.stats.propagations > 0
+
+    def test_repr(self):
+        assert "conflicts" in repr(Solver().stats)

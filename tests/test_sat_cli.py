@@ -1,0 +1,117 @@
+"""Tests for the repro-sat command-line interface."""
+
+import pytest
+
+from repro.cnf import CNF, write_dimacs
+from repro.proof import check_proof, parse_tracecheck
+from repro.sat_cli import build_parser, main
+
+
+@pytest.fixture
+def cnf_files(tmp_path):
+    sat_path = tmp_path / "sat.cnf"
+    unsat_path = tmp_path / "unsat.cnf"
+    write_dimacs(CNF(clauses=[[1, 2], [-1, 2]]), str(sat_path))
+    write_dimacs(
+        CNF(clauses=[[1, 2], [1, -2], [-1, 2], [-1, -2]]), str(unsat_path)
+    )
+    return str(sat_path), str(unsat_path)
+
+
+class TestVerdicts:
+    def test_sat(self, cnf_files, capsys):
+        sat_path, _ = cnf_files
+        assert main([sat_path]) == 10
+        out = capsys.readouterr().out
+        assert "s SATISFIABLE" in out
+        assert out.splitlines()[1].startswith("v ")
+
+    def test_unsat(self, cnf_files, capsys):
+        _, unsat_path = cnf_files
+        assert main([unsat_path]) == 20
+        assert "s UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_model_line_is_solution(self, cnf_files, capsys):
+        sat_path, _ = cnf_files
+        main([sat_path])
+        value_line = capsys.readouterr().out.splitlines()[1]
+        lits = [int(tok) for tok in value_line.split()[1:-1]]
+        # Model must satisfy both clauses.
+        assert 2 in lits
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent.cnf"]) == 0
+
+    def test_malformed_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.cnf"
+        bad.write_text("not dimacs")
+        assert main([str(bad)]) == 0
+
+    def test_budget_unknown(self, tmp_path, capsys):
+        # PHP(7) with a 1-conflict budget.
+        holes = 6
+        var = lambda p, h: p * holes + h + 1
+        clauses = [[var(p, h) for h in range(holes)] for p in range(7)]
+        for h in range(holes):
+            for p1 in range(7):
+                for p2 in range(p1 + 1, 7):
+                    clauses.append([-var(p1, h), -var(p2, h)])
+        path = tmp_path / "php.cnf"
+        write_dimacs(CNF(clauses=clauses), str(path))
+        assert main([str(path), "--max-conflicts", "1"]) == 0
+        assert "s UNKNOWN" in capsys.readouterr().out
+
+
+class TestAssumptions:
+    def test_unsat_under_assumptions(self, cnf_files, capsys):
+        sat_path, _ = cnf_files
+        assert main([sat_path, "--assume", "-2"]) == 20
+        out = capsys.readouterr().out
+        assert "final clause" in out
+
+    def test_sat_under_assumptions(self, cnf_files):
+        sat_path, _ = cnf_files
+        assert main([sat_path, "--assume", "1", "2"]) == 10
+
+
+class TestProofOutput:
+    def test_drup_written(self, cnf_files, tmp_path, capsys):
+        _, unsat_path = cnf_files
+        proof_path = tmp_path / "out.drup"
+        assert main([unsat_path, "--proof", str(proof_path)]) == 20
+        text = proof_path.read_text()
+        assert text.strip().endswith("0")
+
+    def test_tracecheck_written_and_valid(self, cnf_files, tmp_path):
+        _, unsat_path = cnf_files
+        trace_path = tmp_path / "out.tc"
+        assert main([unsat_path, "--trace", str(trace_path)]) == 20
+        store, _ = parse_tracecheck(trace_path.read_text())
+        result = check_proof(store)
+        assert result.empty_clause_id is not None
+
+    def test_self_check_flag(self, cnf_files, capsys):
+        _, unsat_path = cnf_files
+        assert main([unsat_path, "--check"]) == 20
+        assert "proof checked: OK" in capsys.readouterr().out
+
+    def test_untrimmed_at_least_as_large(self, cnf_files, tmp_path):
+        _, unsat_path = cnf_files
+        trimmed = tmp_path / "trim.drup"
+        full = tmp_path / "full.drup"
+        main([unsat_path, "--proof", str(trimmed)])
+        main([unsat_path, "--proof", str(full), "--no-trim"])
+        assert len(full.read_text()) >= len(trimmed.read_text())
+
+    def test_quiet(self, cnf_files, capsys):
+        _, unsat_path = cnf_files
+        main([unsat_path, "--check", "--quiet"])
+        out = capsys.readouterr().out
+        assert "resolutions" not in out
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["f.cnf"])
+        assert args.assume == []
+        assert args.max_conflicts is None

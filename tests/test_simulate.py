@@ -1,0 +1,89 @@
+"""Tests for bit-parallel simulation."""
+
+import pytest
+
+from repro.aig import AIG, Simulator, lit_not, random_equivalence_test
+from repro.circuits import parity_tree, ripple_carry_adder
+
+from conftest import bits_of
+
+
+class TestSimulator:
+    def test_signature_matches_evaluate(self, tiny_aig):
+        sim = Simulator(tiny_aig, num_words=2, seed=5)
+        for k in range(0, sim.num_patterns, 17):
+            pattern = sim.pattern(k)
+            values = tiny_aig.evaluate_all(pattern)
+            for var in range(tiny_aig.num_vars):
+                expected = values[var]
+                assert (sim.signatures[var] >> k) & 1 == expected
+
+    def test_lit_signature_complements(self, tiny_aig):
+        sim = Simulator(tiny_aig, num_words=1, seed=5)
+        lit = tiny_aig.outputs[0]
+        assert sim.lit_signature(lit) ^ sim.lit_signature(lit_not(lit)) == sim.mask
+
+    def test_add_pattern_appends(self, tiny_aig):
+        sim = Simulator(tiny_aig, num_words=1, seed=5)
+        before = sim.num_patterns
+        sim.add_pattern([1, 0, 1])
+        assert sim.num_patterns == before + 1
+        assert sim.pattern(before) == [1, 0, 1]
+
+    def test_add_pattern_wrong_arity(self, tiny_aig):
+        sim = Simulator(tiny_aig, num_words=1)
+        with pytest.raises(ValueError):
+            sim.add_pattern([1, 0])
+
+    def test_pattern_out_of_range(self, tiny_aig):
+        sim = Simulator(tiny_aig, num_words=1)
+        with pytest.raises(IndexError):
+            sim.pattern(sim.num_patterns)
+
+    def test_deterministic_under_seed(self, tiny_aig):
+        sim1 = Simulator(tiny_aig, num_words=2, seed=9)
+        sim2 = Simulator(tiny_aig, num_words=2, seed=9)
+        assert sim1.signatures == sim2.signatures
+
+    def test_different_seeds_differ(self, tiny_aig):
+        sim1 = Simulator(tiny_aig, num_words=2, seed=9)
+        sim2 = Simulator(tiny_aig, num_words=2, seed=10)
+        assert sim1.signatures != sim2.signatures
+
+    def test_output_signatures(self):
+        aig = parity_tree(4)
+        sim = Simulator(aig, num_words=1, seed=3)
+        (sig,) = sim.output_signatures()
+        for k in range(sim.num_patterns):
+            bits = sim.pattern(k)
+            assert (sig >> k) & 1 == sum(bits) % 2
+
+    def test_equivalent_nodes_share_signatures(self):
+        # Build the same function twice in one AIG with different structure.
+        aig = AIG()
+        a, b, c = aig.add_inputs(3)
+        left = aig.add_and(aig.add_and(a, b), c)
+        right = aig.add_and(a, aig.add_and(b, c))
+        aig.add_output(left)
+        aig.add_output(right)
+        sim = Simulator(aig, num_words=4, seed=1)
+        assert sim.lit_signature(left) == sim.lit_signature(right)
+
+
+class TestRandomEquivalenceTest:
+    def test_equal_circuits_pass(self):
+        a = ripple_carry_adder(4)
+        b = ripple_carry_adder(4)
+        assert random_equivalence_test(a, b, rounds=128) is None
+
+    def test_detects_difference(self):
+        a = ripple_carry_adder(4)
+        b = ripple_carry_adder(4).copy()
+        b.set_output(0, lit_not(b.outputs[0]))
+        cex = random_equivalence_test(a, b, rounds=64)
+        assert cex is not None
+        assert a.evaluate(cex) != b.evaluate(cex)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            random_equivalence_test(ripple_carry_adder(2), ripple_carry_adder(3))

@@ -1,0 +1,227 @@
+"""Tests for the structural-merge resolution derivations."""
+
+import pytest
+
+from repro.core.stitch import (
+    EquivLemma,
+    StitchError,
+    derive_subset,
+    map_steps,
+)
+from repro.proof import ProofStore, check_proof
+
+
+class TestDeriveSubset:
+    def make_store(self):
+        store = ProofStore(validate=True)
+        ids = {
+            "m_o": store.add_axiom([5, -3, -4]),   # (m | ~k1 | ~k2)
+            "eq1": store.add_axiom([-1, 3]),       # l1 -> k1
+            "eq2": store.add_axiom([-2, 4]),       # l2 -> k2
+            "n_a": store.add_axiom([-6, 1]),       # (~n | l1)
+            "n_b": store.add_axiom([-6, 2]),       # (~n | l2)
+        }
+        return store, ids
+
+    def test_full_chain(self):
+        store, ids = self.make_store()
+        result = derive_subset(
+            store,
+            (5, -6),
+            ids["m_o"],
+            [
+                (3, ids["eq1"]),
+                (4, ids["eq2"]),
+                (1, ids["n_a"]),
+                (2, ids["n_b"]),
+            ],
+        )
+        assert store.clause(result) == (-6, 5)
+        check_proof(store, require_empty=False)
+
+    def test_auto_pivot(self):
+        store, ids = self.make_store()
+        result = derive_subset(
+            store,
+            (5, -6),
+            ids["m_o"],
+            [
+                (None, ids["eq1"]),
+                (None, ids["eq2"]),
+                (None, ids["n_a"]),
+                (None, ids["n_b"]),
+            ],
+        )
+        assert store.clause(result) == (-6, 5)
+
+    def test_skips_inapplicable_steps(self):
+        store, ids = self.make_store()
+        extra = store.add_axiom([-9, 10])
+        result = derive_subset(
+            store,
+            (5, -6),
+            ids["m_o"],
+            [
+                (9, extra),          # pivot absent: skipped
+                (None, extra),       # auto-pivot finds nothing: skipped
+                (3, ids["eq1"]),
+                (4, ids["eq2"]),
+                (1, ids["n_a"]),
+                (2, ids["n_b"]),
+            ],
+        )
+        assert store.clause(result) == (-6, 5)
+
+    def test_none_clause_ids_skipped(self):
+        store, ids = self.make_store()
+        result = derive_subset(
+            store,
+            (5, -3, -4),
+            ids["m_o"],
+            [(1, None), (None, None)],
+        )
+        assert result == ids["m_o"]
+
+    def test_subset_violation_raises(self):
+        store, ids = self.make_store()
+        with pytest.raises(StitchError, match="not within target"):
+            derive_subset(store, (5,), ids["m_o"], [(3, ids["eq1"])])
+
+    def test_ambiguous_auto_pivot_raises(self):
+        store = ProofStore(validate=True)
+        a = store.add_axiom([1, 2])
+        b = store.add_axiom([-1, -2, 3])
+        with pytest.raises(StitchError, match="ambiguous"):
+            derive_subset(store, (3,), a, [(None, b)])
+
+    def test_degenerate_resolution_raises(self):
+        store = ProofStore(validate=True)
+        a = store.add_axiom([1, 2])
+        b = store.add_axiom([-1, -2])
+        # Resolving on 1 leaves {2, -2}: tautological resolvent.
+        with pytest.raises(StitchError, match="degenerate"):
+            derive_subset(store, (), a, [(1, b)])
+
+    def test_start_clause_returned_unchanged(self):
+        store, ids = self.make_store()
+        result = derive_subset(store, (5, -3, -4), ids["m_o"], [])
+        assert result == ids["m_o"]
+        assert len(store) == 5  # nothing added
+
+
+class TestMapSteps:
+    def test_root_variable_no_steps(self):
+        assert map_steps(None, 7) == []
+
+    def test_positive_occurrence_uses_fwd(self):
+        lemma = EquivLemma(fwd_id=3, bwd_id=4)
+        assert map_steps(lemma, 7) == [(None, 3)]
+
+    def test_negative_occurrence_uses_bwd(self):
+        lemma = EquivLemma(fwd_id=3, bwd_id=4)
+        assert map_steps(lemma, -7) == [(None, 4)]
+
+    def test_vacuous_direction_raises(self):
+        lemma = EquivLemma(fwd_id=None, bwd_id=4)
+        with pytest.raises(StitchError):
+            map_steps(lemma, 7)
+
+
+class TestEngineStructuralDerivations:
+    """Drive the stitcher through the engine on crafted AIGs."""
+
+    def _run(self, build, **overrides):
+        from repro.aig import AIG
+        from repro.core.fraig import SweepEngine, SweepOptions
+
+        aig = AIG()
+        build(aig)
+        options = SweepOptions(validate_proof=True, **overrides)
+        engine = SweepEngine(aig, options)
+        engine.sweep()
+        check_proof(engine.proof, require_empty=False)
+        return engine
+
+    @staticmethod
+    def _xor_sop(aig, a, b):
+        """XOR as ~((a & b) | (~a & ~b)): same function as add_xor with a
+        structurally different node set."""
+        return aig.add_or(
+            aig.add_and(a, b), aig.add_and(a ^ 1, b ^ 1)
+        ) ^ 1
+
+    def test_hash_merge_after_sat_merge(self):
+        """Two AND trees over functionally equal (but structurally
+        distinct) sub-nodes: the sub-nodes merge via SAT, the parents must
+        then merge structurally with a resolution derivation."""
+
+        def build(aig):
+            a, b, c = aig.add_inputs(3)
+            # XOR built two different ways: same function, different nodes.
+            x1 = aig.add_xor(a, b)
+            x2 = self._xor_sop(aig, a, b)
+            n1 = aig.add_and(x1, c)
+            n2 = aig.add_and(x2, c)
+            aig.add_output(n1)
+            aig.add_output(n2)
+
+        engine = self._run(build)
+        assert engine.stats.structural_merges >= 1
+        n1_lit = engine.aig.outputs[0]
+        n2_lit = engine.aig.outputs[1]
+        assert engine.proven_equiv(n1_lit, n2_lit)
+
+    def test_const0_by_complementary_children(self):
+        def build(aig):
+            a, b = aig.add_inputs(2)
+            x1 = aig.add_xor(a, b)
+            x2 = aig.add_xor(a ^ 1, b)  # = ~x1, structurally distinct
+            dead = aig.add_and(x1, x2)  # always 0
+            aig.add_output(dead)
+
+        engine = self._run(build)
+        from repro.aig.literal import FALSE
+
+        assert engine.rep_lit(engine.aig.outputs[0]) == FALSE
+        assert engine.stats.const_merges >= 1
+
+    def test_copy_through_constant_fanin(self):
+        def build(aig):
+            a, b = aig.add_inputs(2)
+            x1 = aig.add_xor(a, b)
+            x2 = aig.add_xor(a ^ 1, b)          # = ~x1
+            one = aig.add_or(x1, x2)            # always 1
+            node = aig.add_and(one, a)          # = a
+            aig.add_output(node)
+
+        engine = self._run(build)
+        a_lit = 2 * engine.aig.inputs[0]
+        assert engine.proven_equiv(engine.aig.outputs[0], a_lit)
+
+    def test_structural_off_still_correct(self):
+        def build(aig):
+            a, b, c = aig.add_inputs(3)
+            x1 = aig.add_xor(a, b)
+            x2 = self._xor_sop(aig, a, b)
+            aig.add_output(aig.add_and(x1, c))
+            aig.add_output(aig.add_and(x2, c))
+
+        engine = self._run(build, structural_mode="off")
+        assert engine.stats.structural_merges == 0
+        assert engine.proven_equiv(
+            engine.aig.outputs[0], engine.aig.outputs[1]
+        )
+
+    def test_structural_sat_mode(self):
+        def build(aig):
+            a, b, c = aig.add_inputs(3)
+            x1 = aig.add_xor(a, b)
+            x2 = self._xor_sop(aig, a, b)
+            aig.add_output(aig.add_and(x1, c))
+            aig.add_output(aig.add_and(x2, c))
+
+        engine = self._run(build, structural_mode="sat")
+        assert engine.stats.structural_merges >= 1
+        assert engine.proven_equiv(
+            engine.aig.outputs[0], engine.aig.outputs[1]
+        )

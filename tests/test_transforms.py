@@ -1,0 +1,139 @@
+"""Tests for the function-preserving transforms."""
+
+import pytest
+
+from repro.aig import AIG, Simulator, lit_not
+from repro.circuits import (
+    alu,
+    array_multiplier,
+    comparator,
+    majority,
+    mux_tree,
+    parity_chain,
+    ripple_carry_adder,
+)
+from repro.transforms import balance, detect_mux, detect_xor, restructure
+
+from conftest import assert_equivalent_exhaustive
+
+SMALL_CIRCUITS = [
+    ripple_carry_adder(3),
+    array_multiplier(3),
+    comparator(3),
+    alu(2),
+    majority(5),
+    mux_tree(2),
+]
+
+
+class TestDetectors:
+    def test_detect_xor_on_builder_output(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        xor_lit = aig.add_xor(a, b)
+        shape = detect_xor(aig, xor_lit >> 1)
+        assert shape is not None
+        x, y = shape
+        assert {x >> 1, y >> 1} == {a >> 1, b >> 1}
+
+    def test_detect_xor_rejects_plain_and(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        node = aig.add_and(a, b)
+        assert detect_xor(aig, node >> 1) is None
+
+    def test_detect_mux_on_builder_output(self):
+        aig = AIG()
+        s, t, e = aig.add_inputs(3)
+        mux_lit = aig.add_mux(s, t, e)
+        shape = detect_mux(aig, mux_lit >> 1)
+        assert shape is not None
+
+    def test_detect_mux_rejects_unrelated(self):
+        aig = AIG()
+        a, b, c, d = aig.add_inputs(4)
+        node = aig.add_and(
+            lit_not(aig.add_and(a, b)), lit_not(aig.add_and(c, d))
+        )
+        assert detect_mux(aig, node >> 1) is None
+
+    def test_xor_is_special_mux(self):
+        aig = AIG()
+        a, b = aig.add_inputs(2)
+        xor_lit = aig.add_xor(a, b)
+        # An XOR node also matches the MUX pattern (t = ~e).
+        assert detect_mux(aig, xor_lit >> 1) is not None
+
+
+class TestRestructure:
+    @pytest.mark.parametrize(
+        "aig", SMALL_CIRCUITS, ids=lambda a: a.name
+    )
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_function_preserved(self, aig, seed):
+        variant = restructure(aig, seed=seed, intensity=0.5, redundancy=0.25)
+        assert_equivalent_exhaustive(aig, variant)
+
+    def test_structure_changes(self):
+        aig = parity_chain(8)
+        variant = restructure(aig, seed=1, intensity=0.9)
+        assert variant.num_ands != aig.num_ands
+
+    def test_deterministic(self):
+        aig = comparator(4)
+        v1 = restructure(aig, seed=5)
+        v2 = restructure(aig, seed=5)
+        assert v1.num_ands == v2.num_ands
+        assert list(v1.outputs) == list(v2.outputs)
+
+    def test_zero_intensity_zero_redundancy_is_copy(self):
+        aig = comparator(4)
+        variant = restructure(aig, seed=0, intensity=0.0, redundancy=0.0)
+        assert variant.num_ands == aig.num_ands
+
+    def test_redundancy_grows_circuit(self):
+        aig = array_multiplier(4)
+        variant = restructure(aig, seed=0, intensity=0.0, redundancy=0.5)
+        assert variant.num_ands > aig.num_ands
+
+    def test_io_preserved(self):
+        aig = alu(3)
+        variant = restructure(aig, seed=2)
+        assert variant.num_inputs == aig.num_inputs
+        assert variant.num_outputs == aig.num_outputs
+        assert variant.input_names == aig.input_names
+
+
+class TestBalance:
+    @pytest.mark.parametrize(
+        "aig", SMALL_CIRCUITS, ids=lambda a: a.name
+    )
+    def test_function_preserved(self, aig):
+        assert_equivalent_exhaustive(aig, balance(aig))
+
+    def test_depth_never_worse_on_chains(self):
+        aig = AIG()
+        lits = aig.add_inputs(16)
+        acc = lits[0]
+        for lit in lits[1:]:
+            acc = aig.add_and(acc, lit)
+        aig.add_output(acc)
+        balanced = balance(aig)
+        assert balanced.depth() == 4
+        assert aig.depth() == 15
+
+    def test_balance_comparator_reduces_depth(self):
+        aig = comparator(6)
+        assert balance(aig).depth() <= aig.depth()
+
+    def test_no_node_explosion(self):
+        aig = array_multiplier(4)
+        balanced = balance(aig)
+        assert balanced.num_ands <= aig.num_ands * 1.2
+
+    def test_simulation_equivalence_on_larger(self):
+        aig = array_multiplier(5)
+        balanced = balance(aig)
+        sim_a = Simulator(aig, num_words=4, seed=1)
+        sim_b = Simulator(balanced, num_words=4, seed=1)
+        assert sim_a.output_signatures() == sim_b.output_signatures()

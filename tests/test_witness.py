@@ -1,0 +1,114 @@
+"""Tests for counterexample minimization."""
+
+import itertools
+
+import pytest
+
+from repro import check_equivalence
+from repro.aig import AIG, lit_not
+from repro.circuits import comparator, comparator_subtract, parity_tree, \
+    ripple_carry_adder
+from repro.core import minimize_counterexample
+
+
+class TestMinimize:
+    def _verify_witness(self, aig_a, aig_b, witness):
+        """Every completion of the freed inputs must still differ."""
+        free = [
+            k for k, value in enumerate(witness.assignment)
+            if value is None
+        ]
+        for completion in itertools.product([0, 1], repeat=len(free)):
+            bits = list(witness.assignment)
+            for position, value in zip(free, completion):
+                bits[position] = value
+            assert aig_a.evaluate(bits) != aig_b.evaluate(bits)
+
+    def test_single_output_fault(self):
+        good = parity_tree(6)
+        bad = parity_tree(6).copy()
+        bad.set_output(0, lit_not(bad.outputs[0]))
+        result = check_equivalence(good, bad)
+        witness = minimize_counterexample(good, bad, result.counterexample)
+        # Parity flipped everywhere: no input bit is essential.
+        assert witness.essential_bits == 0
+        self._verify_witness(good, bad, witness)
+
+    def test_localized_fault_keeps_few_bits(self):
+        """A fault visible only when a=b=1 on one bit keeps those bits."""
+        aig = AIG()
+        a, b, c = aig.add_inputs(3)
+        aig.add_output(aig.add_and(a, b))
+        bad = AIG()
+        a2, b2, c2 = bad.add_inputs(3)
+        bad.add_output(bad.add_and(bad.add_and(a2, b2), lit_not(c2)))
+        result = check_equivalence(aig, bad)
+        assert result.equivalent is False
+        witness = minimize_counterexample(aig, bad, result.counterexample)
+        # The difference needs a=1, b=1, c=1: all three are essential.
+        assert witness.essential_bits == 3
+        self._verify_witness(aig, bad, witness)
+
+    def test_comparator_fault(self):
+        good = comparator(4)
+        bad = comparator_subtract(4).copy()
+        bad.set_output(1, lit_not(bad.outputs[1]))
+        result = check_equivalence(good, bad)
+        witness = minimize_counterexample(good, bad, result.counterexample)
+        assert witness.essential_bits <= 8
+        self._verify_witness(good, bad, witness)
+
+    def test_complete_fills_dont_cares(self):
+        good = parity_tree(4)
+        bad = parity_tree(4).copy()
+        bad.set_output(0, lit_not(bad.outputs[0]))
+        result = check_equivalence(good, bad)
+        witness = minimize_counterexample(good, bad, result.counterexample)
+        full = witness.complete(fill=1)
+        assert good.evaluate(full) != bad.evaluate(full)
+
+    def test_rejects_non_witness(self):
+        good = ripple_carry_adder(3)
+        with pytest.raises(ValueError):
+            minimize_counterexample(good, good.copy(), [0] * 6)
+
+    def test_repr_shows_pattern(self):
+        good = parity_tree(4)
+        bad = parity_tree(4).copy()
+        bad.set_output(0, lit_not(bad.outputs[0]))
+        result = check_equivalence(good, bad)
+        witness = minimize_counterexample(good, bad, result.counterexample)
+        assert "----" in repr(witness)
+
+
+class TestCexNeighbors:
+    def test_option_accepted_and_correct(self):
+        from repro.circuits import kogge_stone_adder
+        from repro.core import SweepOptions
+
+        result = check_equivalence(
+            ripple_carry_adder(8),
+            kogge_stone_adder(8),
+            SweepOptions(cex_neighbors=4, validate_proof=True),
+        )
+        assert result.equivalent is True
+
+    def test_neighbors_reduce_refinements(self):
+        from repro.circuits import kogge_stone_adder
+        from repro.core import SweepOptions
+
+        plain = check_equivalence(
+            ripple_carry_adder(16),
+            kogge_stone_adder(16),
+            SweepOptions(sim_words=1, cex_neighbors=0),
+        )
+        boosted = check_equivalence(
+            ripple_carry_adder(16),
+            kogge_stone_adder(16),
+            SweepOptions(sim_words=1, cex_neighbors=8),
+        )
+        assert plain.equivalent and boosted.equivalent
+        assert (
+            boosted.engine.stats.refinements
+            <= plain.engine.stats.refinements
+        )
