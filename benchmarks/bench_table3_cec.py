@@ -1,8 +1,9 @@
 """Table 3 — the proof-producing CEC engine (the paper's system).
 
-For every suite pair: sweep time, engine step counts (structural merges,
-SAT merges, SAT calls, refinements), stitched proof size, trimmed size,
-and independent checking time.
+For every suite pair: sweep time with its sim/strash/SAT phase split
+(taken from the engine's ``repro-stats/1`` report), engine step counts
+(structural merges, SAT merges, SAT calls, refinements), stitched proof
+size, trimmed size, and independent checking time.
 """
 
 import time
@@ -14,7 +15,7 @@ from repro.proof.checker import check_refutation_of
 from repro.proof.stats import proof_stats
 from repro.proof.trim import trim
 
-from conftest import report_table, run_sweep
+from conftest import report_table, run_sweep, stats_phase_seconds
 
 _ROWS = {}
 
@@ -36,6 +37,9 @@ def test_cec(benchmark, pair, engine_cache):
     _ROWS[pair.name] = [
         pair.name,
         "%.3f" % result.elapsed_seconds,
+        "%.3f" % stats_phase_seconds(result.stats, "sweep/sim"),
+        "%.3f" % stats_phase_seconds(result.stats, "sweep/strash"),
+        "%.3f" % stats_phase_seconds(result.stats, "sweep/sat"),
         engine_stats.structural_merges,
         engine_stats.sat_merges,
         engine_stats.sat_calls,
@@ -47,10 +51,12 @@ def test_cec(benchmark, pair, engine_cache):
     ]
     report_table(
         "Table 3: proof-producing CEC engine (SAT sweeping + stitching)",
-        ["pair", "time(s)", "struct", "sat-merge", "sat-calls", "refine",
-         "derived", "resolutions", "res(trim)", "check(s)"],
+        ["pair", "time(s)", "sim(s)", "strash(s)", "sat(s)", "struct",
+         "sat-merge", "sat-calls", "refine", "derived", "resolutions",
+         "res(trim)", "check(s)"],
         [_ROWS[name] for name in sorted(_ROWS)],
         notes=[
+            "sim/strash/sat = phase split from the repro-stats/1 report",
             "struct = merges discharged by stitched resolution derivations",
             "every proof verified by the independent resolution checker",
         ],

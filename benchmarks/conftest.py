@@ -87,6 +87,28 @@ def run_monolithic(cache, pair, **options):
     return cache[key]
 
 
+def stats_phase_seconds(stats, name):
+    """Seconds charged to phase *name* in a ``repro-stats/1`` report.
+
+    The engines attach their instrumentation report to the result
+    (``CecResult.stats``); benches consume it through this helper so the
+    schema is validated once per lookup and missing phases read as 0.0.
+    """
+    from repro.instrument.recorder import validate_report
+
+    validate_report(stats)
+    cell = stats["phases"].get(name)
+    return cell["seconds"] if cell else 0.0
+
+
+def stats_gauge(stats, name, default=None):
+    """Gauge *name* from a ``repro-stats/1`` report (validated)."""
+    from repro.instrument.recorder import validate_report
+
+    validate_report(stats)
+    return stats["gauges"].get(name, default)
+
+
 def geometric_mean(values):
     """Geometric mean of positive values (1.0 for empty input)."""
     cleaned = [v for v in values if v > 0]

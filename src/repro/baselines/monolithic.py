@@ -11,6 +11,7 @@ import time
 
 from ..aig.miter import build_miter
 from ..cnf.tseitin import tseitin_encode
+from ..instrument import Recorder
 from ..proof.store import ProofStore
 from ..sat.solver import SAT, UNKNOWN, Solver
 
@@ -26,11 +27,12 @@ class MonolithicResult:
         cnf: the refuted axiom set (miter CNF + output unit).
         solver_stats: the solver's counters.
         elapsed_seconds: wall-clock solve time (encoding included).
+        stats: the run's ``repro-stats/1`` report dict.
     """
 
     def __init__(
         self, equivalent, counterexample, proof, cnf, solver_stats,
-        elapsed_seconds,
+        elapsed_seconds, stats=None,
     ):
         self.equivalent = equivalent
         self.counterexample = counterexample
@@ -38,13 +40,14 @@ class MonolithicResult:
         self.cnf = cnf
         self.solver_stats = solver_stats
         self.elapsed_seconds = elapsed_seconds
+        self.stats = stats
 
     def __repr__(self):
         return "MonolithicResult(equivalent=%r)" % (self.equivalent,)
 
 
 def monolithic_check(aig_a, aig_b, proof=True, max_conflicts=None,
-                     validate_proof=False):
+                     validate_proof=False, recorder=None, budget=None):
     """Check equivalence with a single monolithic SAT call.
 
     Args:
@@ -52,27 +55,36 @@ def monolithic_check(aig_a, aig_b, proof=True, max_conflicts=None,
         proof: enable resolution-proof logging.
         max_conflicts: optional conflict budget (None = unlimited).
         validate_proof: validate derivations at insertion (tests only).
+        recorder: optional :class:`~repro.instrument.Recorder` receiving
+            encode/solve phase timings and solver counters.
+        budget: optional :class:`~repro.instrument.Budget`; exhaustion
+            yields ``equivalent=None``.
 
     Returns:
         A :class:`MonolithicResult`.
     """
+    rec = recorder if recorder is not None else Recorder()
     start = time.perf_counter()
-    miter = build_miter(aig_a, aig_b)
-    enc = tseitin_encode(miter.aig)
-    store = ProofStore(validate=validate_proof) if proof else None
-    solver = Solver(proof=store)
+    with rec.phase("monolithic/encode"):
+        miter = build_miter(aig_a, aig_b)
+        enc = tseitin_encode(miter.aig)
+    store = ProofStore(validate=validate_proof, recorder=rec) \
+        if proof else None
+    solver = Solver(proof=store, recorder=rec, budget=budget)
     consistent = True
-    for clause in enc.cnf.clauses:
-        if not solver.add_clause(clause):
-            consistent = False
-            break
+    with rec.phase("monolithic/load"):
+        for clause in enc.cnf.clauses:
+            if not solver.add_clause(clause):
+                consistent = False
+                break
     out_cnf = enc.lit_to_cnf(miter.output)
     cnf = enc.cnf.copy()
     cnf.add_clause([out_cnf])
     if consistent:
         consistent = solver.add_clause([out_cnf])
     if consistent:
-        result = solver.solve(max_conflicts=max_conflicts)
+        with rec.phase("monolithic/solve"):
+            result = solver.solve(max_conflicts=max_conflicts)
         status = result.status
     else:
         status = False
@@ -85,9 +97,21 @@ def monolithic_check(aig_a, aig_b, proof=True, max_conflicts=None,
         out_b = aig_b.evaluate(cex)
         if out_a == out_b:
             raise RuntimeError("monolithic counterexample invalid")
-        return MonolithicResult(
+        outcome = MonolithicResult(
             False, cex, None, cnf, solver.stats, elapsed
         )
-    if status is UNKNOWN:
-        return MonolithicResult(None, None, None, cnf, solver.stats, elapsed)
-    return MonolithicResult(True, None, store, cnf, solver.stats, elapsed)
+    elif status is UNKNOWN:
+        outcome = MonolithicResult(
+            None, None, None, cnf, solver.stats, elapsed
+        )
+    else:
+        outcome = MonolithicResult(
+            True, None, store, cnf, solver.stats, elapsed
+        )
+    if store is not None:
+        rec.gauge("proof/clauses", len(store))
+        rec.gauge("proof/axioms", store.num_axioms)
+        rec.gauge("proof/derived", store.num_derived)
+        rec.gauge("proof/resolutions", store.num_resolutions)
+    outcome.stats = rec.report(budget=budget)
+    return outcome

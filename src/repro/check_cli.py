@@ -8,7 +8,8 @@ refute::
     repro-checkproof trace.tc --cnf formula.cnf
     repro-checkproof trace.tc --cnf formula.cnf --rup
 
-Exit codes: 0 = proof valid, 1 = invalid, 2 = I/O or parse error.
+Exit codes: 0 = proof valid, 1 = invalid, 2 = I/O or parse error, or
+check abandoned under ``--time-limit``.
 """
 
 import argparse
@@ -16,6 +17,7 @@ import sys
 import time
 
 from .cnf.dimacs import DimacsError, read_dimacs
+from .instrument import Budget, BudgetExhausted, Recorder
 from .proof.checker import check_proof
 from .proof.drup import check_rup_proof
 from .proof.store import ProofError
@@ -43,17 +45,52 @@ def build_parser():
     parser.add_argument(
         "--quiet", action="store_true", help="no statistics output"
     )
+    parser.add_argument(
+        "--stats-json", metavar="PATH",
+        help="write the run's repro-stats/1 JSON report to PATH",
+    )
+    parser.add_argument(
+        "--trace", dest="trace_events", metavar="PATH",
+        help="append JSONL instrumentation events to PATH",
+    )
+    parser.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; an unfinished check reports UNDECIDED "
+        "and exits 2",
+    )
+    parser.add_argument(
+        "--conflict-limit", type=int, default=None, metavar="N",
+        help="accepted for CLI uniformity (proof checking performs no "
+        "SAT search, so this limit never triggers)",
+    )
     return parser
 
 
 def main(argv=None):
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    recorder = Recorder(trace_path=args.trace_events)
+    recorder.meta.update({"tool": "repro-checkproof", "trace": args.trace})
+    budget = Budget(time_limit=args.time_limit) \
+        if args.time_limit is not None else None
     try:
-        store, _ = read_tracecheck(args.trace)
-    except (OSError, ProofError) as exc:
-        print("error: %s" % exc, file=sys.stderr)
-        return 2
+        code = _run(args, recorder, budget)
+        recorder.meta["exit_code"] = code
+    finally:
+        if args.stats_json:
+            recorder.write_json(args.stats_json, budget=budget)
+        recorder.close()
+    return code
+
+
+def _run(args, recorder, budget):
+    """Check the trace and report; returns the exit code."""
+    with recorder.phase("check/read"):
+        try:
+            store, _ = read_tracecheck(args.trace)
+        except (OSError, ProofError) as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
     axioms = None
     if args.cnf:
         try:
@@ -63,7 +100,13 @@ def main(argv=None):
             return 2
     start = time.perf_counter()
     try:
-        result = check_proof(store, axioms=axioms, require_empty=True)
+        result = check_proof(
+            store, axioms=axioms, require_empty=True, recorder=recorder,
+            budget=budget,
+        )
+    except BudgetExhausted as exc:
+        print("UNDECIDED: %s" % exc)
+        return 2
     except ProofError as exc:
         print("INVALID: %s" % exc)
         return 1

@@ -17,6 +17,7 @@ from .baselines.monolithic import monolithic_check
 from .core.cec import check_equivalence
 from .core.certify import certify
 from .core.fraig import SweepOptions
+from .instrument import Budget, Recorder
 from .proof.drup import write_drup
 from .proof.stats import proof_stats
 from .proof.trim import trim
@@ -74,6 +75,31 @@ def build_parser():
     parser.add_argument(
         "--quiet", action="store_true", help="suppress statistics output"
     )
+    parser.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        help="write the run's repro-stats/1 JSON report (phase timings, "
+        "counters, proof sizes, budget status) to PATH",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="append JSONL instrumentation events to PATH",
+    )
+    parser.add_argument(
+        "--time-limit",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget; an undecided check exits 2 instead of "
+        "running on (sweep/monolithic engines)",
+    )
+    parser.add_argument(
+        "--conflict-limit",
+        type=int,
+        metavar="N",
+        help="total SAT-conflict budget across the whole run "
+        "(sweep/monolithic engines)",
+    )
     return parser
 
 
@@ -89,15 +115,41 @@ def main(argv=None):
     except (OSError, ValueError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    recorder = Recorder(trace_path=args.trace)
+    recorder.meta.update({
+        "tool": "repro-cec",
+        "engine": args.engine,
+        "file_a": args.file_a,
+        "file_b": args.file_b,
+    })
+    budget = None
+    if args.time_limit is not None or args.conflict_limit is not None:
+        budget = Budget(
+            time_limit=args.time_limit, conflict_limit=args.conflict_limit
+        )
+    try:
+        code = _dispatch(aig_a, aig_b, args, recorder, budget)
+        recorder.meta["exit_code"] = code
+    finally:
+        if args.stats_json:
+            recorder.write_json(args.stats_json, budget=budget)
+        recorder.close()
+    return code
+
+
+def _dispatch(aig_a, aig_b, args, recorder, budget):
+    """Run the selected engine and report; returns the exit code."""
     if args.engine == "bdd":
         return _run_bdd(aig_a, aig_b, args)
     if args.engine == "bddsweep":
         return _run_bdd_sweep(aig_a, aig_b, args)
     if args.engine == "monolithic":
-        result = monolithic_check(aig_a, aig_b, proof=True)
+        result = monolithic_check(
+            aig_a, aig_b, proof=True, recorder=recorder, budget=budget
+        )
         return _report(
             result.equivalent, result.counterexample, result.proof,
-            result.cnf, args,
+            result.cnf, args, recorder=recorder, budget=budget,
         )
     options = SweepOptions(sim_words=args.sim_words, seed=args.seed)
     if args.match_names:
@@ -109,15 +161,17 @@ def main(argv=None):
             print("error: %s" % exc, file=sys.stderr)
             return 2
     if args.per_output:
-        return _run_per_output(aig_a, aig_b, options)
-    result = check_equivalence(aig_a, aig_b, options)
+        return _run_per_output(aig_a, aig_b, options, recorder, budget)
+    result = check_equivalence(
+        aig_a, aig_b, options, recorder=recorder, budget=budget
+    )
     if args.certify and result.equivalent:
         certify(result)
         if not args.quiet:
             print("certified: proof replayed successfully")
     return _report(
         result.equivalent, result.counterexample, result.proof,
-        result.cnf, args,
+        result.cnf, args, recorder=recorder, budget=budget,
     )
 
 
@@ -143,10 +197,12 @@ def _run_bdd_sweep(aig_a, aig_b, args):
     return 1
 
 
-def _run_per_output(aig_a, aig_b, options):
+def _run_per_output(aig_a, aig_b, options, recorder=None, budget=None):
     from .core.outputs import check_outputs
 
-    report = check_outputs(aig_a, aig_b, options)
+    report = check_outputs(
+        aig_a, aig_b, options, recorder=recorder, budget=budget
+    )
     for verdict in report.verdicts:
         label = verdict.name or ("output %d" % verdict.index)
         if verdict.equivalent is True:
@@ -164,7 +220,11 @@ def _run_per_output(aig_a, aig_b, options):
     if report.equivalent:
         print("EQUIVALENT")
         return 0
-    print("NOT EQUIVALENT (%d outputs differ)" % len(report.failing()))
+    failing = report.failing()
+    if not failing:
+        print("UNDECIDED (some outputs unresolved under the budget)")
+        return 2
+    print("NOT EQUIVALENT (%d outputs differ)" % len(failing))
     return 1
 
 
@@ -181,9 +241,14 @@ def _run_bdd(aig_a, aig_b, args):
     return 1
 
 
-def _report(equivalent, counterexample, proof, cnf, args):
+def _report(equivalent, counterexample, proof, cnf, args, recorder=None,
+            budget=None):
     if equivalent is None:
-        print("UNDECIDED")
+        reason = budget.exhausted_reason() if budget is not None else None
+        if reason is not None:
+            print("UNDECIDED (budget exhausted: %s)" % reason)
+        else:
+            print("UNDECIDED")
         return 2
     if not equivalent:
         print("NOT EQUIVALENT")
@@ -206,7 +271,7 @@ def _report(equivalent, counterexample, proof, cnf, args):
     if args.proof and proof is not None:
         to_write = proof
         if not args.no_trim:
-            to_write, _ = trim(proof)
+            to_write, _ = trim(proof, recorder=recorder)
         write_drup(to_write, args.proof)
         if not args.quiet:
             print("proof written to %s" % args.proof)

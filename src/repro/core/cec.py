@@ -17,7 +17,8 @@ import time
 
 from ..aig.literal import FALSE
 from ..aig.miter import build_miter
-from ..sat.solver import SAT, UNSAT
+from ..instrument import Recorder
+from ..sat.solver import SAT, UNKNOWN, UNSAT
 from .fraig import SweepEngine, SweepOptions
 
 
@@ -36,6 +37,9 @@ class CecResult:
             axiom set the proof refutes.
         engine: the :class:`~repro.core.fraig.SweepEngine` (stats access).
         elapsed_seconds: wall-clock time of the whole check.
+        stats: the run's ``repro-stats/1`` report dict (phase timings,
+            counters, proof sizes, budget status); see
+            ``docs/instrumentation.md``.
     """
 
     def __init__(
@@ -48,6 +52,7 @@ class CecResult:
         cnf,
         engine,
         elapsed_seconds,
+        stats=None,
     ):
         self.equivalent = equivalent
         self.counterexample = counterexample
@@ -57,6 +62,7 @@ class CecResult:
         self.cnf = cnf
         self.engine = engine
         self.elapsed_seconds = elapsed_seconds
+        self.stats = stats
 
     def __repr__(self):
         if self.equivalent:
@@ -70,7 +76,8 @@ class CecResult:
         return "CecResult(equivalent=None)"
 
 
-def check_equivalence(aig_a, aig_b, options=None, match_names=False):
+def check_equivalence(aig_a, aig_b, options=None, match_names=False,
+                      recorder=None, budget=None):
     """Check combinational equivalence of two AIGs.
 
     Args:
@@ -80,23 +87,60 @@ def check_equivalence(aig_a, aig_b, options=None, match_names=False):
             engine defaults.
         match_names: permute *aig_b*'s interface by port names before
             building the miter (requires fully named interfaces).
+        recorder: optional :class:`~repro.instrument.Recorder`; one is
+            created internally when omitted so ``CecResult.stats`` is
+            always populated.
+        budget: optional :class:`~repro.instrument.Budget`. When it runs
+            out before a verdict is reached the result has
+            ``equivalent=None`` — never a guessed verdict; verdicts
+            reached before exhaustion (a proved merge chain or a
+            simulation counterexample) are still reported.
 
     Returns:
         A :class:`CecResult`.
     """
+    recorder = recorder if recorder is not None else Recorder()
     start = time.perf_counter()
-    miter = build_miter(aig_a, aig_b, match_names=match_names)
-    engine = SweepEngine(miter.aig, options or SweepOptions())
-    engine.sweep()
+    with recorder.phase("cec/miter"):
+        miter = build_miter(aig_a, aig_b, match_names=match_names)
+    engine = SweepEngine(
+        miter.aig, options or SweepOptions(), recorder=recorder,
+        budget=budget,
+    )
+    with recorder.phase("cec/sweep"):
+        engine.sweep()
     out_lit = miter.output
-    result = _conclude(miter, engine, out_lit)
+    with recorder.phase("cec/conclude"):
+        result = _conclude(miter, engine, out_lit, budget)
     result.elapsed_seconds = time.perf_counter() - start
     if result.equivalent is False:
         _validate_counterexample(aig_a, aig_b, result.counterexample)
+    recorder.gauge("cec/verdict", {True: "equivalent",
+                                   False: "not_equivalent",
+                                   None: "unknown"}[result.equivalent])
+    if result.proof is not None:
+        recorder.gauge("proof/clauses", len(result.proof))
+        recorder.gauge("proof/axioms", result.proof.num_axioms)
+        recorder.gauge("proof/derived", result.proof.num_derived)
+        recorder.gauge("proof/resolutions", result.proof.num_resolutions)
+    result.stats = recorder.report(budget=budget)
     return result
 
 
-def _conclude(miter, engine, out_lit):
+def _undecided(miter, engine):
+    return CecResult(
+        equivalent=None,
+        counterexample=None,
+        proof=None,
+        empty_clause_id=None,
+        miter=miter,
+        cnf=None,
+        engine=engine,
+        elapsed_seconds=0.0,
+    )
+
+
+def _conclude(miter, engine, out_lit, budget=None):
     """Turn the post-sweep state into a verdict."""
     if engine.rep_lit(out_lit) == FALSE:
         return _finish_equivalent(miter, engine, out_lit)
@@ -117,10 +161,17 @@ def _conclude(miter, engine, out_lit):
             engine=engine,
             elapsed_seconds=0.0,
         )
+    if budget is not None and budget.exhausted:
+        # No witness either way and no resources left for the final
+        # call: report UNKNOWN rather than risk a wrong verdict.
+        return _undecided(miter, engine)
     final = engine.solver.solve(
         assumptions=[engine.enc.lit_to_cnf(out_lit)],
         max_conflicts=None,
+        budget=budget,
     )
+    if final.status is UNKNOWN:
+        return _undecided(miter, engine)
     if final.status is SAT:
         cex = [
             final.model_value(engine.enc.var_of[var])

@@ -28,6 +28,7 @@ import time
 from ..aig.literal import FALSE, TRUE, lit_not_cond, lit_var
 from ..aig.simulate import Simulator
 from ..cnf.tseitin import tseitin_encode
+from ..instrument import NULL_RECORDER
 from ..proof.store import ProofStore
 from ..sat.solver import SAT, UNKNOWN, UNSAT, Solver
 from .stitch import EquivLemma, StitchError, StructuralStitcher
@@ -98,6 +99,13 @@ class SweepStats:
         self.refinements = 0
         self.skipped_candidates = 0
         self.sweep_seconds = 0.0
+        # Per-activity phase breakdown of sweep_seconds.
+        self.sim_seconds = 0.0
+        self.strash_seconds = 0.0
+        self.sat_seconds = 0.0
+        # True when candidates were skipped because a Budget ran out
+        # (as opposed to per-call max_conflicts exhaustion).
+        self.budget_exhausted = False
 
     def __repr__(self):
         return (
@@ -124,27 +132,49 @@ class SweepEngine:
         aig: the AIG to sweep. Every node receives a CNF variable; the
             whole Tseitin encoding is loaded into one incremental solver.
         options: a :class:`SweepOptions` (defaults used when None).
+        recorder: optional :class:`~repro.instrument.recorder.Recorder`
+            receiving sweep phase timings (``sweep/sim``,
+            ``sweep/strash``, ``sweep/sat``), candidate-outcome counters
+            and (when tracing) per-candidate events.
+        budget: optional :class:`~repro.instrument.budget.Budget`.
+            Candidate SAT calls consult it; once exhausted, remaining
+            candidates are *skipped* (never mis-merged) so the sweep
+            terminates quickly with whatever was proved so far.
     """
 
-    def __init__(self, aig, options=None):
+    def __init__(self, aig, options=None, recorder=None, budget=None):
         self.aig = aig
         self.options = options or SweepOptions()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.budget = budget
         self.stats = SweepStats()
-        self.enc = tseitin_encode(aig)
+        with self.recorder.phase("sweep/encode"):
+            self.enc = tseitin_encode(aig)
         self.proof = (
-            ProofStore(validate=self.options.validate_proof)
+            ProofStore(
+                validate=self.options.validate_proof,
+                recorder=recorder,
+            )
             if self.options.proof
             else None
         )
-        self.solver = Solver(proof=self.proof)
-        for clause in self.enc.cnf.clauses:
-            if not self.solver.add_clause(clause):
-                raise RuntimeError("miter CNF is inconsistent; encoder bug")
-        self.sim = Simulator(
-            aig,
-            num_words=self.options.sim_words if self.options.use_simulation else 1,
-            seed=self.options.seed,
-        )
+        self.solver = Solver(proof=self.proof, recorder=recorder)
+        with self.recorder.phase("sweep/load"):
+            for clause in self.enc.cnf.clauses:
+                if not self.solver.add_clause(clause):
+                    raise RuntimeError(
+                        "miter CNF is inconsistent; encoder bug"
+                    )
+        with self.recorder.phase("sweep/sim"):
+            self.sim = Simulator(
+                aig,
+                num_words=(
+                    self.options.sim_words
+                    if self.options.use_simulation
+                    else 1
+                ),
+                seed=self.options.seed,
+            )
         # Union-find (single level): AIG var -> representative AIG literal.
         self._parent = [2 * var for var in range(aig.num_vars)]
         # AIG var -> EquivLemma (None while the var is its own root).
@@ -261,10 +291,23 @@ class SweepEngine:
     def _cnf_lit(self, aig_lit):
         return self.enc.lit_to_cnf(aig_lit)
 
-    def _solve(self, assumptions):
+    def _solve(self, assumptions, budgeted=True):
+        """One assumption SAT call, optionally charged to the budget.
+
+        Structural-merge fallback calls pass ``budgeted=False``: those
+        queries are propositionally forced by already-installed lemma
+        clauses, so they complete by propagation and must not be turned
+        into spurious UNKNOWNs by an exhausted budget.
+        """
         self.stats.sat_calls += 1
+        limit = self.options.max_conflicts
+        budget = self.budget if budgeted else None
+        if budget is not None:
+            remaining = budget.remaining_conflicts()
+            if remaining is not None:
+                limit = remaining if limit is None else min(limit, remaining)
         result = self.solver.solve(
-            assumptions=assumptions, max_conflicts=self.options.max_conflicts
+            assumptions=assumptions, max_conflicts=limit, budget=budget
         )
         if result.status is SAT:
             self.stats.sat_calls_sat += 1
@@ -274,7 +317,10 @@ class SweepEngine:
             self.stats.sat_calls_unknown += 1
         return result
 
-    def _prove_equiv_sat(self, var, root_lit):
+    def _budget_spent(self):
+        return self.budget is not None and self.budget.exhausted
+
+    def _prove_equiv_sat(self, var, root_lit, budgeted=True):
         """Prove ``var ≡ root_lit`` with two assumption SAT calls.
 
         Returns an :class:`EquivLemma` on success, the SAT
@@ -283,13 +329,13 @@ class SweepEngine:
         """
         x = self.enc.var_of[var]
         y = self._cnf_lit(root_lit)
-        fwd = self._solve([x, -y])
+        fwd = self._solve([x, -y], budgeted)
         if fwd.status is SAT:
             return fwd
         if fwd.status is UNKNOWN:
             return None
         fwd_ok = self._install_lemma_clause(fwd)
-        bwd = self._solve([-x, y])
+        bwd = self._solve([-x, y], budgeted)
         if bwd.status is SAT:
             return bwd
         if bwd.status is UNKNOWN:
@@ -367,7 +413,7 @@ class SweepEngine:
             return self._structural_via_sat(var, kind, target)
 
     def _structural_via_sat(self, var, kind, target):
-        outcome = self._prove_equiv_const_aware(var, target)
+        outcome = self._prove_equiv_const_aware(var, target, budgeted=False)
         if isinstance(outcome, EquivLemma):
             self._merge(var, target, outcome)
             self.stats.structural_merges += 1
@@ -433,7 +479,7 @@ class SweepEngine:
         self.stats.structural_merges += 1
         return True
 
-    def _prove_equiv_const_aware(self, var, target_lit):
+    def _prove_equiv_const_aware(self, var, target_lit, budgeted=True):
         """Prove ``var ≡ target_lit`` by SAT, specializing constants.
 
         For constant targets a single call suffices and the lemma is a
@@ -441,18 +487,18 @@ class SweepEngine:
         """
         x = self.enc.var_of[var]
         if target_lit == FALSE:
-            result = self._solve([x])
+            result = self._solve([x], budgeted)
             if result.status is not UNSAT:
                 return result if result.status is SAT else None
             proof_id = self._install_lemma_clause(result)
             return EquivLemma(fwd_id=proof_id, bwd_id=None)
         if target_lit == TRUE:
-            result = self._solve([-x])
+            result = self._solve([-x], budgeted)
             if result.status is not UNSAT:
                 return result if result.status is SAT else None
             proof_id = self._install_lemma_clause(result)
             return EquivLemma(fwd_id=None, bwd_id=proof_id)
-        return self._prove_equiv_sat(var, target_lit)
+        return self._prove_equiv_sat(var, target_lit, budgeted)
 
     # ------------------------------------------------------------------
     # Main sweep
@@ -462,39 +508,68 @@ class SweepEngine:
         """Run the sweep over all AND nodes (idempotent)."""
         if self._swept:
             return self.stats
-        start = time.perf_counter()
+        stats = self.stats
+        rec = self.recorder
+        timing = rec.enabled
+        clock = time.perf_counter
+        start = clock()
+        strash_s = sat_s = sim_s = 0.0
         self._register_root(0)  # the constant
         for var in self.aig.inputs:
             self._register_root(var)
         for var in self.aig.and_vars():
-            self.stats.nodes_processed += 1
-            if self._try_structural(var):
+            stats.nodes_processed += 1
+            t0 = clock() if timing else 0.0
+            structural = self._try_structural(var)
+            if timing:
+                strash_s += clock() - t0
+            if structural:
+                rec.event("merge", var=var, how="structural")
                 continue
             merged = False
             while True:
+                if self._budget_spent():
+                    # Degrade gracefully: skip the candidate rather than
+                    # run SAT past the budget (never mis-merge).
+                    if self._candidate_for(var) is not None:
+                        stats.skipped_candidates += 1
+                        stats.budget_exhausted = True
+                        rec.event("candidate_skipped", var=var,
+                                  reason=self.budget.exhausted_reason())
+                    break
                 candidate = self._candidate_for(var)
                 if candidate is None:
                     break
                 root, phase = candidate
                 target = 2 * root ^ phase
+                t0 = clock() if timing else 0.0
                 if root == 0:
                     outcome = self._prove_equiv_const_aware(
                         var, FALSE if phase == 0 else TRUE
                     )
                 else:
                     outcome = self._prove_equiv_const_aware(var, target)
+                if timing:
+                    sat_s += clock() - t0
                 if isinstance(outcome, EquivLemma):
                     self._merge(var, target, outcome)
                     if root == 0:
-                        self.stats.const_merges += 1
-                    self.stats.sat_merges += 1
+                        stats.const_merges += 1
+                    stats.sat_merges += 1
+                    rec.event("merge", var=var, how="sat", target=target)
                     merged = True
                     break
                 if outcome is None:
-                    self.stats.skipped_candidates += 1
+                    stats.skipped_candidates += 1
+                    rec.event("candidate_skipped", var=var,
+                              reason="max_conflicts")
                     break
                 # SAT model: refine classes and retry with the new table.
+                t0 = clock() if timing else 0.0
                 self._refine(outcome)
+                if timing:
+                    sim_s += clock() - t0
+                rec.event("refine", var=var, patterns=self.sim.num_patterns)
             if not merged:
                 self._register_root(var)
                 f0, f1 = self.aig.fanins(var)
@@ -503,5 +578,31 @@ class SweepEngine:
                     p, q = q, p
                 self._reduced_strash.setdefault((p, q), var)
         self._swept = True
-        self.stats.sweep_seconds = time.perf_counter() - start
+        stats.sweep_seconds = clock() - start
+        stats.sim_seconds += sim_s
+        stats.strash_seconds += strash_s
+        stats.sat_seconds += sat_s
+        if timing:
+            # Flush the per-activity accumulators; the keys are always
+            # present (possibly at 0.0) so downstream schema consumers
+            # can rely on them.
+            rec.add_time("sweep/sim", sim_s)
+            rec.add_time("sweep/strash", strash_s)
+            rec.add_time("sweep/sat", sat_s)
+            rec.add_time("sweep/total", stats.sweep_seconds)
+            rec.count("sweep/nodes", stats.nodes_processed)
+            rec.count("sweep/structural_merges", stats.structural_merges)
+            rec.count("sweep/sat_merges", stats.sat_merges)
+            rec.count("sweep/const_merges", stats.const_merges)
+            rec.count("sweep/sat_calls", stats.sat_calls)
+            rec.count("sweep/sat_calls_sat", stats.sat_calls_sat)
+            rec.count("sweep/sat_calls_unsat", stats.sat_calls_unsat)
+            rec.count("sweep/sat_calls_unknown", stats.sat_calls_unknown)
+            rec.count("sweep/refinements", stats.refinements)
+            rec.count("sweep/skipped_candidates", stats.skipped_candidates)
+            if self.proof is not None:
+                rec.gauge("proof/clauses", len(self.proof))
+                rec.gauge("proof/axioms", self.proof.num_axioms)
+                rec.gauge("proof/derived", self.proof.num_derived)
+                rec.gauge("proof/resolutions", self.proof.num_resolutions)
         return self.stats

@@ -66,30 +66,38 @@ class OutputsReport:
         )
 
 
-def check_outputs(aig_a, aig_b, options=None):
+def check_outputs(aig_a, aig_b, options=None, recorder=None, budget=None):
     """Check every output pair of two circuits individually.
 
     One miter and one sweep are shared across all outputs; outputs the
     sweep did not already settle are decided with targeted SAT calls on
     their XOR literals.
 
+    Args:
+        recorder: optional :class:`~repro.instrument.Recorder` threaded
+            through the shared engine.
+        budget: optional :class:`~repro.instrument.Budget`; outputs
+            whose targeted SAT call would exceed it report
+            ``equivalent=None``.
+
     Returns:
         An :class:`OutputsReport`.
     """
     options = options or SweepOptions()
     miter = build_miter(aig_a, aig_b)
-    engine = SweepEngine(miter.aig, options)
+    engine = SweepEngine(miter.aig, options, recorder=recorder,
+                         budget=budget)
     engine.sweep()
     verdicts = []
     for index, xor_lit in enumerate(miter.xor_lits):
         name = aig_a.output_names[index] or aig_b.output_names[index]
         verdicts.append(
-            _settle_output(miter, engine, index, name, xor_lit)
+            _settle_output(miter, engine, index, name, xor_lit, budget)
         )
     return OutputsReport(verdicts, engine)
 
 
-def _settle_output(miter, engine, index, name, xor_lit):
+def _settle_output(miter, engine, index, name, xor_lit, budget=None):
     if engine.rep_lit(xor_lit) == FALSE:
         return OutputVerdict(index, name, True, None)
     signature = engine.sim.lit_signature(xor_lit)
@@ -97,9 +105,12 @@ def _settle_output(miter, engine, index, name, xor_lit):
         pattern = (signature & -signature).bit_length() - 1
         cex = engine.sim.pattern(pattern)
         return OutputVerdict(index, name, False, cex)
+    if budget is not None and budget.exhausted:
+        return OutputVerdict(index, name, None, None)
     result = engine.solver.solve(
         assumptions=[engine.enc.lit_to_cnf(xor_lit)],
         max_conflicts=engine.options.max_conflicts,
+        budget=budget,
     )
     if result.status is UNSAT:
         if engine.proof is not None:

@@ -1,0 +1,32 @@
+"""Engine-wide instrumentation and resource budgeting.
+
+Two small, dependency-free primitives shared by every layer of the
+package (solver, sweep engine, proof store, trimmer, checker, CLIs,
+benchmark harness):
+
+* :class:`~repro.instrument.recorder.Recorder` — hierarchical phase
+  timers, monotonic counters, gauges, and an optional JSONL event
+  trace, all serialized by :meth:`~repro.instrument.recorder.Recorder.report`
+  to one stable JSON schema (``repro-stats/1``, see
+  ``docs/instrumentation.md``).
+* :class:`~repro.instrument.budget.Budget` — cooperative wall-time /
+  conflict / proof-clause limits. Components consult the budget at
+  natural checkpoints and degrade to ``UNKNOWN`` verdicts instead of
+  hanging; a budget never changes an answer, only whether one is given.
+
+Both are opt-in: every instrumented API accepts ``recorder=None`` /
+``budget=None`` and falls back to a shared no-op
+:data:`~repro.instrument.recorder.NULL_RECORDER`, keeping the hot paths
+free of instrumentation overhead when disabled.
+"""
+
+from .budget import Budget, BudgetExhausted
+from .recorder import NULL_RECORDER, Recorder, STATS_SCHEMA
+
+__all__ = [
+    "Budget",
+    "BudgetExhausted",
+    "NULL_RECORDER",
+    "Recorder",
+    "STATS_SCHEMA",
+]

@@ -1,0 +1,232 @@
+"""Phase timers, counters, gauges, and an optional JSONL event trace.
+
+The :class:`Recorder` is the package's single instrumentation sink.
+Components record into three namespaces:
+
+* **phases** — wall-clock accumulators with call counts. Names are
+  hierarchical with ``/`` separators; the :meth:`Recorder.phase`
+  context manager builds the name from the enclosing phase stack, and
+  :meth:`Recorder.add_time` charges a pre-measured duration to an
+  explicit name (used by hot loops that accumulate locally and flush
+  once).
+* **counters** — monotonically increasing integers
+  (:meth:`Recorder.count`).
+* **gauges** — last-write-wins values (:meth:`Recorder.gauge`), for
+  end-of-run sizes such as the final proof length.
+
+When constructed with ``trace_path``, every :meth:`Recorder.event` call
+appends one JSON object per line (fields ``t`` — seconds since the
+recorder was created — and ``event``, plus caller keywords) so long runs
+can be profiled post-hoc without holding events in memory.
+
+:meth:`Recorder.report` serializes everything to the stable
+``repro-stats/1`` schema documented in ``docs/instrumentation.md``; the
+benchmark harness and the ``--stats-json`` CLI flags all emit exactly
+this shape.
+"""
+
+import json
+import time
+from contextlib import contextmanager
+
+STATS_SCHEMA = "repro-stats/1"
+
+
+class Recorder:
+    """Instrumentation sink: phase timers + counters + gauges + trace.
+
+    Args:
+        trace_path: optional path receiving one JSON object per
+            :meth:`event` call (JSONL). The file is opened lazily on the
+            first event and closed by :meth:`close`.
+        clock: monotonic time source (overridable for tests).
+    """
+
+    enabled = True
+
+    def __init__(self, trace_path=None, clock=time.perf_counter):
+        self._clock = clock
+        self._start = clock()
+        self._phases = {}       # name -> [seconds, count]
+        self._counters = {}     # name -> int
+        self._gauges = {}       # name -> value
+        self._stack = []        # active phase names (hierarchical)
+        self._trace_path = trace_path
+        self._trace_file = None
+        self.meta = {}
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+
+    def _qualify(self, name):
+        if self._stack:
+            return self._stack[-1] + "/" + name
+        return name
+
+    @contextmanager
+    def phase(self, name):
+        """Time a phase; nested phases get ``outer/inner`` names."""
+        full = self._qualify(name)
+        self._stack.append(full)
+        start = self._clock()
+        try:
+            yield self
+        finally:
+            elapsed = self._clock() - start
+            self._stack.pop()
+            self.add_time(full, elapsed)
+
+    def add_time(self, name, seconds, count=1):
+        """Charge *seconds* to phase *name* (explicit, non-stacked)."""
+        cell = self._phases.get(name)
+        if cell is None:
+            self._phases[name] = [seconds, count]
+        else:
+            cell[0] += seconds
+            cell[1] += count
+
+    def phase_seconds(self, name):
+        """Accumulated seconds of phase *name* (0.0 when never entered)."""
+        cell = self._phases.get(name)
+        return cell[0] if cell else 0.0
+
+    # ------------------------------------------------------------------
+    # Counters and gauges
+    # ------------------------------------------------------------------
+
+    def count(self, name, n=1):
+        """Increment counter *name* by *n*."""
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def counter(self, name):
+        """Current value of counter *name* (0 when never incremented)."""
+        return self._counters.get(name, 0)
+
+    def gauge(self, name, value):
+        """Set gauge *name* to *value* (last write wins)."""
+        self._gauges[name] = value
+
+    # ------------------------------------------------------------------
+    # Event trace
+    # ------------------------------------------------------------------
+
+    def event(self, kind, **fields):
+        """Append one trace event (no-op unless ``trace_path`` was given)."""
+        if self._trace_path is None:
+            return
+        if self._trace_file is None:
+            self._trace_file = open(self._trace_path, "w")
+        record = {"t": round(self._clock() - self._start, 6), "event": kind}
+        record.update(fields)
+        self._trace_file.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def close(self):
+        """Flush and close the trace file (idempotent)."""
+        if self._trace_file is not None:
+            self._trace_file.close()
+            self._trace_file = None
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def report(self, budget=None):
+        """Serialize to the stable ``repro-stats/1`` dict schema.
+
+        Args:
+            budget: optional :class:`~repro.instrument.budget.Budget`
+                whose status is embedded under the ``"budget"`` key
+                (``None`` there when no budget was in force).
+        """
+        return {
+            "schema": STATS_SCHEMA,
+            "elapsed_seconds": self._clock() - self._start,
+            "phases": {
+                name: {"seconds": cell[0], "count": cell[1]}
+                for name, cell in sorted(self._phases.items())
+            },
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "budget": budget.as_dict() if budget is not None else None,
+            "meta": dict(self.meta),
+        }
+
+    def write_json(self, path, budget=None):
+        """Write :meth:`report` to *path* as indented JSON."""
+        with open(path, "w") as handle:
+            json.dump(self.report(budget=budget), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+
+
+class _NullRecorder(Recorder):
+    """Shared do-nothing recorder for uninstrumented runs.
+
+    ``enabled`` is False so hot loops can skip even the cheap
+    local-accumulation work; every mutating method is a no-op.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        Recorder.__init__(self)
+
+    @contextmanager
+    def phase(self, name):
+        yield self
+
+    def add_time(self, name, seconds, count=1):
+        pass
+
+    def count(self, name, n=1):
+        pass
+
+    def gauge(self, name, value):
+        pass
+
+    def event(self, kind, **fields):
+        pass
+
+
+NULL_RECORDER = _NullRecorder()
+
+
+def validate_report(report):
+    """Check *report* against the ``repro-stats/1`` schema.
+
+    Used by tests and the CI smoke job. Raises ``ValueError`` with the
+    first problem found; returns the report unchanged when valid.
+    """
+    if not isinstance(report, dict):
+        raise ValueError("report must be a dict")
+    if report.get("schema") != STATS_SCHEMA:
+        raise ValueError("bad schema tag %r" % (report.get("schema"),))
+    for key in ("elapsed_seconds", "phases", "counters", "gauges",
+                "budget", "meta"):
+        if key not in report:
+            raise ValueError("missing top-level key %r" % key)
+    if not isinstance(report["elapsed_seconds"], (int, float)):
+        raise ValueError("elapsed_seconds must be a number")
+    for name, cell in report["phases"].items():
+        if set(cell) != {"seconds", "count"}:
+            raise ValueError("phase %r must have seconds+count" % name)
+        if cell["seconds"] < 0 or cell["count"] < 0:
+            raise ValueError("phase %r has negative fields" % name)
+    for name, value in report["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            raise ValueError("counter %r must be a non-negative int" % name)
+    budget = report["budget"]
+    if budget is not None:
+        for key in ("time_limit", "conflict_limit", "proof_clause_limit",
+                    "conflicts", "proof_clauses", "elapsed_seconds",
+                    "exhausted"):
+            if key not in budget:
+                raise ValueError("budget block missing key %r" % key)
+        if budget["exhausted"] not in (
+            None, "time", "conflicts", "proof_clauses",
+        ):
+            raise ValueError(
+                "bad budget exhaustion reason %r" % (budget["exhausted"],)
+            )
+    return report

@@ -8,6 +8,8 @@ primitive with the producer side (and that primitive is itself exercised
 against a second, set-based implementation in the test suite).
 """
 
+import time
+
 from .store import AXIOM, DERIVED, ProofError, ProofStore, resolve
 
 
@@ -40,7 +42,8 @@ class CheckResult:
         )
 
 
-def check_proof(store, axioms=None, require_empty=True):
+def check_proof(store, axioms=None, require_empty=True, recorder=None,
+                budget=None):
     """Verify every derivation in *store*.
 
     Args:
@@ -50,6 +53,15 @@ def check_proof(store, axioms=None, require_empty=True):
             the original CNF's clauses to certify the refutation is *of
             that formula*.
         require_empty: when true, fail unless some clause is empty.
+        recorder: optional
+            :class:`~repro.instrument.recorder.Recorder`; records the
+            replay timing (``check/replay``) plus clause/resolution
+            counters.
+        budget: optional :class:`~repro.instrument.budget.Budget`,
+            consulted every 256 clauses. A checker cannot degrade to a
+            partial verdict, so exhaustion raises
+            :class:`~repro.instrument.budget.BudgetExhausted` instead of
+            returning.
 
     Returns:
         A :class:`CheckResult`.
@@ -57,7 +69,10 @@ def check_proof(store, axioms=None, require_empty=True):
     Raises:
         ProofError: on the first invalid derivation, foreign axiom, or
             (when *require_empty*) missing empty clause.
+        BudgetExhausted: when *budget* runs out mid-replay.
     """
+    instrumented = recorder is not None and recorder.enabled
+    start = time.perf_counter() if instrumented else 0.0
     allowed = None
     if axioms is not None:
         allowed = {tuple(sorted(set(clause))) for clause in axioms}
@@ -66,6 +81,8 @@ def check_proof(store, axioms=None, require_empty=True):
     num_resolutions = 0
     empty_id = None
     for clause_id in store.ids():
+        if budget is not None and clause_id % 256 == 0:
+            budget.check()
         clause = store.clause(clause_id)
         kind = store.kind(clause_id)
         if kind == AXIOM:
@@ -95,6 +112,10 @@ def check_proof(store, axioms=None, require_empty=True):
             empty_id = clause_id
     if require_empty and empty_id is None:
         raise ProofError("proof does not derive the empty clause")
+    if instrumented:
+        recorder.add_time("check/replay", time.perf_counter() - start)
+        recorder.count("check/clauses", len(store))
+        recorder.count("check/resolutions", num_resolutions)
     return CheckResult(num_axioms, num_derived, num_resolutions, empty_id)
 
 

@@ -73,14 +73,25 @@ class ProofStore:
             and debugging. The independent checker in
             :mod:`repro.proof.checker` performs the same replay after the
             fact regardless of this flag.
+        recorder: optional :class:`~repro.instrument.recorder.Recorder`;
+            the store counts every appended clause (axiom/derived split
+            and resolution-step totals) into the ``proof/*`` counter
+            namespace as it grows.
     """
 
-    def __init__(self, validate=False):
+    def __init__(self, validate=False, recorder=None):
         self.validate = validate
+        self.recorder = recorder
         self._clauses = []
         self._kinds = []
         self._chains = []
         self._axiom_ids = {}
+        # O(1) growth counters; stores reach 1e5-1e6 clauses on the
+        # larger benchmarks, so nothing here may rescan the clause list.
+        self._num_axioms = 0
+        self._num_derived = 0
+        self._num_resolutions = 0
+        self._empty_id = None
 
     def __len__(self):
         return len(self._clauses)
@@ -88,7 +99,17 @@ class ProofStore:
     @property
     def num_axioms(self):
         """Number of axiom clauses."""
-        return sum(1 for kind in self._kinds if kind == AXIOM)
+        return self._num_axioms
+
+    @property
+    def num_derived(self):
+        """Number of derived clauses."""
+        return self._num_derived
+
+    @property
+    def num_resolutions(self):
+        """Total resolution steps across all derivation chains."""
+        return self._num_resolutions
 
     def clause(self, clause_id):
         """The clause tuple stored under *clause_id*."""
@@ -176,6 +197,21 @@ class ProofStore:
         self._clauses.append(clause)
         self._kinds.append(kind)
         self._chains.append(chain)
+        if kind == AXIOM:
+            self._num_axioms += 1
+        else:
+            self._num_derived += 1
+            self._num_resolutions += len(chain) - 1
+        if not clause and self._empty_id is None:
+            self._empty_id = clause_id
+        recorder = self.recorder
+        if recorder is not None and recorder.enabled:
+            recorder.count("proof/clauses")
+            if kind == AXIOM:
+                recorder.count("proof/axioms")
+            else:
+                recorder.count("proof/derived")
+                recorder.count("proof/resolutions", len(chain) - 1)
         return clause_id
 
     @staticmethod
@@ -192,11 +228,13 @@ class ProofStore:
         return tuple(self._chain_refs(chain))
 
     def find_empty_clause(self):
-        """Id of the first empty clause, or ``None``."""
-        for clause_id, clause in enumerate(self._clauses):
-            if not clause:
-                return clause_id
-        return None
+        """Id of the first empty clause, or ``None``.
+
+        O(1): the id is cached at :meth:`_append` time rather than
+        rescanning the clause list (which reaches 10^5-10^6 entries on
+        the larger benchmarks) on every call.
+        """
+        return self._empty_id
 
     def derive_resolvent(self, id_a, id_b, pivot_var):
         """Resolve two stored clauses and record the result. Returns the id."""

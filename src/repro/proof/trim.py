@@ -6,6 +6,8 @@ cone and can rebuild a compact store containing only the needed clauses,
 renumbered in a valid derivation order.
 """
 
+import time
+
 from .store import AXIOM, ProofError, ProofStore
 
 
@@ -29,14 +31,28 @@ def needed_ids(store, root_id=None):
     return needed
 
 
-def trim(store, root_id=None):
+def trim(store, root_id=None, recorder=None):
     """Rebuild a store containing only the cone of *root_id*.
+
+    Args:
+        recorder: optional
+            :class:`~repro.instrument.recorder.Recorder`; records the
+            cone-walk and rebuild timings (``trim/cone``,
+            ``trim/rebuild``) and the cone/total clause counts.
 
     Returns:
         ``(trimmed_store, id_map)`` where ``id_map`` maps old ids of kept
         clauses to their new ids.
     """
+    instrumented = recorder is not None and recorder.enabled
+    start = time.perf_counter() if instrumented else 0.0
     keep = needed_ids(store, root_id)
+    if instrumented:
+        now = time.perf_counter()
+        recorder.add_time("trim/cone", now - start)
+        recorder.gauge("trim/total_clauses", len(store))
+        recorder.gauge("trim/cone_clauses", len(keep))
+        start = now
     trimmed = ProofStore()
     id_map = {}
     for clause_id in sorted(keep):
@@ -49,6 +65,8 @@ def trim(store, root_id=None):
             for pivot, antecedent_id in chain[1:]:
                 new_chain.append((pivot, id_map[antecedent_id]))
             id_map[clause_id] = trimmed.add_derived(clause, new_chain)
+    if instrumented:
+        recorder.add_time("trim/rebuild", time.perf_counter() - start)
     return trimmed, id_map
 
 

@@ -21,7 +21,9 @@ calls; learned clauses and their proofs persist.
 """
 
 import heapq
+import time
 
+from ..instrument import NULL_RECORDER
 from ..proof.store import ProofError
 
 SAT = True
@@ -96,11 +98,19 @@ class Solver:
         restart_base: conflicts per Luby restart unit.
         var_decay: VSIDS decay factor.
         clause_decay: learned-clause activity decay factor.
+        recorder: optional :class:`~repro.instrument.recorder.Recorder`
+            receiving per-solve phase timings and counters.
+        budget: optional :class:`~repro.instrument.budget.Budget`
+            consulted once per conflict (and periodically between
+            decisions); an exhausted budget makes :meth:`solve` return
+            ``UNKNOWN`` with the solver left fully reusable.
     """
 
     def __init__(self, proof=None, restart_base=100, var_decay=0.95,
-                 clause_decay=0.999):
+                 clause_decay=0.999, recorder=None, budget=None):
         self.proof = proof
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.budget = budget
         self.stats = SolverStats()
         self._restart_base = restart_base
         self._var_decay = var_decay
@@ -125,6 +135,7 @@ class Solver:
         self._unsat_proof_id = None
         self._seen = [False]
         self._max_learnts = 0
+        self._last_solve_phases = (0.0, 0.0, 0.0)
 
     # ------------------------------------------------------------------
     # Variables and clauses
@@ -175,10 +186,11 @@ class Solver:
         """
         if self._unsat:
             return False
-        clause = sorted(set(lits))
+        unique = set(lits)
+        if any(-lit in unique for lit in unique):
+            return True  # tautology: satisfied everywhere, skip
+        clause = sorted(unique)
         for lit in clause:
-            if -lit in clause and lit > 0:
-                return True  # tautology: satisfied everywhere, skip
             self.ensure_vars(abs(lit))
         if self.proof is not None and proof_id is None:
             if not axiom:
@@ -508,8 +520,7 @@ class Solver:
             self._bump_clause(record)
             self._watches[self._widx(lits[0])].append(record)
             self._watches[self._widx(lits[1])].append(record)
-        self._enqueue(lits[0], record if len(lits) >= 2 else
-                      _Clause(list(lits), learnt=False, proof_id=proof_id))
+        self._enqueue(lits[0], record)
         return record
 
     def _reduce_db(self):
@@ -648,14 +659,26 @@ class Solver:
     # Solving
     # ------------------------------------------------------------------
 
-    def solve(self, assumptions=(), max_conflicts=None):
+    def solve(self, assumptions=(), max_conflicts=None, budget=None):
         """Solve under *assumptions*.
+
+        Args:
+            assumptions: literals assumed true for this call only.
+            max_conflicts: per-call conflict cap (None = unlimited).
+            budget: optional :class:`~repro.instrument.budget.Budget`
+                overriding the instance budget for this call. Conflicts
+                are charged per conflict and wall time is checked once
+                per conflict and every 256 decisions; exhaustion returns
+                ``UNKNOWN`` and leaves the solver reusable (a later call
+                under a fresh budget continues from the same state).
 
         Returns:
             A :class:`SolveResult` with status ``SAT`` (model available),
             ``UNSAT`` (final clause + proof id available) or ``UNKNOWN``
-            (conflict budget exhausted).
+            (conflict/time budget exhausted).
         """
+        if budget is None:
+            budget = self.budget
         if self._unsat:
             return SolveResult(UNSAT, None, (), self._unsat_proof_id)
         assumptions = list(assumptions)
@@ -670,37 +693,109 @@ class Solver:
                 )
             seen_vars.add(abs(lit))
         assumption_set = set(assumptions)
+        rec = self.recorder
+        timing = rec.enabled
+        clock = time.perf_counter
+        solve_start = clock() if timing else 0.0
+        conflicts_before = self.stats.conflicts
+        decisions_before = self.stats.decisions
+        propagations_before = self.stats.propagations
+        try:
+            return self._solve_loop(
+                assumptions, assumption_set, max_conflicts, budget,
+                timing, clock,
+            )
+        finally:
+            if timing:
+                # The loop stores its per-phase accumulators on the
+                # instance so this flush sees them even on early return.
+                propagate_s, analyze_s, restart_s = self._last_solve_phases
+                rec.add_time("solver/solve", clock() - solve_start)
+                rec.add_time("solver/propagate", propagate_s)
+                rec.add_time("solver/analyze", analyze_s)
+                rec.add_time("solver/restart", restart_s)
+                rec.count(
+                    "solver/conflicts",
+                    self.stats.conflicts - conflicts_before,
+                )
+                rec.count(
+                    "solver/decisions",
+                    self.stats.decisions - decisions_before,
+                )
+                rec.count(
+                    "solver/propagations",
+                    self.stats.propagations - propagations_before,
+                )
+
+    def _solve_loop(self, assumptions, assumption_set, max_conflicts,
+                    budget, timing, clock):
+        """The CDCL search loop (split out of :meth:`solve` for timing)."""
+        propagate_s = 0.0
+        analyze_s = 0.0
+        restart_s = 0.0
+        self._last_solve_phases = (0.0, 0.0, 0.0)
+
+        def flush():
+            self._last_solve_phases = (propagate_s, analyze_s, restart_s)
+
         self.cancel_until(0)
         if not self._propagate_toplevel():
+            flush()
             return SolveResult(UNSAT, None, (), self._unsat_proof_id)
         self._max_learnts = max(100, len(self._clauses) // 3)
         restart_index = 1
         conflicts_until_restart = self._restart_base * luby(restart_index)
         total_conflicts = 0
+        decisions_since_check = 0
         while True:
-            conflict = self._propagate()
+            if timing:
+                t0 = clock()
+                conflict = self._propagate()
+                propagate_s += clock() - t0
+            else:
+                conflict = self._propagate()
             if conflict is not None:
                 self.stats.conflicts += 1
                 total_conflicts += 1
                 conflicts_until_restart -= 1
                 if self.decision_level() == 0:
                     self._record_level0_refutation(conflict)
+                    flush()
                     return SolveResult(UNSAT, None, (), self._unsat_proof_id)
-                learnt, backtrack, chain = self._analyze(conflict)
+                if timing:
+                    t0 = clock()
+                    learnt, backtrack, chain = self._analyze(conflict)
+                    analyze_s += clock() - t0
+                else:
+                    learnt, backtrack, chain = self._analyze(conflict)
                 self.cancel_until(backtrack)
                 self._record_learnt(learnt, chain)
                 if len(self._learnts) > self._max_learnts:
                     self._reduce_db()
                     self._max_learnts = int(self._max_learnts * 1.5)
+                if budget is not None:
+                    budget.on_conflict()
+                    if self.proof is not None:
+                        budget.note_proof_size(len(self.proof))
+                    if budget.exhausted_reason() is not None:
+                        self.cancel_until(0)
+                        flush()
+                        return SolveResult(UNKNOWN, None, None, None)
                 if max_conflicts is not None and total_conflicts >= max_conflicts:
                     self.cancel_until(0)
+                    flush()
                     return SolveResult(UNKNOWN, None, None, None)
                 continue
             if conflicts_until_restart <= 0:
                 self.stats.restarts += 1
                 restart_index += 1
                 conflicts_until_restart = self._restart_base * luby(restart_index)
-                self.cancel_until(0)
+                if timing:
+                    t0 = clock()
+                    self.cancel_until(0)
+                    restart_s += clock() - t0
+                else:
+                    self.cancel_until(0)
                 continue
             # Place pending assumptions as pseudo-decisions.
             lit = None
@@ -715,6 +810,7 @@ class Solver:
                         candidate, assumption_set
                     )
                     self.cancel_until(0)
+                    flush()
                     return SolveResult(UNSAT, None, tuple(clause), proof_id)
                 lit = candidate
                 break
@@ -723,9 +819,17 @@ class Solver:
                 if var is None:
                     model = list(self._assign)
                     self.cancel_until(0)
+                    flush()
                     return SolveResult(SAT, model, None, None)
                 lit = var if self._phase[var] else -var
             self.stats.decisions += 1
+            decisions_since_check += 1
+            if budget is not None and decisions_since_check >= 256:
+                decisions_since_check = 0
+                if budget.exhausted_reason() is not None:
+                    self.cancel_until(0)
+                    flush()
+                    return SolveResult(UNKNOWN, None, None, None)
             self._new_decision_level()
             self._enqueue(lit, None)
 

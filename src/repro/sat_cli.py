@@ -15,6 +15,7 @@ import argparse
 import sys
 
 from .cnf.dimacs import DimacsError, read_dimacs
+from .instrument import Budget, Recorder
 from .proof.checker import check_proof
 from .proof.drup import write_drup
 from .proof.stats import proof_stats
@@ -54,6 +55,23 @@ def build_parser():
         help="conflict budget (exit 0 when exhausted)",
     )
     parser.add_argument(
+        "--conflict-limit", type=int, default=None, metavar="N",
+        help="alias of --max-conflicts (uniform budget flag across the "
+        "repro CLIs); the smaller of the two wins",
+    )
+    parser.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget (exit 0 / s UNKNOWN when exhausted)",
+    )
+    parser.add_argument(
+        "--stats-json", metavar="PATH",
+        help="write the run's repro-stats/1 JSON report to PATH",
+    )
+    parser.add_argument(
+        "--trace-events", metavar="PATH",
+        help="append JSONL instrumentation events to PATH",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress the model/statistics"
     )
     return parser
@@ -67,9 +85,32 @@ def main(argv=None):
     except (OSError, DimacsError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 0
+    recorder = Recorder(trace_path=args.trace_events)
+    recorder.meta.update({"tool": "repro-sat", "cnf": args.cnf})
+    budget = None
+    if args.time_limit is not None:
+        budget = Budget(time_limit=args.time_limit)
+    max_conflicts = args.max_conflicts
+    if args.conflict_limit is not None:
+        max_conflicts = (
+            args.conflict_limit if max_conflicts is None
+            else min(max_conflicts, args.conflict_limit)
+        )
+    try:
+        code = _run(cnf, args, recorder, budget, max_conflicts)
+        recorder.meta["exit_code"] = code
+    finally:
+        if args.stats_json:
+            recorder.write_json(args.stats_json, budget=budget)
+        recorder.close()
+    return code
+
+
+def _run(cnf, args, recorder, budget, max_conflicts):
+    """Solve and report; returns the exit code."""
     wants_proof = bool(args.proof or args.trace or args.check)
-    store = ProofStore() if wants_proof else None
-    solver = Solver(proof=store)
+    store = ProofStore(recorder=recorder) if wants_proof else None
+    solver = Solver(proof=store, recorder=recorder, budget=budget)
     solver.ensure_vars(cnf.num_vars)
     alive = True
     for clause in cnf.clauses:
@@ -77,7 +118,7 @@ def main(argv=None):
             alive = False
             break
     result = solver.solve(
-        assumptions=args.assume, max_conflicts=args.max_conflicts
+        assumptions=args.assume, max_conflicts=max_conflicts
     ) if alive else None
     status = result.status if alive else UNSAT
     if status is SAT:
@@ -97,9 +138,9 @@ def main(argv=None):
         if store is not None and not args.assume:
             to_write = store
             if not args.no_trim:
-                to_write, _ = trim(store)
+                to_write, _ = trim(store, recorder=recorder)
             if args.check:
-                check_proof(to_write, axioms=cnf.clauses)
+                check_proof(to_write, axioms=cnf.clauses, recorder=recorder)
                 print("c proof checked: OK")
             if args.proof:
                 write_drup(to_write, args.proof)
