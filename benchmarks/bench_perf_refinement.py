@@ -1,0 +1,255 @@
+"""Performance benchmark: batched refinement and parallel proof checking.
+
+Two experiments, both runnable as a standalone script (used by the CI
+perf-smoke job) or under the benchmark harness::
+
+    PYTHONPATH=src python benchmarks/bench_perf_refinement.py --out BENCH_refinement.json
+    PYTHONPATH=src python benchmarks/bench_perf_refinement.py --small --out /tmp/b.json
+
+Experiment 1 (refinement): sweep an adder pair with ``sim_words=0`` so
+every candidate class is built purely from counterexample refinement,
+and compare full-AIG simulation passes between the legacy
+one-pattern-per-pass path (``refine_batch=0``), the batched path
+(``refine_batch=1``), and deferred flushing (``refine_batch=4``). The
+batched path must do at least 3x fewer passes at an identical verdict.
+
+Experiment 2 (parallel check): replay a synthetic wide resolution proof
+(>= 50k clauses in full mode) sequentially and with ``jobs`` worker
+processes, asserting identical results. The wall-clock speedup is
+recorded honestly; it is only asserted to exceed 1.0 on multi-CPU hosts
+(fork/IPC overhead makes parallel replay strictly slower on one CPU).
+
+The JSON written by ``--out`` embeds the batched sweep's and the
+parallel check's ``repro-stats/1`` reports so CI can validate them.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.circuits import kogge_stone_adder, ripple_carry_adder
+from repro.core.cec import check_equivalence
+from repro.core.fraig import SweepOptions
+from repro.instrument import Recorder
+from repro.instrument.recorder import validate_report
+from repro.proof import ProofStore, check_proof
+
+CEX_NEIGHBORS = 4  # each refinement simulates the cex plus 4 neighbours
+REFINE_MODES = [("legacy", 0), ("batched", 1), ("deferred4", 4)]
+
+
+def _sweep(width, refine_batch):
+    aig_a = ripple_carry_adder(width)
+    aig_b = kogge_stone_adder(width)
+    options = SweepOptions(
+        sim_words=0, cex_neighbors=CEX_NEIGHBORS, refine_batch=refine_batch
+    )
+    start = time.perf_counter()
+    result = check_equivalence(aig_a, aig_b, options)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def refinement_benchmark(small=False):
+    """Compare simulation passes across refinement modes on one pair."""
+    width = 8 if small else 16
+    runs = {}
+    for name, refine_batch in REFINE_MODES:
+        result, elapsed = _sweep(width, refine_batch)
+        assert result.equivalent is True, name
+        stats = result.engine.stats
+        runs[name] = {
+            "refine_batch": refine_batch,
+            "sim_passes": stats.sim_passes,
+            "refinements": stats.refinements,
+            "refine_flushes": stats.refine_flushes,
+            "refine_patterns": stats.refine_patterns,
+            "sat_calls": stats.sat_calls,
+            "seconds": round(elapsed, 4),
+        }
+        if refine_batch == 1:
+            validate_report(result.stats)
+            runs[name]["stats"] = result.stats
+    legacy, batched = runs["legacy"], runs["batched"]
+    assert batched["refinements"] == legacy["refinements"]
+    ratio = legacy["sim_passes"] / max(batched["sim_passes"], 1)
+    if not small:
+        # The full-size pair must exercise the acceptance criterion:
+        # >= 50 refinements and >= 3x fewer simulation passes.
+        assert batched["refinements"] >= 50, batched["refinements"]
+    assert ratio >= 3.0, ratio
+    return {
+        "pair": "rca%d-vs-ks%d" % (width, width),
+        "cex_neighbors": CEX_NEIGHBORS,
+        "runs": runs,
+        "sim_pass_ratio": round(ratio, 2),
+    }
+
+
+def synthetic_proof(blocks, width=8):
+    """A wide refutation with *blocks* independent resolution chains.
+
+    Each block derives a unit clause over its own disjoint variables via
+    *width* resolutions; block 0 additionally derives the empty clause.
+    Total size: ``blocks * (2 * width + 1) + 5`` clauses. Returns
+    ``(store, axioms)``.
+    """
+    store = ProofStore()
+    axioms = []
+    for b in range(blocks):
+        base = (width + 2) * b + 1
+        xs = list(range(base, base + width + 1))
+        x = xs[0]
+        big = [x] + xs[1:]
+        first = store.add_axiom(big)
+        axioms.append(big)
+        chain = [first]
+        for k in range(width, 0, -1):
+            clause = [x] + xs[1:k] + [-xs[k]]
+            step = store.add_axiom(clause)
+            axioms.append(clause)
+            chain.append((xs[k], step))
+            store.add_derived(sorted([x] + xs[1:k]), list(chain))
+        if b == 0:
+            neg_a = store.add_axiom([-x, xs[1]])
+            neg_b = store.add_axiom([-x, -xs[1]])
+            axioms += [[-x, xs[1]], [-x, -xs[1]]]
+            neg_unit = store.add_derived([-x], [neg_a, (xs[1], neg_b)])
+            pos_unit = store.add_derived([x], list(chain))
+            store.add_derived([], [pos_unit, (x, neg_unit)])
+    return store, axioms
+
+
+def parallel_check_benchmark(small=False):
+    """Replay one proof sequentially and in parallel; compare verdicts."""
+    blocks = 500 if small else 3000
+    jobs = 2 if small else 4
+    store, axioms = synthetic_proof(blocks)
+    start = time.perf_counter()
+    seq = check_proof(store, axioms=axioms)
+    seq_seconds = time.perf_counter() - start
+    recorder = Recorder()
+    start = time.perf_counter()
+    par = check_proof(store, axioms=axioms, recorder=recorder, jobs=jobs)
+    par_seconds = time.perf_counter() - start
+    for attr in (
+        "num_axioms", "num_derived", "num_resolutions", "empty_clause_id"
+    ):
+        assert getattr(seq, attr) == getattr(par, attr), attr
+    report = recorder.report()
+    validate_report(report)
+    cpus = os.cpu_count() or 1
+    speedup = seq_seconds / max(par_seconds, 1e-9)
+    if not small and cpus > 1:
+        assert speedup > 1.0, (
+            "parallel replay slower than sequential on %d CPUs "
+            "(%.3fs vs %.3fs)" % (cpus, par_seconds, seq_seconds)
+        )
+    return {
+        "clauses": len(store),
+        "resolutions": seq.num_resolutions,
+        "jobs": jobs,
+        "cpus": cpus,
+        "sequential_seconds": round(seq_seconds, 4),
+        "parallel_seconds": round(par_seconds, 4),
+        "speedup": round(speedup, 3),
+        "stats": report,
+    }
+
+
+def run(small=False):
+    """Run both experiments; returns the combined result document."""
+    refinement = refinement_benchmark(small=small)
+    parallel = parallel_check_benchmark(small=small)
+    return {
+        "bench": "perf_refinement",
+        "mode": "small" if small else "full",
+        "refinement": refinement,
+        "parallel_check": parallel,
+    }
+
+
+def test_perf_refinement_smoke(tmp_path):
+    """Harness entry: the small configuration must hold end to end."""
+    from conftest import report_table
+
+    document = run(small=True)
+    runs = document["refinement"]["runs"]
+    report_table(
+        "Perf: batched refinement (pair %s)"
+        % document["refinement"]["pair"],
+        ["mode", "sim passes", "refinements", "flushes", "time(s)"],
+        [
+            [name, r["sim_passes"], r["refinements"], r["refine_flushes"],
+             r["seconds"]]
+            for name, r in runs.items()
+        ],
+        notes=[
+            "sim-pass ratio legacy/batched: %.1fx"
+            % document["refinement"]["sim_pass_ratio"],
+            "parallel check %.3fs vs sequential %.3fs on %d CPUs"
+            % (
+                document["parallel_check"]["parallel_seconds"],
+                document["parallel_check"]["sequential_seconds"],
+                document["parallel_check"]["cpus"],
+            ),
+        ],
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Batched-refinement and parallel-check benchmark"
+    )
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="CI-sized configuration (8-bit adders, ~8.5k-clause proof)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the JSON result document (with embedded repro-stats/1 "
+        "reports) to PATH",
+    )
+    args = parser.parse_args(argv)
+    document = run(small=args.small)
+    refinement = document["refinement"]
+    parallel = document["parallel_check"]
+    print(
+        "refinement %s: legacy %d passes, batched %d, deferred %d "
+        "(%.1fx fewer; %d refinements)"
+        % (
+            refinement["pair"],
+            refinement["runs"]["legacy"]["sim_passes"],
+            refinement["runs"]["batched"]["sim_passes"],
+            refinement["runs"]["deferred4"]["sim_passes"],
+            refinement["sim_pass_ratio"],
+            refinement["runs"]["batched"]["refinements"],
+        )
+    )
+    print(
+        "parallel check: %d clauses, %d resolutions, jobs=%d on %d CPUs: "
+        "%.3fs vs %.3fs sequential (%.2fx)"
+        % (
+            parallel["clauses"],
+            parallel["resolutions"],
+            parallel["jobs"],
+            parallel["cpus"],
+            parallel["parallel_seconds"],
+            parallel["sequential_seconds"],
+            parallel["speedup"],
+        )
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("results written to %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,9 @@ and ``^`` per node, so hundreds of patterns are evaluated at once.
 
 Signatures drive the sweeping engine: nodes with equal (or complementary)
 signatures are *candidates* for equivalence; SAT decides. Counterexamples
-returned by SAT are appended as new patterns to refine the partition.
+returned by SAT are appended as new patterns to refine the partition —
+batched through :meth:`Simulator.add_patterns` so one resimulation pass
+absorbs a whole refinement round instead of one pass per pattern.
 """
 
 import random
@@ -18,7 +20,11 @@ class Simulator:
 
     The simulator owns a pattern set of ``num_words * 64`` input patterns
     and the resulting per-variable signatures. Patterns can be appended
-    (counterexample refinement) which re-simulates in one pass.
+    one at a time (:meth:`add_pattern`), in batches (:meth:`add_patterns`)
+    or replaced wholesale (:meth:`set_patterns`); every mutator triggers
+    exactly one resimulation pass regardless of how many patterns it
+    adds, and :attr:`num_resimulations` counts those passes so callers
+    can measure how much work batching saves.
     """
 
     WORD_BITS = 64
@@ -27,6 +33,8 @@ class Simulator:
         self.aig = aig
         self._rng = random.Random(seed)
         self._num_bits = 0
+        self._mask_cache = 0
+        self.num_resimulations = 0
         # Input patterns indexed by input position (not variable).
         self._patterns = [0] * aig.num_inputs
         self.signatures = [0] * aig.num_vars
@@ -40,8 +48,8 @@ class Simulator:
 
     @property
     def mask(self):
-        """Bit mask covering all current patterns."""
-        return (1 << self._num_bits) - 1
+        """Bit mask covering all current patterns (cached, not rebuilt)."""
+        return self._mask_cache
 
     def add_random_patterns(self, count):
         """Append *count* uniformly random input patterns and re-simulate."""
@@ -52,35 +60,81 @@ class Simulator:
 
     def add_pattern(self, input_bits):
         """Append one explicit pattern (sequence of 0/1 per input)."""
-        if len(input_bits) != self.aig.num_inputs:
+        self.add_patterns([input_bits])
+
+    def add_patterns(self, patterns):
+        """Append many explicit patterns with a *single* resimulation pass.
+
+        Args:
+            patterns: iterable of patterns, each a sequence of 0/1 values
+                with one entry per AIG input. An empty iterable is a
+                no-op (no resimulation).
+        """
+        batch = [list(bits) for bits in patterns]
+        num_inputs = self.aig.num_inputs
+        for bits in batch:
+            if len(bits) != num_inputs:
+                raise ValueError(
+                    "expected %d input bits, got %d" % (num_inputs, len(bits))
+                )
+        if not batch:
+            return
+        base = self._num_bits
+        pattern_words = self._patterns
+        for offset, bits in enumerate(batch):
+            position = base + offset
+            for idx, bit in enumerate(bits):
+                if bit:
+                    pattern_words[idx] |= 1 << position
+        self._num_bits = base + len(batch)
+        self._resimulate()
+
+    def set_patterns(self, pattern_words, num_bits):
+        """Replace the whole pattern set and re-simulate once.
+
+        Args:
+            pattern_words: one integer per AIG input (in input order)
+                whose bit k is that input's value under the k-th pattern.
+            num_bits: number of patterns the words encode; every word
+                must fit in *num_bits* bits.
+        """
+        pattern_words = list(pattern_words)
+        if len(pattern_words) != self.aig.num_inputs:
             raise ValueError(
-                "expected %d input bits, got %d"
-                % (self.aig.num_inputs, len(input_bits))
+                "expected %d input words, got %d"
+                % (self.aig.num_inputs, len(pattern_words))
             )
-        for idx, bit in enumerate(input_bits):
-            if bit:
-                self._patterns[idx] |= 1 << self._num_bits
-        self._num_bits += 1
+        mask = (1 << num_bits) - 1
+        for word in pattern_words:
+            if word < 0 or word & ~mask:
+                raise ValueError(
+                    "pattern word %#x does not fit in %d bits"
+                    % (word, num_bits)
+                )
+        self._patterns = pattern_words
+        self._num_bits = num_bits
         self._resimulate()
 
     def _resimulate(self):
         aig = self.aig
         sigs = self.signatures = [0] * aig.num_vars
-        mask = self.mask
+        # The mask is cached here, once per pass; lit_signature() and the
+        # mask property reuse it instead of rebuilding (1 << n) - 1 on
+        # every call (the dominant cost once patterns grow long).
+        full = self._mask_cache = (1 << self._num_bits) - 1
         for pos, var in enumerate(aig.inputs):
             sigs[var] = self._patterns[pos]
-        full = mask
         for var in aig.and_vars():
             f0, f1 = aig.fanins(var)
             a = sigs[f0 >> 1] ^ (full if f0 & 1 else 0)
             b = sigs[f1 >> 1] ^ (full if f1 & 1 else 0)
             sigs[var] = a & b
-        self._mask_cache = mask
+        self.num_resimulations += 1
 
     def lit_signature(self, lit):
         """Signature of a literal (complemented signatures are masked)."""
         sig = self.signatures[lit >> 1]
-        return sig ^ self.mask if lit & 1 else sig
+        return sig ^ self._mask_cache if lit & 1 else sig
 
     def output_signatures(self):
         """Signatures of all outputs."""
@@ -112,12 +166,8 @@ def random_equivalence_test(aig_a, aig_b, rounds=256, seed=2007):
     sim_a = Simulator(aig_a, num_words=0, seed=seed)
     sim_b = Simulator(aig_b, num_words=0, seed=seed)
     patterns = [rng.getrandbits(rounds) for _ in range(aig_a.num_inputs)]
-    sim_a._patterns = list(patterns)
-    sim_b._patterns = list(patterns)
-    sim_a._num_bits = rounds
-    sim_b._num_bits = rounds
-    sim_a._resimulate()
-    sim_b._resimulate()
+    sim_a.set_patterns(patterns, rounds)
+    sim_b.set_patterns(patterns, rounds)
     for out_a, out_b in zip(sim_a.output_signatures(), sim_b.output_signatures()):
         diff = out_a ^ out_b
         if diff:

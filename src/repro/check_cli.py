@@ -43,6 +43,12 @@ def build_parser():
         help="additionally validate by reverse unit propagation",
     )
     parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="replay derivation chunks across N worker processes "
+        "(0 = one per CPU; default: sequential). Parallel and "
+        "sequential modes accept/reject exactly the same proofs",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="no statistics output"
     )
     parser.add_argument(
@@ -102,7 +108,7 @@ def _run(args, recorder, budget):
     try:
         result = check_proof(
             store, axioms=axioms, require_empty=True, recorder=recorder,
-            budget=budget,
+            budget=budget, jobs=args.jobs,
         )
     except BudgetExhausted as exc:
         print("UNDECIDED: %s" % exc)

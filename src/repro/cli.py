@@ -53,6 +53,14 @@ def build_parser():
         help="replay the proof with the independent checker before exiting",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --certify, replay the proof across N worker "
+        "processes (0 = one per CPU; default: sequential)",
+    )
+    parser.add_argument(
         "--sim-words",
         type=int,
         default=4,
@@ -166,7 +174,7 @@ def _dispatch(aig_a, aig_b, args, recorder, budget):
         aig_a, aig_b, options, recorder=recorder, budget=budget
     )
     if args.certify and result.equivalent:
-        certify(result)
+        certify(result, jobs=args.jobs)
         if not args.quiet:
             print("certified: proof replayed successfully")
     return _report(

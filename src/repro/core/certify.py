@@ -14,13 +14,16 @@ class CertificationError(Exception):
     """The result's certificate failed verification."""
 
 
-def certify(result, rup=False):
+def certify(result, rup=False, jobs=None):
     """Verify the certificate carried by *result*.
 
     Args:
         result: a :class:`~repro.core.cec.CecResult`.
         rup: additionally cross-validate with the reverse-unit-propagation
             checker.
+        jobs: replay the resolution proof across this many worker
+            processes (``0`` = one per CPU, ``None``/``1`` =
+            sequential); see ``repro.proof.parallel``.
 
     Returns:
         The :class:`~repro.proof.checker.CheckResult` for equivalence
@@ -39,7 +42,8 @@ def certify(result, rup=False):
         )
     try:
         check = check_proof(
-            result.proof, axioms=result.cnf.clauses, require_empty=True
+            result.proof, axioms=result.cnf.clauses, require_empty=True,
+            jobs=jobs,
         )
     except Exception as exc:
         raise CertificationError("resolution check failed: %s" % exc)

@@ -1,14 +1,16 @@
 """Resolution proofs: store, checkers, trimming, statistics, DRUP."""
 
 from .compress import lower_units
-from .checker import CheckResult, check_proof, check_refutation_of
+from .checker import CheckResult, check_clause, check_proof, \
+    check_refutation_of
 from .drup import check_rup_proof, write_drup
+from .parallel import check_proof_parallel
 from .interpolant import Interpolant, InterpolationError, interpolate, \
     partition_vars
 from .stats import ProofStats, proof_stats
 from .store import AXIOM, DERIVED, ProofError, ProofStore, resolve
 from .tracecheck import parse_tracecheck, read_tracecheck, write_tracecheck
-from .trim import needed_ids, trim, trim_ratio
+from .trim import levelize, needed_ids, trim, trim_ratio
 
 __all__ = [
     "AXIOM",
@@ -19,9 +21,12 @@ __all__ = [
     "ProofError",
     "ProofStats",
     "ProofStore",
+    "check_clause",
     "check_proof",
+    "check_proof_parallel",
     "check_refutation_of",
     "check_rup_proof",
+    "levelize",
     "lower_units",
     "interpolate",
     "needed_ids",

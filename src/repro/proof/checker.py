@@ -6,6 +6,11 @@ axioms against a reference CNF, and confirms the proof culminates in the
 empty clause. It shares only the tiny :func:`repro.proof.store.resolve`
 primitive with the producer side (and that primitive is itself exercised
 against a second, set-based implementation in the test suite).
+
+Each clause's validation depends only on the *stored* antecedent clauses,
+never on the antecedents having been validated first, so clauses can be
+checked in any order — the basis of the multiprocessing pipeline in
+:mod:`repro.proof.parallel`, reachable from here via ``jobs=N``.
 """
 
 import time
@@ -42,8 +47,53 @@ class CheckResult:
         )
 
 
+def check_clause(clause_id, clause, kind, chain, get_clause, allowed):
+    """Validate one proof clause; returns the resolution steps replayed.
+
+    This is the unit of work shared verbatim by the sequential loop below
+    and the parallel chunk workers, so both modes raise byte-identical
+    :class:`~repro.proof.store.ProofError` messages for the same defect.
+
+    Args:
+        clause_id: the clause's id (for error reporting and the
+            prior-reference check).
+        clause: the claimed clause tuple.
+        kind: ``AXIOM`` or ``DERIVED``.
+        chain: the derivation chain (``None`` for axioms).
+        get_clause: callable mapping a clause id to its stored tuple.
+        allowed: optional frozen set of normalized axiom clauses.
+    """
+    if kind == AXIOM:
+        if allowed is not None and clause not in allowed:
+            raise ProofError(
+                "axiom %d = %r is not a clause of the reference CNF"
+                % (clause_id, clause),
+                clause_id=clause_id,
+            )
+        return 0
+    if kind == DERIVED:
+        _require_prior(chain[0], clause_id)
+        current = get_clause(chain[0])
+        steps = 0
+        for pivot, antecedent_id in chain[1:]:
+            _require_prior(antecedent_id, clause_id)
+            current = resolve(current, get_clause(antecedent_id), pivot)
+            steps += 1
+        if current != clause:
+            raise ProofError(
+                "clause %d claims %r but chain yields %r"
+                % (clause_id, clause, current),
+                clause_id=clause_id,
+            )
+        return steps
+    raise ProofError(
+        "clause %d has unknown kind %r" % (clause_id, kind),
+        clause_id=clause_id,
+    )
+
+
 def check_proof(store, axioms=None, require_empty=True, recorder=None,
-                budget=None):
+                budget=None, jobs=None):
     """Verify every derivation in *store*.
 
     Args:
@@ -55,13 +105,19 @@ def check_proof(store, axioms=None, require_empty=True, recorder=None,
         require_empty: when true, fail unless some clause is empty.
         recorder: optional
             :class:`~repro.instrument.recorder.Recorder`; records the
-            replay timing (``check/replay``) plus clause/resolution
-            counters.
+            replay timing (``check/replay``, or ``check/parallel-replay``
+            under *jobs*) plus clause/resolution counters.
         budget: optional :class:`~repro.instrument.budget.Budget`,
             consulted every 256 clauses. A checker cannot degrade to a
             partial verdict, so exhaustion raises
             :class:`~repro.instrument.budget.BudgetExhausted` instead of
             returning.
+        jobs: when > 1, replay derivation chunks across a
+            ``multiprocessing`` pool of that many workers (``0`` means
+            one per CPU); see :mod:`repro.proof.parallel`. Accepts and
+            rejects exactly the same proofs as the sequential mode, with
+            the same error for the smallest failing clause id. ``None``
+            or ``1`` checks sequentially.
 
     Returns:
         A :class:`CheckResult`.
@@ -71,43 +127,34 @@ def check_proof(store, axioms=None, require_empty=True, recorder=None,
             (when *require_empty*) missing empty clause.
         BudgetExhausted: when *budget* runs out mid-replay.
     """
+    if jobs is not None and jobs != 1:
+        from .parallel import check_proof_parallel
+
+        return check_proof_parallel(
+            store, axioms=axioms, require_empty=require_empty,
+            recorder=recorder, budget=budget, jobs=jobs,
+        )
     instrumented = recorder is not None and recorder.enabled
     start = time.perf_counter() if instrumented else 0.0
-    allowed = None
-    if axioms is not None:
-        allowed = {tuple(sorted(set(clause))) for clause in axioms}
+    allowed = prepare_axioms(axioms)
     num_axioms = 0
     num_derived = 0
     num_resolutions = 0
     empty_id = None
+    get_clause = store.clause
     for clause_id in store.ids():
         if budget is not None and clause_id % 256 == 0:
             budget.check()
-        clause = store.clause(clause_id)
+        clause = get_clause(clause_id)
         kind = store.kind(clause_id)
         if kind == AXIOM:
             num_axioms += 1
-            if allowed is not None and clause not in allowed:
-                raise ProofError(
-                    "axiom %d = %r is not a clause of the reference CNF"
-                    % (clause_id, clause)
-                )
-        elif kind == DERIVED:
-            num_derived += 1
-            chain = store.chain(clause_id)
-            current = store.clause(chain[0])
-            _require_prior(chain[0], clause_id)
-            for pivot, antecedent_id in chain[1:]:
-                _require_prior(antecedent_id, clause_id)
-                current = resolve(current, store.clause(antecedent_id), pivot)
-                num_resolutions += 1
-            if current != clause:
-                raise ProofError(
-                    "clause %d claims %r but chain yields %r"
-                    % (clause_id, clause, current)
-                )
         else:
-            raise ProofError("clause %d has unknown kind %r" % (clause_id, kind))
+            num_derived += 1
+        num_resolutions += check_clause(
+            clause_id, clause, kind, store.chain(clause_id), get_clause,
+            allowed,
+        )
         if not clause and empty_id is None:
             empty_id = clause_id
     if require_empty and empty_id is None:
@@ -119,11 +166,19 @@ def check_proof(store, axioms=None, require_empty=True, recorder=None,
     return CheckResult(num_axioms, num_derived, num_resolutions, empty_id)
 
 
+def prepare_axioms(axioms):
+    """Normalize an axiom iterable into the membership set, or ``None``."""
+    if axioms is None:
+        return None
+    return {tuple(sorted(set(clause))) for clause in axioms}
+
+
 def _require_prior(antecedent_id, clause_id):
     if not 0 <= antecedent_id < clause_id:
         raise ProofError(
             "clause %d references antecedent %d that is not prior"
-            % (clause_id, antecedent_id)
+            % (clause_id, antecedent_id),
+            clause_id=clause_id,
         )
 
 

@@ -1,0 +1,238 @@
+"""Parallel resolution-proof checking.
+
+Replaying a derivation chain needs only the *stored* clauses of its
+antecedents — never the result of having validated them first — so every
+clause of a proof can be checked independently. This module exploits
+that: it topologically levelizes the proof's antecedent DAG (a sanity
+and statistics pass that also bounds the critical replay path), flattens
+the levels into a deterministic schedule, and farms fixed-size chunks of
+clause ids out to a ``multiprocessing`` pool.
+
+Design points:
+
+* **Zero-copy workers where possible.** On platforms with ``fork`` the
+  proof arrays are published in a module global before the pool starts,
+  so workers inherit them copy-on-write and chunk dispatch ships only id
+  lists. Start methods without ``fork`` fall back to pickling the arrays
+  once per worker through the pool initializer.
+* **Deterministic error reporting.** Workers never raise across the
+  process boundary; each returns its smallest failing clause id (with
+  the exact message the sequential checker would produce — both modes
+  share :func:`repro.proof.checker.check_clause`). The parent raises for
+  the globally smallest failing id, which is precisely the clause the
+  sequential checker would have stopped at.
+* **Sequential fallback.** Small proofs (below *min_clauses*), ``jobs``
+  resolving to one worker, and pool-creation failures all degrade to the
+  plain sequential checker — same verdict, just no speedup.
+
+The public entry point is :func:`check_proof_parallel`, normally reached
+through ``repro.proof.checker.check_proof(..., jobs=N)`` or the
+``--jobs`` CLI flags.
+"""
+
+import multiprocessing
+import os
+import time
+
+from .checker import CheckResult, check_clause, prepare_axioms
+from .store import AXIOM, ProofError
+from .trim import levelize
+
+# Proofs smaller than this replay sequentially: pool startup costs more
+# than the replay itself.
+DEFAULT_MIN_CLAUSES = 4096
+
+# Clause ids per dispatched chunk. Large enough that per-chunk dispatch
+# overhead is noise, small enough that a 50k-clause proof still spreads
+# over every worker.
+DEFAULT_CHUNK_SIZE = 2048
+
+# Worker-side proof arrays: (clauses, kinds, chains, allowed).
+# Published before the pool starts so fork-based workers inherit the
+# data without any pickling; spawn-based workers receive the same tuple
+# through _init_worker.
+_SHARED = None
+
+
+def _init_worker(state):
+    global _SHARED
+    _SHARED = state
+
+
+def _check_chunk(bounds):
+    """Validate one ``[lo, hi)`` chunk of ids against the shared arrays.
+
+    Returns ``(error, num_axioms, num_derived, num_resolutions,
+    empty_id)`` where *error* is ``None`` or ``(clause_id, message)`` for
+    the smallest failing id in the chunk.
+    """
+    lo, hi = bounds
+    clauses, kinds, chains, allowed = _SHARED
+    get_clause = clauses.__getitem__
+    num_axioms = 0
+    num_derived = 0
+    num_resolutions = 0
+    empty_id = None
+    for clause_id in range(lo, hi):
+        clause = clauses[clause_id]
+        kind = kinds[clause_id]
+        if kind == AXIOM:
+            num_axioms += 1
+        else:
+            num_derived += 1
+        try:
+            num_resolutions += check_clause(
+                clause_id, clause, kind, chains[clause_id], get_clause,
+                allowed,
+            )
+        except ProofError as exc:
+            return (
+                (clause_id, str(exc)),
+                num_axioms, num_derived, num_resolutions, empty_id,
+            )
+        if not clause and empty_id is None:
+            empty_id = clause_id
+    return None, num_axioms, num_derived, num_resolutions, empty_id
+
+
+def resolve_jobs(jobs):
+    """Normalize a ``jobs`` request to a worker count (``0`` = per CPU)."""
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _chunk_schedule(store, chunk_size):
+    """Deterministic chunk list over the proof's topological order.
+
+    Insertion order *is* a topological order of the antecedent DAG (the
+    store rejects non-prior references at append time, and the workers
+    re-validate them clause by clause), so chunks are plain contiguous
+    ``(lo, hi)`` id ranges — the cheapest possible thing to ship to a
+    worker. :func:`~repro.proof.trim.levelize` supplies the DAG's shape
+    separately: its level count is the critical replay path, reported as
+    the ``check/levels`` gauge on instrumented runs.
+    """
+    size = len(store)
+    return [
+        (lo, min(lo + chunk_size, size)) for lo in range(0, size, chunk_size)
+    ]
+
+
+def check_proof_parallel(store, axioms=None, require_empty=True,
+                         recorder=None, budget=None, jobs=0,
+                         chunk_size=DEFAULT_CHUNK_SIZE,
+                         min_clauses=DEFAULT_MIN_CLAUSES):
+    """Verify *store* like ``check_proof``, replaying chunks in parallel.
+
+    Accepts and rejects exactly the same proofs as the sequential
+    checker and raises the same :class:`ProofError` (message and
+    ``clause_id``) for the smallest failing clause id. See the module
+    docstring for the execution model.
+
+    Args:
+        store: the :class:`~repro.proof.store.ProofStore` to verify.
+        axioms: optional reference axiom set (as in ``check_proof``).
+        require_empty: when true, fail unless some clause is empty.
+        recorder: optional recorder; the pool replay is charged to
+            ``check/parallel-replay`` and the worker/level/chunk shape
+            lands in ``check/*`` gauges.
+        budget: optional budget, consulted as chunk results arrive.
+        jobs: worker processes (``0`` = one per CPU, ``None``/``1`` =
+            sequential).
+        chunk_size: clause ids per dispatched chunk.
+        min_clauses: proofs smaller than this replay sequentially.
+
+    Returns:
+        A :class:`~repro.proof.checker.CheckResult`.
+    """
+    from .checker import check_proof  # late import: two-way module pair
+
+    workers = resolve_jobs(jobs)
+    fallback = None
+    if workers <= 1:
+        fallback = "jobs"
+    elif len(store) < min_clauses:
+        fallback = "small_proof"
+    if fallback is not None:
+        if recorder is not None and recorder.enabled:
+            recorder.gauge("check/parallel_fallback", fallback)
+        return check_proof(
+            store, axioms=axioms, require_empty=require_empty,
+            recorder=recorder, budget=budget,
+        )
+
+    instrumented = recorder is not None and recorder.enabled
+    start = time.perf_counter() if instrumented else 0.0
+    allowed = prepare_axioms(axioms)
+    chunks = _chunk_schedule(store, chunk_size)
+    num_levels = len(levelize(store)) if instrumented else None
+    state = (
+        [store.clause(i) for i in store.ids()],
+        [store.kind(i) for i in store.ids()],
+        [store.chain(i) for i in store.ids()],
+        allowed,
+    )
+
+    global _SHARED
+    try:
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+            _SHARED = state
+            pool = context.Pool(processes=workers)
+        else:
+            context = multiprocessing.get_context()
+            pool = context.Pool(
+                processes=workers, initializer=_init_worker,
+                initargs=(state,),
+            )
+    except (OSError, ValueError) as exc:
+        _SHARED = None
+        if recorder is not None and recorder.enabled:
+            recorder.gauge("check/parallel_fallback", "pool: %s" % exc)
+        return check_proof(
+            store, axioms=axioms, require_empty=require_empty,
+            recorder=recorder, budget=budget,
+        )
+
+    errors = []
+    num_axioms = 0
+    num_derived = 0
+    num_resolutions = 0
+    empty_id = None
+    try:
+        with pool:
+            for result in pool.imap_unordered(_check_chunk, chunks):
+                if budget is not None:
+                    budget.check()
+                error, axs, der, res, empty = result
+                if error is not None:
+                    errors.append(error)
+                num_axioms += axs
+                num_derived += der
+                num_resolutions += res
+                if empty is not None and (empty_id is None or empty < empty_id):
+                    empty_id = empty
+    finally:
+        _SHARED = None
+
+    if errors:
+        clause_id, message = min(errors)
+        raise ProofError(message, clause_id=clause_id)
+    if require_empty and empty_id is None:
+        raise ProofError("proof does not derive the empty clause")
+    if instrumented:
+        recorder.add_time(
+            "check/parallel-replay", time.perf_counter() - start,
+            count=len(chunks),
+        )
+        recorder.count("check/clauses", len(store))
+        recorder.count("check/resolutions", num_resolutions)
+        recorder.gauge("check/jobs", workers)
+        recorder.gauge("check/levels", num_levels)
+        recorder.gauge("check/chunks", len(chunks))
+    return CheckResult(num_axioms, num_derived, num_resolutions, empty_id)

@@ -28,7 +28,19 @@ DERIVED = "derived"
 
 
 class ProofError(Exception):
-    """Raised when a proof object or derivation is invalid."""
+    """Raised when a proof object or derivation is invalid.
+
+    Attributes:
+        clause_id: id of the offending clause when the failure is
+            attributable to one (``None`` otherwise). The parallel
+            checker uses it to report the *smallest* failing id, making
+            its error deterministic and identical to the sequential
+            checker's.
+    """
+
+    def __init__(self, message, clause_id=None):
+        Exception.__init__(self, message)
+        self.clause_id = clause_id
 
 
 def resolve(clause_a, clause_b, pivot_var):

@@ -70,6 +70,47 @@ def trim(store, root_id=None, recorder=None):
     return trimmed, id_map
 
 
+def levelize(store):
+    """Topologically levelize the store's antecedent DAG.
+
+    Level 0 holds the axioms; a derived clause sits one level above its
+    deepest antecedent. Returns a list of id lists, one per level, each
+    in ascending id order. Clauses *within* a level share no antecedent
+    relation, so their derivations can be replayed independently — the
+    parallel checker's scheduling basis, and the level count (the DAG's
+    critical-path length) bounds how deep any replay dependency chain
+    gets.
+
+    Malformed antecedent references (non-prior ids) are treated as
+    level-0 antecedents rather than raised here: the checker proper
+    reports them with deterministic per-clause errors.
+    """
+    size = len(store)
+    level = [0] * size
+    buckets = [[]]
+    chain_of = store.chain
+    for clause_id in range(size):
+        chain = chain_of(clause_id)
+        if chain is None:
+            buckets[0].append(clause_id)
+            continue
+        first = chain[0]
+        depth = level[first] + 1 if 0 <= first < clause_id else 1
+        for _, antecedent_id in chain[1:]:
+            candidate = (
+                level[antecedent_id] + 1
+                if 0 <= antecedent_id < clause_id
+                else 1
+            )
+            if candidate > depth:
+                depth = candidate
+        level[clause_id] = depth
+        while len(buckets) <= depth:
+            buckets.append([])
+        buckets[depth].append(clause_id)
+    return buckets
+
+
 def trim_ratio(store, root_id=None):
     """Fraction of clauses surviving the trim, ``len(kept) / len(store)``."""
     if not len(store):

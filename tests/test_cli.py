@@ -67,6 +67,11 @@ class TestMain:
         assert main([file_a, file_b, "--certify"]) == 0
         assert "certified" in capsys.readouterr().out
 
+    def test_certify_with_jobs(self, circuit_files, capsys):
+        file_a, file_b, _ = circuit_files
+        assert main([file_a, file_b, "--certify", "--jobs", "2"]) == 0
+        assert "certified" in capsys.readouterr().out
+
     def test_monolithic_engine(self, circuit_files, capsys):
         file_a, file_b, _ = circuit_files
         assert main([file_a, file_b, "--engine", "monolithic"]) == 0

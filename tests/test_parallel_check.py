@@ -1,0 +1,232 @@
+"""Tests for the parallel proof-checking pipeline.
+
+The contract under test: ``check_proof(jobs=N)`` accepts and rejects
+exactly the same proofs as the sequential checker, reporting the same
+error (message and clause id) for the smallest failing clause.
+"""
+
+import pytest
+
+from repro.circuits import kogge_stone_adder, ripple_carry_adder
+from repro.core.cec import check_equivalence
+from repro.instrument import Budget, BudgetExhausted, Recorder
+from repro.proof import (
+    AXIOM,
+    ProofError,
+    ProofStore,
+    check_proof,
+    check_proof_parallel,
+    levelize,
+)
+from repro.proof.parallel import resolve_jobs
+
+
+def synthetic_refutation(blocks, width=4):
+    """A wide refutation: *blocks* independent unit derivations over
+    disjoint variables (each a chain of *width* resolutions), plus one
+    completing empty-clause derivation. Returns ``(store, axioms)``."""
+    store = ProofStore()
+    axioms = []
+    for b in range(blocks):
+        base = (width + 2) * b + 1
+        xs = list(range(base, base + width + 1))
+        x = xs[0]
+        big = [x] + xs[1:]
+        first = store.add_axiom(big)
+        axioms.append(big)
+        chain = [first]
+        for k in range(width, 0, -1):
+            clause = [x] + xs[1:k] + [-xs[k]]
+            step = store.add_axiom(clause)
+            axioms.append(clause)
+            chain.append((xs[k], step))
+            store.add_derived(sorted([x] + xs[1:k]), list(chain))
+        if b == 0:
+            neg_a = store.add_axiom([-x, xs[1]])
+            neg_b = store.add_axiom([-x, -xs[1]])
+            axioms += [[-x, xs[1]], [-x, -xs[1]]]
+            neg_unit = store.add_derived([-x], [neg_a, (xs[1], neg_b)])
+            pos_unit = store.add_derived([x], list(chain))
+            store.add_derived([], [pos_unit, (x, neg_unit)])
+    return store, axioms
+
+
+def corrupt_clause(store, target, extra_lit=999999):
+    """Copy *store* with clause *target* claiming one extra literal."""
+    bad = ProofStore()
+    for clause_id in store.ids():
+        if store.kind(clause_id) == AXIOM:
+            bad.add_axiom(store.clause(clause_id))
+        elif clause_id == target:
+            bad.add_derived(
+                list(store.clause(clause_id)) + [extra_lit],
+                store.chain(clause_id),
+            )
+        else:
+            bad.add_derived(store.clause(clause_id), store.chain(clause_id))
+    return bad
+
+
+def first_derived_after(store, start):
+    for clause_id in range(start, len(store)):
+        if store.kind(clause_id) != AXIOM:
+            return clause_id
+    raise AssertionError("no derived clause after %d" % start)
+
+
+def parallel(store, **kwargs):
+    """Parallel check with thresholds disabled so small stores fan out."""
+    kwargs.setdefault("jobs", 2)
+    kwargs.setdefault("min_clauses", 1)
+    kwargs.setdefault("chunk_size", 64)
+    return check_proof_parallel(store, **kwargs)
+
+
+class TestAgreementOnValidProofs:
+    def test_synthetic_refutation(self):
+        store, axioms = synthetic_refutation(40)
+        seq = check_proof(store, axioms=axioms)
+        par = parallel(store, axioms=axioms)
+        for attr in (
+            "num_axioms", "num_derived", "num_resolutions",
+            "empty_clause_id",
+        ):
+            assert getattr(seq, attr) == getattr(par, attr), attr
+
+    def test_real_sweep_proof(self):
+        result = check_equivalence(
+            ripple_carry_adder(4), kogge_stone_adder(4)
+        )
+        seq = check_proof(result.proof, axioms=result.cnf.clauses)
+        par = parallel(result.proof, axioms=result.cnf.clauses)
+        assert seq.num_resolutions == par.num_resolutions
+        assert seq.empty_clause_id == par.empty_clause_id
+
+    def test_jobs_through_public_entry(self):
+        store, axioms = synthetic_refutation(30)
+        par = check_proof(store, axioms=axioms, jobs=2)
+        seq = check_proof(store, axioms=axioms)
+        assert par.num_resolutions == seq.num_resolutions
+
+    def test_require_empty_false(self):
+        store = ProofStore()
+        a = store.add_axiom([1, 2])
+        b = store.add_axiom([-1, 2])
+        store.add_derived([2], [a, (1, b)])
+        result = parallel(store, require_empty=False)
+        assert result.empty_clause_id is None
+
+
+class TestAgreementOnInvalidProofs:
+    def test_corrupted_chain_same_clause_id(self):
+        store, _ = synthetic_refutation(40)
+        target = first_derived_after(store, len(store) // 2)
+        bad = corrupt_clause(store, target)
+        with pytest.raises(ProofError) as seq_err:
+            check_proof(bad)
+        with pytest.raises(ProofError) as par_err:
+            parallel(bad)
+        assert seq_err.value.clause_id == target
+        assert par_err.value.clause_id == target
+        assert str(seq_err.value) == str(par_err.value)
+
+    def test_two_corruptions_report_the_smaller_id(self):
+        store, _ = synthetic_refutation(40)
+        first = first_derived_after(store, 10)
+        second = first_derived_after(store, len(store) - 30)
+        bad = corrupt_clause(corrupt_clause(store, second), first)
+        with pytest.raises(ProofError) as seq_err:
+            check_proof(bad)
+        with pytest.raises(ProofError) as par_err:
+            parallel(bad)
+        assert seq_err.value.clause_id == first
+        assert par_err.value.clause_id == first
+        assert str(seq_err.value) == str(par_err.value)
+
+    def test_foreign_axiom_same_error(self):
+        store, axioms = synthetic_refutation(20)
+        trimmed_axioms = axioms[1:]  # drop the first axiom from the set
+        with pytest.raises(ProofError) as seq_err:
+            check_proof(store, axioms=trimmed_axioms)
+        with pytest.raises(ProofError) as par_err:
+            parallel(store, axioms=trimmed_axioms)
+        assert seq_err.value.clause_id == par_err.value.clause_id == 0
+        assert str(seq_err.value) == str(par_err.value)
+
+    def test_missing_empty_clause_same_error(self):
+        store = ProofStore()
+        a = store.add_axiom([1, 2])
+        b = store.add_axiom([-1, 2])
+        store.add_derived([2], [a, (1, b)])
+        with pytest.raises(ProofError) as seq_err:
+            check_proof(store)
+        with pytest.raises(ProofError) as par_err:
+            parallel(store)
+        assert str(seq_err.value) == str(par_err.value)
+
+
+class TestFallbacksAndPlumbing:
+    def test_small_proof_falls_back_to_sequential(self):
+        store, axioms = synthetic_refutation(5)
+        recorder = Recorder()
+        result = check_proof_parallel(
+            store, axioms=axioms, jobs=2, recorder=recorder,
+            min_clauses=10**6,
+        )
+        assert result.empty_clause_id is not None
+        report = recorder.report()
+        assert report["gauges"]["check/parallel_fallback"] == "small_proof"
+        assert "check/replay" in report["phases"]
+        assert "check/parallel-replay" not in report["phases"]
+
+    def test_jobs_one_falls_back(self):
+        store, axioms = synthetic_refutation(5)
+        result = check_proof_parallel(
+            store, axioms=axioms, jobs=1, min_clauses=1
+        )
+        assert result.empty_clause_id is not None
+
+    def test_recorder_phases_and_gauges(self):
+        store, axioms = synthetic_refutation(40)
+        recorder = Recorder()
+        parallel(store, axioms=axioms, recorder=recorder)
+        report = recorder.report()
+        assert "check/parallel-replay" in report["phases"]
+        assert report["counters"]["check/clauses"] == len(store)
+        assert report["gauges"]["check/jobs"] == 2
+        assert report["gauges"]["check/levels"] == len(levelize(store))
+        assert report["gauges"]["check/chunks"] >= 2
+
+    def test_budget_exhaustion_raises(self):
+        store, axioms = synthetic_refutation(40)
+        budget = Budget(time_limit=0.0)
+        with pytest.raises(BudgetExhausted):
+            parallel(store, axioms=axioms, budget=budget)
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestLevelize:
+    def test_levels_of_synthetic(self):
+        store = ProofStore()
+        a = store.add_axiom([1, 2])
+        b = store.add_axiom([-1, 2])
+        c = store.add_derived([2], [a, (1, b)])
+        d = store.add_axiom([-2, 3])
+        e = store.add_derived([3], [c, (2, d)])
+        levels = levelize(store)
+        assert levels[0] == [a, b, d]
+        assert levels[1] == [c]
+        assert levels[2] == [e]
+
+    def test_all_axioms_single_level(self):
+        store = ProofStore()
+        store.add_axiom([1])
+        store.add_axiom([2])
+        assert levelize(store) == [[0, 1]]

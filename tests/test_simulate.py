@@ -70,6 +70,75 @@ class TestSimulator:
         assert sim.lit_signature(left) == sim.lit_signature(right)
 
 
+class TestBatchAPI:
+    def test_add_patterns_matches_sequential(self, tiny_aig):
+        batch = [[1, 0, 1], [0, 1, 1], [1, 1, 0], [0, 0, 0]]
+        sim_one = Simulator(tiny_aig, num_words=1, seed=7)
+        sim_many = Simulator(tiny_aig, num_words=1, seed=7)
+        for bits in batch:
+            sim_one.add_pattern(bits)
+        sim_many.add_patterns(batch)
+        assert sim_one.signatures == sim_many.signatures
+        assert sim_one.num_patterns == sim_many.num_patterns
+        assert sim_one.mask == sim_many.mask
+
+    def test_add_patterns_single_resimulation(self, tiny_aig):
+        sim = Simulator(tiny_aig, num_words=1, seed=7)
+        passes = sim.num_resimulations
+        sim.add_patterns([[1, 0, 1], [0, 1, 1], [1, 1, 0]])
+        assert sim.num_resimulations == passes + 1
+
+    def test_add_patterns_empty_is_noop(self, tiny_aig):
+        sim = Simulator(tiny_aig, num_words=1, seed=7)
+        passes = sim.num_resimulations
+        before = list(sim.signatures)
+        sim.add_patterns([])
+        assert sim.num_resimulations == passes
+        assert sim.signatures == before
+
+    def test_add_patterns_validates_arity(self, tiny_aig):
+        sim = Simulator(tiny_aig, num_words=1)
+        with pytest.raises(ValueError):
+            sim.add_patterns([[1, 0, 1], [1, 0]])
+        # The failed batch must not have been partially applied.
+        assert sim.num_patterns == 64
+
+    def test_mask_cached_and_correct(self, tiny_aig):
+        sim = Simulator(tiny_aig, num_words=0, seed=7)
+        assert sim.mask == 0
+        sim.add_patterns([[1, 1, 1], [0, 0, 1]])
+        assert sim.mask == (1 << sim.num_patterns) - 1
+        sim.add_random_patterns(64)
+        assert sim.mask == (1 << sim.num_patterns) - 1
+
+    def test_set_patterns_replaces(self, tiny_aig):
+        sim = Simulator(tiny_aig, num_words=2, seed=7)
+        sim.set_patterns([0b1010, 0b0110, 0b0011], 4)
+        assert sim.num_patterns == 4
+        assert sim.pattern(0) == [0, 0, 1]
+        assert sim.pattern(3) == [1, 0, 0]
+        assert sim.mask == 0b1111
+
+    def test_set_patterns_validates(self, tiny_aig):
+        sim = Simulator(tiny_aig, num_words=0)
+        with pytest.raises(ValueError):
+            sim.set_patterns([1, 2], 4)
+        with pytest.raises(ValueError):
+            sim.set_patterns([0b10000, 0, 0], 4)
+
+    def test_set_patterns_matches_add_patterns(self, tiny_aig):
+        rows = [[1, 0, 0], [1, 1, 0], [0, 1, 1], [1, 0, 1]]
+        sim_rows = Simulator(tiny_aig, num_words=0, seed=7)
+        sim_rows.add_patterns(rows)
+        words = [
+            sum(rows[k][idx] << k for k in range(len(rows)))
+            for idx in range(3)
+        ]
+        sim_words = Simulator(tiny_aig, num_words=0, seed=7)
+        sim_words.set_patterns(words, len(rows))
+        assert sim_rows.signatures == sim_words.signatures
+
+
 class TestRandomEquivalenceTest:
     def test_equal_circuits_pass(self):
         a = ripple_carry_adder(4)
