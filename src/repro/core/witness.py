@@ -10,7 +10,7 @@ unsatisfiable (no completion makes the circuits agree).
 
 from ..aig.miter import build_miter
 from ..cnf.tseitin import tseitin_encode
-from ..sat.solver import SAT, UNSAT, Solver
+from ..sat.solver import UNSAT, Solver
 
 
 class MinimizedWitness:

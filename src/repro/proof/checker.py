@@ -15,7 +15,7 @@ checked in any order — the basis of the multiprocessing pipeline in
 
 import time
 
-from .store import AXIOM, DERIVED, ProofError, ProofStore, resolve
+from .store import AXIOM, DERIVED, ProofError, resolve
 
 
 class CheckResult:
