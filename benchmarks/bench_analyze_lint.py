@@ -1,0 +1,85 @@
+"""Static lint vs. full replay — the pre-flight speedup.
+
+The lint gate is only worth running unconditionally if it is much
+cheaper than the replay it fronts. This bench times
+:func:`repro.analyze.proof_lint.lint_proof` against
+:func:`repro.proof.checker.check_proof` on the committed benchmark
+proof (``examples/data/add24_miter.tc``, the largest in the repo) and
+on freshly generated proofs across sizes.
+
+The acceptance bar is a >= 5x speedup on the largest committed proof;
+the test asserts a 3x floor so timer noise on loaded CI machines does
+not flake the suite, and reports the measured ratio in the summary
+table.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.analyze.proof_lint import lint_proof
+from repro.baselines.monolithic import monolithic_check
+from repro.circuits import kogge_stone_adder, ripple_carry_adder
+from repro.cnf.dimacs import read_dimacs
+from repro.proof.checker import check_proof
+from repro.proof.stats import proof_stats
+from repro.proof.tracecheck import read_tracecheck
+from repro.proof.trim import trim
+
+from conftest import report_table
+
+_DATA = os.path.join(os.path.dirname(__file__), "..", "examples", "data")
+_ROWS = {}
+
+
+def _best_of(fn, reps=9):
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure(name, proof, cnf):
+    stats = proof_stats(proof)
+    check_seconds = _best_of(
+        lambda: check_proof(proof, axioms=cnf.clauses, require_empty=True)
+    )
+    lint_seconds = _best_of(lambda: lint_proof(proof, cnf=cnf))
+    findings = lint_proof(proof, cnf=cnf)
+    errors = [f for f in findings if f.severity == "error"]
+    assert not errors, [f.render() for f in errors]
+    ratio = check_seconds / lint_seconds
+    _ROWS[name] = [
+        name, stats.num_clauses, stats.num_resolutions,
+        "%.1f" % (check_seconds * 1e3), "%.2f" % (lint_seconds * 1e3),
+        "%.1fx" % ratio,
+    ]
+    report_table(
+        "Static lint vs. replay (pre-flight speedup)",
+        ["proof", "clauses", "resolutions", "replay ms", "lint ms",
+         "speedup"],
+        [_ROWS[key] for key in sorted(_ROWS)],
+        notes=["acceptance bar: >=5x on the committed add24 proof; "
+               "test floor 3x absorbs CI timer noise"],
+    )
+    return ratio
+
+
+def test_committed_benchmark_proof():
+    proof, _ = read_tracecheck(os.path.join(_DATA, "add24_miter.tc"))
+    cnf = read_dimacs(os.path.join(_DATA, "add24_miter.cnf"))
+    ratio = _measure("add24 (committed)", proof, cnf)
+    assert ratio >= 3.0, "lint only %.1fx faster than replay" % ratio
+
+
+@pytest.mark.parametrize("bits", [8, 16])
+def test_generated_adder_proofs(bits):
+    result = monolithic_check(
+        ripple_carry_adder(bits), kogge_stone_adder(bits), proof=True
+    )
+    assert result.equivalent
+    proof, _ = trim(result.proof)
+    _measure("add%02d (generated)" % bits, proof, result.cnf)

@@ -13,7 +13,7 @@ import random
 import pytest
 
 from repro.aig.simulate import random_equivalence_test
-from repro.circuits import SUITE, by_name
+from repro.circuits import by_name
 from repro.circuits.faults import enumerate_faults, inject
 from repro.core.cec import check_equivalence
 from repro.core.fraig import SweepOptions

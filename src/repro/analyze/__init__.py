@@ -1,0 +1,52 @@
+"""Static analysis: proof/netlist linting and codebase rules.
+
+Three replay-free analysis passes plus one CLI (``repro-lint``):
+
+* :mod:`repro.analyze.proof_lint` — structural invariants of
+  resolution proofs (stores, TraceCheck traces, DRUP files) checked
+  without replaying a single resolution.
+* :mod:`repro.analyze.aig_lint` — AIG/miter well-formedness and
+  Tseitin-encoding schema validation.
+* :mod:`repro.analyze.ast_rules` — project-specific Python AST rules
+  over the ``repro`` sources themselves.
+
+All passes emit :class:`~repro.analyze.findings.Finding` objects and
+aggregate into the ``repro-lint/1`` JSON schema
+(:class:`~repro.analyze.findings.LintReport`). Error-severity proof
+findings are sound rejections — :func:`repro.core.certify.certify` uses
+them as a fast pre-replay gate via ``lint=True`` — while a clean lint
+never substitutes for the full checker. Rule ids and the severity
+policy are catalogued in ``docs/static-analysis.md``.
+"""
+
+from .aig_lint import lint_aig, lint_encoding, lint_miter
+from .ast_rules import lint_file, lint_package, lint_source
+from .findings import (
+    ERROR,
+    INFO,
+    LINT_SCHEMA,
+    WARNING,
+    Finding,
+    LintReport,
+    validate_lint_report,
+)
+from .proof_lint import lint_drup_file, lint_proof, lint_tracecheck_file
+
+__all__ = [
+    "ERROR",
+    "Finding",
+    "INFO",
+    "LINT_SCHEMA",
+    "LintReport",
+    "WARNING",
+    "lint_aig",
+    "lint_drup_file",
+    "lint_encoding",
+    "lint_file",
+    "lint_miter",
+    "lint_package",
+    "lint_proof",
+    "lint_source",
+    "lint_tracecheck_file",
+    "validate_lint_report",
+]

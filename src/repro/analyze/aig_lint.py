@@ -1,0 +1,344 @@
+"""Structural linting of AIGs, miters, and their Tseitin encodings.
+
+Three entry points, one per artifact:
+
+* :func:`lint_aig` — netlist well-formedness: fanin bounds and
+  topological order (with genuine combinational-loop detection on
+  corrupted graphs), constant-feeding and trivial AND nodes that
+  :meth:`~repro.aig.aig.AIG.add_and` would have folded away, structural
+  hashing misses, dangling-node accounting, output literal ranges, and
+  an ``aig.structure-report`` info summary.
+* :func:`lint_miter` — miter shape: exactly one output, non-empty
+  aligned output-pair/XOR bookkeeping, literals in range; includes a
+  full :func:`lint_aig` of the miter netlist.
+* :func:`lint_encoding` — Tseitin CNF: var-map bijectivity, the
+  constant unit clause, the three-clause AND definition schema per
+  node, and clause-count accounting against the expected schema.
+
+As in :mod:`repro.analyze.proof_lint`, error severity means the
+artifact cannot be what it claims (a well-formed AIG / faithful
+encoding); warnings flag constructs the package's own builders never
+produce; info findings are accounting only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..aig.literal import lit_var
+from .findings import ERROR, INFO, WARNING, Finding
+
+_NO_FANIN = -1
+
+
+def lint_aig(aig: Any, name: str = "") -> List[Finding]:
+    """Lint one :class:`~repro.aig.aig.AIG`; returns findings.
+
+    Args:
+        aig: the netlist to analyze.
+        name: label used in messages (defaults to ``aig.name``).
+    """
+    findings: List[Finding] = []
+    label = name or aig.name or "aig"
+    num_vars = aig.num_vars
+    bad_order: List[int] = []
+    bad_refs = False
+    const_fanin = 0
+    trivial = 0
+    strash_seen: Dict[Tuple[int, int], int] = {}
+    strash_dups = 0
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        ok = True
+        for fanin in (f0, f1):
+            fanin_var = fanin >> 1
+            if not 0 <= fanin_var < num_vars:
+                findings.append(Finding(
+                    "aig.topology", ERROR,
+                    "%s: AND %d has out-of-range fanin literal %d"
+                    % (label, var, fanin),
+                    data={"var": var, "fanin": fanin},
+                ))
+                ok = False
+                bad_refs = True
+            elif fanin_var >= var:
+                bad_order.append(var)
+                ok = False
+        if not ok:
+            continue
+        if (f0 >> 1) == 0 or (f1 >> 1) == 0:
+            const_fanin += 1
+        if (f0 >> 1) == (f1 >> 1):
+            trivial += 1
+        key = (f0, f1) if f0 >= f1 else (f1, f0)
+        first = strash_seen.setdefault(key, var)
+        if first != var:
+            strash_dups += 1
+    if bad_order:
+        # Variable order is no longer topological; decide whether the
+        # graph is merely reordered or genuinely cyclic.
+        cycle_var = _find_cycle(aig)
+        if cycle_var is not None:
+            findings.append(Finding(
+                "aig.loop", ERROR,
+                "%s: combinational loop through AND %d" % (label, cycle_var),
+                data={"var": cycle_var},
+            ))
+        findings.append(Finding(
+            "aig.topology", ERROR if cycle_var is not None else WARNING,
+            "%s: %d AND nodes reference non-prior variables"
+            % (label, len(bad_order)),
+            data={"vars": bad_order[:16]},
+        ))
+    if const_fanin:
+        findings.append(Finding(
+            "aig.const-fanin", WARNING,
+            "%s: %d AND nodes read the constant (add_and would fold them)"
+            % (label, const_fanin),
+            data={"count": const_fanin},
+        ))
+    if trivial:
+        findings.append(Finding(
+            "aig.trivial-and", WARNING,
+            "%s: %d AND nodes combine a variable with itself"
+            % (label, trivial),
+            data={"count": trivial},
+        ))
+    if strash_dups:
+        findings.append(Finding(
+            "aig.strash-dup", WARNING,
+            "%s: %d AND nodes duplicate an earlier fanin pair"
+            " (structural hashing miss)" % (label, strash_dups),
+            data={"count": strash_dups},
+        ))
+    for index, lit in enumerate(aig.outputs):
+        if not 0 <= lit_var(lit) < num_vars:
+            findings.append(Finding(
+                "aig.output-range", ERROR,
+                "%s: output %d is literal %d of an unknown variable"
+                % (label, index, lit),
+                data={"output": index, "lit": lit},
+            ))
+            bad_refs = True
+    # fanout_counts()/levels() index by fanin variable, so skip the
+    # structure summary when references are out of range.
+    if not bad_refs:
+        findings.extend(_structure_report(aig, label, bool(bad_order)))
+    return findings
+
+
+def _structure_report(aig: Any, label: str, skip_levels: bool) -> List[Finding]:
+    """Dangling accounting plus the ``aig.structure-report`` summary."""
+    findings: List[Finding] = []
+    fanout = aig.fanout_counts()
+    dangling = sum(
+        1 for var in aig.and_vars()
+        if 0 <= var < len(fanout) and fanout[var] == 0
+    )
+    if dangling:
+        findings.append(Finding(
+            "aig.dangling", WARNING,
+            "%s: %d AND nodes have no fanout and feed no output"
+            " (rebuild would drop them)" % (label, dangling),
+            data={"count": dangling},
+        ))
+    # levels() assumes topological variable order; skip when violated.
+    depth = None if skip_levels else (
+        max(aig.levels()) if aig.num_vars > 1 else 0
+    )
+    findings.append(Finding(
+        "aig.structure-report", INFO,
+        "%s: %d inputs, %d outputs, %d ANDs, depth %s, %d dangling"
+        % (label, aig.num_inputs, aig.num_outputs, aig.num_ands,
+           "?" if depth is None else depth, dangling),
+        data={
+            "inputs": aig.num_inputs,
+            "outputs": aig.num_outputs,
+            "ands": aig.num_ands,
+            "depth": depth,
+            "dangling": dangling,
+            "max_fanout": max(fanout) if fanout else 0,
+        },
+    ))
+    return findings
+
+
+def _find_cycle(aig: Any) -> Optional[int]:
+    """First AND variable on a combinational cycle, or ``None``.
+
+    Iterative three-color DFS over the fanin graph; tolerates arbitrary
+    (corrupted) fanin references as long as they are in range.
+    """
+    num_vars = aig.num_vars
+    state = bytearray(num_vars)  # 0 unvisited, 1 on stack, 2 done
+    for root in aig.and_vars():
+        if state[root]:
+            continue
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        state[root] = 1
+        while stack:
+            var, child = stack[-1]
+            if not aig.is_and(var) or child == 2:
+                state[var] = 2
+                stack.pop()
+                continue
+            stack[-1] = (var, child + 1)
+            fanin_var = aig.fanins(var)[child] >> 1
+            if not 0 <= fanin_var < num_vars:
+                continue
+            if state[fanin_var] == 1:
+                return fanin_var
+            if state[fanin_var] == 0:
+                state[fanin_var] = 1
+                stack.append((fanin_var, 0))
+    return None
+
+
+def lint_miter(miter: Any) -> List[Finding]:
+    """Lint a :class:`~repro.aig.miter.Miter`'s shape and its netlist."""
+    findings: List[Finding] = []
+    aig = miter.aig
+    num_vars = aig.num_vars
+    if aig.num_outputs != 1:
+        findings.append(Finding(
+            "miter.shape", ERROR,
+            "miter has %d outputs, expected exactly 1" % aig.num_outputs,
+        ))
+    if not miter.output_pairs:
+        findings.append(Finding(
+            "miter.shape", ERROR,
+            "miter tracks no output pairs — nothing to prove",
+        ))
+    if len(miter.xor_lits) != len(miter.output_pairs):
+        findings.append(Finding(
+            "miter.shape", ERROR,
+            "miter tracks %d XOR literals for %d output pairs"
+            % (len(miter.xor_lits), len(miter.output_pairs)),
+        ))
+    out_of_range = [
+        lit
+        for pair in miter.output_pairs for lit in pair
+        if not 0 <= lit_var(lit) < num_vars
+    ] + [
+        lit for lit in miter.xor_lits
+        if not 0 <= lit_var(lit) < num_vars
+    ]
+    if out_of_range:
+        findings.append(Finding(
+            "miter.shape", ERROR,
+            "miter bookkeeping references literals of unknown variables: %r"
+            % (out_of_range[:8],),
+        ))
+    identical = sum(1 for a, b in miter.output_pairs if a == b)
+    if identical:
+        findings.append(Finding(
+            "miter.shape", INFO,
+            "%d of %d output pairs are already structurally identical"
+            % (identical, len(miter.output_pairs)),
+            data={"identical_pairs": identical,
+                  "pairs": len(miter.output_pairs)},
+        ))
+    findings.extend(lint_aig(aig, name="miter"))
+    return findings
+
+
+def lint_encoding(aig: Any, encoding: Any) -> List[Finding]:
+    """Lint a :class:`~repro.cnf.tseitin.TseitinResult` against its AIG.
+
+    Validates the AIG-variable-to-CNF-variable map (length, injectivity,
+    range), the constant unit clause, every AND node's three defining
+    clauses against the Tseitin schema, and the overall clause count
+    (``1 + 3 * num_ands`` plus any caller-added constraint clauses,
+    which are reported as info).
+    """
+    findings: List[Finding] = []
+    cnf = encoding.cnf
+    var_of = encoding.var_of
+    if len(var_of) != aig.num_vars:
+        findings.append(Finding(
+            "cnf.var-map", ERROR,
+            "var map covers %d variables, AIG has %d"
+            % (len(var_of), aig.num_vars),
+        ))
+        return findings
+    seen: Dict[int, int] = {}
+    for aig_var, cnf_var in enumerate(var_of):
+        if not 1 <= cnf_var <= cnf.num_vars:
+            findings.append(Finding(
+                "cnf.var-map", ERROR,
+                "AIG variable %d maps to CNF variable %d outside 1..%d"
+                % (aig_var, cnf_var, cnf.num_vars),
+            ))
+            continue
+        first = seen.setdefault(cnf_var, aig_var)
+        if first != aig_var:
+            findings.append(Finding(
+                "cnf.var-map", ERROR,
+                "AIG variables %d and %d both map to CNF variable %d"
+                % (first, aig_var, cnf_var),
+            ))
+    num_clauses = len(cnf.clauses)
+    const_index = encoding.const_clause_index
+    if not 0 <= const_index < num_clauses:
+        findings.append(Finding(
+            "cnf.const-unit", ERROR,
+            "constant clause index %d is out of range" % const_index,
+        ))
+    elif cnf.clauses[const_index] != (-var_of[0],):
+        findings.append(Finding(
+            "cnf.const-unit", ERROR,
+            "clause %d is %r, expected the constant unit %r"
+            % (const_index, cnf.clauses[const_index], (-var_of[0],)),
+        ))
+    schema_clauses = 1
+    for aig_var in aig.and_vars():
+        triple = encoding.defining_clauses.get(aig_var)
+        if triple is None:
+            findings.append(Finding(
+                "cnf.defining-shape", ERROR,
+                "AND %d has no defining clauses" % aig_var,
+            ))
+            continue
+        if any(not 0 <= index < num_clauses for index in triple):
+            findings.append(Finding(
+                "cnf.defining-shape", ERROR,
+                "AND %d cites out-of-range clause indices %r"
+                % (aig_var, triple),
+            ))
+            continue
+        schema_clauses += 3
+        f0, f1 = aig.fanins(aig_var)
+        node = var_of[aig_var]
+        lit1 = _cnf_lit(var_of, f0)
+        lit2 = _cnf_lit(var_of, f1)
+        expected = {
+            tuple(sorted({-node, lit1})),
+            tuple(sorted({-node, lit2})),
+            tuple(sorted({node, -lit1, -lit2})),
+        }
+        actual = {cnf.clauses[index] for index in triple}
+        if actual != expected:
+            findings.append(Finding(
+                "cnf.defining-shape", ERROR,
+                "AND %d defining clauses %r do not match the Tseitin"
+                " schema %r" % (aig_var, sorted(actual), sorted(expected)),
+            ))
+    if num_clauses < schema_clauses:
+        findings.append(Finding(
+            "cnf.clause-count", ERROR,
+            "encoding has %d clauses, schema requires at least %d"
+            % (num_clauses, schema_clauses),
+        ))
+    elif num_clauses > schema_clauses:
+        findings.append(Finding(
+            "cnf.clause-count", INFO,
+            "%d clauses beyond the Tseitin schema (caller constraints)"
+            % (num_clauses - schema_clauses),
+            data={"extra": num_clauses - schema_clauses},
+        ))
+    return findings
+
+
+def _cnf_lit(var_of: List[int], aig_lit: int) -> int:
+    var = var_of[aig_lit >> 1]
+    return -var if aig_lit & 1 else var

@@ -1,0 +1,205 @@
+"""Structured lint findings and the ``repro-lint/1`` report schema.
+
+Every analysis pass in :mod:`repro.analyze` emits :class:`Finding`
+objects — never free-form strings — so results are machine-consumable:
+the ``repro-lint`` CLI serializes them into a stable JSON document
+(schema tag ``repro-lint/1``, following the same conventions as the
+``repro-stats/1`` schema in :mod:`repro.instrument.recorder`), and the
+certify pipeline's fast-reject path filters them by severity.
+
+Severity policy (documented in ``docs/static-analysis.md``):
+
+* ``error`` — the artifact is structurally invalid; full replay is
+  guaranteed (proof rules) or overwhelmingly likely (netlist rules) to
+  fail. Error findings make ``repro-lint`` exit nonzero and make
+  ``certify(lint=True)`` reject without replaying.
+* ``warning`` — suspicious but not invalidating (duplicate clauses,
+  strashing misses). Reported, never fatal.
+* ``info`` — accounting (dead-clause counts, structure reports).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+LINT_SCHEMA = "repro-lint/1"
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+SEVERITIES = (ERROR, WARNING, INFO)
+
+
+class Finding:
+    """One lint finding.
+
+    Attributes:
+        rule_id: stable machine-readable rule identifier (e.g.
+            ``"proof.forward-ref"``; the full catalogue is in
+            ``docs/static-analysis.md``).
+        severity: ``"error"``, ``"warning"`` or ``"info"``.
+        message: human-readable description.
+        clause_id: offending proof clause id, when attributable.
+        file: source file for codebase rules (repo-relative path).
+        line: 1-based source line for codebase rules.
+        data: optional extra machine-readable context (JSON-serializable).
+    """
+
+    __slots__ = ("rule_id", "severity", "message", "clause_id", "file",
+                 "line", "data")
+
+    def __init__(
+        self,
+        rule_id: str,
+        severity: str,
+        message: str,
+        clause_id: Optional[int] = None,
+        file: Optional[str] = None,
+        line: Optional[int] = None,
+        data: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if severity not in SEVERITIES:
+            raise ValueError("unknown severity %r" % (severity,))
+        self.rule_id = rule_id
+        self.severity = severity
+        self.message = message
+        self.clause_id = clause_id
+        self.file = file
+        self.line = line
+        self.data = data
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict; optional fields are omitted when unset."""
+        record: Dict[str, Any] = {
+            "rule_id": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.clause_id is not None:
+            record["clause_id"] = self.clause_id
+        if self.file is not None:
+            record["file"] = self.file
+        if self.line is not None:
+            record["line"] = self.line
+        if self.data is not None:
+            record["data"] = self.data
+        return record
+
+    def render(self) -> str:
+        """One-line rendering matching ``ProofError.render``'s shape."""
+        location = ""
+        if self.file is not None:
+            location = " %s:%s" % (self.file, self.line or 0)
+        elif self.clause_id is not None:
+            location = " (clause %d)" % self.clause_id
+        return "[%s] %s: %s%s" % (
+            self.rule_id, self.severity, self.message, location,
+        )
+
+    def __repr__(self) -> str:
+        return "Finding(%r, %r, %r)" % (
+            self.rule_id, self.severity, self.message,
+        )
+
+
+class LintReport:
+    """Aggregate outcome of one or more lint passes.
+
+    Attributes:
+        findings: all findings in emission order.
+        passes: names of the analysis passes that ran (``"proof"``,
+            ``"aig"``, ``"cnf"``, ``"code"``).
+        meta: free-form context (target paths, tool name), mirroring the
+            ``meta`` block of ``repro-stats/1``.
+    """
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+        self.passes: List[str] = []
+        self.meta: Dict[str, Any] = {}
+        self._elapsed = 0.0
+
+    def extend(self, pass_name: str, findings: Iterable[Finding],
+               seconds: float = 0.0) -> None:
+        """Record the findings of one completed pass."""
+        if pass_name not in self.passes:
+            self.passes.append(pass_name)
+        self.findings.extend(findings)
+        self._elapsed += seconds
+
+    def by_severity(self, severity: str) -> List[Finding]:
+        """Findings filtered to one severity."""
+        return [f for f in self.findings if f.severity == severity]
+
+    @property
+    def num_errors(self) -> int:
+        """Number of error-severity findings."""
+        return sum(1 for f in self.findings if f.severity == ERROR)
+
+    def ok(self) -> bool:
+        """True when no error-severity finding was recorded."""
+        return self.num_errors == 0
+
+    def summary(self) -> Dict[str, Any]:
+        """Severity and per-rule counts."""
+        by_rule: Dict[str, int] = {}
+        by_severity = {ERROR: 0, WARNING: 0, INFO: 0}
+        for finding in self.findings:
+            by_severity[finding.severity] += 1
+            by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+        return {
+            "error": by_severity[ERROR],
+            "warning": by_severity[WARNING],
+            "info": by_severity[INFO],
+            "rules": dict(sorted(by_rule.items())),
+        }
+
+    def report(self) -> Dict[str, Any]:
+        """Serialize to the stable ``repro-lint/1`` dict schema."""
+        return {
+            "schema": LINT_SCHEMA,
+            "elapsed_seconds": self._elapsed,
+            "passes": list(self.passes),
+            "findings": [finding.as_dict() for finding in self.findings],
+            "summary": self.summary(),
+            "meta": dict(self.meta),
+        }
+
+
+def validate_lint_report(report: Any) -> Dict[str, Any]:
+    """Check *report* against the ``repro-lint/1`` schema.
+
+    Raises ``ValueError`` with the first problem found; returns the
+    report unchanged when valid. The counterpart of
+    :func:`repro.instrument.recorder.validate_report`.
+    """
+    if not isinstance(report, dict):
+        raise ValueError("report must be a dict")
+    if report.get("schema") != LINT_SCHEMA:
+        raise ValueError("bad schema tag %r" % (report.get("schema"),))
+    for key in ("elapsed_seconds", "passes", "findings", "summary", "meta"):
+        if key not in report:
+            raise ValueError("missing top-level key %r" % key)
+    if not isinstance(report["elapsed_seconds"], (int, float)):
+        raise ValueError("elapsed_seconds must be a number")
+    if not isinstance(report["passes"], list):
+        raise ValueError("passes must be a list")
+    counted = {ERROR: 0, WARNING: 0, INFO: 0}
+    for entry in report["findings"]:
+        for key in ("rule_id", "severity", "message"):
+            if key not in entry:
+                raise ValueError("finding missing key %r: %r" % (key, entry))
+        if entry["severity"] not in SEVERITIES:
+            raise ValueError("bad severity %r" % (entry["severity"],))
+        counted[entry["severity"]] += 1
+    summary = report["summary"]
+    for severity in SEVERITIES:
+        if summary.get(severity) != counted[severity]:
+            raise ValueError(
+                "summary count for %r is %r, findings say %d"
+                % (severity, summary.get(severity), counted[severity])
+            )
+    if sum(summary["rules"].values()) != len(report["findings"]):
+        raise ValueError("per-rule counts do not sum to the finding count")
+    return report

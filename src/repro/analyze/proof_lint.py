@@ -1,0 +1,521 @@
+"""Replay-free structural linting of resolution proofs.
+
+:func:`lint_proof` walks a :class:`~repro.proof.store.ProofStore` once
+and checks every invariant that can be decided *without* replaying
+resolution chains:
+
+* clause normal form (sorted, distinct, no complementary pair),
+* chain structure and arity (``[first_id, (pivot, id), ...]``),
+* antecedent acyclicity via the forward-reference discipline,
+* pivot plausibility (pivot occurs in its antecedent; the first step's
+  phases are opposed; the last pivot is eliminated from the claim),
+* derivability of the claimed clause's variables from the chain,
+* variable bounds and axiom membership against a source CNF,
+* duplicate-clause and dead-clause (refutation-cone) accounting,
+* empty-clause reachability.
+
+Error-severity findings are *sound*: each one implies that a full
+:func:`~repro.proof.checker.check_proof` replay of the same store must
+fail (or, for CNF-relative rules, that certification against that CNF
+must fail). The converse does not hold — a lint-clean proof can still be
+rejected by replay — which is why :func:`repro.core.certify.certify`
+uses linting only as a fast-reject pre-pass, never as the verdict.
+
+The linter shares rule ids with the checker (``proof.forward-ref``,
+``proof.chain-mismatch``, ...) so a defect is named identically whether
+it is caught statically here or dynamically during replay; lint-only
+rules (``proof.var-bounds``, ``proof.dead-clause``, ...) extend the same
+namespace. The catalogue lives in ``docs/static-analysis.md``.
+
+Performance: the per-chain fast path below is deliberately flat — one
+fused loop, locals only, no slicing, set work that stops as soon as the
+claimed clause's variables are all accounted for. Replay, by contrast,
+must build each intermediate resolvent. The gap (several-fold on the
+committed benchmark proofs, see ``benchmarks/bench_analyze_lint.py``)
+is what makes linting viable as an always-on pre-flight. Malformed
+chain *structure* is rare, so it is handled by exception: garbage
+element types abort the fast path with a ``TypeError``/``ValueError``
+and :func:`_chain_structure_findings` re-walks that chain alone.
+"""
+
+from __future__ import annotations
+
+from operator import lt
+from typing import Dict, List, Optional, Set
+
+from ..cnf.clause import CNF
+from ..proof.store import AXIOM, DERIVED, Chain, Clause, ProofError, \
+    ProofStore
+from ..proof.tracecheck import read_tracecheck
+from .findings import ERROR, INFO, WARNING, Finding
+
+#: Findings accumulated beyond this many error/warning entries are
+#: dropped and summarized by one ``lint.truncated`` info finding, so a
+#: thoroughly corrupted million-clause store cannot flood the report.
+DEFAULT_FINDING_LIMIT = 1000
+
+
+def lint_proof(
+    store: ProofStore,
+    cnf: Optional[CNF] = None,
+    require_empty: bool = True,
+    limit: Optional[int] = DEFAULT_FINDING_LIMIT,
+) -> List[Finding]:
+    """Lint a proof store; returns findings (empty list = fully clean).
+
+    Args:
+        store: the proof to analyze.
+        cnf: optional source formula. When given, every clause variable
+            must respect ``cnf.num_vars`` and every axiom must be a
+            clause of *cnf* (the same contract as passing ``axioms=`` to
+            the replay checker).
+        require_empty: when true, a proof with no empty clause gets a
+            ``proof.no-refutation`` error.
+        limit: cap on error+warning findings (``None`` = unlimited);
+            exceeding it appends a ``lint.truncated`` info finding.
+    """
+    findings: List[Finding] = []
+    truncated = 0
+
+    def emit(finding: Finding) -> None:
+        nonlocal truncated
+        if limit is not None and len(findings) >= limit:
+            truncated += 1
+            return
+        findings.append(finding)
+
+    num_clauses = len(store)
+    clauses, kinds, chains = store.tables()
+    allowed: Optional[Set[Clause]] = None
+    # Sentinel bound: with no CNF every variable is in range, so the
+    # per-clause bounds test short-circuits on the comparison alone.
+    num_vars = 1 << 62
+    if cnf is not None:
+        # CNF.add_clause normalizes on insertion, so the clause tuples
+        # are directly comparable to the store's.
+        allowed = set(cnf.clauses)
+        num_vars = cnf.num_vars
+    # Tautological stored clauses weaken later pivot reasoning, so the
+    # flag is remembered per clause for the chains that reference it.
+    tautological = bytearray(num_clauses)
+    # Variable set of each clause, reused by every chain that references
+    # it (subset and pivot checks) — the cache is what keeps the
+    # per-resolution-step work allocation-free.
+    vars_of: List[Set[int]] = []
+    first_seen: Dict[Clause, int] = {}
+    empty_id: Optional[int] = None
+    abs_ = abs
+
+    for clause_id in range(num_clauses):
+        clause = clauses[clause_id]
+        kind = kinds[clause_id]
+
+        # --- clause normal form -----------------------------------------
+        n = len(clause)
+        clause_vars = set(map(abs_, clause))
+        vars_of.append(clause_vars)
+        max_var = 0
+        if len(clause_vars) == n:
+            # All literals distinct on distinct variables: no duplicate
+            # and no complementary pair. Normal form then reduces to a
+            # strictly-increasing scan (C-level via map/all).
+            if n:
+                if 0 in clause_vars:
+                    emit(Finding(
+                        "proof.clause-form", ERROR,
+                        "clause %d contains literal 0" % clause_id,
+                        clause_id=clause_id,
+                    ))
+                elif not all(map(lt, clause, clause[1:])):
+                    emit(Finding(
+                        "proof.clause-form", ERROR,
+                        "clause %d = %r is not a sorted tuple of distinct"
+                        " literals" % (clause_id, clause),
+                        clause_id=clause_id,
+                    ))
+                    max_var = max(clause_vars)
+                else:
+                    # Sorted: extreme literals carry the extreme vars.
+                    max_var = clause[-1]
+                    if -clause[0] > max_var:
+                        max_var = -clause[0]
+            elif empty_id is None:
+                empty_id = clause_id
+        else:
+            distinct = set(clause)
+            if 0 in distinct:
+                emit(Finding(
+                    "proof.clause-form", ERROR,
+                    "clause %d contains literal 0" % clause_id,
+                    clause_id=clause_id,
+                ))
+            elif tuple(sorted(distinct)) != clause:
+                emit(Finding(
+                    "proof.clause-form", ERROR,
+                    "clause %d = %r is not a sorted tuple of distinct"
+                    " literals" % (clause_id, clause),
+                    clause_id=clause_id,
+                ))
+            if len(clause_vars) != len(distinct):
+                tautological[clause_id] = 1
+                emit(Finding(
+                    "proof.tautology",
+                    # A tautological *derived* clause cannot be replayed
+                    # (resolve() refuses tautological resolvents); a
+                    # tautological axiom is merely suspect.
+                    ERROR if kind == DERIVED else WARNING,
+                    "clause %d = %r contains a complementary literal pair"
+                    % (clause_id, clause),
+                    clause_id=clause_id,
+                ))
+            max_var = max(clause_vars) if clause_vars else 0
+        if max_var > num_vars:
+            emit(Finding(
+                "proof.var-bounds", ERROR,
+                "clause %d = %r uses a variable beyond the source CNF's"
+                " %d variables" % (clause_id, clause, num_vars),
+                clause_id=clause_id,
+            ))
+
+        # --- duplicates --------------------------------------------------
+        original = first_seen.setdefault(clause, clause_id)
+        if original != clause_id:
+            emit(Finding(
+                "proof.duplicate-clause", WARNING,
+                "clause %d duplicates clause %d (%r)"
+                % (clause_id, original, clause),
+                clause_id=clause_id,
+            ))
+
+        # --- per-kind checks ---------------------------------------------
+        if kind == AXIOM:
+            if chains[clause_id] is not None:
+                emit(Finding(
+                    "proof.chain-arity", WARNING,
+                    "axiom clause %d carries a derivation chain" % clause_id,
+                    clause_id=clause_id,
+                ))
+            if allowed is not None and clause not in allowed:
+                emit(Finding(
+                    "proof.axiom-foreign", ERROR,
+                    "axiom %d = %r is not a clause of the reference CNF"
+                    % (clause_id, clause),
+                    clause_id=clause_id,
+                ))
+            continue
+        if kind != DERIVED:
+            emit(Finding(
+                "proof.unknown-kind", ERROR,
+                "clause %d has unknown kind %r" % (clause_id, kind),
+                clause_id=clause_id,
+            ))
+            continue
+
+        # --- derivation chain (fused fast path) --------------------------
+        chain = chains[clause_id]
+        if chain is None:
+            emit(Finding(
+                "proof.chain-arity", ERROR,
+                "derived clause %d has no chain" % clause_id,
+                clause_id=clause_id,
+            ))
+            continue
+        try:
+            it = iter(chain)
+            first = next(it, None)
+            if first is None:
+                raise ValueError
+            if not 0 <= first < clause_id:
+                emit(Finding(
+                    "proof.forward-ref", ERROR,
+                    "clause %d references antecedent %d that is not prior"
+                    % (clause_id, first),
+                    clause_id=clause_id,
+                ))
+                continue
+            refs_ok = True
+            leaky = tautological[first] != 0
+            first_clause = clauses[first]
+            # `missing` tracks claimed variables not yet seen in any
+            # chain clause; once empty, the subset check is settled and
+            # the per-step set work stops.
+            missing = clause_vars.difference(vars_of[first])
+            # First resolution step: the running resolvent IS the first
+            # antecedent, so opposite pivot phases are fully decidable.
+            step = next(it, None)
+            if step is None:
+                raise ValueError
+            pivot, antecedent_id = step
+            pv = pivot if pivot > 0 else -pivot
+            if 0 <= antecedent_id < clause_id:
+                if tautological[antecedent_id]:
+                    leaky = True
+                antecedent = clauses[antecedent_id]
+                if not ((pv in first_clause and -pv in antecedent)
+                        or (-pv in first_clause and pv in antecedent)):
+                    emit(Finding(
+                        "proof.pivot-phase", ERROR,
+                        "clause %d: pivot %d lacks opposite phases in"
+                        " antecedents %d and %d"
+                        % (clause_id, pv, first, antecedent_id),
+                        clause_id=clause_id,
+                    ))
+                if missing:
+                    missing.difference_update(vars_of[antecedent_id])
+            else:
+                emit(Finding(
+                    "proof.forward-ref", ERROR,
+                    "clause %d references antecedent %d that is not prior"
+                    % (clause_id, antecedent_id),
+                    clause_id=clause_id,
+                ))
+                refs_ok = False
+                leaky = True
+            # After this loop `pv` holds the final step's pivot variable.
+            for step in it:
+                pivot, antecedent_id = step
+                pv = pivot if pivot > 0 else -pivot
+                if not 0 <= antecedent_id < clause_id:
+                    emit(Finding(
+                        "proof.forward-ref", ERROR,
+                        "clause %d references antecedent %d that is not"
+                        " prior" % (clause_id, antecedent_id),
+                        clause_id=clause_id,
+                    ))
+                    refs_ok = False
+                    leaky = True
+                    continue
+                if tautological[antecedent_id]:
+                    leaky = True
+                antecedent_vars = vars_of[antecedent_id]
+                if pv not in antecedent_vars:
+                    emit(Finding(
+                        "proof.pivot-missing", ERROR,
+                        "clause %d: pivot %d does not occur in antecedent"
+                        " %d = %r"
+                        % (clause_id, pv, antecedent_id,
+                           clauses[antecedent_id]),
+                        clause_id=clause_id,
+                    ))
+                if missing:
+                    missing.difference_update(antecedent_vars)
+            if refs_ok and missing:
+                # Resolvent variables are a subset of the union of
+                # antecedent variables, so leftovers are underivable.
+                for var in sorted(missing):
+                    emit(Finding(
+                        "proof.pivot-unresolvable", ERROR,
+                        "clause %d claims variable %d which appears in no"
+                        " antecedent" % (clause_id, var),
+                        clause_id=clause_id,
+                    ))
+            # With tautology-free antecedents the final resolution
+            # removes both phases of its pivot, so the pivot variable
+            # cannot survive into the claim. (A tautological antecedent
+            # — already reported — can leak it, hence the guard.)
+            if not leaky and pv in clause_vars:
+                emit(Finding(
+                    "proof.pivot-unresolvable", ERROR,
+                    "clause %d retains its final pivot variable %d"
+                    % (clause_id, pv),
+                    clause_id=clause_id,
+                ))
+        except (TypeError, ValueError):
+            for finding in _chain_structure_findings(clause_id, chain):
+                emit(finding)
+
+    # --- refutation and cone accounting ----------------------------------
+    if empty_id is None:
+        if require_empty:
+            emit(Finding(
+                "proof.no-refutation", ERROR,
+                "proof does not derive the empty clause",
+            ))
+    else:
+        cone = _refutation_cone_size(store, empty_id)
+        dead = num_clauses - cone
+        findings.append(Finding(
+            "proof.refutation-report", INFO,
+            "empty clause %d is derived; its cone spans %d of %d clauses"
+            % (empty_id, cone, num_clauses),
+            clause_id=empty_id,
+            data={
+                "empty_clause_id": empty_id,
+                "cone_clauses": cone,
+                "total_clauses": num_clauses,
+            },
+        ))
+        if dead:
+            findings.append(Finding(
+                "proof.dead-clause", INFO,
+                "%d clauses are outside the refutation cone"
+                " (trim would remove them)" % dead,
+                data={"dead_clauses": dead},
+            ))
+    if truncated:
+        findings.append(Finding(
+            "lint.truncated", INFO,
+            "%d further findings were dropped (limit %d)"
+            % (truncated, limit or 0),
+            data={"dropped": truncated},
+        ))
+    return findings
+
+
+def _chain_structure_findings(clause_id: int, chain: Chain) -> List[Finding]:
+    """Explain why a chain aborted the fast path (malformed structure)."""
+    findings: List[Finding] = []
+    if len(chain) < 2 or not isinstance(chain[0], int):
+        findings.append(Finding(
+            "proof.chain-arity", ERROR,
+            "clause %d: chain must be [first_id, (pivot, id), ...] with at"
+            " least one step" % clause_id,
+            clause_id=clause_id,
+        ))
+        return findings
+    for step in chain[1:]:
+        if (not isinstance(step, tuple) or len(step) != 2
+                or not isinstance(step[0], int)
+                or not isinstance(step[1], int)):
+            findings.append(Finding(
+                "proof.chain-arity", ERROR,
+                "clause %d: chain step %r is not a (pivot, id) pair"
+                % (clause_id, step),
+                clause_id=clause_id,
+            ))
+    if not findings:
+        # The fast path aborted but every step looks structurally fine —
+        # report conservatively rather than crash.
+        findings.append(Finding(
+            "proof.chain-arity", ERROR,
+            "clause %d: chain is not analyzable" % clause_id,
+            clause_id=clause_id,
+        ))
+    return findings
+
+
+def _refutation_cone_size(store: ProofStore, empty_id: int) -> int:
+    """Number of clauses backward-reachable from the empty clause.
+
+    A single reverse scan with a mark array: by the forward-reference
+    discipline every antecedent id precedes its resolvent, so when the
+    scan reaches a clause, everything that could mark it already has.
+    Forward or out-of-range references — reported separately as errors —
+    are ignored, keeping the count meaningful on corrupted stores.
+    """
+    chains = store.tables()[2]
+    marked = bytearray(len(store))
+    marked[empty_id] = 1
+    count = 0
+    for clause_id in range(empty_id, -1, -1):
+        if not marked[clause_id]:
+            continue
+        count += 1
+        chain = chains[clause_id]
+        if chain is None:
+            continue
+        try:
+            it = iter(chain)
+            ref = next(it, None)
+            if isinstance(ref, int) and 0 <= ref < clause_id:
+                marked[ref] = 1
+            for step in it:
+                ref = step[1]
+                if 0 <= ref < clause_id:
+                    marked[ref] = 1
+        except (TypeError, ValueError, IndexError):
+            continue
+    return count
+
+
+def lint_tracecheck_file(
+    path: str,
+    cnf: Optional[CNF] = None,
+    require_empty: bool = True,
+    limit: Optional[int] = DEFAULT_FINDING_LIMIT,
+) -> List[Finding]:
+    """Parse a TraceCheck file and lint the resulting store.
+
+    Parse-level defects (bad syntax, duplicate ids, chains that do not
+    linearize) become a single error finding carrying the parser's rule
+    id instead of an exception.
+    """
+    try:
+        store, _ = read_tracecheck(path)
+    except ProofError as exc:
+        return [Finding(
+            exc.rule_id or "trace.syntax", ERROR, str(exc),
+            clause_id=exc.clause_id,
+        )]
+    return lint_proof(
+        store, cnf=cnf, require_empty=require_empty, limit=limit,
+    )
+
+
+def lint_drup_file(
+    path: str,
+    cnf: Optional[CNF] = None,
+    limit: Optional[int] = DEFAULT_FINDING_LIMIT,
+) -> List[Finding]:
+    """Syntactic lint of a DRUP file (no propagation).
+
+    Checks numeric syntax, zero-termination, tautology-free clause
+    lines, variable bounds against *cnf*, and that some non-deletion
+    line asserts the empty clause (a DRUP refutation must).
+    """
+    findings: List[Finding] = []
+    saw_empty = False
+    num_vars = cnf.num_vars if cnf is not None else None
+    with open(path) as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            if limit is not None and len(findings) >= limit:
+                findings.append(Finding(
+                    "lint.truncated", INFO,
+                    "stopped at line %d (limit %d)" % (lineno, limit),
+                ))
+                break
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            deletion = line.startswith("d ")
+            if deletion:
+                line = line[2:]
+            try:
+                numbers = [int(token) for token in line.split()]
+            except ValueError:
+                findings.append(Finding(
+                    "drup.syntax", ERROR,
+                    "line %d is not numeric: %r" % (lineno, raw.rstrip()),
+                    line=lineno,
+                ))
+                continue
+            if not numbers or numbers[-1] != 0 or 0 in numbers[:-1]:
+                findings.append(Finding(
+                    "drup.syntax", ERROR,
+                    "line %d is not a zero-terminated clause" % lineno,
+                    line=lineno,
+                ))
+                continue
+            lits = numbers[:-1]
+            if len(set(map(abs, lits))) != len(set(lits)):
+                findings.append(Finding(
+                    "proof.tautology", WARNING,
+                    "line %d asserts a tautological clause" % lineno,
+                    line=lineno,
+                ))
+            if num_vars is not None and lits and \
+                    max(map(abs, lits)) > num_vars:
+                findings.append(Finding(
+                    "proof.var-bounds", ERROR,
+                    "line %d uses a variable beyond the source CNF's %d"
+                    % (lineno, num_vars),
+                    line=lineno,
+                ))
+            if not lits and not deletion:
+                saw_empty = True
+    if not saw_empty:
+        findings.append(Finding(
+            "proof.no-refutation", ERROR,
+            "DRUP file never asserts the empty clause",
+        ))
+    return findings

@@ -43,6 +43,12 @@ def build_parser():
         help="additionally validate by reverse unit propagation",
     )
     parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="run the replay-free structural linter first and reject "
+        "on error-severity findings before replaying (see repro-lint)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="replay derivation chunks across N worker processes "
         "(0 = one per CPU; default: sequential). Parallel and "
@@ -98,12 +104,29 @@ def _run(args, recorder, budget):
             print("error: %s" % exc, file=sys.stderr)
             return 2
     axioms = None
+    formula = None
     if args.cnf:
         try:
-            axioms = read_dimacs(args.cnf).clauses
+            formula = read_dimacs(args.cnf)
         except (OSError, DimacsError) as exc:
             print("error: %s" % exc, file=sys.stderr)
             return 2
+        axioms = formula.clauses
+    if args.lint:
+        from .analyze.proof_lint import lint_proof
+
+        with recorder.phase("lint/proof"):
+            findings = lint_proof(store, cnf=formula, require_empty=True)
+        errors = [f for f in findings if f.severity == "error"]
+        if errors:
+            for finding in errors:
+                print("INVALID (lint): %s" % finding.render())
+            return 1
+        if not args.quiet:
+            print(
+                "c lint clean: %d findings, none error-severity"
+                % len(findings)
+            )
     start = time.perf_counter()
     try:
         result = check_proof(
@@ -114,14 +137,14 @@ def _run(args, recorder, budget):
         print("UNDECIDED: %s" % exc)
         return 2
     except ProofError as exc:
-        print("INVALID: %s" % exc)
+        print("INVALID: %s" % exc.render())
         return 1
     elapsed = time.perf_counter() - start
     if args.rup:
         try:
             check_rup_proof(store, axioms=axioms)
         except ProofError as exc:
-            print("INVALID (RUP): %s" % exc)
+            print("INVALID (RUP): %s" % exc.render())
             return 1
     print("VALID")
     if not args.quiet:

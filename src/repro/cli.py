@@ -53,6 +53,13 @@ def build_parser():
         help="replay the proof with the independent checker before exiting",
     )
     parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="pre-flight the input netlists with the static linter "
+        "(exit 2 on error findings) and, with --certify, lint the "
+        "proof before replaying it (see repro-lint)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -147,6 +154,10 @@ def main(argv=None):
 
 def _dispatch(aig_a, aig_b, args, recorder, budget):
     """Run the selected engine and report; returns the exit code."""
+    if args.lint:
+        code = _preflight_lint(aig_a, aig_b, args, recorder)
+        if code is not None:
+            return code
     if args.engine == "bdd":
         return _run_bdd(aig_a, aig_b, args)
     if args.engine == "bddsweep":
@@ -174,13 +185,34 @@ def _dispatch(aig_a, aig_b, args, recorder, budget):
         aig_a, aig_b, options, recorder=recorder, budget=budget
     )
     if args.certify and result.equivalent:
-        certify(result, jobs=args.jobs)
+        certify(result, jobs=args.jobs, lint=args.lint)
         if not args.quiet:
             print("certified: proof replayed successfully")
     return _report(
         result.equivalent, result.counterexample, result.proof,
         result.cnf, args, recorder=recorder, budget=budget,
     )
+
+
+def _preflight_lint(aig_a, aig_b, args, recorder):
+    """Lint both input netlists; exit code 2 on errors, None when clean."""
+    from .analyze.aig_lint import lint_aig
+
+    with recorder.phase("lint/aig"):
+        findings = lint_aig(aig_a, name=args.file_a) \
+            + lint_aig(aig_b, name=args.file_b)
+    errors = [f for f in findings if f.severity == "error"]
+    for finding in errors:
+        print("lint: %s" % finding.render(), file=sys.stderr)
+    if errors:
+        print(
+            "error: input netlists failed lint (%d errors)" % len(errors),
+            file=sys.stderr,
+        )
+        return 2
+    if not args.quiet:
+        print("c lint clean: both netlists well-formed")
+    return None
 
 
 def _run_bdd_sweep(aig_a, aig_b, args):

@@ -5,8 +5,18 @@ complemented. A clause is stored as a sorted tuple of distinct literals,
 which makes clause identity well-defined for proof bookkeeping.
 """
 
+from __future__ import annotations
 
-def normalize_clause(lits):
+from typing import Iterable, Iterator, List, Mapping, Sequence, Tuple, Union
+
+#: A normalized clause: sorted tuple of distinct nonzero literals.
+Clause = Tuple[int, ...]
+
+#: Assignment indexable by variable: dict or sequence (index 0 unused).
+Assignment = Union[Mapping[int, int], Sequence[int]]
+
+
+def normalize_clause(lits: Iterable[int]) -> Clause:
     """Sorted tuple of distinct literals; raises on tautologies and zeros.
 
     Tautologies (containing both ``v`` and ``-v``) are rejected rather than
@@ -23,7 +33,7 @@ def normalize_clause(lits):
     return clause
 
 
-def is_tautology(lits):
+def is_tautology(lits: Iterable[int]) -> bool:
     """True when *lits* contains a complementary pair."""
     seen = set(lits)
     return any(-lit in seen for lit in seen)
@@ -36,18 +46,20 @@ class CNF:
     (proof axiom ids follow clause order).
     """
 
-    def __init__(self, num_vars=0, clauses=()):
+    def __init__(
+        self, num_vars: int = 0, clauses: Iterable[Iterable[int]] = ()
+    ) -> None:
         self.num_vars = num_vars
-        self.clauses = []
+        self.clauses: List[Clause] = []
         for clause in clauses:
             self.add_clause(clause)
 
-    def new_var(self):
+    def new_var(self) -> int:
         """Allocate and return a fresh variable."""
         self.num_vars += 1
         return self.num_vars
 
-    def add_clause(self, lits):
+    def add_clause(self, lits: Iterable[int]) -> Clause:
         """Normalize and append a clause, growing the variable count."""
         clause = normalize_clause(lits)
         for lit in clause:
@@ -57,16 +69,16 @@ class CNF:
         self.clauses.append(clause)
         return clause
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.clauses)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Clause]:
         return iter(self.clauses)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "CNF(vars=%d, clauses=%d)" % (self.num_vars, len(self.clauses))
 
-    def evaluate(self, assignment):
+    def evaluate(self, assignment: Assignment) -> bool:
         """Evaluate under a full assignment.
 
         Args:
@@ -79,7 +91,7 @@ class CNF:
         return all(self.clause_satisfied(clause, assignment) for clause in self)
 
     @staticmethod
-    def clause_satisfied(clause, assignment):
+    def clause_satisfied(clause: Iterable[int], assignment: Assignment) -> bool:
         """True when *clause* has a satisfied literal under *assignment*."""
         for lit in clause:
             value = assignment[abs(lit)]
@@ -87,7 +99,7 @@ class CNF:
                 return True
         return False
 
-    def copy(self):
+    def copy(self) -> "CNF":
         """Shallow copy (clauses are immutable tuples)."""
         dup = CNF(self.num_vars)
         dup.clauses = list(self.clauses)

@@ -1,5 +1,9 @@
 """DIMACS CNF reader/writer."""
 
+from __future__ import annotations
+
+from typing import IO, Iterable, List, Optional, Union
+
 from .clause import CNF
 
 
@@ -7,7 +11,11 @@ class DimacsError(ValueError):
     """Raised on malformed DIMACS input."""
 
 
-def write_dimacs(cnf, path_or_file, comments=()):
+def write_dimacs(
+    cnf: CNF,
+    path_or_file: Union[str, IO[str]],
+    comments: Iterable[str] = (),
+) -> None:
     """Write *cnf* in DIMACS format, with optional comment lines."""
     if hasattr(path_or_file, "write"):
         _write(cnf, path_or_file, comments)
@@ -16,7 +24,7 @@ def write_dimacs(cnf, path_or_file, comments=()):
             _write(cnf, handle, comments)
 
 
-def _write(cnf, out, comments):
+def _write(cnf: CNF, out: IO[str], comments: Iterable[str]) -> None:
     for comment in comments:
         out.write("c %s\n" % comment)
     out.write("p cnf %d %d\n" % (cnf.num_vars, len(cnf.clauses)))
@@ -25,7 +33,7 @@ def _write(cnf, out, comments):
         out.write(" 0\n")
 
 
-def read_dimacs(path_or_file):
+def read_dimacs(path_or_file: Union[str, IO[str]]) -> CNF:
     """Parse a DIMACS file into a :class:`CNF`."""
     if hasattr(path_or_file, "read"):
         text = path_or_file.read()
@@ -35,12 +43,12 @@ def read_dimacs(path_or_file):
     return parse_dimacs(text)
 
 
-def parse_dimacs(text):
+def parse_dimacs(text: str) -> CNF:
     """Parse DIMACS text into a :class:`CNF`."""
-    declared_vars = None
-    declared_clauses = None
+    declared_vars: Optional[int] = None
+    declared_clauses: Optional[int] = None
     cnf = CNF()
-    pending = []
+    pending: List[int] = []
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith("c"):

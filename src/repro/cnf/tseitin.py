@@ -12,6 +12,10 @@ defining clauses of specific AND nodes when it builds structural-merge
 derivations.
 """
 
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
 from ..aig.literal import lit_sign, lit_var
 from .clause import CNF
 
@@ -29,19 +33,25 @@ class TseitinResult:
             ``(n|~l1|~l2)``.
     """
 
-    def __init__(self, cnf, var_of, const_clause_index, defining_clauses):
+    def __init__(
+        self,
+        cnf: CNF,
+        var_of: List[int],
+        const_clause_index: int,
+        defining_clauses: Dict[int, Tuple[int, int, int]],
+    ) -> None:
         self.cnf = cnf
         self.var_of = var_of
         self.const_clause_index = const_clause_index
         self.defining_clauses = defining_clauses
 
-    def lit_to_cnf(self, aig_lit):
+    def lit_to_cnf(self, aig_lit: int) -> int:
         """Translate an AIG literal to a DIMACS literal."""
         var = self.var_of[lit_var(aig_lit)]
         return -var if lit_sign(aig_lit) else var
 
 
-def tseitin_encode(aig):
+def tseitin_encode(aig: Any) -> TseitinResult:
     """Encode *aig* into CNF with full per-node bookkeeping.
 
     Outputs are *not* constrained; callers add unit clauses or assumptions
@@ -58,7 +68,7 @@ def tseitin_encode(aig):
     const_var = var_of[0]
     cnf.add_clause([-const_var])
     const_clause_index = len(cnf.clauses) - 1
-    defining = {}
+    defining: Dict[int, Tuple[int, int, int]] = {}
     for aig_var in aig.and_vars():
         f0, f1 = aig.fanins(aig_var)
         n = var_of[aig_var]
@@ -72,6 +82,6 @@ def tseitin_encode(aig):
     return TseitinResult(cnf, var_of, const_clause_index, defining)
 
 
-def _cnf_lit(var_of, aig_lit):
+def _cnf_lit(var_of: List[int], aig_lit: int) -> int:
     var = var_of[aig_lit >> 1]
     return -var if aig_lit & 1 else var

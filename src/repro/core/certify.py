@@ -14,7 +14,7 @@ class CertificationError(Exception):
     """The result's certificate failed verification."""
 
 
-def certify(result, rup=False, jobs=None):
+def certify(result, rup=False, jobs=None, lint=False):
     """Verify the certificate carried by *result*.
 
     Args:
@@ -24,6 +24,12 @@ def certify(result, rup=False, jobs=None):
         jobs: replay the resolution proof across this many worker
             processes (``0`` = one per CPU, ``None``/``1`` =
             sequential); see ``repro.proof.parallel``.
+        lint: run the replay-free structural linter
+            (:func:`repro.analyze.proof_lint.lint_proof`) first and
+            reject on any error-severity finding *before* paying for
+            the full replay. Lint errors are sound rejections, so this
+            only changes how fast a bad certificate fails — a clean
+            lint still goes through the complete check.
 
     Returns:
         The :class:`~repro.proof.checker.CheckResult` for equivalence
@@ -40,6 +46,19 @@ def certify(result, rup=False, jobs=None):
         raise CertificationError(
             "equivalence verdict carries no proof (logging was disabled)"
         )
+    if lint:
+        from ..analyze.proof_lint import lint_proof
+
+        errors = [
+            finding
+            for finding in lint_proof(result.proof, cnf=result.cnf)
+            if finding.severity == "error"
+        ]
+        if errors:
+            raise CertificationError(
+                "proof lint rejected the certificate: %s"
+                % "; ".join(finding.render() for finding in errors[:3])
+            )
     try:
         check = check_proof(
             result.proof, axioms=result.cnf.clauses, require_empty=True,

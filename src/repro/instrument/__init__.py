@@ -21,12 +21,15 @@ free of instrumentation overhead when disabled.
 """
 
 from .budget import Budget, BudgetExhausted
+from .phases import PHASE_REGISTRY, is_registered
 from .recorder import NULL_RECORDER, Recorder, STATS_SCHEMA
 
 __all__ = [
     "Budget",
     "BudgetExhausted",
     "NULL_RECORDER",
+    "PHASE_REGISTRY",
     "Recorder",
     "STATS_SCHEMA",
+    "is_registered",
 ]

@@ -19,7 +19,10 @@ Two invariants make budgets safe to sprinkle anywhere:
   deterministically instead of re-deciding per layer.
 """
 
+from __future__ import annotations
+
 import time
+from typing import Any, Callable, Dict, Optional
 
 
 class BudgetExhausted(Exception):
@@ -29,7 +32,7 @@ class BudgetExhausted(Exception):
     ``"conflicts"`` or ``"proof_clauses"``).
     """
 
-    def __init__(self, reason):
+    def __init__(self, reason: str) -> None:
         Exception.__init__(self, "budget exhausted (%s)" % reason)
         self.reason = reason
 
@@ -45,8 +48,13 @@ class Budget:
         clock: monotonic time source (overridable for tests).
     """
 
-    def __init__(self, time_limit=None, conflict_limit=None,
-                 proof_clause_limit=None, clock=time.monotonic):
+    def __init__(
+        self,
+        time_limit: Optional[float] = None,
+        conflict_limit: Optional[int] = None,
+        proof_clause_limit: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self.time_limit = time_limit
         self.conflict_limit = conflict_limit
         self.proof_clause_limit = proof_clause_limit
@@ -54,17 +62,17 @@ class Budget:
         self._start = clock()
         self.conflicts = 0
         self.proof_clauses = 0
-        self._reason = None
+        self._reason: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Charging
     # ------------------------------------------------------------------
 
-    def on_conflict(self, n=1):
+    def on_conflict(self, n: int = 1) -> None:
         """Charge *n* SAT conflicts."""
         self.conflicts += n
 
-    def note_proof_size(self, size):
+    def note_proof_size(self, size: int) -> None:
         """Record the current proof-store size (monotone max)."""
         if size > self.proof_clauses:
             self.proof_clauses = size
@@ -73,11 +81,11 @@ class Budget:
     # Queries
     # ------------------------------------------------------------------
 
-    def elapsed_seconds(self):
+    def elapsed_seconds(self) -> float:
         """Seconds since the budget was created."""
         return self._clock() - self._start
 
-    def exhausted_reason(self):
+    def exhausted_reason(self) -> Optional[str]:
         """``None`` while within budget, else a sticky reason string."""
         if self._reason is not None:
             return self._reason
@@ -93,29 +101,29 @@ class Budget:
         return self._reason
 
     @property
-    def exhausted(self):
+    def exhausted(self) -> bool:
         """True once any limit has been hit (sticky)."""
         return self.exhausted_reason() is not None
 
-    def check(self):
+    def check(self) -> None:
         """Raise :class:`BudgetExhausted` when the budget is spent."""
         reason = self.exhausted_reason()
         if reason is not None:
             raise BudgetExhausted(reason)
 
-    def remaining_conflicts(self):
+    def remaining_conflicts(self) -> Optional[int]:
         """Conflicts left (None when unlimited; never negative)."""
         if self.conflict_limit is None:
             return None
         return max(0, self.conflict_limit - self.conflicts)
 
-    def remaining_seconds(self):
+    def remaining_seconds(self) -> Optional[float]:
         """Seconds left (None when unlimited; never negative)."""
         if self.time_limit is None:
             return None
         return max(0.0, self.time_limit - self.elapsed_seconds())
 
-    def as_dict(self):
+    def as_dict(self) -> Dict[str, Any]:
         """Status block embedded in the ``repro-stats/1`` report."""
         return {
             "time_limit": self.time_limit,
@@ -127,7 +135,7 @@ class Budget:
             "exhausted": self.exhausted_reason(),
         }
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             "Budget(time_limit=%r, conflict_limit=%r, proof_clause_limit=%r,"
             " exhausted=%r)"

@@ -23,11 +23,18 @@ can be profiled post-hoc without holding events in memory.
 ``repro-stats/1`` schema documented in ``docs/instrumentation.md``; the
 benchmark harness and the ``--stats-json`` CLI flags all emit exactly
 this shape.
+
+Literal phase names must belong to the registry in
+:mod:`repro.instrument.phases`; the ``code.phase-registry`` lint rule
+enforces this across ``src/repro``.
 """
+
+from __future__ import annotations
 
 import json
 import time
 from contextlib import contextmanager
+from typing import IO, Any, Callable, Dict, Iterator, List, Optional
 
 STATS_SCHEMA = "repro-stats/1"
 
@@ -44,28 +51,32 @@ class Recorder:
 
     enabled = True
 
-    def __init__(self, trace_path=None, clock=time.perf_counter):
+    def __init__(
+        self,
+        trace_path: Optional[str] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
         self._clock = clock
         self._start = clock()
-        self._phases = {}       # name -> [seconds, count]
-        self._counters = {}     # name -> int
-        self._gauges = {}       # name -> value
-        self._stack = []        # active phase names (hierarchical)
+        self._phases: Dict[str, List[float]] = {}  # name -> [seconds, count]
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, Any] = {}
+        self._stack: List[str] = []  # active phase names (hierarchical)
         self._trace_path = trace_path
-        self._trace_file = None
-        self.meta = {}
+        self._trace_file: Optional[IO[str]] = None
+        self.meta: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # Phases
     # ------------------------------------------------------------------
 
-    def _qualify(self, name):
+    def _qualify(self, name: str) -> str:
         if self._stack:
             return self._stack[-1] + "/" + name
         return name
 
     @contextmanager
-    def phase(self, name):
+    def phase(self, name: str) -> Iterator["Recorder"]:
         """Time a phase; nested phases get ``outer/inner`` names."""
         full = self._qualify(name)
         self._stack.append(full)
@@ -77,7 +88,7 @@ class Recorder:
             self._stack.pop()
             self.add_time(full, elapsed)
 
-    def add_time(self, name, seconds, count=1):
+    def add_time(self, name: str, seconds: float, count: int = 1) -> None:
         """Charge *seconds* to phase *name* (explicit, non-stacked)."""
         cell = self._phases.get(name)
         if cell is None:
@@ -86,7 +97,7 @@ class Recorder:
             cell[0] += seconds
             cell[1] += count
 
-    def phase_seconds(self, name):
+    def phase_seconds(self, name: str) -> float:
         """Accumulated seconds of phase *name* (0.0 when never entered)."""
         cell = self._phases.get(name)
         return cell[0] if cell else 0.0
@@ -95,15 +106,15 @@ class Recorder:
     # Counters and gauges
     # ------------------------------------------------------------------
 
-    def count(self, name, n=1):
+    def count(self, name: str, n: int = 1) -> None:
         """Increment counter *name* by *n*."""
         self._counters[name] = self._counters.get(name, 0) + n
 
-    def counter(self, name):
+    def counter(self, name: str) -> int:
         """Current value of counter *name* (0 when never incremented)."""
         return self._counters.get(name, 0)
 
-    def gauge(self, name, value):
+    def gauge(self, name: str, value: Any) -> None:
         """Set gauge *name* to *value* (last write wins)."""
         self._gauges[name] = value
 
@@ -111,17 +122,19 @@ class Recorder:
     # Event trace
     # ------------------------------------------------------------------
 
-    def event(self, kind, **fields):
+    def event(self, kind: str, **fields: Any) -> None:
         """Append one trace event (no-op unless ``trace_path`` was given)."""
         if self._trace_path is None:
             return
         if self._trace_file is None:
             self._trace_file = open(self._trace_path, "w")
-        record = {"t": round(self._clock() - self._start, 6), "event": kind}
+        record: Dict[str, Any] = {
+            "t": round(self._clock() - self._start, 6), "event": kind,
+        }
         record.update(fields)
         self._trace_file.write(json.dumps(record, sort_keys=True) + "\n")
 
-    def close(self):
+    def close(self) -> None:
         """Flush and close the trace file (idempotent)."""
         if self._trace_file is not None:
             self._trace_file.close()
@@ -131,7 +144,7 @@ class Recorder:
     # Reporting
     # ------------------------------------------------------------------
 
-    def report(self, budget=None):
+    def report(self, budget: Optional[Any] = None) -> Dict[str, Any]:
         """Serialize to the stable ``repro-stats/1`` dict schema.
 
         Args:
@@ -152,7 +165,7 @@ class Recorder:
             "meta": dict(self.meta),
         }
 
-    def write_json(self, path, budget=None):
+    def write_json(self, path: str, budget: Optional[Any] = None) -> None:
         """Write :meth:`report` to *path* as indented JSON."""
         with open(path, "w") as handle:
             json.dump(self.report(budget=budget), handle, indent=2,
@@ -169,30 +182,30 @@ class _NullRecorder(Recorder):
 
     enabled = False
 
-    def __init__(self):
+    def __init__(self) -> None:
         Recorder.__init__(self)
 
     @contextmanager
-    def phase(self, name):
+    def phase(self, name: str) -> Iterator[Recorder]:
         yield self
 
-    def add_time(self, name, seconds, count=1):
+    def add_time(self, name: str, seconds: float, count: int = 1) -> None:
         pass
 
-    def count(self, name, n=1):
+    def count(self, name: str, n: int = 1) -> None:
         pass
 
-    def gauge(self, name, value):
+    def gauge(self, name: str, value: Any) -> None:
         pass
 
-    def event(self, kind, **fields):
+    def event(self, kind: str, **fields: Any) -> None:
         pass
 
 
 NULL_RECORDER = _NullRecorder()
 
 
-def validate_report(report):
+def validate_report(report: Any) -> Dict[str, Any]:
     """Check *report* against the ``repro-stats/1`` schema.
 
     Used by tests and the CI smoke job. Raises ``ValueError`` with the

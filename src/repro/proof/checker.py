@@ -13,9 +13,13 @@ checked in any order — the basis of the multiprocessing pipeline in
 :mod:`repro.proof.parallel`, reachable from here via ``jobs=N``.
 """
 
-import time
+from __future__ import annotations
 
-from .store import AXIOM, DERIVED, ProofError, resolve
+import time
+from typing import Any, Callable, Iterable, Optional, Set
+
+from .store import AXIOM, DERIVED, Chain, Clause, ProofError, ProofStore, \
+    resolve
 
 
 class CheckResult:
@@ -29,13 +33,19 @@ class CheckResult:
             check was run without requiring refutation).
     """
 
-    def __init__(self, num_axioms, num_derived, num_resolutions, empty_clause_id):
+    def __init__(
+        self,
+        num_axioms: int,
+        num_derived: int,
+        num_resolutions: int,
+        empty_clause_id: Optional[int],
+    ) -> None:
         self.num_axioms = num_axioms
         self.num_derived = num_derived
         self.num_resolutions = num_resolutions
         self.empty_clause_id = empty_clause_id
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             "CheckResult(axioms=%d, derived=%d, resolutions=%d, empty=%r)"
             % (
@@ -47,7 +57,14 @@ class CheckResult:
         )
 
 
-def check_clause(clause_id, clause, kind, chain, get_clause, allowed):
+def check_clause(
+    clause_id: int,
+    clause: Clause,
+    kind: str,
+    chain: Optional[Chain],
+    get_clause: Callable[[int], Clause],
+    allowed: Optional[Set[Clause]],
+) -> int:
     """Validate one proof clause; returns the resolution steps replayed.
 
     This is the unit of work shared verbatim by the sequential loop below
@@ -69,14 +86,21 @@ def check_clause(clause_id, clause, kind, chain, get_clause, allowed):
                 "axiom %d = %r is not a clause of the reference CNF"
                 % (clause_id, clause),
                 clause_id=clause_id,
+                rule_id="proof.axiom-foreign",
             )
         return 0
     if kind == DERIVED:
-        _require_prior(chain[0], clause_id)
+        if chain is None:
+            raise ProofError(
+                "derived clause %d has no chain" % clause_id,
+                clause_id=clause_id,
+                rule_id="proof.chain-arity",
+            )
+        _require_prior(chain[0], clause_id, chain)
         current = get_clause(chain[0])
         steps = 0
         for pivot, antecedent_id in chain[1:]:
-            _require_prior(antecedent_id, clause_id)
+            _require_prior(antecedent_id, clause_id, chain)
             current = resolve(current, get_clause(antecedent_id), pivot)
             steps += 1
         if current != clause:
@@ -84,16 +108,25 @@ def check_clause(clause_id, clause, kind, chain, get_clause, allowed):
                 "clause %d claims %r but chain yields %r"
                 % (clause_id, clause, current),
                 clause_id=clause_id,
+                rule_id="proof.chain-mismatch",
+                chain=chain,
             )
         return steps
     raise ProofError(
         "clause %d has unknown kind %r" % (clause_id, kind),
         clause_id=clause_id,
+        rule_id="proof.unknown-kind",
     )
 
 
-def check_proof(store, axioms=None, require_empty=True, recorder=None,
-                budget=None, jobs=None):
+def check_proof(
+    store: ProofStore,
+    axioms: Optional[Iterable[Iterable[int]]] = None,
+    require_empty: bool = True,
+    recorder: Optional[Any] = None,
+    budget: Optional[Any] = None,
+    jobs: Optional[int] = None,
+) -> CheckResult:
     """Verify every derivation in *store*.
 
     Args:
@@ -140,7 +173,7 @@ def check_proof(store, axioms=None, require_empty=True, recorder=None,
     num_axioms = 0
     num_derived = 0
     num_resolutions = 0
-    empty_id = None
+    empty_id: Optional[int] = None
     get_clause = store.clause
     for clause_id in store.ids():
         if budget is not None and clause_id % 256 == 0:
@@ -158,7 +191,10 @@ def check_proof(store, axioms=None, require_empty=True, recorder=None,
         if not clause and empty_id is None:
             empty_id = clause_id
     if require_empty and empty_id is None:
-        raise ProofError("proof does not derive the empty clause")
+        raise ProofError(
+            "proof does not derive the empty clause",
+            rule_id="proof.no-refutation",
+        )
     if instrumented:
         recorder.add_time("check/replay", time.perf_counter() - start)
         recorder.count("check/clauses", len(store))
@@ -166,23 +202,29 @@ def check_proof(store, axioms=None, require_empty=True, recorder=None,
     return CheckResult(num_axioms, num_derived, num_resolutions, empty_id)
 
 
-def prepare_axioms(axioms):
+def prepare_axioms(
+    axioms: Optional[Iterable[Iterable[int]]],
+) -> Optional[Set[Clause]]:
     """Normalize an axiom iterable into the membership set, or ``None``."""
     if axioms is None:
         return None
     return {tuple(sorted(set(clause))) for clause in axioms}
 
 
-def _require_prior(antecedent_id, clause_id):
+def _require_prior(
+    antecedent_id: int, clause_id: int, chain: Optional[Chain] = None
+) -> None:
     if not 0 <= antecedent_id < clause_id:
         raise ProofError(
             "clause %d references antecedent %d that is not prior"
             % (clause_id, antecedent_id),
             clause_id=clause_id,
+            rule_id="proof.forward-ref",
+            chain=chain,
         )
 
 
-def check_refutation_of(store, cnf):
+def check_refutation_of(store: ProofStore, cnf: Any) -> CheckResult:
     """Certify that *store* refutes exactly the formula *cnf*.
 
     Convenience wrapper over :func:`check_proof` taking a

@@ -17,11 +17,17 @@ now ride along. The result is a valid proof — verified by the same
 independent checkers as every other proof in this package.
 """
 
-from .store import ProofError, ProofStore, resolve
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple, Union
+
+from .store import Chain, Clause, ProofError, ProofStore, resolve
 from .trim import needed_ids
 
 
-def lower_units(store, root_id=None):
+def lower_units(
+    store: ProofStore, root_id: Optional[int] = None
+) -> Tuple[ProofStore, Dict[int, int]]:
     """Apply the LowerUnits transformation.
 
     Args:
@@ -36,10 +42,13 @@ def lower_units(store, root_id=None):
     if root_id is None:
         root_id = store.find_empty_clause()
         if root_id is None:
-            raise ProofError("store has no empty clause to compress")
+            raise ProofError(
+                "store has no empty clause to compress",
+                rule_id="proof.no-refutation",
+            )
     keep = needed_ids(store, root_id)
     # Units referenced as antecedents anywhere in the cone.
-    unit_ids = set()
+    unit_ids: Set[int] = set()
     for clause_id in keep:
         if store.chain(clause_id) is None:
             continue
@@ -47,18 +56,18 @@ def lower_units(store, root_id=None):
             if len(store.clause(antecedent)) == 1:
                 unit_ids.add(antecedent)
     # The factored units' own derivations must be copied verbatim.
-    protected = set()
+    protected: Set[int] = set()
     for unit_id in unit_ids:
         protected |= needed_ids(store, unit_id)
     compressed = ProofStore()
-    id_map = {}
-    new_clauses = {}
+    id_map: Dict[int, int] = {}
+    new_clauses: Dict[int, Clause] = {}
     for clause_id in sorted(keep):
         chain = store.chain(clause_id)
         if chain is None:
             new_id = compressed.add_axiom(store.clause(clause_id))
         elif clause_id in protected:
-            new_chain = [id_map[chain[0]]]
+            new_chain: Chain = [id_map[chain[0]]]
             new_chain.extend(
                 (pivot, id_map[ante]) for pivot, ante in chain[1:]
             )
@@ -66,17 +75,19 @@ def lower_units(store, root_id=None):
                 store.clause(clause_id), new_chain
             )
         else:
-            new_chain, new_clause = _replay(
+            replay_chain, replay_clause = _replay(
                 compressed, chain, id_map, unit_ids,
                 {store.clause(u)[0]: u for u in unit_ids},
             )
-            if new_chain is None:
-                id_map[clause_id] = id_map[new_clause]
+            if replay_chain is None:
+                assert isinstance(replay_clause, int)
+                id_map[clause_id] = id_map[replay_clause]
                 new_clauses[clause_id] = compressed.clause(
                     id_map[clause_id]
                 )
                 continue
-            new_id = compressed.add_derived(new_clause, new_chain)
+            assert isinstance(replay_clause, tuple)
+            new_id = compressed.add_derived(replay_clause, replay_chain)
         id_map[clause_id] = new_id
         new_clauses[clause_id] = compressed.clause(new_id)
     # Finish: resolve the (possibly non-empty) root against the units.
@@ -105,7 +116,13 @@ def lower_units(store, root_id=None):
     return compressed, id_map
 
 
-def _replay(compressed, chain, id_map, skip_units, unit_of_literal):
+def _replay(
+    compressed: ProofStore,
+    chain: Chain,
+    id_map: Dict[int, int],
+    skip_units: Set[int],
+    unit_of_literal: Dict[int, int],
+) -> Tuple[Optional[Chain], Union[Clause, int]]:
     """Replay *chain* with unit steps removed.
 
     Returns ``(new_chain, new_clause)`` or ``(None, surviving_old_id)``
@@ -120,7 +137,7 @@ def _replay(compressed, chain, id_map, skip_units, unit_of_literal):
     """
     first_old = chain[0]
     current = compressed.clause(id_map[first_old])
-    new_chain = [id_map[first_old]]
+    new_chain: Chain = [id_map[first_old]]
     current_set = set(current)
     for pivot, antecedent_old in chain[1:]:
         other_id = id_map[antecedent_old]

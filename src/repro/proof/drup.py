@@ -10,10 +10,14 @@ entirely different mechanism than the resolution replayer — the test suite
 runs both.
 """
 
-from .store import AXIOM, ProofError
+from __future__ import annotations
+
+from typing import IO, Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from .store import AXIOM, Clause, ProofError, ProofStore
 
 
-def write_drup(store, path_or_file):
+def write_drup(store: ProofStore, path_or_file: Union[str, IO[str]]) -> None:
     """Write the derived clauses of *store* as DRUP lines (no deletions)."""
     if hasattr(path_or_file, "write"):
         _write(store, path_or_file)
@@ -22,7 +26,7 @@ def write_drup(store, path_or_file):
             _write(store, handle)
 
 
-def _write(store, out):
+def _write(store: ProofStore, out: IO[str]) -> None:
     for clause_id in store.ids():
         if store.kind(clause_id) == AXIOM:
             continue
@@ -34,21 +38,21 @@ def _write(store, out):
 class _Propagator:
     """Two-watched-literal unit propagator over a growable clause set."""
 
-    def __init__(self, num_vars):
+    def __init__(self, num_vars: int) -> None:
         self.num_vars = num_vars
         # assignment: 0 unknown, 1 true, -1 false, indexed by variable.
         self._assign = [0] * (num_vars + 1)
-        self._trail = []
-        self._watches = {}
-        self._clauses = []
-        self._units = []
+        self._trail: List[int] = []
+        self._watches: Dict[int, List[int]] = {}
+        self._clauses: List[List[int]] = []
+        self._units: List[int] = []
 
-    def _grow(self, var):
+    def _grow(self, var: int) -> None:
         while self.num_vars < var:
             self.num_vars += 1
             self._assign.append(0)
 
-    def add_clause(self, clause):
+    def add_clause(self, clause: Sequence[int]) -> None:
         """Add a clause to the watched database (state must be clean)."""
         for lit in clause:
             self._grow(abs(lit))
@@ -62,11 +66,11 @@ class _Propagator:
         self._watches.setdefault(clause[0], []).append(ref)
         self._watches.setdefault(clause[1], []).append(ref)
 
-    def value(self, lit):
+    def value(self, lit: int) -> int:
         val = self._assign[abs(lit)]
         return val if lit > 0 else -val
 
-    def _enqueue(self, lit):
+    def _enqueue(self, lit: int) -> bool:
         val = self.value(lit)
         if val == 1:
             return True
@@ -76,7 +80,7 @@ class _Propagator:
         self._trail.append(lit)
         return True
 
-    def propagate(self, assumptions):
+    def propagate(self, assumptions: Iterable[int]) -> bool:
         """Assert *assumptions*, propagate; return True on conflict.
 
         The propagator state is rolled back before returning.
@@ -101,7 +105,7 @@ class _Propagator:
                 lit = self._trail.pop()
                 self._assign[abs(lit)] = 0
 
-    def _propagate_from(self, mark):
+    def _propagate_from(self, mark: int) -> bool:
         head = mark
         while head < len(self._trail):
             lit = self._trail[head]
@@ -110,7 +114,7 @@ class _Propagator:
                 return True
         return False
 
-    def _visit_watchers(self, false_lit):
+    def _visit_watchers(self, false_lit: int) -> bool:
         watchers = self._watches.get(false_lit)
         if not watchers:
             return False
@@ -146,7 +150,10 @@ class _Propagator:
         return conflict
 
 
-def check_rup_proof(store, axioms=None):
+def check_rup_proof(
+    store: ProofStore,
+    axioms: Optional[Iterable[Iterable[int]]] = None,
+) -> int:
     """Validate every derived clause of *store* by reverse unit propagation.
 
     Clauses are checked in store order against the axioms plus all earlier
@@ -164,7 +171,7 @@ def check_rup_proof(store, axioms=None):
     Raises:
         ProofError: on the first non-RUP clause or foreign axiom.
     """
-    allowed = None
+    allowed: Optional[Set[Clause]] = None
     if axioms is not None:
         allowed = {tuple(sorted(set(clause))) for clause in axioms}
     num_vars = 0
@@ -178,13 +185,17 @@ def check_rup_proof(store, axioms=None):
         if store.kind(clause_id) == AXIOM:
             if allowed is not None and clause not in allowed:
                 raise ProofError(
-                    "axiom %d = %r not in reference CNF" % (clause_id, clause)
+                    "axiom %d = %r not in reference CNF" % (clause_id, clause),
+                    clause_id=clause_id,
+                    rule_id="proof.axiom-foreign",
                 )
             prop.add_clause(clause)
             continue
         if not prop.propagate([-lit for lit in clause]):
             raise ProofError(
-                "derived clause %d = %r is not RUP" % (clause_id, clause)
+                "derived clause %d = %r is not RUP" % (clause_id, clause),
+                clause_id=clause_id,
+                rule_id="proof.not-rup",
             )
         checked += 1
         if clause:

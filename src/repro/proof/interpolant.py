@@ -21,9 +21,13 @@ emitting the interpolant directly as a structurally hashed
 :class:`~repro.aig.AIG` over inputs named after the shared variables.
 """
 
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
 from ..aig.aig import AIG
 from ..aig.literal import TRUE, lit_not
-from .store import AXIOM, ProofError
+from .store import AXIOM, Clause, ProofError, ProofStore
 
 
 class InterpolationError(ProofError):
@@ -39,23 +43,25 @@ class Interpolant:
             the AIG inputs.
     """
 
-    def __init__(self, aig, shared_vars):
+    def __init__(self, aig: AIG, shared_vars: List[int]) -> None:
         self.aig = aig
         self.shared_vars = shared_vars
 
-    def evaluate(self, assignment):
+    def evaluate(self, assignment: Sequence[int]) -> int:
         """Evaluate under *assignment* (indexable by CNF variable)."""
         bits = [1 if assignment[var] else 0 for var in self.shared_vars]
         return self.aig.evaluate(bits)[0]
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "Interpolant(shared=%d, ands=%d)" % (
             len(self.shared_vars),
             self.aig.num_ands,
         )
 
 
-def partition_vars(a_clauses, b_clauses):
+def partition_vars(
+    a_clauses: Iterable[Clause], b_clauses: Iterable[Clause]
+) -> Tuple[Set[int], Set[int], Set[int]]:
     """Classify variables: returns ``(a_only, b_or_shared, shared)`` sets."""
     a_vars = {abs(lit) for clause in a_clauses for lit in clause}
     b_vars = {abs(lit) for clause in b_clauses for lit in clause}
@@ -63,7 +69,11 @@ def partition_vars(a_clauses, b_clauses):
     return a_vars - b_vars, b_vars, shared
 
 
-def interpolate(store, a_axiom_ids, root_id=None):
+def interpolate(
+    store: ProofStore,
+    a_axiom_ids: Iterable[int],
+    root_id: Optional[int] = None,
+) -> Interpolant:
     """Compute the McMillan interpolant of a refutation.
 
     Args:
@@ -108,7 +118,7 @@ def interpolate(store, a_axiom_ids, root_id=None):
         var: aig.add_input("v%d" % var) for var in shared_sorted
     }
 
-    def leaf_label(clause_id):
+    def leaf_label(clause_id: int) -> int:
         clause = store.clause(clause_id)
         if clause_id in a_ids:
             lits = []
@@ -120,7 +130,7 @@ def interpolate(store, a_axiom_ids, root_id=None):
             return aig.add_or_multi(lits)
         return TRUE
 
-    labels = {}
+    labels: Dict[int, int] = {}
 
     # Iterative evaluation over the cone to avoid deep recursion.
     stack = [root_id]
@@ -142,6 +152,7 @@ def interpolate(store, a_axiom_ids, root_id=None):
             stack.extend(pending)
             continue
         chain = store.chain(clause_id)
+        assert chain is not None
         value = labels[chain[0]]
         for pivot, antecedent in chain[1:]:
             other = labels[antecedent]

@@ -30,12 +30,15 @@ through ``repro.proof.checker.check_proof(..., jobs=N)`` or the
 ``--jobs`` CLI flags.
 """
 
+from __future__ import annotations
+
 import multiprocessing
 import os
 import time
+from typing import Any, Iterable, List, Optional, Tuple
 
 from .checker import CheckResult, check_clause, prepare_axioms
-from .store import AXIOM, ProofError
+from .store import AXIOM, ProofError, ProofStore
 from .trim import levelize
 
 # Proofs smaller than this replay sequentially: pool startup costs more
@@ -51,22 +54,27 @@ DEFAULT_CHUNK_SIZE = 2048
 # Published before the pool starts so fork-based workers inherit the
 # data without any pickling; spawn-based workers receive the same tuple
 # through _init_worker.
-_SHARED = None
+_SHARED: Optional[Tuple[Any, Any, Any, Any]] = None
+
+# One worker error: (clause_id, message, rule_id).
+_WorkerError = Tuple[int, str, Optional[str]]
+_ChunkResult = Tuple[Optional[_WorkerError], int, int, int, Optional[int]]
 
 
-def _init_worker(state):
+def _init_worker(state: Tuple[Any, Any, Any, Any]) -> None:
     global _SHARED
     _SHARED = state
 
 
-def _check_chunk(bounds):
+def _check_chunk(bounds: Tuple[int, int]) -> _ChunkResult:
     """Validate one ``[lo, hi)`` chunk of ids against the shared arrays.
 
     Returns ``(error, num_axioms, num_derived, num_resolutions,
-    empty_id)`` where *error* is ``None`` or ``(clause_id, message)`` for
-    the smallest failing id in the chunk.
+    empty_id)`` where *error* is ``None`` or ``(clause_id, message,
+    rule_id)`` for the smallest failing id in the chunk.
     """
     lo, hi = bounds
+    assert _SHARED is not None
     clauses, kinds, chains, allowed = _SHARED
     get_clause = clauses.__getitem__
     num_axioms = 0
@@ -87,7 +95,7 @@ def _check_chunk(bounds):
             )
         except ProofError as exc:
             return (
-                (clause_id, str(exc)),
+                (clause_id, str(exc), exc.rule_id),
                 num_axioms, num_derived, num_resolutions, empty_id,
             )
         if not clause and empty_id is None:
@@ -95,7 +103,7 @@ def _check_chunk(bounds):
     return None, num_axioms, num_derived, num_resolutions, empty_id
 
 
-def resolve_jobs(jobs):
+def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalize a ``jobs`` request to a worker count (``0`` = per CPU)."""
     if jobs is None:
         return 1
@@ -106,7 +114,7 @@ def resolve_jobs(jobs):
     return jobs
 
 
-def _chunk_schedule(store, chunk_size):
+def _chunk_schedule(store: ProofStore, chunk_size: int) -> List[Tuple[int, int]]:
     """Deterministic chunk list over the proof's topological order.
 
     Insertion order *is* a topological order of the antecedent DAG (the
@@ -123,10 +131,16 @@ def _chunk_schedule(store, chunk_size):
     ]
 
 
-def check_proof_parallel(store, axioms=None, require_empty=True,
-                         recorder=None, budget=None, jobs=0,
-                         chunk_size=DEFAULT_CHUNK_SIZE,
-                         min_clauses=DEFAULT_MIN_CLAUSES):
+def check_proof_parallel(
+    store: ProofStore,
+    axioms: Optional[Iterable[Iterable[int]]] = None,
+    require_empty: bool = True,
+    recorder: Optional[Any] = None,
+    budget: Optional[Any] = None,
+    jobs: Optional[int] = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    min_clauses: int = DEFAULT_MIN_CLAUSES,
+) -> CheckResult:
     """Verify *store* like ``check_proof``, replaying chunks in parallel.
 
     Accepts and rejects exactly the same proofs as the sequential
@@ -199,11 +213,11 @@ def check_proof_parallel(store, axioms=None, require_empty=True,
             recorder=recorder, budget=budget,
         )
 
-    errors = []
+    errors: List[_WorkerError] = []
     num_axioms = 0
     num_derived = 0
     num_resolutions = 0
-    empty_id = None
+    empty_id: Optional[int] = None
     try:
         with pool:
             for result in pool.imap_unordered(_check_chunk, chunks):
@@ -221,10 +235,15 @@ def check_proof_parallel(store, axioms=None, require_empty=True,
         _SHARED = None
 
     if errors:
-        clause_id, message = min(errors)
-        raise ProofError(message, clause_id=clause_id)
+        clause_id, message, rule_id = min(
+            errors, key=lambda error: error[0]
+        )
+        raise ProofError(message, clause_id=clause_id, rule_id=rule_id)
     if require_empty and empty_id is None:
-        raise ProofError("proof does not derive the empty clause")
+        raise ProofError(
+            "proof does not derive the empty clause",
+            rule_id="proof.no-refutation",
+        )
     if instrumented:
         recorder.add_time(
             "check/parallel-replay", time.perf_counter() - start,

@@ -6,7 +6,11 @@ width, and derivation depth (longest antecedent path from an axiom to the
 empty clause).
 """
 
-from .store import AXIOM
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from .store import AXIOM, ProofStore
 
 
 class ProofStats:
@@ -25,14 +29,14 @@ class ProofStats:
 
     def __init__(
         self,
-        num_clauses,
-        num_axioms,
-        num_derived,
-        num_resolutions,
-        max_width,
-        avg_derived_width,
-        depth,
-    ):
+        num_clauses: int,
+        num_axioms: int,
+        num_derived: int,
+        num_resolutions: int,
+        max_width: int,
+        avg_derived_width: float,
+        depth: int,
+    ) -> None:
         self.num_clauses = num_clauses
         self.num_axioms = num_axioms
         self.num_derived = num_derived
@@ -41,7 +45,7 @@ class ProofStats:
         self.avg_derived_width = avg_derived_width
         self.depth = depth
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             "ProofStats(clauses=%d, axioms=%d, derived=%d, resolutions=%d, "
             "max_width=%d, depth=%d)"
@@ -56,7 +60,7 @@ class ProofStats:
         )
 
 
-def core_axioms(store, root_id=None):
+def core_axioms(store: ProofStore, root_id: Optional[int] = None) -> Set[int]:
     """Axiom clause ids in the antecedent cone of the (empty) root.
 
     The *unsatisfiable core* of the refutation: the subset of original
@@ -72,7 +76,7 @@ def core_axioms(store, root_id=None):
     }
 
 
-def proof_stats(store):
+def proof_stats(store: ProofStore) -> ProofStats:
     """Compute :class:`ProofStats` for *store* in one pass."""
     num_axioms = 0
     num_derived = 0
@@ -90,7 +94,7 @@ def proof_stats(store):
         num_derived += 1
         derived_width_total += len(clause)
         chain = store.chain(clause_id)
-        num_resolutions += len(chain) - 1
+        num_resolutions += len(chain) - 1 if chain is not None else 0
         node_depth = 1 + max(
             depth[ref] for ref in store.antecedents(clause_id)
         )

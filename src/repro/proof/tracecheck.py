@@ -15,10 +15,16 @@ for each chain), and therefore supports full round-trip testing plus
 interoperability with external trace checkers.
 """
 
-from .store import ProofError, ProofStore, resolve
+from __future__ import annotations
+
+from typing import IO, Dict, List, Tuple, Union
+
+from .store import Chain, Clause, ProofError, ProofStore, resolve
 
 
-def write_tracecheck(store, path_or_file):
+def write_tracecheck(
+    store: ProofStore, path_or_file: Union[str, IO[str]]
+) -> None:
     """Write *store* as a TraceCheck trace.
 
     Clause ids are the store's ids plus one (TraceCheck ids must be
@@ -31,7 +37,7 @@ def write_tracecheck(store, path_or_file):
             _write(store, handle)
 
 
-def _write(store, out):
+def _write(store: ProofStore, out: IO[str]) -> None:
     for clause_id in store.ids():
         clause = store.clause(clause_id)
         parts = [str(clause_id + 1)]
@@ -46,7 +52,9 @@ def _write(store, out):
         out.write("\n")
 
 
-def read_tracecheck(path_or_file):
+def read_tracecheck(
+    path_or_file: Union[str, IO[str]],
+) -> Tuple[ProofStore, Dict[int, int]]:
     """Parse a TraceCheck trace into a :class:`ProofStore`.
 
     The pivot of every resolution step is re-derived (it is the unique
@@ -68,10 +76,10 @@ def read_tracecheck(path_or_file):
     return parse_tracecheck(text)
 
 
-def parse_tracecheck(text):
+def parse_tracecheck(text: str) -> Tuple[ProofStore, Dict[int, int]]:
     """Parse TraceCheck text. See :func:`read_tracecheck`."""
     store = ProofStore()
-    id_map = {}
+    id_map: Dict[int, int] = {}
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith("c"):
@@ -79,40 +87,61 @@ def parse_tracecheck(text):
         try:
             numbers = [int(token) for token in line.split()]
         except ValueError:
-            raise ProofError("trace line %d is not numeric: %r" % (lineno, raw))
+            raise ProofError(
+                "trace line %d is not numeric: %r" % (lineno, raw),
+                rule_id="trace.syntax",
+            )
         if len(numbers) < 3:
-            raise ProofError("trace line %d too short: %r" % (lineno, raw))
+            raise ProofError(
+                "trace line %d too short: %r" % (lineno, raw),
+                rule_id="trace.syntax",
+            )
         file_id = numbers[0]
         if file_id <= 0:
-            raise ProofError("trace line %d: non-positive id" % lineno)
+            raise ProofError(
+                "trace line %d: non-positive id" % lineno,
+                rule_id="trace.syntax",
+            )
         try:
             zero_one = numbers.index(0, 1)
         except ValueError:
-            raise ProofError("trace line %d: missing literal terminator" % lineno)
+            raise ProofError(
+                "trace line %d: missing literal terminator" % lineno,
+                rule_id="trace.syntax",
+            )
         literals = numbers[1:zero_one]
         rest = numbers[zero_one + 1:]
         if not rest or rest[-1] != 0:
             raise ProofError(
-                "trace line %d: missing antecedent terminator" % lineno
+                "trace line %d: missing antecedent terminator" % lineno,
+                rule_id="trace.syntax",
             )
         antecedents = rest[:-1]
         if any(a == 0 for a in antecedents):
-            raise ProofError("trace line %d: zero antecedent id" % lineno)
+            raise ProofError(
+                "trace line %d: zero antecedent id" % lineno,
+                rule_id="trace.syntax",
+            )
         if file_id in id_map:
-            raise ProofError("trace line %d: duplicate id %d" % (lineno, file_id))
+            raise ProofError(
+                "trace line %d: duplicate id %d" % (lineno, file_id),
+                rule_id="trace.duplicate-id",
+            )
         if not antecedents:
             id_map[file_id] = store.add_axiom(literals)
             continue
         if len(antecedents) < 2:
             raise ProofError(
-                "trace line %d: derived clause needs >= 2 antecedents" % lineno
+                "trace line %d: derived clause needs >= 2 antecedents" % lineno,
+                rule_id="proof.chain-arity",
             )
-        chain_ids = []
+        chain_ids: List[int] = []
         for ante in antecedents:
             if ante not in id_map:
                 raise ProofError(
                     "trace line %d: antecedent %d not yet defined"
-                    % (lineno, ante)
+                    % (lineno, ante),
+                    rule_id="proof.forward-ref",
                 )
             chain_ids.append(id_map[ante])
         chain = _relinearize(store, chain_ids, literals, lineno)
@@ -120,10 +149,12 @@ def parse_tracecheck(text):
     return store, id_map
 
 
-def _relinearize(store, chain_ids, claimed, lineno):
+def _relinearize(
+    store: ProofStore, chain_ids: List[int], claimed: List[int], lineno: int
+) -> Chain:
     """Rebuild the pivot-annotated chain from an antecedent id list."""
-    current = store.clause(chain_ids[0])
-    chain = [chain_ids[0]]
+    current: Clause = store.clause(chain_ids[0])
+    chain: Chain = [chain_ids[0]]
     for ante in chain_ids[1:]:
         other = store.clause(ante)
         current_set = set(current)
@@ -131,7 +162,9 @@ def _relinearize(store, chain_ids, claimed, lineno):
         if len(pivots) != 1:
             raise ProofError(
                 "trace line %d: no unique pivot between %r and %r"
-                % (lineno, current, other)
+                % (lineno, current, other),
+                rule_id="proof.pivot-phase",
+                chain=chain,
             )
         pivot = pivots.pop()
         current = resolve(current, other, pivot)
@@ -139,6 +172,8 @@ def _relinearize(store, chain_ids, claimed, lineno):
     if current != tuple(sorted(set(claimed))):
         raise ProofError(
             "trace line %d: chain yields %r, claimed %r"
-            % (lineno, current, tuple(claimed))
+            % (lineno, current, tuple(claimed)),
+            rule_id="proof.chain-mismatch",
+            chain=chain,
         )
     return chain

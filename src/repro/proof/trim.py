@@ -6,12 +6,15 @@ cone and can rebuild a compact store containing only the needed clauses,
 renumbered in a valid derivation order.
 """
 
+from __future__ import annotations
+
 import time
+from typing import Any, Dict, List, Optional, Set, Tuple
 
-from .store import AXIOM, ProofError, ProofStore
+from .store import AXIOM, Chain, ProofError, ProofStore
 
 
-def needed_ids(store, root_id=None):
+def needed_ids(store: ProofStore, root_id: Optional[int] = None) -> Set[int]:
     """Set of clause ids in the antecedent cone of *root_id*.
 
     *root_id* defaults to the store's (first) empty clause.
@@ -19,8 +22,11 @@ def needed_ids(store, root_id=None):
     if root_id is None:
         root_id = store.find_empty_clause()
         if root_id is None:
-            raise ProofError("store has no empty clause to trim towards")
-    needed = set()
+            raise ProofError(
+                "store has no empty clause to trim towards",
+                rule_id="proof.no-refutation",
+            )
+    needed: Set[int] = set()
     stack = [root_id]
     while stack:
         clause_id = stack.pop()
@@ -31,7 +37,11 @@ def needed_ids(store, root_id=None):
     return needed
 
 
-def trim(store, root_id=None, recorder=None):
+def trim(
+    store: ProofStore,
+    root_id: Optional[int] = None,
+    recorder: Optional[Any] = None,
+) -> Tuple[ProofStore, Dict[int, int]]:
     """Rebuild a store containing only the cone of *root_id*.
 
     Args:
@@ -54,14 +64,14 @@ def trim(store, root_id=None, recorder=None):
         recorder.gauge("trim/cone_clauses", len(keep))
         start = now
     trimmed = ProofStore()
-    id_map = {}
+    id_map: Dict[int, int] = {}
     for clause_id in sorted(keep):
         clause = store.clause(clause_id)
-        if store.kind(clause_id) == AXIOM:
+        chain = store.chain(clause_id)
+        if store.kind(clause_id) == AXIOM or chain is None:
             id_map[clause_id] = trimmed.add_axiom(clause)
         else:
-            chain = store.chain(clause_id)
-            new_chain = [id_map[chain[0]]]
+            new_chain: Chain = [id_map[chain[0]]]
             for pivot, antecedent_id in chain[1:]:
                 new_chain.append((pivot, id_map[antecedent_id]))
             id_map[clause_id] = trimmed.add_derived(clause, new_chain)
@@ -70,7 +80,7 @@ def trim(store, root_id=None, recorder=None):
     return trimmed, id_map
 
 
-def levelize(store):
+def levelize(store: ProofStore) -> List[List[int]]:
     """Topologically levelize the store's antecedent DAG.
 
     Level 0 holds the axioms; a derived clause sits one level above its
@@ -87,7 +97,7 @@ def levelize(store):
     """
     size = len(store)
     level = [0] * size
-    buckets = [[]]
+    buckets: List[List[int]] = [[]]
     chain_of = store.chain
     for clause_id in range(size):
         chain = chain_of(clause_id)
@@ -111,7 +121,7 @@ def levelize(store):
     return buckets
 
 
-def trim_ratio(store, root_id=None):
+def trim_ratio(store: ProofStore, root_id: Optional[int] = None) -> float:
     """Fraction of clauses surviving the trim, ``len(kept) / len(store)``."""
     if not len(store):
         return 1.0

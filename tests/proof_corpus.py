@@ -1,0 +1,112 @@
+"""A corpus of deliberately corrupted resolution proofs.
+
+Each entry starts from a small valid refutation and applies one
+targeted mutation directly to the :class:`ProofStore` internals. The
+public construction API refuses malformed proofs and the TraceCheck
+parser re-derives pivots while reading, so file-level corruption cannot
+express every defect class — in-memory mutation can.
+
+Every entry records the rule id the static linter must report at error
+severity; ``test_analyze_proof`` additionally asserts that the replay
+checker rejects the very same store, which is the linter's soundness
+contract (lint error implies replay failure).
+
+Base proof (over variables 1, 2)::
+
+    0: (1, 2)     axiom
+    1: (-1, 2)    axiom
+    2: (1, -2)    axiom
+    3: (-1, -2)   axiom
+    4: (-2,)      derived  [2, (1, 3)]
+    5: ()         derived  [0, (1, 1), (2, 4)]
+"""
+
+from repro.cnf.clause import CNF
+from repro.proof.store import ProofStore
+
+
+def base_cnf():
+    """The unsatisfiable 2-variable formula the base proof refutes."""
+    return CNF(clauses=[(1, 2), (-1, 2), (1, -2), (-1, -2)])
+
+
+def base_store():
+    """A fresh, valid refutation of :func:`base_cnf`."""
+    store = ProofStore()
+    for clause in base_cnf().clauses:
+        store.add_axiom(clause)
+    store.add_derived((-2,), [2, (1, 3)])
+    store.add_derived((), [0, (1, 1), (2, 4)])
+    return store
+
+
+def _shuffled_chain(store):
+    # Rotate the antecedents of the final chain: the first resolution
+    # now pairs (-2,) against pivot 1, whose phases it lacks.
+    store._chains[5] = [4, (1, 1), (2, 0)]
+
+
+def _out_of_range_var(store):
+    store._clauses[4] = (-2, 99)
+
+
+def _duplicated_literal(store):
+    store._clauses[4] = (-2, -2)
+
+
+def _tautology(store):
+    store._clauses[4] = (-2, 2)
+
+
+def _forward_ref(store):
+    store._chains[4] = [2, (1, 5)]
+
+
+def _foreign_axiom(store):
+    store._clauses[0] = (1,)
+
+
+def _pivot_missing(store):
+    # Second step resolves on variable 1, absent from antecedent 4.
+    store._chains[5] = [0, (1, 1), (1, 4)]
+
+
+def _chain_arity(store):
+    store._chains[4] = [2]
+
+
+def _dangling_chain(store):
+    store._chains[4] = None
+
+
+def _retained_pivot(store):
+    # The final resolvent keeps its last pivot variable.
+    store._clauses[5] = (2,)
+
+
+def _no_refutation(store):
+    store._clauses[5] = (1, 2)
+
+
+#: name -> (mutation, rule id the linter must flag at error severity)
+CORRUPTIONS = {
+    "shuffled-chain": (_shuffled_chain, "proof.pivot-phase"),
+    "out-of-range-var": (_out_of_range_var, "proof.var-bounds"),
+    "duplicated-literal": (_duplicated_literal, "proof.clause-form"),
+    "tautology": (_tautology, "proof.tautology"),
+    "forward-ref": (_forward_ref, "proof.forward-ref"),
+    "foreign-axiom": (_foreign_axiom, "proof.axiom-foreign"),
+    "pivot-missing": (_pivot_missing, "proof.pivot-missing"),
+    "chain-arity": (_chain_arity, "proof.chain-arity"),
+    "dangling-chain": (_dangling_chain, "proof.chain-arity"),
+    "retained-pivot": (_retained_pivot, "proof.pivot-unresolvable"),
+    "no-refutation": (_no_refutation, "proof.no-refutation"),
+}
+
+
+def corrupted(name):
+    """Build ``(store, cnf, expected_rule)`` for one corpus entry."""
+    mutate, rule = CORRUPTIONS[name]
+    store = base_store()
+    mutate(store)
+    return store, base_cnf(), rule

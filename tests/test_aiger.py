@@ -4,7 +4,7 @@ import io
 
 import pytest
 
-from repro.aig import AIG, AigerError, read_aag, read_aig, read_auto, \
+from repro.aig import AigerError, read_aag, read_aig, read_auto, \
     write_aag, write_aig
 from repro.circuits import (
     alu,

@@ -1,0 +1,148 @@
+"""Tests for netlist, miter, and Tseitin-encoding linting."""
+
+import pytest
+
+from repro.aig import AIG
+from repro.aig.miter import build_miter
+from repro.analyze import ERROR, WARNING, lint_aig, lint_encoding, \
+    lint_miter
+from repro.circuits import kogge_stone_adder, parity_tree, \
+    ripple_carry_adder
+from repro.cnf.tseitin import tseitin_encode
+
+
+def error_rules(findings):
+    return {f.rule_id for f in findings if f.severity == ERROR}
+
+
+def rules(findings):
+    return {f.rule_id for f in findings}
+
+
+class TestAigLint:
+    @pytest.mark.parametrize(
+        "builder", [ripple_carry_adder, kogge_stone_adder],
+        ids=lambda b: b.__name__,
+    )
+    def test_generated_circuits_clean(self, builder):
+        findings = lint_aig(builder(6))
+        assert not error_rules(findings), [f.render() for f in findings]
+
+    def test_structure_report_present(self):
+        findings = lint_aig(parity_tree(8), name="par8")
+        report = next(
+            f for f in findings if f.rule_id == "aig.structure-report"
+        )
+        assert report.data["inputs"] == 8
+        assert report.data["ands"] > 0
+        assert "par8" in report.message
+
+    def test_out_of_range_fanin(self):
+        aig = ripple_carry_adder(3)
+        var = next(iter(aig.and_vars()))
+        aig._fanin0[var] = 2 * (aig.num_vars + 5)
+        assert "aig.topology" in error_rules(lint_aig(aig))
+
+    def test_combinational_loop(self):
+        aig = AIG("loopy")
+        a = aig.add_input("a")
+        # Two raw AND rows reading each other: var 2 <-> var 3.
+        aig._fanin0.append(6)
+        aig._fanin1.append(a)
+        aig._fanin0.append(4)
+        aig._fanin1.append(a)
+        aig.add_output(6, "y")
+        found = error_rules(lint_aig(aig))
+        assert "aig.loop" in found
+        assert "aig.topology" in found
+
+    def test_const_fanin_and_trivial_warnings(self):
+        aig = AIG("degenerate")
+        a = aig.add_input("a")
+        # Bypass add_and's folding by appending raw AND rows.
+        aig._fanin0.append(0)       # constant-false fanin
+        aig._fanin1.append(a)
+        var_const = aig.num_vars - 1
+        aig._fanin0.append(a)       # x AND x
+        aig._fanin1.append(a)
+        aig.add_output(2 * (var_const + 1), "y")
+        found = rules(lint_aig(aig))
+        assert "aig.const-fanin" in found
+        assert "aig.trivial-and" in found
+
+    def test_strash_duplicate_warning(self):
+        aig = AIG("dup")
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        first = aig.add_and(a, b)
+        aig._fanin0.append(b)       # same pair, opposite order
+        aig._fanin1.append(a)
+        aig.add_output(first, "y")
+        findings = lint_aig(aig)
+        dup = next(f for f in findings if f.rule_id == "aig.strash-dup")
+        assert dup.severity == WARNING
+
+    def test_output_range(self):
+        aig = parity_tree(4)
+        aig._outputs[0] = 2 * (aig.num_vars + 3)
+        assert "aig.output-range" in error_rules(lint_aig(aig))
+
+
+class TestMiterLint:
+    def test_clean_miter(self):
+        miter = build_miter(ripple_carry_adder(4), kogge_stone_adder(4))
+        findings = lint_miter(miter)
+        assert not error_rules(findings), [f.render() for f in findings]
+
+    def test_miter_shape_violation(self):
+        miter = build_miter(parity_tree(4), parity_tree(4))
+        miter.aig.add_output(miter.aig.outputs[0], "extra")
+        assert "miter.shape" in error_rules(lint_miter(miter))
+
+    def test_empty_output_pairs(self):
+        miter = build_miter(parity_tree(4), parity_tree(4))
+        miter.output_pairs = []
+        assert "miter.shape" in error_rules(lint_miter(miter))
+
+
+class TestEncodingLint:
+    def encoding(self, bits=4):
+        miter = build_miter(
+            ripple_carry_adder(bits), kogge_stone_adder(bits)
+        )
+        return miter.aig, tseitin_encode(miter.aig)
+
+    def test_clean_encoding(self):
+        aig, enc = self.encoding()
+        findings = lint_encoding(aig, enc)
+        assert not error_rules(findings), [f.render() for f in findings]
+
+    def test_var_map_shape(self):
+        aig, enc = self.encoding()
+        enc.var_of = enc.var_of[:-1]
+        assert "cnf.var-map" in error_rules(lint_encoding(aig, enc))
+
+    def test_var_map_injectivity(self):
+        aig, enc = self.encoding()
+        enc.var_of[2] = enc.var_of[1]
+        assert "cnf.var-map" in error_rules(lint_encoding(aig, enc))
+
+    def test_const_unit_clause(self):
+        aig, enc = self.encoding()
+        enc.cnf.clauses[enc.const_clause_index] = (enc.var_of[0],)
+        assert "cnf.const-unit" in error_rules(lint_encoding(aig, enc))
+
+    def test_defining_clause_shape(self):
+        aig, enc = self.encoding()
+        var = next(iter(aig.and_vars()))
+        index = enc.defining_clauses[var][0]
+        clause = enc.cnf.clauses[index]
+        enc.cnf.clauses[index] = tuple(-lit for lit in clause)
+        assert "cnf.defining-shape" in error_rules(lint_encoding(aig, enc))
+
+    def test_clause_count(self):
+        aig, enc = self.encoding()
+        enc.cnf.clauses.append((enc.var_of[0], -enc.var_of[0] - 0))
+        findings = lint_encoding(aig, enc)
+        extra = [f for f in findings if f.rule_id == "cnf.clause-count"]
+        assert extra and extra[0].severity != ERROR

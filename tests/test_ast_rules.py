@@ -1,0 +1,101 @@
+"""Tests for the project-specific AST lint rules."""
+
+from repro.analyze import lint_package, lint_source
+from repro.instrument import PHASE_REGISTRY
+
+
+def rules(findings):
+    return {f.rule_id for f in findings}
+
+
+SOME_PHASE = sorted(PHASE_REGISTRY)[0]
+
+
+class TestAstRules:
+    def test_clean_source(self):
+        source = (
+            "import sys\n"
+            "\n"
+            "def main():\n"
+            "    return sys.maxsize\n"
+        )
+        assert lint_source(source, "clean.py") == []
+
+    def test_syntax_error(self):
+        findings = lint_source("def broken(:\n", "bad.py")
+        assert rules(findings) == {"code.syntax"}
+
+    def test_bare_except(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except:\n"
+            "        pass\n"
+        )
+        findings = lint_source(source, "x.py")
+        assert "code.bare-except" in rules(findings)
+        assert findings[0].line == 4
+
+    def test_store_internals_outside_store_module(self):
+        source = "def f(store):\n    return store._clauses[0]\n"
+        findings = lint_source(source, "src/repro/analyze/x.py")
+        assert "code.store-internals" in rules(findings)
+
+    def test_store_internals_allowed_in_store_module(self):
+        source = "def f(store):\n    return store._clauses[0]\n"
+        path = "src/repro/proof/store.py"
+        assert "code.store-internals" not in rules(lint_source(source, path))
+
+    def test_store_internals_self_access_allowed(self):
+        source = (
+            "class ProofStore:\n"
+            "    def f(self):\n"
+            "        return self._clauses\n"
+        )
+        assert "code.store-internals" not in rules(
+            lint_source(source, "src/repro/other.py")
+        )
+
+    def test_unregistered_phase_name(self):
+        source = (
+            "def f(recorder):\n"
+            "    with recorder.phase('totally/unregistered'):\n"
+            "        pass\n"
+        )
+        findings = lint_source(source, "x.py")
+        assert "code.phase-registry" in rules(findings)
+
+    def test_registered_phase_name(self):
+        source = (
+            "def f(recorder):\n"
+            "    with recorder.phase(%r):\n"
+            "        pass\n" % SOME_PHASE
+        )
+        assert "code.phase-registry" not in rules(lint_source(source, "x.py"))
+
+    def test_unused_import(self):
+        source = "import os\nimport sys\n\nprint(sys.path)\n"
+        findings = lint_source(source, "x.py")
+        unused = [f for f in findings if f.rule_id == "code.unused-import"]
+        assert len(unused) == 1
+        assert "os" in unused[0].message
+
+    def test_unused_import_ignored_in_package_init(self):
+        source = "from .mod import thing\n"
+        assert lint_source(source, "pkg/__init__.py") == []
+
+    def test_quoted_annotation_counts_as_use(self):
+        source = (
+            "from typing import List\n"
+            "\n"
+            "def f(x: 'List[int]') -> int:\n"
+            "    return len(x)\n"
+        )
+        assert "code.unused-import" not in rules(lint_source(source, "x.py"))
+
+
+class TestPackageGate:
+    def test_repro_package_is_clean(self):
+        findings = lint_package()
+        assert findings == [], [f.render() for f in findings]

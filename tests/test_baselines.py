@@ -86,8 +86,6 @@ class TestBddCec:
         good = comparator(6)
         bad = comparator(6).copy()
         # eq output forced wrong only at a == b == all-ones.
-        from repro.aig import AIG
-
         mutated = comparator(6)
         all_ones = mutated.add_and_multi(
             [2 * v for v in mutated.inputs]

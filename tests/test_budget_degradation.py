@@ -1,12 +1,10 @@
 """Budget-degradation tests: exhaustion yields UNKNOWN, never a wrong
 verdict, and leaves every component in a reusable state."""
 
-import pytest
-
 from repro.circuits import carry_lookahead_adder, ripple_carry_adder
 from repro.core.cec import check_equivalence
 from repro.core.fraig import SweepEngine, SweepOptions
-from repro.instrument import Budget, Recorder
+from repro.instrument import Budget
 from repro.instrument.recorder import validate_report
 from repro.proof.checker import check_proof
 from repro.proof.store import ProofStore

@@ -8,7 +8,6 @@ from repro.circuits import (
     alu,
     alu_mux_first,
     array_multiplier,
-    barrel_shifter,
     carry_lookahead_adder,
     carry_select_adder,
     comparator,
@@ -19,10 +18,9 @@ from repro.circuits import (
     parity_chain,
     parity_tree,
     ripple_carry_adder,
-    shift_add_multiplier,
     wallace_multiplier,
 )
-from repro.core import CecResult, SweepOptions, certify
+from repro.core import SweepOptions, certify
 from repro.transforms import balance, restructure
 
 EQUIVALENT_PAIRS = [

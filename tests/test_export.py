@@ -2,8 +2,6 @@
 
 import os
 
-import pytest
-
 from repro.aig import read_auto
 from repro.circuits import by_name
 from repro.circuits.export import export_suite, main

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.aig import AIG, FALSE, build_miter, lit_not
+from repro.aig import AIG, FALSE, build_miter
 from repro.circuits import (
     carry_lookahead_adder,
     comparator,

@@ -14,8 +14,6 @@ Each test here fails on the pre-fix code:
   primary input, including structurally irrelevant (dangling) ones.
 """
 
-import pytest
-
 from repro.aig import AIG, build_miter
 from repro.core.cec import check_equivalence
 from repro.core.fraig import SweepOptions

@@ -1,0 +1,147 @@
+"""Tests for the ``repro-lint`` CLI and the ``--lint`` pre-flight flags."""
+
+import json
+
+import pytest
+
+from proof_corpus import base_cnf, base_store, corrupted
+from repro.aig import write_aag
+from repro.analyze import validate_lint_report
+from repro.analyze.cli import build_parser, main as lint_main
+from repro.check_cli import main as check_main
+from repro.circuits import kogge_stone_adder, ripple_carry_adder
+from repro.cli import main as cec_main
+from repro.cnf.dimacs import write_dimacs
+from repro.proof.tracecheck import write_tracecheck
+
+
+@pytest.fixture
+def proof_files(tmp_path):
+    trace = tmp_path / "proof.tc"
+    cnf = tmp_path / "formula.cnf"
+    write_tracecheck(base_store(), str(trace))
+    write_dimacs(base_cnf(), str(cnf))
+    return str(trace), str(cnf)
+
+
+@pytest.fixture
+def adder_files(tmp_path):
+    file_a = tmp_path / "a.aag"
+    file_b = tmp_path / "b.aag"
+    write_aag(ripple_carry_adder(4), str(file_a))
+    write_aag(kogge_stone_adder(4), str(file_b))
+    return str(file_a), str(file_b)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_proof_defaults(self):
+        args = build_parser().parse_args(["proof", "x.tc"])
+        assert args.format == "tracecheck"
+        assert args.cnf is None
+
+
+class TestProofCommand:
+    def test_clean_proof_exits_zero(self, proof_files, capsys):
+        trace, cnf = proof_files
+        assert lint_main(["proof", trace, "--cnf", cnf]) == 0
+        out = capsys.readouterr().out
+        assert "repro-lint: 0 errors" in out
+
+    def test_corrupt_proof_exits_one(self, tmp_path, capsys):
+        # A foreign axiom survives the TraceCheck parser (which replays
+        # chains but cannot know the source formula) and must be caught
+        # by the CNF-relative lint.
+        store, cnf, _ = corrupted("foreign-axiom")
+        trace = tmp_path / "bad.tc"
+        cnf_path = tmp_path / "formula.cnf"
+        write_tracecheck(store, str(trace))
+        write_dimacs(cnf, str(cnf_path))
+        assert lint_main(["proof", str(trace), "--cnf", str(cnf_path)]) == 1
+        assert "proof.axiom-foreign" in capsys.readouterr().out
+
+    def test_json_report_validates(self, proof_files, tmp_path, capsys):
+        trace, cnf = proof_files
+        report_path = tmp_path / "report.json"
+        assert lint_main(
+            ["proof", trace, "--cnf", cnf, "--json", str(report_path)]
+        ) == 0
+        with open(report_path) as handle:
+            report = json.load(handle)
+        validate_lint_report(report)
+        assert report["schema"] == "repro-lint/1"
+        assert report["meta"]["command"] == "proof"
+        assert "proof" in report["passes"]
+
+    def test_missing_file_exits_two(self, capsys):
+        assert lint_main(["proof", "/nonexistent/proof.tc"]) == 2
+
+
+class TestOtherCommands:
+    def test_aig_command(self, adder_files, capsys):
+        file_a, file_b = adder_files
+        assert lint_main(["aig", file_a, file_b]) == 0
+        assert "repro-lint:" in capsys.readouterr().out
+
+    def test_miter_command(self, adder_files, tmp_path, capsys):
+        file_a, file_b = adder_files
+        report_path = tmp_path / "miter.json"
+        assert lint_main(
+            ["miter", file_a, file_b, "--json", str(report_path)]
+        ) == 0
+        with open(report_path) as handle:
+            report = json.load(handle)
+        validate_lint_report(report)
+        assert set(report["passes"]) == {"aig", "cnf"}
+
+    def test_code_command(self, capsys):
+        assert lint_main(["code"]) == 0
+        assert "repro-lint: 0 errors" in capsys.readouterr().out
+
+    def test_quiet_suppresses_non_errors(self, adder_files, capsys):
+        file_a, file_b = adder_files
+        lint_main(["aig", file_a, file_b])
+        loud = capsys.readouterr().out
+        lint_main(["aig", file_a, file_b, "--quiet"])
+        quiet = capsys.readouterr().out
+        assert len(quiet.splitlines()) <= len(loud.splitlines())
+        assert "repro-lint:" in quiet
+
+
+class TestCecLintFlag:
+    def test_preflight_clean(self, adder_files, capsys):
+        file_a, file_b = adder_files
+        assert cec_main([file_a, file_b, "--lint"]) == 0
+        out = capsys.readouterr().out
+        assert "lint clean" in out
+        assert "EQUIVALENT" in out
+
+    def test_preflight_with_certify(self, adder_files, capsys):
+        file_a, file_b = adder_files
+        assert cec_main([file_a, file_b, "--lint", "--certify"]) == 0
+        assert "certified" in capsys.readouterr().out
+
+
+class TestCheckproofLintFlag:
+    def test_lint_clean_then_valid(self, proof_files, capsys):
+        trace, cnf = proof_files
+        assert check_main([trace, "--cnf", cnf, "--lint"]) == 0
+        out = capsys.readouterr().out
+        assert "lint clean" in out
+        assert "VALID" in out
+
+    def test_lint_rejects_before_replay(self, tmp_path, capsys):
+        store, cnf, rule = corrupted("foreign-axiom")
+        trace = tmp_path / "bad.tc"
+        cnf_path = tmp_path / "formula.cnf"
+        write_tracecheck(store, str(trace))
+        write_dimacs(cnf, str(cnf_path))
+        assert check_main(
+            [str(trace), "--cnf", str(cnf_path), "--lint"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "INVALID (lint)" in out
+        assert rule in out

@@ -1,7 +1,5 @@
 """Tests for the composed optimization pipeline."""
 
-import pytest
-
 from repro.circuits import carry_lookahead_adder, comparator, parity_chain
 from repro.transforms import optimize, optimize_certified, restructure
 

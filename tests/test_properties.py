@@ -5,7 +5,7 @@ import itertools
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.aig import AIG, FALSE, TRUE, build_miter, lit_not
+from repro.aig import AIG, build_miter, lit_not
 from repro.cnf import tseitin_encode
 from repro.proof import ProofStore, check_proof, check_rup_proof, resolve, trim
 from repro.sat import SAT, UNSAT, Solver

@@ -1,7 +1,5 @@
 """Tests for cut-based resynthesis."""
 
-import itertools
-
 import pytest
 
 from repro.aig import AIG

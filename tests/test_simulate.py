@@ -5,7 +5,6 @@ import pytest
 from repro.aig import AIG, Simulator, lit_not, random_equivalence_test
 from repro.circuits import parity_tree, ripple_carry_adder
 
-from conftest import bits_of
 
 
 class TestSimulator:

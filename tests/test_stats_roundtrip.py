@@ -1,0 +1,102 @@
+"""Tests for proof statistics and TraceCheck round-trip stability.
+
+The round-trip tests write engine-produced proofs to TraceCheck, read
+them back, and assert that both the statistics and the lint findings
+are unchanged — on the raw (unlinted, untrimmed) proof as well as the
+trimmed one the pipeline normally certifies.
+"""
+
+import pytest
+
+from proof_corpus import base_store
+from repro import check_equivalence
+from repro.analyze import lint_proof
+from repro.circuits import kogge_stone_adder, parity_chain, parity_tree, \
+    ripple_carry_adder
+from repro.proof.stats import core_axioms, proof_stats
+from repro.proof.store import AXIOM
+from repro.proof.tracecheck import read_tracecheck, write_tracecheck
+from repro.proof.trim import trim
+
+
+def stats_tuple(stats):
+    return (
+        stats.num_clauses, stats.num_axioms, stats.num_derived,
+        stats.num_resolutions, stats.max_width, stats.avg_derived_width,
+        stats.depth,
+    )
+
+
+def finding_summary(findings):
+    """Sorted (rule, severity, clause_id) triples for comparison."""
+    return sorted(
+        (f.rule_id, f.severity, f.clause_id) for f in findings
+    )
+
+
+class TestProofStats:
+    def test_base_store_exact(self):
+        stats = proof_stats(base_store())
+        assert stats.num_clauses == 6
+        assert stats.num_axioms == 4
+        assert stats.num_derived == 2
+        assert stats.num_resolutions == 3
+        assert stats.max_width == 2
+        # Derived clauses are (-2,) and (); mean width 0.5.
+        assert stats.avg_derived_width == pytest.approx(0.5)
+        # Clause 5 builds on clause 4: two derivation levels.
+        assert stats.depth == 2
+
+    def test_empty_store(self):
+        from repro.proof.store import ProofStore
+
+        stats = proof_stats(ProofStore())
+        assert stats_tuple(stats) == (0, 0, 0, 0, 0, 0.0, 0)
+
+    def test_core_axioms(self):
+        store = base_store()
+        core = core_axioms(store)
+        assert core == {0, 1, 2, 3}
+        assert all(store.kind(cid) == AXIOM for cid in core)
+
+    def test_trim_preserves_core(self):
+        # Trim renumbers ids, so compare the referenced clauses.
+        result = check_equivalence(parity_tree(5), parity_chain(5))
+        trimmed, _ = trim(result.proof)
+        raw_core = {
+            result.proof.clause(cid) for cid in core_axioms(result.proof)
+        }
+        trimmed_core = {
+            trimmed.clause(cid) for cid in core_axioms(trimmed)
+        }
+        assert trimmed_core == raw_core
+
+
+class TestTracecheckRoundTrip:
+    @pytest.mark.parametrize("trimmed", [False, True],
+                             ids=["raw", "trimmed"])
+    def test_stats_and_lint_stable(self, tmp_path, trimmed):
+        result = check_equivalence(
+            ripple_carry_adder(4), kogge_stone_adder(4)
+        )
+        proof = trim(result.proof)[0] if trimmed else result.proof
+        path = str(tmp_path / "proof.tc")
+        write_tracecheck(proof, path)
+        reread, _ = read_tracecheck(path)
+
+        assert stats_tuple(proof_stats(reread)) \
+            == stats_tuple(proof_stats(proof))
+        before = lint_proof(proof, cnf=result.cnf)
+        after = lint_proof(reread, cnf=result.cnf)
+        assert finding_summary(after) == finding_summary(before)
+        assert not [f for f in after if f.severity == "error"]
+
+    def test_clause_content_identical(self, tmp_path):
+        store = base_store()
+        path = str(tmp_path / "base.tc")
+        write_tracecheck(store, path)
+        reread, _ = read_tracecheck(path)
+        assert len(reread) == len(store)
+        for cid in store.ids():
+            assert reread.clause(cid) == store.clause(cid)
+            assert reread.kind(cid) == store.kind(cid)

@@ -7,8 +7,6 @@ thousands of nodes, and long incremental solver sessions.
 
 import random
 
-import pytest
-
 from repro.aig import AIG, Simulator, build_miter
 from repro.circuits import random_aig, ripple_carry_adder
 from repro.sat import SAT, UNSAT, Solver
