@@ -1,0 +1,185 @@
+"""Service benchmark: job throughput and proof-cache hit rate.
+
+Runnable standalone (used by the CI service-smoke job) or under the
+benchmark harness::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --out BENCH_service.json
+    PYTHONPATH=src python benchmarks/bench_service.py --small --out /tmp/b.json
+
+One in-process server (Unix socket, ``workers=0`` so numbers measure
+the service layer, not process-pool forking) is driven through two
+passes over a workload of distinct adder pairs:
+
+* **cold** — every query is new: full solve, trim, cache store;
+* **warm** — the same queries again, plus each pair once more in the
+  *symmetric* orientation: every job must be answered from the
+  structural-hash proof cache with no solver phase.
+
+The document records jobs/sec for both passes, the cold/warm speedup,
+and the server's final ``repro-stats/1`` report (embedded for CI
+validation). The warm pass must achieve a 100% hit rate and every
+returned certificate must replay locally via ``certify``.
+"""
+
+import argparse
+import io
+import json
+import sys
+import tempfile
+import time
+
+from repro.aig.aiger import write_aag
+from repro.circuits import kogge_stone_adder, ripple_carry_adder
+from repro.core.certify import certify
+from repro.instrument.recorder import validate_report
+from repro.service import CecServer, ServiceClient
+
+
+def _aag(aig):
+    buffer = io.StringIO()
+    write_aag(aig, buffer)
+    return buffer.getvalue()
+
+
+def build_workload(small=False):
+    """Distinct (name, aag_a, aag_b) queries of growing size."""
+    widths = range(2, 6) if small else range(2, 10)
+    return [
+        (
+            "rca%d-vs-ks%d" % (width, width),
+            _aag(ripple_carry_adder(width)),
+            _aag(kogge_stone_adder(width)),
+        )
+        for width in widths
+    ]
+
+
+def run(small=False):
+    """Drive one server through a cold and a warm pass; measure both."""
+    workload = build_workload(small=small)
+    with tempfile.TemporaryDirectory() as scratch:
+        server = CecServer(
+            scratch + "/bench.sock", workers=0,
+            cache_dir=scratch + "/cache",
+        )
+        server.start()
+        try:
+            with ServiceClient(server.address) as client:
+                cold = _pass(client, workload, expect_cached=False)
+                warm = _pass(client, workload, expect_cached=True,
+                             symmetric_extra=True)
+                stats = client.stats()
+        finally:
+            server.close()
+    validate_report(stats)
+    counters = stats["counters"]
+    hit_rate = stats["gauges"]["service/hit-rate"]
+    assert counters["service/cache-misses"] == len(workload)
+    assert counters["service/cache-hits"] == 2 * len(workload)
+    speedup = cold["seconds"] / max(warm["seconds"], 1e-9)
+    # Serving stored certificates must beat re-solving comfortably.
+    assert warm["jobs_per_second"] > cold["jobs_per_second"], (
+        warm, cold,
+    )
+    return {
+        "bench": "service",
+        "mode": "small" if small else "full",
+        "pairs": [name for name, _, _ in workload],
+        "cold": cold,
+        "warm": warm,
+        "cache_speedup": round(speedup, 2),
+        "hit_rate": round(hit_rate, 4),
+        "server_stats": stats,
+    }
+
+
+def _pass(client, workload, expect_cached, symmetric_extra=False):
+    """Submit every query once (plus flipped copies); verify and time."""
+    queries = [(a, b) for _, a, b in workload]
+    if symmetric_extra:
+        queries += [(b, a) for _, a, b in workload]
+    start = time.perf_counter()
+    jobs = 0
+    for aag_a, aag_b in queries:
+        result, response = client.check(aag_a, aag_b)
+        jobs += 1
+        assert response["verdict"] == "equivalent", response
+        assert response["cached"] is expect_cached, response
+        if expect_cached:
+            # A cache hit must not have run any engine: the only
+            # server-side phase is the cache lookup itself.
+            assert set(response["job_stats"]["phases"]) \
+                == {"cache/lookup"}, response["job_stats"]
+            assert response["worker_stats"] is None
+        certify(result)
+    seconds = time.perf_counter() - start
+    return {
+        "jobs": jobs,
+        "seconds": round(seconds, 4),
+        "jobs_per_second": round(jobs / max(seconds, 1e-9), 2),
+        "cached": expect_cached,
+    }
+
+
+def test_service_bench_smoke():
+    """Harness entry: the small configuration must hold end to end."""
+    from conftest import report_table
+
+    document = run(small=True)
+    report_table(
+        "Service: cold vs warm (proof cache)",
+        ["pass", "jobs", "seconds", "jobs/sec"],
+        [
+            ["cold (solve)", document["cold"]["jobs"],
+             document["cold"]["seconds"],
+             document["cold"]["jobs_per_second"]],
+            ["warm (cached)", document["warm"]["jobs"],
+             document["warm"]["seconds"],
+             document["warm"]["jobs_per_second"]],
+        ],
+        notes=[
+            "cache speedup: %.1fx, hit rate %.0f%%"
+            % (document["cache_speedup"], 100 * document["hit_rate"]),
+        ],
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="CEC service throughput / cache hit-rate benchmark"
+    )
+    parser.add_argument(
+        "--small", action="store_true",
+        help="CI-sized configuration (4 pairs instead of 8)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH",
+        help="write the JSON result document (with the embedded server "
+        "repro-stats/1 report) to PATH",
+    )
+    args = parser.parse_args(argv)
+    document = run(small=args.small)
+    print(
+        "service bench (%s): cold %d jobs in %.3fs (%.1f/s), "
+        "warm %d jobs in %.3fs (%.1f/s), %.1fx cache speedup, "
+        "hit rate %.0f%%"
+        % (
+            document["mode"],
+            document["cold"]["jobs"], document["cold"]["seconds"],
+            document["cold"]["jobs_per_second"],
+            document["warm"]["jobs"], document["warm"]["seconds"],
+            document["warm"]["jobs_per_second"],
+            document["cache_speedup"],
+            100 * document["hit_rate"],
+        )
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("results written to %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,7 @@ Quickstart::
     certify(result)          # replays the resolution proof end to end
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 _LAZY = {
     "CecResult": ("repro.core.cec", "CecResult"),

@@ -26,6 +26,7 @@ from .literal import (
 )
 from .miter import Miter, build_miter, match_interfaces_by_name
 from .simulate import Simulator, random_equivalence_test, simulate_once
+from .structhash import node_digests, pair_key, structural_hash
 
 __all__ = [
     "AIG",
@@ -51,11 +52,14 @@ __all__ = [
     "lit_to_str",
     "lit_var",
     "make_lit",
+    "node_digests",
+    "pair_key",
     "random_equivalence_test",
     "read_aag",
     "read_aig",
     "read_auto",
     "simulate_once",
+    "structural_hash",
     "write_aag",
     "write_aig",
 ]

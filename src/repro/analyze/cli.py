@@ -13,7 +13,7 @@ message``), a summary, and optionally writes the full ``repro-lint/1``
 JSON report with ``--json``.
 
 Exit codes: 0 = no error-severity findings, 1 = error findings,
-2 = I/O or usage error.
+3 = invalid input (I/O or usage error).
 """
 
 from __future__ import annotations
@@ -24,8 +24,10 @@ import sys
 import time
 from typing import List, Optional
 
+from .. import __version__
 from ..cnf.clause import CNF
 from ..cnf.dimacs import DimacsError, read_dimacs
+from ..exit_codes import EXIT_INVALID_INPUT, EXIT_NEGATIVE, EXIT_OK
 from ..cnf.tseitin import tseitin_encode
 from .aig_lint import lint_aig, lint_encoding, lint_miter
 from .ast_rules import lint_package
@@ -57,6 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Static proof, netlist, and codebase linting",
+    )
+    parser.add_argument(
+        "--version", action="version", version="%(prog)s " + __version__,
     )
     sub = parser.add_subparsers(dest="command", required=True)
     proof = sub.add_parser(
@@ -120,7 +125,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             _run_code(args, report)
     except (OSError, DimacsError, ValueError) as exc:
         print("error: %s" % exc, file=sys.stderr)
-        return 2
+        return EXIT_INVALID_INPUT
     for finding in report.findings:
         if args.quiet and finding.severity != "error":
             continue
@@ -134,7 +139,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.json, "w") as handle:
             json.dump(report.report(), handle, indent=2, sort_keys=True)
             handle.write("\n")
-    return 0 if report.ok() else 1
+    return EXIT_OK if report.ok() else EXIT_NEGATIVE
 
 
 def _run_proof(args: argparse.Namespace, report: LintReport) -> None:

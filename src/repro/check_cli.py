@@ -8,15 +8,23 @@ refute::
     repro-checkproof trace.tc --cnf formula.cnf
     repro-checkproof trace.tc --cnf formula.cnf --rup
 
-Exit codes: 0 = proof valid, 1 = invalid, 2 = I/O or parse error, or
-check abandoned under ``--time-limit``.
+Exit codes: 0 = proof valid, 1 = invalid, 2 = undecided (check
+abandoned under ``--time-limit``), 3 = invalid input (I/O or parse
+error).
 """
 
 import argparse
 import sys
 import time
 
+from . import __version__
 from .cnf.dimacs import DimacsError, read_dimacs
+from .exit_codes import (
+    EXIT_INVALID_INPUT,
+    EXIT_NEGATIVE,
+    EXIT_OK,
+    EXIT_UNDECIDED,
+)
 from .instrument import Budget, BudgetExhausted, Recorder
 from .proof.checker import check_proof
 from .proof.drup import check_rup_proof
@@ -29,6 +37,9 @@ def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro-checkproof",
         description="Independent resolution-trace checker (TraceCheck format)",
+    )
+    parser.add_argument(
+        "--version", action="version", version="%(prog)s " + __version__,
     )
     parser.add_argument("trace", help="TraceCheck resolution trace")
     parser.add_argument(
@@ -68,7 +79,7 @@ def build_parser():
     parser.add_argument(
         "--time-limit", type=float, default=None, metavar="SECONDS",
         help="wall-clock budget; an unfinished check reports UNDECIDED "
-        "and exits 2",
+        "and exits 2 (invalid input exits 3)",
     )
     parser.add_argument(
         "--conflict-limit", type=int, default=None, metavar="N",
@@ -102,7 +113,7 @@ def _run(args, recorder, budget):
             store, _ = read_tracecheck(args.trace)
         except (OSError, ProofError) as exc:
             print("error: %s" % exc, file=sys.stderr)
-            return 2
+            return EXIT_INVALID_INPUT
     axioms = None
     formula = None
     if args.cnf:
@@ -110,7 +121,7 @@ def _run(args, recorder, budget):
             formula = read_dimacs(args.cnf)
         except (OSError, DimacsError) as exc:
             print("error: %s" % exc, file=sys.stderr)
-            return 2
+            return EXIT_INVALID_INPUT
         axioms = formula.clauses
     if args.lint:
         from .analyze.proof_lint import lint_proof
@@ -121,7 +132,7 @@ def _run(args, recorder, budget):
         if errors:
             for finding in errors:
                 print("INVALID (lint): %s" % finding.render())
-            return 1
+            return EXIT_NEGATIVE
         if not args.quiet:
             print(
                 "c lint clean: %d findings, none error-severity"
@@ -135,17 +146,17 @@ def _run(args, recorder, budget):
         )
     except BudgetExhausted as exc:
         print("UNDECIDED: %s" % exc)
-        return 2
+        return EXIT_UNDECIDED
     except ProofError as exc:
         print("INVALID: %s" % exc.render())
-        return 1
+        return EXIT_NEGATIVE
     elapsed = time.perf_counter() - start
     if args.rup:
         try:
             check_rup_proof(store, axioms=axioms)
         except ProofError as exc:
             print("INVALID (RUP): %s" % exc.render())
-            return 1
+            return EXIT_NEGATIVE
     print("VALID")
     if not args.quiet:
         print(
@@ -158,7 +169,7 @@ def _run(args, recorder, budget):
                 elapsed,
             )
         )
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -11,12 +11,19 @@ the resolution proof::
 import argparse
 import sys
 
+from . import __version__
 from .aig.aiger import read_auto
 from .baselines.bdd_cec import bdd_check
 from .baselines.monolithic import monolithic_check
 from .core.cec import check_equivalence
 from .core.certify import certify
 from .core.fraig import SweepOptions
+from .exit_codes import (
+    EXIT_INVALID_INPUT,
+    EXIT_NEGATIVE,
+    EXIT_OK,
+    EXIT_UNDECIDED,
+)
 from .instrument import Budget, Recorder
 from .proof.drup import write_drup
 from .proof.stats import proof_stats
@@ -29,8 +36,18 @@ def build_parser():
         prog="repro-cec",
         description="Combinational equivalence checking with resolution proofs",
     )
+    parser.add_argument(
+        "--version", action="version", version="%(prog)s " + __version__,
+    )
     parser.add_argument("file_a", help="first circuit (AIGER .aag/.aig)")
     parser.add_argument("file_b", help="second circuit (AIGER .aag/.aig)")
+    parser.add_argument(
+        "--server",
+        metavar="ADDR",
+        help="route the check through a running repro-serve instance "
+        "(host:port or Unix socket path) instead of checking locally; "
+        "the returned certificate still honours --proof and --certify",
+    )
     parser.add_argument(
         "--engine",
         choices=("sweep", "monolithic", "bdd", "bddsweep"),
@@ -56,7 +73,7 @@ def build_parser():
         "--lint",
         action="store_true",
         help="pre-flight the input netlists with the static linter "
-        "(exit 2 on error findings) and, with --certify, lint the "
+        "(exit 3 on error findings) and, with --certify, lint the "
         "proof before replaying it (see repro-lint)",
     )
     parser.add_argument(
@@ -121,15 +138,19 @@ def build_parser():
 def main(argv=None):
     """CLI entry point. Returns the process exit code.
 
-    Exit codes: 0 = equivalent, 1 = not equivalent, 2 = undecided/error.
+    Exit codes: 0 = equivalent, 1 = not equivalent, 2 = undecided
+    (budget exhausted or engine gave up), 3 = invalid input (missing or
+    malformed files, lint-rejected netlists, bad flag combinations).
     """
     args = build_parser().parse_args(argv)
+    if args.server:
+        return _run_remote(args)
     try:
         aig_a = read_auto(args.file_a)
         aig_b = read_auto(args.file_b)
     except (OSError, ValueError) as exc:
         print("error: %s" % exc, file=sys.stderr)
-        return 2
+        return EXIT_INVALID_INPUT
     recorder = Recorder(trace_path=args.trace)
     recorder.meta.update({
         "tool": "repro-cec",
@@ -150,6 +171,79 @@ def main(argv=None):
             recorder.write_json(args.stats_json, budget=budget)
         recorder.close()
     return code
+
+
+def _run_remote(args):
+    """Route the check through a running repro-serve (``--server``)."""
+    from .core.serialize import result_from_dict
+    from .service.client import ServiceClient, ServiceError
+
+    unsupported = []
+    if args.engine != "sweep":
+        unsupported.append("--engine %s" % args.engine)
+    if args.per_output:
+        unsupported.append("--per-output")
+    if args.match_names:
+        unsupported.append("--match-names")
+    if unsupported:
+        print(
+            "error: %s not supported with --server"
+            % ", ".join(unsupported),
+            file=sys.stderr,
+        )
+        return EXIT_INVALID_INPUT
+    try:
+        with open(args.file_a) as handle:
+            aag_a = handle.read()
+        with open(args.file_b) as handle:
+            aag_b = handle.read()
+    except OSError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    try:
+        client = ServiceClient(args.server)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    try:
+        with client:
+            submitted = client.submit(
+                aag_a, aag_b,
+                options={"sim_words": args.sim_words, "seed": args.seed,
+                         "proof": True},
+                time_limit=args.time_limit,
+                conflict_limit=args.conflict_limit,
+                lint=args.lint,
+            )
+            response = client.result(submitted["job"], wait=True)
+    except ServiceError as exc:
+        print("error: server: %s" % exc, file=sys.stderr)
+        return (EXIT_INVALID_INPUT if exc.code == "bad-input"
+                else EXIT_UNDECIDED)
+    except OSError as exc:
+        print(
+            "error: cannot reach server %s: %s" % (args.server, exc),
+            file=sys.stderr,
+        )
+        return EXIT_INVALID_INPUT
+    result = result_from_dict(response["result"])
+    if not args.quiet and response.get("cached"):
+        print("c served from proof cache (job %s)" % response.get("job"))
+    if args.certify and result.equivalent:
+        certify(result, jobs=args.jobs, lint=args.lint)
+        if not args.quiet:
+            print("certified: proof replayed successfully")
+    if args.stats_json:
+        import json
+
+        stats = response.get("worker_stats") or response.get("job_stats")
+        with open(args.stats_json, "w") as handle:
+            json.dump(stats, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return _report(
+        result.equivalent, result.counterexample, result.proof,
+        result.cnf, args,
+    )
 
 
 def _dispatch(aig_a, aig_b, args, recorder, budget):
@@ -178,7 +272,7 @@ def _dispatch(aig_a, aig_b, args, recorder, budget):
             aig_b = match_interfaces_by_name(aig_a, aig_b)
         except ValueError as exc:
             print("error: %s" % exc, file=sys.stderr)
-            return 2
+            return EXIT_INVALID_INPUT
     if args.per_output:
         return _run_per_output(aig_a, aig_b, options, recorder, budget)
     result = check_equivalence(
@@ -195,7 +289,7 @@ def _dispatch(aig_a, aig_b, args, recorder, budget):
 
 
 def _preflight_lint(aig_a, aig_b, args, recorder):
-    """Lint both input netlists; exit code 2 on errors, None when clean."""
+    """Lint both netlists; exit 3 (invalid input) on errors, else None."""
     from .analyze.aig_lint import lint_aig
 
     with recorder.phase("lint/aig"):
@@ -209,7 +303,7 @@ def _preflight_lint(aig_a, aig_b, args, recorder):
             "error: input netlists failed lint (%d errors)" % len(errors),
             file=sys.stderr,
         )
-        return 2
+        return EXIT_INVALID_INPUT
     if not args.quiet:
         print("c lint clean: both netlists well-formed")
     return None
@@ -221,7 +315,7 @@ def _run_bdd_sweep(aig_a, aig_b, args):
     result = bdd_sweep_check(aig_a, aig_b)
     if result.equivalent is None:
         print("UNDECIDED (BDD node budget exceeded)")
-        return 2
+        return EXIT_UNDECIDED
     if result.equivalent:
         if not args.quiet:
             print(
@@ -229,12 +323,12 @@ def _run_bdd_sweep(aig_a, aig_b, args):
                 % (result.merged_nodes, result.bdd_nodes)
             )
         print("EQUIVALENT (no proof artifact from the BDD-sweep engine)")
-        return 0
+        return EXIT_OK
     print("NOT EQUIVALENT")
     print(
         "counterexample: %s" % "".join(str(b) for b in result.counterexample)
     )
-    return 1
+    return EXIT_NEGATIVE
 
 
 def _run_per_output(aig_a, aig_b, options, recorder=None, budget=None):
@@ -259,26 +353,26 @@ def _run_per_output(aig_a, aig_b, options, recorder=None, budget=None):
             print("  %-16s UNDECIDED" % label)
     if report.equivalent:
         print("EQUIVALENT")
-        return 0
+        return EXIT_OK
     failing = report.failing()
     if not failing:
         print("UNDECIDED (some outputs unresolved under the budget)")
-        return 2
+        return EXIT_UNDECIDED
     print("NOT EQUIVALENT (%d outputs differ)" % len(failing))
-    return 1
+    return EXIT_NEGATIVE
 
 
 def _run_bdd(aig_a, aig_b, args):
     result = bdd_check(aig_a, aig_b)
     if result.equivalent is None:
         print("UNDECIDED (BDD node budget exceeded)")
-        return 2
+        return EXIT_UNDECIDED
     if result.equivalent:
         print("EQUIVALENT (no proof artifact from the BDD engine)")
-        return 0
+        return EXIT_OK
     print("NOT EQUIVALENT")
     print("counterexample: %s" % "".join(str(b) for b in result.counterexample))
-    return 1
+    return EXIT_NEGATIVE
 
 
 def _report(equivalent, counterexample, proof, cnf, args, recorder=None,
@@ -289,13 +383,13 @@ def _report(equivalent, counterexample, proof, cnf, args, recorder=None,
             print("UNDECIDED (budget exhausted: %s)" % reason)
         else:
             print("UNDECIDED")
-        return 2
+        return EXIT_UNDECIDED
     if not equivalent:
         print("NOT EQUIVALENT")
         print(
             "counterexample: %s" % "".join(str(b) for b in counterexample)
         )
-        return 1
+        return EXIT_NEGATIVE
     print("EQUIVALENT")
     if proof is not None and not args.quiet:
         stats = proof_stats(proof)
@@ -315,7 +409,7 @@ def _report(equivalent, counterexample, proof, cnf, args, recorder=None,
         write_drup(to_write, args.proof)
         if not args.quiet:
             print("proof written to %s" % args.proof)
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

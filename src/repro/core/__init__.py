@@ -5,6 +5,8 @@ from .certify import CertificationError, certify
 from .fraig import SweepEngine, SweepOptions, SweepStats
 from .outputs import OutputVerdict, OutputsReport, check_outputs
 from .reduce import ReduceResult, certified_reduce, fraig_reduce
+from .serialize import RESULT_SCHEMA, ResultFormatError, result_from_dict, \
+    result_to_dict, verdict_name
 from .witness import MinimizedWitness, minimize_counterexample
 from .stitch import EquivLemma, StitchError, StructuralStitcher, derive_subset
 
@@ -19,7 +21,9 @@ __all__ = [
     "SweepStats",
     "OutputVerdict",
     "OutputsReport",
+    "RESULT_SCHEMA",
     "ReduceResult",
+    "ResultFormatError",
     "check_outputs",
     "MinimizedWitness",
     "minimize_counterexample",
@@ -28,4 +32,7 @@ __all__ = [
     "certify",
     "check_equivalence",
     "derive_subset",
+    "result_from_dict",
+    "result_to_dict",
+    "verdict_name",
 ]

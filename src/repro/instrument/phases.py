@@ -54,6 +54,13 @@ PHASE_REGISTRY: FrozenSet[str] = frozenset({
     "lint/aig",
     "lint/cnf",
     "lint/code",
+    # service/* (persistent CEC server, worker pool, proof cache)
+    "service/job",
+    "service/check",
+    "service/certify",
+    "service/trim",
+    "cache/lookup",
+    "cache/store",
 })
 
 

@@ -32,6 +32,7 @@ enforces this across ``src/repro``.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from typing import IO, Any, Callable, Dict, Iterator, List, Optional
@@ -41,6 +42,13 @@ STATS_SCHEMA = "repro-stats/1"
 
 class Recorder:
     """Instrumentation sink: phase timers + counters + gauges + trace.
+
+    A recorder is safe to share across threads (the service worker pool
+    and server handler threads record into one instance): counter,
+    gauge, phase-time, and trace mutation is serialized by an internal
+    lock, and the active-phase stack that :meth:`phase` uses for
+    hierarchical naming is thread-local, so concurrent phases in
+    different threads never corrupt each other's names.
 
     Args:
         trace_path: optional path receiving one JSON object per
@@ -61,10 +69,19 @@ class Recorder:
         self._phases: Dict[str, List[float]] = {}  # name -> [seconds, count]
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, Any] = {}
-        self._stack: List[str] = []  # active phase names (hierarchical)
+        self._local = threading.local()  # per-thread active phase stack
+        self._lock = threading.RLock()
         self._trace_path = trace_path
         self._trace_file: Optional[IO[str]] = None
         self.meta: Dict[str, Any] = {}
+
+    @property
+    def _stack(self) -> List[str]:
+        stack: Optional[List[str]] = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
 
     # ------------------------------------------------------------------
     # Phases
@@ -90,12 +107,13 @@ class Recorder:
 
     def add_time(self, name: str, seconds: float, count: int = 1) -> None:
         """Charge *seconds* to phase *name* (explicit, non-stacked)."""
-        cell = self._phases.get(name)
-        if cell is None:
-            self._phases[name] = [seconds, count]
-        else:
-            cell[0] += seconds
-            cell[1] += count
+        with self._lock:
+            cell = self._phases.get(name)
+            if cell is None:
+                self._phases[name] = [seconds, count]
+            else:
+                cell[0] += seconds
+                cell[1] += count
 
     def phase_seconds(self, name: str) -> float:
         """Accumulated seconds of phase *name* (0.0 when never entered)."""
@@ -108,7 +126,8 @@ class Recorder:
 
     def count(self, name: str, n: int = 1) -> None:
         """Increment counter *name* by *n*."""
-        self._counters[name] = self._counters.get(name, 0) + n
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
 
     def counter(self, name: str) -> int:
         """Current value of counter *name* (0 when never incremented)."""
@@ -116,7 +135,8 @@ class Recorder:
 
     def gauge(self, name: str, value: Any) -> None:
         """Set gauge *name* to *value* (last write wins)."""
-        self._gauges[name] = value
+        with self._lock:
+            self._gauges[name] = value
 
     # ------------------------------------------------------------------
     # Event trace
@@ -126,19 +146,22 @@ class Recorder:
         """Append one trace event (no-op unless ``trace_path`` was given)."""
         if self._trace_path is None:
             return
-        if self._trace_file is None:
-            self._trace_file = open(self._trace_path, "w")
         record: Dict[str, Any] = {
             "t": round(self._clock() - self._start, 6), "event": kind,
         }
         record.update(fields)
-        self._trace_file.write(json.dumps(record, sort_keys=True) + "\n")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            if self._trace_file is None:
+                self._trace_file = open(self._trace_path, "w")
+            self._trace_file.write(line)
 
     def close(self) -> None:
         """Flush and close the trace file (idempotent)."""
-        if self._trace_file is not None:
-            self._trace_file.close()
-            self._trace_file = None
+        with self._lock:
+            if self._trace_file is not None:
+                self._trace_file.close()
+                self._trace_file = None
 
     # ------------------------------------------------------------------
     # Reporting
@@ -152,18 +175,19 @@ class Recorder:
                 whose status is embedded under the ``"budget"`` key
                 (``None`` there when no budget was in force).
         """
-        return {
-            "schema": STATS_SCHEMA,
-            "elapsed_seconds": self._clock() - self._start,
-            "phases": {
-                name: {"seconds": cell[0], "count": cell[1]}
-                for name, cell in sorted(self._phases.items())
-            },
-            "counters": dict(sorted(self._counters.items())),
-            "gauges": dict(sorted(self._gauges.items())),
-            "budget": budget.as_dict() if budget is not None else None,
-            "meta": dict(self.meta),
-        }
+        with self._lock:
+            return {
+                "schema": STATS_SCHEMA,
+                "elapsed_seconds": self._clock() - self._start,
+                "phases": {
+                    name: {"seconds": cell[0], "count": cell[1]}
+                    for name, cell in sorted(self._phases.items())
+                },
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "budget": budget.as_dict() if budget is not None else None,
+                "meta": dict(self.meta),
+            }
 
     def write_json(self, path: str, budget: Optional[Any] = None) -> None:
         """Write :meth:`report` to *path* as indented JSON."""

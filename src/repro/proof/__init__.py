@@ -9,7 +9,8 @@ from .interpolant import Interpolant, InterpolationError, interpolate, \
     partition_vars
 from .stats import ProofStats, proof_stats
 from .store import AXIOM, DERIVED, ProofError, ProofStore, resolve
-from .tracecheck import parse_tracecheck, read_tracecheck, write_tracecheck
+from .tracecheck import dumps_tracecheck, parse_tracecheck, \
+    read_tracecheck, write_tracecheck
 from .trim import levelize, needed_ids, trim, trim_ratio
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "check_proof_parallel",
     "check_refutation_of",
     "check_rup_proof",
+    "dumps_tracecheck",
     "levelize",
     "lower_units",
     "interpolate",

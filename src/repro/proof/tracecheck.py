@@ -17,6 +17,7 @@ interoperability with external trace checkers.
 
 from __future__ import annotations
 
+import io
 from typing import IO, Dict, List, Tuple, Union
 
 from .store import Chain, Clause, ProofError, ProofStore, resolve
@@ -50,6 +51,18 @@ def _write(store: ProofStore, out: IO[str]) -> None:
         parts.append("0")
         out.write(" ".join(parts))
         out.write("\n")
+
+
+def dumps_tracecheck(store: ProofStore) -> str:
+    """Render *store* as TraceCheck text.
+
+    The in-memory counterpart of :func:`write_tracecheck`, used by the
+    service proof cache and the result serializer to embed proofs in
+    JSON payloads; :func:`parse_tracecheck` reads the text back.
+    """
+    buffer = io.StringIO()
+    _write(store, buffer)
+    return buffer.getvalue()
 
 
 def read_tracecheck(

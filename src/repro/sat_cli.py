@@ -8,13 +8,16 @@ A standalone DIMACS front end for the proof-logging CDCL solver::
     repro-sat formula.cnf --assume 3 -7        # solve under assumptions
 
 Exit codes follow the SAT-competition convention: 10 = SAT, 20 = UNSAT,
-0 = unknown/limit.
+0 = unknown/limit; 3 = invalid input (unreadable or malformed DIMACS).
 """
 
 import argparse
 import sys
 
+from . import __version__
 from .cnf.dimacs import DimacsError, read_dimacs
+from .exit_codes import EXIT_INVALID_INPUT, EXIT_SAT, EXIT_SAT_UNKNOWN, \
+    EXIT_UNSAT
 from .instrument import Budget, Recorder
 from .proof.checker import check_proof
 from .proof.drup import write_drup
@@ -30,6 +33,9 @@ def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro-sat",
         description="CDCL SAT solving with resolution-proof logging",
+    )
+    parser.add_argument(
+        "--version", action="version", version="%(prog)s " + __version__,
     )
     parser.add_argument("cnf", help="DIMACS CNF file")
     parser.add_argument(
@@ -78,13 +84,13 @@ def build_parser():
 
 
 def main(argv=None):
-    """CLI entry point. Returns 10 (SAT), 20 (UNSAT) or 0 (unknown)."""
+    """Entry point: 10 SAT, 20 UNSAT, 0 unknown, 3 invalid input."""
     args = build_parser().parse_args(argv)
     try:
         cnf = read_dimacs(args.cnf)
     except (OSError, DimacsError) as exc:
         print("error: %s" % exc, file=sys.stderr)
-        return 0
+        return EXIT_INVALID_INPUT
     recorder = Recorder(trace_path=args.trace_events)
     recorder.meta.update({"tool": "repro-sat", "cnf": args.cnf})
     budget = None
@@ -129,7 +135,7 @@ def _run(cnf, args, recorder, budget, max_conflicts):
                 for var in range(1, cnf.num_vars + 1)
             ]
             print("v %s 0" % " ".join(str(lit) for lit in lits))
-        return 10
+        return EXIT_SAT
     if status is UNSAT:
         print("s UNSATISFIABLE")
         if alive and args.assume and result.final_clause:
@@ -152,9 +158,9 @@ def _run(cnf, args, recorder, budget, max_conflicts):
                     "c proof: %d derived clauses, %d resolutions"
                     % (stats.num_derived, stats.num_resolutions)
                 )
-        return 20
+        return EXIT_UNSAT
     print("s UNKNOWN")
-    return 0
+    return EXIT_SAT_UNKNOWN
 
 
 if __name__ == "__main__":

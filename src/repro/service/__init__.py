@@ -1,0 +1,35 @@
+"""Persistent CEC service: server, worker pool, proof cache, client.
+
+The paper's workload is many near-identical equivalence queries — SAT
+sweeping re-proves the same structural fragments across netlist
+revisions. This package amortizes that: a long-running server
+(:class:`CecServer`) keeps a worker pool warm and a content-addressed
+:class:`ProofCache` on disk, so a repeated (or symmetric) query is
+answered with its stored certificate instead of a fresh solver run.
+
+Entry points: ``repro-serve`` (:mod:`repro.service.serve_cli`) and
+``repro-client`` (:mod:`repro.service.client_cli`); ``repro-cec
+--server ADDR`` routes a normal check through a server.
+"""
+
+from .cache import ProofCache, cache_key, canonical_options
+from .client import ServiceClient, ServiceError
+from .jobs import Job, JobTable, QueueFullError
+from .protocol import PROTOCOL_SCHEMA, ProtocolError
+from .server import CecServer
+from .worker import execute_job
+
+__all__ = [
+    "CecServer",
+    "Job",
+    "JobTable",
+    "PROTOCOL_SCHEMA",
+    "ProofCache",
+    "ProtocolError",
+    "QueueFullError",
+    "ServiceClient",
+    "ServiceError",
+    "cache_key",
+    "canonical_options",
+    "execute_job",
+]

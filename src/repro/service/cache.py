@@ -1,0 +1,206 @@
+"""Content-addressed on-disk cache of equivalence-check certificates.
+
+Entries are keyed by :func:`repro.aig.structhash.pair_key` — a
+canonical structural hash of the (AIG, AIG) query pair, symmetric in
+the two circuits, salted with a canonical encoding of the engine
+options — and store the complete ``repro-cec-result/1`` document: the
+verdict, the counterexample or the trimmed TraceCheck proof, the miter
+CNF it refutes, and the original run's stats. Because the certificate
+is self-contained, a hit is served without touching any engine and the
+client can still replay the proof end to end.
+
+Only *decided* verdicts are stored. An undecided result reflects the
+budget of the run that produced it, not the query, so caching it would
+wrongly pin later, better-funded queries.
+
+Layout (under the cache root)::
+
+    <key[:2]>/<key>/result.json   the repro-cec-result/1 document
+    <key[:2]>/<key>/meta.json     verdict, timestamps, options echo
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or
+concurrent writer never leaves a half-readable entry; double stores of
+the same key are idempotent.
+"""
+
+import json
+import os
+import tempfile
+
+from ..aig.structhash import pair_key
+
+CACHE_META_SCHEMA = "repro-cec-cache/1"
+
+#: SweepOptions fields that select the engine configuration and hence
+#: the artifact; they are folded into the cache key in canonical form.
+OPTION_FIELDS = (
+    "sim_words", "seed", "structural_mode", "use_simulation",
+    "cex_neighbors", "refine_batch", "max_conflicts", "proof",
+    "validate_proof",
+)
+
+
+def canonical_options(options=None):
+    """Canonical JSON encoding of an options mapping or ``SweepOptions``.
+
+    Missing fields take the engine defaults, so a query that spells out
+    the defaults and one that omits them share a cache entry.
+    """
+    from ..core.fraig import SweepOptions
+
+    if options is None:
+        options = SweepOptions()
+    if not isinstance(options, dict):
+        options = {
+            field: getattr(options, field) for field in OPTION_FIELDS
+        }
+    defaults = SweepOptions()
+    normalized = {
+        field: options.get(field, getattr(defaults, field))
+        for field in OPTION_FIELDS
+    }
+    return json.dumps(normalized, sort_keys=True)
+
+
+def cache_key(aig_a, aig_b, options=None):
+    """Cache key of one equivalence query (symmetric in the pair)."""
+    return pair_key(aig_a, aig_b, salt=canonical_options(options))
+
+
+class ProofCache:
+    """On-disk certificate store, safe for concurrent readers/writers.
+
+    Args:
+        root: cache directory (created on first use).
+        recorder: optional :class:`~repro.instrument.Recorder`; lookups
+            and stores are timed under the ``cache/*`` phases and
+            counted as ``cache/hits`` / ``cache/misses`` /
+            ``cache/stores``.
+    """
+
+    def __init__(self, root, recorder=None):
+        self.root = root
+        self.recorder = recorder
+        os.makedirs(root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def _entry_dir(self, key):
+        return os.path.join(self.root, key[:2], key)
+
+    def result_path(self, key):
+        """Path of the result document for *key* (may not exist)."""
+        return os.path.join(self._entry_dir(key), "result.json")
+
+    def meta_path(self, key):
+        """Path of the metadata block for *key* (may not exist)."""
+        return os.path.join(self._entry_dir(key), "meta.json")
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def lookup(self, key):
+        """The stored ``repro-cec-result/1`` document, or ``None``.
+
+        A corrupt entry (interrupted write predating the atomic-rename
+        discipline, manual tampering) reads as a miss rather than an
+        error; the next store overwrites it.
+        """
+        recorder = self.recorder
+        if recorder is not None:
+            with recorder.phase("cache/lookup"):
+                payload = self._read_result(key)
+            recorder.count("cache/hits" if payload is not None
+                           else "cache/misses")
+            return payload
+        return self._read_result(key)
+
+    def _read_result(self, key):
+        try:
+            with open(self.result_path(key)) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def store(self, key, result_doc, meta=None):
+        """Persist a decided result document under *key*.
+
+        Undecided documents are refused with ``ValueError`` (see the
+        module docstring). Returns True when a new entry was written,
+        False when the key was already present (idempotent).
+        """
+        if result_doc.get("equivalent") is None:
+            raise ValueError(
+                "refusing to cache an undecided result (key %s)" % key
+            )
+        recorder = self.recorder
+        if recorder is None:
+            return self._write_entry(key, result_doc, meta)
+        with recorder.phase("cache/store"):
+            written = self._write_entry(key, result_doc, meta)
+        if written:
+            recorder.count("cache/stores")
+        return written
+
+    def _write_entry(self, key, result_doc, meta):
+        entry_dir = self._entry_dir(key)
+        result_path = self.result_path(key)
+        if os.path.exists(result_path):
+            return False
+        os.makedirs(entry_dir, exist_ok=True)
+        meta_doc = {
+            "schema": CACHE_META_SCHEMA,
+            "key": key,
+            "verdict": {True: "equivalent", False: "not_equivalent"}[
+                result_doc["equivalent"]
+            ],
+        }
+        if meta:
+            meta_doc.update(meta)
+        self._atomic_write(self.meta_path(key), meta_doc)
+        self._atomic_write(result_path, result_doc)
+        return True
+
+    @staticmethod
+    def _atomic_write(path, document):
+        directory = os.path.dirname(path)
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(document, handle, sort_keys=True)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def keys(self):
+        """All cached keys (directory scan; for tools and tests)."""
+        found = []
+        try:
+            shards = os.listdir(self.root)
+        except OSError:
+            return found
+        for shard in shards:
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for key in os.listdir(shard_dir):
+                if os.path.exists(self.result_path(key)):
+                    found.append(key)
+        return sorted(found)
+
+    def __len__(self):
+        return len(self.keys())
+
+    def __contains__(self, key):
+        return os.path.exists(self.result_path(key))

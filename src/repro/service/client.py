@@ -1,0 +1,227 @@
+"""Client side of the CEC service: connection, retries, typed calls.
+
+:class:`ServiceClient` speaks ``repro-service/1`` to a running
+``repro-serve``. Each call opens (or reuses) one socket, writes one
+request line, and reads response lines until the ``final`` one —
+heartbeat lines streamed during a blocking ``result`` wait are handed
+to the caller's ``on_update`` hook as they arrive, which is how the
+CLI surfaces live per-job telemetry.
+
+Transient transport failures (connection refused while the server is
+still binding, a dropped connection) are retried with exponential
+backoff up to ``retries`` times; protocol-level failures (``ok: false``
+responses) are never retried — they are answers, raised as
+:class:`ServiceError` with the server's stable error code.
+"""
+
+import socket
+import time
+
+from ..core.serialize import result_from_dict
+from . import protocol
+
+DEFAULT_TIMEOUT = 60.0
+DEFAULT_RETRIES = 3
+DEFAULT_BACKOFF = 0.2
+
+
+class ServiceError(Exception):
+    """A structured failure response from the server.
+
+    Attributes:
+        code: the server's stable error code (``ERR_*``).
+        response: the full response object.
+    """
+
+    def __init__(self, response):
+        error = response.get("error") or {}
+        self.code = error.get("code", "unknown")
+        self.response = response
+        Exception.__init__(
+            self, "%s: %s" % (self.code, error.get("message", "no message"))
+        )
+
+
+class ServiceClient:
+    """One logical connection to a ``repro-serve`` instance.
+
+    Args:
+        address: ``host:port`` or Unix socket path.
+        timeout: socket timeout per read (seconds). Blocking ``result``
+            waits keep the socket alive via server heartbeats, so this
+            bounds silence, not job duration.
+        retries: connection attempts per request before giving up.
+        backoff: initial retry delay, doubled per attempt.
+
+    Usable as a context manager; :meth:`close` drops the socket.
+    """
+
+    def __init__(
+        self,
+        address,
+        timeout=DEFAULT_TIMEOUT,
+        retries=DEFAULT_RETRIES,
+        backoff=DEFAULT_BACKOFF,
+    ):
+        self.family, self.target = protocol.parse_address(address)
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._sock = None
+        self._reader = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _connect(self):
+        if self.family == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.target)
+        else:
+            sock = socket.create_connection(
+                self.target, timeout=self.timeout
+            )
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    def close(self):
+        """Drop the connection (reopened on the next request)."""
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def request(self, message, on_update=None):
+        """Send one request; return the final response object.
+
+        Non-final (heartbeat) responses are passed to *on_update* and
+        never returned. Raises :class:`ServiceError` on an ``ok: false``
+        final response and ``OSError`` when the transport fails after
+        all retries.
+        """
+        last_error = None
+        delay = self.backoff
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(delay)
+                delay *= 2
+            try:
+                if self._sock is None:
+                    self._connect()
+                return self._exchange(message, on_update)
+            except OSError as exc:
+                last_error = exc
+                self.close()
+        raise last_error
+
+    def _exchange(self, message, on_update):
+        self._sock.sendall(protocol.encode(message))
+        while True:
+            line = self._reader.readline(protocol.MAX_LINE_BYTES + 1)
+            if not line:
+                raise ConnectionError("server closed the connection")
+            response = protocol.decode(line)
+            if not response.get("final", True):
+                if on_update is not None:
+                    on_update(response)
+                continue
+            if not response.get("ok"):
+                raise ServiceError(response)
+            return response
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+
+    def ping(self):
+        """Server identity block (version, protocol)."""
+        return self.request({"verb": "ping"})
+
+    def submit(
+        self,
+        aag_a,
+        aag_b,
+        options=None,
+        time_limit=None,
+        conflict_limit=None,
+        certify=False,
+        lint=False,
+        trim=True,
+    ):
+        """Submit one check (AIGER texts); returns the submit response.
+
+        The response carries ``job`` (the id) and ``cached`` (True when
+        the answer was served from the proof cache without running).
+        """
+        message = {
+            "verb": "submit",
+            "aag_a": aag_a,
+            "aag_b": aag_b,
+            "certify": certify,
+            "lint": lint,
+            "trim": trim,
+        }
+        if options:
+            message["options"] = options
+        if time_limit is not None:
+            message["time_limit"] = time_limit
+        if conflict_limit is not None:
+            message["conflict_limit"] = conflict_limit
+        return self.request(message)
+
+    def status(self, job_id):
+        """Status snapshot of a job."""
+        return self.request({"verb": "status", "job": job_id})
+
+    def result(self, job_id, wait=False, timeout=None, on_update=None):
+        """Result of a job, optionally blocking until it is terminal."""
+        message = {"verb": "result", "job": job_id, "wait": wait}
+        if timeout is not None:
+            message["timeout"] = timeout
+        return self.request(message, on_update=on_update)
+
+    def cancel(self, job_id):
+        """Attempt to cancel a queued job."""
+        return self.request({"verb": "cancel", "job": job_id})
+
+    def stats(self):
+        """Server-level ``repro-stats/1`` report."""
+        return self.request({"verb": "stats"})["stats"]
+
+    def shutdown(self):
+        """Ask the server to stop serving."""
+        return self.request({"verb": "shutdown"})
+
+    # ------------------------------------------------------------------
+    # High-level
+    # ------------------------------------------------------------------
+
+    def check(self, aag_a, aag_b, on_update=None, **submit_kwargs):
+        """Submit, wait, and decode: the one-call equivalence check.
+
+        Returns ``(result, response)`` where *result* is a rebuilt
+        :class:`~repro.core.cec.CecResult` (certifiable client-side)
+        and *response* the final wire response (``cached``,
+        ``job_stats``, ``worker_stats``...).
+        """
+        submitted = self.submit(aag_a, aag_b, **submit_kwargs)
+        response = self.result(
+            submitted["job"], wait=True, on_update=on_update
+        )
+        return result_from_dict(response["result"]), response

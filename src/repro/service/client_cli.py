@@ -1,0 +1,271 @@
+"""``repro-client``: command-line client for a running ``repro-serve``.
+
+Verbs mirror the wire protocol::
+
+    repro-client --server 127.0.0.1:7711 ping
+    repro-client --server ADDR submit a.aag b.aag --wait --certify
+    repro-client --server ADDR status j000001
+    repro-client --server ADDR result j000001 --wait --stats-json job.json
+    repro-client --server ADDR cancel j000001
+    repro-client --server ADDR stats
+    repro-client --server ADDR shutdown
+
+``submit --wait`` prints the verdict like ``repro-cec`` and exits with
+the same codes: 0 equivalent, 1 not equivalent, 2 undecided,
+3 invalid input. ``--certify-local`` replays the returned proof on the
+client before trusting the verdict.
+"""
+
+import argparse
+import json
+import sys
+
+from .. import __version__
+from ..core.certify import CertificationError, certify
+from ..core.serialize import result_from_dict
+from ..exit_codes import (
+    EXIT_INVALID_INPUT,
+    EXIT_NEGATIVE,
+    EXIT_OK,
+    EXIT_UNDECIDED,
+)
+from .client import ServiceClient, ServiceError
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-client",
+        description="Client for the repro-serve equivalence-checking "
+        "service.",
+    )
+    parser.add_argument(
+        "--version", action="version", version="%(prog)s " + __version__,
+    )
+    parser.add_argument(
+        "--server", required=True, metavar="ADDR",
+        help="host:port or Unix socket path of a running repro-serve",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="socket read timeout (default %(default)s)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="connection retries with backoff (default %(default)s)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("ping", help="check liveness and server version")
+
+    submit = sub.add_parser("submit", help="submit an equivalence check")
+    submit.add_argument("aag_a", help="first circuit (.aag)")
+    submit.add_argument("aag_b", help="second circuit (.aag)")
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print the verdict",
+    )
+    submit.add_argument(
+        "--certify", action="store_true",
+        help="ask the server to replay the proof before answering",
+    )
+    submit.add_argument(
+        "--certify-local", action="store_true",
+        help="with --wait: replay the returned certificate client-side",
+    )
+    submit.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget",
+    )
+    submit.add_argument(
+        "--conflict-limit", type=int, default=None, metavar="N",
+        help="per-job solver conflict budget",
+    )
+    submit.add_argument(
+        "--option", action="append", default=[], metavar="NAME=VALUE",
+        help="engine option (SweepOptions field), repeatable",
+    )
+    submit.add_argument(
+        "--stats-json", metavar="PATH", default=None,
+        help="with --wait: write the job's stats blocks here",
+    )
+
+    status = sub.add_parser("status", help="query a job's state")
+    status.add_argument("job", help="job id from submit")
+
+    result = sub.add_parser("result", help="fetch a job's result")
+    result.add_argument("job", help="job id from submit")
+    result.add_argument(
+        "--wait", action="store_true", help="block until terminal",
+    )
+    result.add_argument(
+        "--wait-timeout", type=float, default=None, metavar="SECONDS",
+        help="give up waiting after this long (job keeps running)",
+    )
+    result.add_argument(
+        "--stats-json", metavar="PATH", default=None,
+        help="write the job's stats blocks here",
+    )
+
+    cancel = sub.add_parser("cancel", help="cancel a queued job")
+    cancel.add_argument("job", help="job id from submit")
+
+    sub.add_parser("stats", help="print the server's stats report")
+    sub.add_parser("shutdown", help="stop the server")
+    return parser
+
+
+def _parse_options(pairs):
+    options = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep:
+            raise ValueError("--option needs NAME=VALUE, got %r" % pair)
+        options[name] = json.loads(value)
+    return options
+
+
+def _print_heartbeat(update):
+    print("... job %s %s (%.1fs)" % (
+        update.get("job"), update.get("state"),
+        update.get("elapsed_seconds", 0.0),
+    ), file=sys.stderr)
+
+
+def _write_stats(path, response):
+    with open(path, "w") as handle:
+        json.dump(
+            {
+                "job": response.get("job"),
+                "cached": response.get("cached"),
+                "job_stats": response.get("job_stats"),
+                "worker_stats": response.get("worker_stats"),
+            },
+            handle, indent=2, sort_keys=True,
+        )
+        handle.write("\n")
+
+
+def _finish(response, certify_local, stats_json):
+    """Common tail of submit --wait / result: print verdict, exit code."""
+    if stats_json:
+        _write_stats(stats_json, response)
+    verdict = response.get("verdict")
+    cached = " (cached)" if response.get("cached") else ""
+    if certify_local:
+        result = result_from_dict(response["result"])
+        if result.equivalent is not None:
+            try:
+                certify(result)
+            except CertificationError as exc:
+                print("certificate INVALID: %s" % exc, file=sys.stderr)
+                return EXIT_INVALID_INPUT
+            print("certificate OK%s" % cached)
+    if verdict == "equivalent":
+        print("EQUIVALENT%s" % cached)
+        return EXIT_OK
+    if verdict == "not_equivalent":
+        result_doc = response.get("result") or {}
+        cex = result_doc.get("counterexample")
+        print("NOT EQUIVALENT%s" % cached)
+        if cex is not None:
+            print("counterexample: %s" % "".join(str(b) for b in cex))
+        return EXIT_NEGATIVE
+    print("UNDECIDED%s" % cached)
+    return EXIT_UNDECIDED
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    try:
+        client = ServiceClient(
+            args.server, timeout=args.timeout, retries=args.retries,
+        )
+    except ValueError as exc:
+        print("repro-client: %s" % exc, file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    try:
+        with client:
+            return _run(client, args)
+    except ServiceError as exc:
+        print("repro-client: server error: %s" % exc, file=sys.stderr)
+        if exc.code == "bad-input":
+            return EXIT_INVALID_INPUT
+        return EXIT_INVALID_INPUT if exc.code in (
+            "invalid-request", "unknown-job",
+        ) else EXIT_UNDECIDED
+    except OSError as exc:
+        print("repro-client: cannot reach %s: %s"
+              % (args.server, exc), file=sys.stderr)
+        return EXIT_INVALID_INPUT
+
+
+def _run(client, args):
+    if args.command == "ping":
+        response = client.ping()
+        print("repro-serve %s (%s)" % (
+            response.get("version"), response.get("protocol"),
+        ))
+        return EXIT_OK
+    if args.command == "submit":
+        try:
+            with open(args.aag_a) as handle:
+                aag_a = handle.read()
+            with open(args.aag_b) as handle:
+                aag_b = handle.read()
+            options = _parse_options(args.option)
+        except (OSError, ValueError) as exc:
+            print("repro-client: %s" % exc, file=sys.stderr)
+            return EXIT_INVALID_INPUT
+        submitted = client.submit(
+            aag_a, aag_b, options=options,
+            time_limit=args.time_limit,
+            conflict_limit=args.conflict_limit,
+            certify=args.certify,
+        )
+        if not args.wait:
+            print(submitted["job"])
+            return EXIT_OK
+        response = client.result(
+            submitted["job"], wait=True, on_update=_print_heartbeat,
+        )
+        return _finish(response, args.certify_local, args.stats_json)
+    if args.command == "status":
+        response = client.status(args.job)
+        print(json.dumps(
+            {key: response.get(key) for key in (
+                "job", "state", "cached", "verdict", "error",
+                "elapsed_seconds",
+            )},
+            indent=2, sort_keys=True,
+        ))
+        return EXIT_OK
+    if args.command == "result":
+        response = client.result(
+            args.job, wait=args.wait, timeout=args.wait_timeout,
+            on_update=_print_heartbeat,
+        )
+        if response.get("state") not in ("done",):
+            print(json.dumps(
+                {key: response.get(key) for key in (
+                    "job", "state", "verdict", "error",
+                )},
+                indent=2, sort_keys=True,
+            ))
+            return EXIT_UNDECIDED
+        return _finish(response, False, args.stats_json)
+    if args.command == "cancel":
+        response = client.cancel(args.job)
+        print("cancelled" if response.get("cancelled")
+              else "not cancelled (state: %s)" % response.get("state"))
+        return EXIT_OK if response.get("cancelled") else EXIT_NEGATIVE
+    if args.command == "stats":
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        return EXIT_OK
+    # shutdown
+    client.shutdown()
+    print("server shutting down")
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

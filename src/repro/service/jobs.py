@@ -1,0 +1,183 @@
+"""Job bookkeeping for the CEC server: states, table, bounded admission.
+
+A :class:`Job` tracks one submitted equivalence check from admission to
+a terminal state. The :class:`JobTable` owns every job the server has
+seen, enforces the bounded queue (admission fails with
+:class:`QueueFullError` once the number of non-terminal jobs reaches
+the limit — the server turns that into a structured ``queue-full``
+response, never a crash), and is the single synchronization point
+between handler threads and the worker pool's completion callbacks.
+"""
+
+import itertools
+import threading
+import time
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States from which a job can no longer change.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+
+class QueueFullError(Exception):
+    """Admission rejected: the bounded job queue is at capacity."""
+
+    def __init__(self, limit):
+        Exception.__init__(
+            self, "job queue is full (%d jobs pending)" % limit
+        )
+        self.limit = limit
+
+
+class Job:
+    """One submitted equivalence check.
+
+    Attributes:
+        id: server-assigned job id (stable for the server's lifetime).
+        key: structural-hash cache key of the query.
+        state: one of the state constants above.
+        cached: True when the answer came from the proof cache.
+        verdict: ``"equivalent" | "not_equivalent" | "undecided"`` once
+            done.
+        result: the ``repro-cec-result/1`` document once done.
+        error: ``{"code", "message"}`` once failed/cancelled.
+        worker_stats: the worker's ``repro-stats/1`` report (None for
+            cache hits — nothing ran).
+        job_stats: the *server-side* ``repro-stats/1`` report for this
+            job (cache lookup, queue wait, dispatch); on a cache hit
+            this is the only stats block, and it records no solver
+            phases.
+    """
+
+    def __init__(self, job_id, key=None):
+        self.id = job_id
+        self.key = key
+        self.state = QUEUED
+        self.cached = False
+        self.verdict = None
+        self.result = None
+        self.error = None
+        self.worker_stats = None
+        self.job_stats = None
+        self.future = None
+        self.submitted_at = time.time()
+        self.started_at = None
+        self.finished_at = None
+        self._terminal = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Transitions (called under the table lock or from the completion
+    # callback; the event makes terminal-state waits race-free).
+    # ------------------------------------------------------------------
+
+    def mark_running(self):
+        self.state = RUNNING
+        self.started_at = time.time()
+
+    def finish(self, verdict, result, worker_stats=None, cached=False):
+        self.verdict = verdict
+        self.result = result
+        self.worker_stats = worker_stats
+        self.cached = cached
+        self.state = DONE
+        self.finished_at = time.time()
+        self._terminal.set()
+
+    def fail(self, code, message, cancelled=False):
+        self.error = {"code": code, "message": message}
+        self.state = CANCELLED if cancelled else FAILED
+        self.finished_at = time.time()
+        self._terminal.set()
+
+    def wait(self, timeout=None):
+        """Block until the job is terminal; True when it is."""
+        return self._terminal.wait(timeout)
+
+    @property
+    def is_terminal(self):
+        return self.state in TERMINAL_STATES
+
+    def elapsed_seconds(self):
+        """Wall time from submission to completion (or now)."""
+        end = self.finished_at if self.finished_at is not None else time.time()
+        return end - self.submitted_at
+
+    def snapshot(self):
+        """JSON-compatible status block (no result payload)."""
+        return {
+            "job": self.id,
+            "state": self.state,
+            "cached": self.cached,
+            "verdict": self.verdict,
+            "error": self.error,
+            "elapsed_seconds": self.elapsed_seconds(),
+        }
+
+
+class JobTable:
+    """Thread-safe registry of all jobs plus bounded admission.
+
+    Args:
+        queue_limit: maximum number of *non-terminal* jobs (queued or
+            running, across the whole pool). ``admit`` raises
+            :class:`QueueFullError` beyond it.
+    """
+
+    def __init__(self, queue_limit=32):
+        self.queue_limit = queue_limit
+        self._lock = threading.Lock()
+        self._jobs = {}
+        self._pending = 0
+        self._ids = itertools.count(1)
+
+    def new_job_id(self):
+        return "j%06d" % next(self._ids)
+
+    def admit(self, key=None):
+        """Create, register, and return a new job (bounded).
+
+        Raises:
+            QueueFullError: when the pending-job cap is reached.
+        """
+        with self._lock:
+            if self._pending >= self.queue_limit:
+                raise QueueFullError(self.queue_limit)
+            job = Job(self.new_job_id(), key=key)
+            self._jobs[job.id] = job
+            self._pending += 1
+            return job
+
+    def add_terminal(self, key=None):
+        """Register a job that is already answered (cache hits).
+
+        Cache hits never occupy queue capacity.
+        """
+        with self._lock:
+            job = Job(self.new_job_id(), key=key)
+            self._jobs[job.id] = job
+            return job
+
+    def release(self, job):
+        """Account a job's transition to a terminal state (idempotent
+        per job: call exactly once when the job leaves the queue)."""
+        with self._lock:
+            if self._pending > 0:
+                self._pending -= 1
+
+    def get(self, job_id):
+        """The job registered under *job_id*, or ``None``."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def pending(self):
+        """Number of queued/running jobs."""
+        with self._lock:
+            return self._pending
+
+    def __len__(self):
+        with self._lock:
+            return len(self._jobs)

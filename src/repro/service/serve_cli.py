@@ -1,0 +1,108 @@
+"""``repro-serve``: run the persistent CEC service.
+
+Examples::
+
+    repro-serve --listen 127.0.0.1:7711 --workers 4 --cache .cec-cache
+    repro-serve --listen /tmp/cec.sock --time-limit 60 \\
+        --stats-json server-stats.json
+
+The server runs until SIGINT/SIGTERM or a client ``shutdown`` verb;
+on exit it writes its ``repro-stats/1`` report (jobs, hit rate,
+throughput) to ``--stats-json`` when given.
+"""
+
+import argparse
+import signal
+import sys
+
+from .. import __version__
+from ..exit_codes import EXIT_INVALID_INPUT, EXIT_OK
+from ..instrument import Recorder
+from .server import CecServer
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Persistent combinational-equivalence-checking "
+        "service with a job queue, worker pool, and structural-hash "
+        "proof cache.",
+    )
+    parser.add_argument(
+        "--version", action="version", version="%(prog)s " + __version__,
+    )
+    parser.add_argument(
+        "--listen", default="127.0.0.1:7711", metavar="ADDR",
+        help="host:port or Unix socket path (default %(default)s)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes; 0 = in-process single worker "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=32, metavar="N",
+        help="maximum queued+running jobs (default %(default)s)",
+    )
+    parser.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="proof-cache directory (omit to disable caching)",
+    )
+    parser.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="default per-job wall-clock budget",
+    )
+    parser.add_argument(
+        "--conflict-limit", type=int, default=None, metavar="N",
+        help="default per-job solver conflict budget",
+    )
+    parser.add_argument(
+        "--stats-json", metavar="PATH", default=None,
+        help="write the server's repro-stats/1 report here on exit",
+    )
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.workers < 0:
+        print("repro-serve: --workers must be >= 0", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    if args.queue_limit < 1:
+        print("repro-serve: --queue-limit must be >= 1", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    recorder = Recorder()
+    try:
+        server = CecServer(
+            args.listen,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            cache_dir=args.cache,
+            default_time_limit=args.time_limit,
+            default_conflict_limit=args.conflict_limit,
+            recorder=recorder,
+        )
+    except (ValueError, OSError) as exc:
+        print("repro-serve: %s" % exc, file=sys.stderr)
+        return EXIT_INVALID_INPUT
+
+    def _stop(signum, frame):
+        server.shutdown()
+
+    signal.signal(signal.SIGINT, _stop)
+    signal.signal(signal.SIGTERM, _stop)
+    print("repro-serve %s listening on %s (workers=%d, cache=%s)"
+          % (__version__, server.address, args.workers,
+             args.cache or "off"), file=sys.stderr)
+    try:
+        server.serve_forever()
+    finally:
+        server.close()
+        if args.stats_json:
+            server.stats_report()
+            recorder.write_json(args.stats_json)
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

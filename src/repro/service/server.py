@@ -1,0 +1,461 @@
+"""The persistent CEC server: socket front end, job queue, worker pool.
+
+:class:`CecServer` is a long-running process component that accepts
+``repro-service/1`` requests over a Unix-domain or TCP socket, admits
+jobs into a bounded queue, fans them out to a multiprocess worker pool
+(:func:`repro.service.worker.execute_job`), and consults the
+structural-hash :class:`~repro.service.cache.ProofCache` before paying
+for any solving — a repeated or symmetric query is answered from disk
+in microseconds, certificate included.
+
+Threading model: ``socketserver.ThreadingMixIn`` gives one handler
+thread per connection; handler threads only parse requests, perform
+cache lookups, and wait on job events. All solving happens in the
+worker pool (``workers >= 1``: separate processes; ``workers == 0``:
+one in-process thread, for tests and platforms without ``fork``).
+Shared state is the :class:`~repro.service.jobs.JobTable` (locked) and
+the server's :class:`~repro.instrument.Recorder` (thread-safe), which
+aggregates per-job timings into server-level throughput and hit-rate
+telemetry served by the ``stats`` verb.
+"""
+
+import io
+import os
+import socketserver
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from .. import __version__
+from ..aig.aiger import AigerError, read_aag
+from ..instrument import Recorder
+from . import protocol
+from .cache import ProofCache, cache_key
+from .jobs import DONE, QUEUED, JobTable, QueueFullError
+from .worker import build_options, execute_job
+
+#: Heartbeat interval while a ``result --wait`` request is blocked.
+DEFAULT_POLL_INTERVAL = 0.25
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: read request lines, answer each in turn."""
+
+    def handle(self):
+        server = self.server.cec_server
+        while True:
+            try:
+                line = self.rfile.readline(protocol.MAX_LINE_BYTES + 1)
+            except OSError:
+                return
+            if not line:
+                return
+            if len(line) > protocol.MAX_LINE_BYTES:
+                self._send(protocol.error_response(
+                    protocol.ERR_INVALID_REQUEST,
+                    "request line exceeds %d bytes"
+                    % protocol.MAX_LINE_BYTES,
+                ))
+                return
+            try:
+                request = protocol.decode(line)
+            except protocol.ProtocolError as exc:
+                self._send(protocol.error_response(exc.code, str(exc)))
+                continue
+            try:
+                done = server.dispatch(request, self._send)
+            except BrokenPipeError:
+                return
+            if done:
+                return
+
+    def _send(self, response):
+        self.wfile.write(protocol.encode(response))
+        self.wfile.flush()
+
+
+class _ThreadingTCPServer(socketserver.ThreadingMixIn, socketserver.TCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class _ThreadingUnixServer(
+    socketserver.ThreadingMixIn, socketserver.UnixStreamServer
+):
+    daemon_threads = True
+
+
+class CecServer:
+    """Persistent equivalence-checking service.
+
+    Args:
+        address: ``host:port`` or a Unix socket path (see
+            :func:`repro.service.protocol.parse_address`).
+        workers: worker processes (``0`` = one in-process worker
+            thread).
+        queue_limit: maximum queued+running jobs before ``submit``
+            answers ``queue-full``.
+        cache_dir: proof-cache directory (``None`` disables caching).
+        default_time_limit / default_conflict_limit: per-job budget
+            applied when the request does not carry its own.
+        poll_interval: heartbeat period for blocked ``result`` waits.
+        recorder: server-level :class:`Recorder` (one is created when
+            omitted); serves the ``stats`` verb.
+    """
+
+    def __init__(
+        self,
+        address,
+        workers=1,
+        queue_limit=32,
+        cache_dir=None,
+        default_time_limit=None,
+        default_conflict_limit=None,
+        poll_interval=DEFAULT_POLL_INTERVAL,
+        recorder=None,
+    ):
+        self.family, self.target = protocol.parse_address(address)
+        self.workers = workers
+        self.jobs = JobTable(queue_limit=queue_limit)
+        self.recorder = recorder if recorder is not None else Recorder()
+        self.recorder.meta.setdefault("tool", "repro-serve")
+        self.recorder.meta["address"] = protocol.format_address(
+            self.family, self.target
+        )
+        self.cache = (
+            ProofCache(cache_dir, recorder=self.recorder)
+            if cache_dir else None
+        )
+        self.default_time_limit = default_time_limit
+        self.default_conflict_limit = default_conflict_limit
+        self.poll_interval = poll_interval
+        self._shutting_down = False
+        self._lock = threading.Lock()
+        if workers >= 1:
+            self._executor = ProcessPoolExecutor(max_workers=workers)
+        else:
+            self._executor = ThreadPoolExecutor(max_workers=1)
+        if self.family == "unix":
+            if os.path.exists(self.target):
+                os.unlink(self.target)
+            self._server = _ThreadingUnixServer(self.target, _Handler)
+        else:
+            self._server = _ThreadingTCPServer(self.target, _Handler)
+        self._server.cec_server = self
+        self.recorder.gauge("service/workers", max(workers, 1))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self):
+        """The bound address (with the OS-assigned port for ``:0``)."""
+        if self.family == "unix":
+            return self.target
+        host, port = self._server.server_address[:2]
+        return "%s:%d" % (host, port)
+
+    def serve_forever(self):
+        """Serve until :meth:`shutdown` (blocking)."""
+        self._server.serve_forever(poll_interval=self.poll_interval)
+
+    def start(self):
+        """Serve on a daemon thread (tests/benchmarks); returns it."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def shutdown(self):
+        """Stop accepting connections and wind down the pool."""
+        with self._lock:
+            if self._shutting_down:
+                return
+            self._shutting_down = True
+        self._server.shutdown()
+        self._executor.shutdown(wait=False)
+
+    def close(self):
+        """Release sockets and the worker pool."""
+        self.shutdown()
+        self._server.server_close()
+        if self.family == "unix" and os.path.exists(self.target):
+            os.unlink(self.target)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def dispatch(self, request, send):
+        """Answer one request via *send*; True ends the connection."""
+        verb = request.get("verb")
+        if verb not in protocol.VERBS:
+            send(protocol.error_response(
+                protocol.ERR_INVALID_REQUEST,
+                "unknown verb %r" % (verb,), verb=verb,
+            ))
+            return False
+        if self._shutting_down and verb not in ("ping", "stats"):
+            send(protocol.error_response(
+                protocol.ERR_SHUTTING_DOWN, "server is shutting down",
+                verb=verb,
+            ))
+            return False
+        if verb == "ping":
+            send(protocol.ping_response())
+            return False
+        if verb == "submit":
+            send(self._handle_submit(request))
+            return False
+        if verb == "status":
+            send(self._handle_status(request))
+            return False
+        if verb == "result":
+            self._handle_result(request, send)
+            return False
+        if verb == "cancel":
+            send(self._handle_cancel(request))
+            return False
+        if verb == "stats":
+            send(protocol.ok_response("stats", stats=self.stats_report()))
+            return False
+        # shutdown: acknowledge, then stop the server from another
+        # thread (shutdown() must not run on a handler thread that
+        # serve_forever is waiting on).
+        send(protocol.ok_response("shutdown"))
+        threading.Thread(target=self.shutdown, daemon=True).start()
+        return True
+
+    # ------------------------------------------------------------------
+    # submit
+    # ------------------------------------------------------------------
+
+    def _handle_submit(self, request):
+        self.recorder.count("service/jobs-submitted")
+        job_recorder = Recorder()
+        try:
+            aig_a = read_aag(io.StringIO(request["aag_a"]))
+            aig_b = read_aag(io.StringIO(request["aag_b"]))
+            options = build_options(request.get("options"))
+        except (AigerError, ValueError, KeyError, TypeError) as exc:
+            self.recorder.count("service/jobs-rejected")
+            return protocol.error_response(
+                protocol.ERR_BAD_INPUT, str(exc), verb="submit",
+            )
+        if (aig_a.num_inputs != aig_b.num_inputs
+                or aig_a.num_outputs != aig_b.num_outputs):
+            self.recorder.count("service/jobs-rejected")
+            return protocol.error_response(
+                protocol.ERR_BAD_INPUT,
+                "interface mismatch: %dx%d vs %dx%d inputs/outputs"
+                % (aig_a.num_inputs, aig_a.num_outputs,
+                   aig_b.num_inputs, aig_b.num_outputs),
+                verb="submit",
+            )
+        key = cache_key(aig_a, aig_b, request.get("options"))
+        if self.cache is not None:
+            with job_recorder.phase("cache/lookup"):
+                cached = self.cache.lookup(key)
+            if cached is not None:
+                self.recorder.count("service/cache-hits")
+                job = self.jobs.add_terminal(key=key)
+                job.job_stats = job_recorder.report()
+                job.finish(
+                    _verdict_of(cached), cached, worker_stats=None,
+                    cached=True,
+                )
+                self._note_job_done(job)
+                return protocol.ok_response(
+                    "submit", job=job.id, state=job.state, cached=True,
+                    verdict=job.verdict,
+                )
+            self.recorder.count("service/cache-misses")
+        try:
+            job = self.jobs.admit(key=key)
+        except QueueFullError as exc:
+            self.recorder.count("service/queue-rejects")
+            return protocol.error_response(
+                protocol.ERR_QUEUE_FULL, str(exc), verb="submit",
+                queue_limit=self.jobs.queue_limit,
+            )
+        job.job_stats = job_recorder.report()
+        payload = {
+            "aag_a": request["aag_a"],
+            "aag_b": request["aag_b"],
+            "options": request.get("options") or {},
+            "time_limit": request.get(
+                "time_limit", self.default_time_limit
+            ),
+            "conflict_limit": request.get(
+                "conflict_limit", self.default_conflict_limit
+            ),
+            "certify": bool(request.get("certify")),
+            "lint": bool(request.get("lint")),
+            "trim": bool(request.get("trim", True)),
+        }
+        job.mark_running()
+        try:
+            job.future = self._executor.submit(execute_job, payload)
+        except RuntimeError as exc:  # pool already shut down
+            self.jobs.release(job)
+            job.fail(protocol.ERR_SHUTTING_DOWN, str(exc))
+            return protocol.error_response(
+                protocol.ERR_SHUTTING_DOWN, str(exc), verb="submit",
+            )
+        job.future.add_done_callback(
+            lambda future, job=job: self._on_job_finished(job, future)
+        )
+        self.recorder.gauge("service/queue-depth", self.jobs.pending())
+        return protocol.ok_response(
+            "submit", job=job.id, state=QUEUED, cached=False,
+            queue_depth=self.jobs.pending(),
+        )
+
+    def _on_job_finished(self, job, future):
+        self.jobs.release(job)
+        if future.cancelled():
+            job.fail(protocol.ERR_CANCELLED, "job was cancelled",
+                     cancelled=True)
+            self.recorder.count("service/jobs-cancelled")
+            return
+        exc = future.exception()
+        if exc is not None:
+            job.fail(protocol.ERR_WORKER_FAILED,
+                     "%s: %s" % (type(exc).__name__, exc))
+            self.recorder.count("service/jobs-failed")
+            return
+        response = future.result()
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            job.fail(error.get("code", protocol.ERR_WORKER_FAILED),
+                     error.get("message", "worker reported failure"))
+            self.recorder.count("service/jobs-failed")
+            return
+        # Store before marking the job terminal: a client that sees the
+        # result and immediately re-submits must find the cache entry.
+        if (self.cache is not None and job.key is not None
+                and response["result"].get("equivalent") is not None):
+            self.cache.store(
+                job.key, response["result"],
+                meta={"job": job.id, "verdict": response["verdict"]},
+            )
+        job.finish(
+            response["verdict"], response["result"],
+            worker_stats=response.get("stats"), cached=False,
+        )
+        self._note_job_done(job)
+
+    def _note_job_done(self, job):
+        self.recorder.count("service/jobs-completed")
+        self.recorder.count("service/verdict-%s" % job.verdict)
+        self.recorder.add_time("service/job", job.elapsed_seconds())
+        self.recorder.gauge("service/queue-depth", self.jobs.pending())
+
+    # ------------------------------------------------------------------
+    # status / result / cancel
+    # ------------------------------------------------------------------
+
+    def _get_job(self, request, verb):
+        job_id = request.get("job")
+        job = self.jobs.get(job_id) if isinstance(job_id, str) else None
+        if job is None:
+            return None, protocol.error_response(
+                protocol.ERR_UNKNOWN_JOB, "unknown job %r" % (job_id,),
+                verb=verb,
+            )
+        return job, None
+
+    def _handle_status(self, request):
+        job, error = self._get_job(request, "status")
+        if error is not None:
+            return error
+        return protocol.ok_response("status", **job.snapshot())
+
+    def _handle_result(self, request, send):
+        job, error = self._get_job(request, "result")
+        if error is not None:
+            send(error)
+            return
+        wait = bool(request.get("wait"))
+        timeout = request.get("timeout")
+        deadline = None
+        if wait and timeout is not None:
+            deadline = job.elapsed_seconds() + float(timeout)
+        while wait and not job.is_terminal:
+            if deadline is not None and job.elapsed_seconds() >= deadline:
+                send(protocol.error_response(
+                    protocol.ERR_TIMEOUT,
+                    "job %s still %s after the wait timeout"
+                    % (job.id, job.state),
+                    verb="result", **job.snapshot(),
+                ))
+                return
+            if job.wait(self.poll_interval):
+                break
+            send(protocol.ok_response(
+                "result", final=False, **job.snapshot(),
+            ))
+        if not job.is_terminal:
+            send(protocol.ok_response("result", **job.snapshot()))
+            return
+        if job.state == DONE:
+            send(protocol.ok_response(
+                "result", result=job.result,
+                worker_stats=job.worker_stats, job_stats=job.job_stats,
+                **job.snapshot(),
+            ))
+        else:
+            error = job.error or {}
+            send(protocol.error_response(
+                error.get("code", protocol.ERR_WORKER_FAILED),
+                error.get("message", "job did not complete"),
+                verb="result", **job.snapshot(),
+            ))
+
+    def _handle_cancel(self, request):
+        job, error = self._get_job(request, "cancel")
+        if error is not None:
+            return error
+        if job.is_terminal:
+            return protocol.ok_response(
+                "cancel", cancelled=(job.state == "cancelled"),
+                **job.snapshot(),
+            )
+        cancelled = job.future.cancel() if job.future is not None else False
+        if cancelled:
+            # The done-callback fires with future.cancelled() and marks
+            # the job; wait for it so the response reflects the final
+            # state.
+            job.wait(timeout=5.0)
+        return protocol.ok_response(
+            "cancel", cancelled=cancelled, **job.snapshot(),
+        )
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+
+    def stats_report(self):
+        """Server-level ``repro-stats/1`` report with derived gauges."""
+        hits = self.recorder.counter("service/cache-hits")
+        misses = self.recorder.counter("service/cache-misses")
+        if hits + misses:
+            self.recorder.gauge(
+                "service/hit-rate", hits / float(hits + misses)
+            )
+        completed = self.recorder.counter("service/jobs-completed")
+        seconds = self.recorder.phase_seconds("service/job")
+        if completed and seconds > 0:
+            self.recorder.gauge(
+                "service/jobs-per-second", completed / seconds
+            )
+        self.recorder.gauge("service/queue-depth", self.jobs.pending())
+        self.recorder.meta["version"] = __version__
+        return self.recorder.report()
+
+
+def _verdict_of(result_doc):
+    return {True: "equivalent", False: "not_equivalent"}.get(
+        result_doc.get("equivalent"), "undecided"
+    )

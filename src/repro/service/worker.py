@@ -1,0 +1,101 @@
+"""The service's unit of work: one equivalence check in a worker process.
+
+:func:`execute_job` is the only function the server submits to its
+pool. It is deliberately self-contained and picklable-friendly: the
+request and the response are plain dicts (AIGER text in, a
+``repro-cec-result/1`` document out), so the same function runs
+identically under a :class:`~concurrent.futures.ProcessPoolExecutor`,
+an in-process thread (``--workers 0``), or a bare call in tests.
+
+Per-job resource limits become a :class:`~repro.instrument.Budget`
+inside the worker; exhaustion surfaces as an *undecided* verdict in a
+successful response — a budget never crashes a worker. Input defects
+(unparseable AIGER, incompatible interfaces, unknown options) come
+back as structured ``bad-input`` errors.
+"""
+
+import io
+
+from ..aig.aiger import AigerError, read_aag
+from ..core.cec import check_equivalence
+from ..core.certify import CertificationError, certify
+from ..core.fraig import SweepOptions
+from ..core.serialize import result_to_dict, verdict_name
+from ..instrument import Budget, Recorder
+from ..proof.trim import trim
+from .cache import OPTION_FIELDS
+from .protocol import ERR_BAD_INPUT, ERR_CERTIFY_FAILED
+
+
+def build_options(options_dict):
+    """Construct :class:`SweepOptions` from a request's options mapping.
+
+    Raises:
+        ValueError: on unknown option names (callers map this to a
+            ``bad-input`` response).
+    """
+    options_dict = dict(options_dict or {})
+    unknown = sorted(set(options_dict) - set(OPTION_FIELDS))
+    if unknown:
+        raise ValueError("unknown engine options: %s" % ", ".join(unknown))
+    return SweepOptions(**options_dict)
+
+
+def execute_job(request):
+    """Run one equivalence check described by *request*.
+
+    Request fields: ``aag_a``/``aag_b`` (ASCII AIGER text), ``options``
+    (mapping of :class:`SweepOptions` fields), ``time_limit`` /
+    ``conflict_limit`` (per-job budget), ``certify`` (replay the proof
+    in the worker before answering), ``lint`` (with certify: lint
+    fast-reject first), ``trim`` (default True: ship the trimmed proof).
+
+    Returns one of::
+
+        {"ok": True, "verdict": ..., "result": <repro-cec-result/1>,
+         "stats": <repro-stats/1>}
+        {"ok": False, "error": {"code": ..., "message": ...}}
+    """
+    recorder = Recorder()
+    recorder.meta["tool"] = "repro-serve-worker"
+    try:
+        aig_a = read_aag(io.StringIO(request["aag_a"]))
+        aig_b = read_aag(io.StringIO(request["aag_b"]))
+        options = build_options(request.get("options"))
+    except (AigerError, ValueError, KeyError) as exc:
+        return _error(ERR_BAD_INPUT, str(exc))
+    budget = None
+    time_limit = request.get("time_limit")
+    conflict_limit = request.get("conflict_limit")
+    if time_limit is not None or conflict_limit is not None:
+        budget = Budget(time_limit=time_limit, conflict_limit=conflict_limit)
+    try:
+        with recorder.phase("service/check"):
+            result = check_equivalence(
+                aig_a, aig_b, options, recorder=recorder, budget=budget
+            )
+    except ValueError as exc:
+        # Interface mismatches and kin: the query, not the server.
+        return _error(ERR_BAD_INPUT, str(exc))
+    if result.proof is not None and request.get("trim", True):
+        with recorder.phase("service/trim"):
+            trimmed, _ = trim(result.proof, recorder=recorder)
+        result.proof = trimmed
+        result.empty_clause_id = trimmed.find_empty_clause()
+    if request.get("certify") and result.equivalent is not None:
+        try:
+            with recorder.phase("service/certify"):
+                certify(result, lint=bool(request.get("lint")))
+        except CertificationError as exc:
+            return _error(ERR_CERTIFY_FAILED, str(exc))
+    result.stats = recorder.report(budget=budget)
+    return {
+        "ok": True,
+        "verdict": verdict_name(result.equivalent),
+        "result": result_to_dict(result),
+        "stats": result.stats,
+    }
+
+
+def _error(code, message):
+    return {"ok": False, "error": {"code": code, "message": message}}

@@ -77,7 +77,7 @@ class TestInvalid:
         text = open(trace).read().replace(" 2 0", " 3 0", 1)
         bad = tmp_path / "bad.tc"
         bad.write_text(text)
-        assert main([str(bad)]) in (1, 2)
+        assert main([str(bad)]) in (1, 3)
 
     def test_non_refutation(self, tmp_path, capsys):
         store = ProofStore()
@@ -90,11 +90,11 @@ class TestInvalid:
         assert "empty clause" in capsys.readouterr().out
 
     def test_missing_file(self, capsys):
-        assert main(["/nonexistent.tc"]) == 2
+        assert main(["/nonexistent.tc"]) == 3
 
     def test_bad_cnf_path(self, artifacts):
         trace, _, _ = artifacts
-        assert main([trace, "--cnf", "/nonexistent.cnf"]) == 2
+        assert main([trace, "--cnf", "/nonexistent.cnf"]) == 3
 
 
 class TestEndToEndWithEngine:

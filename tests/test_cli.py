@@ -45,7 +45,7 @@ class TestMain:
         assert "counterexample" in out
 
     def test_missing_file(self, capsys):
-        assert main(["/nonexistent/a.aag", "/nonexistent/b.aag"]) == 2
+        assert main(["/nonexistent/a.aag", "/nonexistent/b.aag"]) == 3
 
     def test_proof_written(self, circuit_files, tmp_path, capsys):
         file_a, file_b, _ = circuit_files

@@ -77,7 +77,7 @@ class TestProofCommand:
         assert "proof" in report["passes"]
 
     def test_missing_file_exits_two(self, capsys):
-        assert lint_main(["proof", "/nonexistent/proof.tc"]) == 2
+        assert lint_main(["proof", "/nonexistent/proof.tc"]) == 3
 
 
 class TestOtherCommands:

@@ -40,12 +40,12 @@ class TestVerdicts:
         assert 2 in lits
 
     def test_missing_file(self, capsys):
-        assert main(["/nonexistent.cnf"]) == 0
+        assert main(["/nonexistent.cnf"]) == 3
 
     def test_malformed_file(self, tmp_path, capsys):
         bad = tmp_path / "bad.cnf"
         bad.write_text("not dimacs")
-        assert main([str(bad)]) == 0
+        assert main([str(bad)]) == 3
 
     def test_budget_unknown(self, tmp_path, capsys):
         # PHP(7) with a 1-conflict budget.

@@ -1,0 +1,404 @@
+"""The persistent CEC service: protocol, cache, jobs, server, client."""
+
+import io
+import threading
+
+import pytest
+
+from repro.aig.aiger import write_aag
+from repro.circuits import kogge_stone_adder, ripple_carry_adder
+from repro.core.certify import certify
+from repro.core.serialize import result_from_dict, result_to_dict
+from repro.instrument import Recorder
+from repro.instrument.recorder import validate_report
+from repro.service import (
+    CecServer,
+    JobTable,
+    ProofCache,
+    QueueFullError,
+    ServiceClient,
+    ServiceError,
+    cache_key,
+    canonical_options,
+    execute_job,
+)
+from repro.service import protocol
+
+
+def aag_text(aig):
+    buffer = io.StringIO()
+    write_aag(aig, buffer)
+    return buffer.getvalue()
+
+
+@pytest.fixture(scope="module")
+def adder_pair():
+    return (
+        aag_text(ripple_carry_adder(4)), aag_text(kogge_stone_adder(4))
+    )
+
+
+@pytest.fixture(scope="module")
+def big_pair():
+    return (
+        aag_text(ripple_carry_adder(16)), aag_text(kogge_stone_adder(16))
+    )
+
+
+@pytest.fixture()
+def server(tmp_path):
+    """In-process server on a Unix socket with a fresh cache dir."""
+    instance = CecServer(
+        str(tmp_path / "cec.sock"), workers=0,
+        cache_dir=str(tmp_path / "cache"),
+    )
+    instance.start()
+    yield instance
+    instance.close()
+
+
+class TestProtocol:
+    def test_encode_decode_round_trip(self):
+        message = {"verb": "ping", "x": [1, 2]}
+        assert protocol.decode(protocol.encode(message)) == message
+
+    def test_decode_rejects_bad_json(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"{not json}\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"[1, 2]\n")
+
+    def test_parse_address_tcp(self):
+        assert protocol.parse_address("localhost:7711") == (
+            "tcp", ("localhost", 7711),
+        )
+
+    def test_parse_address_unix(self):
+        assert protocol.parse_address("/tmp/x.sock") == (
+            "unix", "/tmp/x.sock",
+        )
+        assert protocol.parse_address("./x.sock") == ("unix", "./x.sock")
+
+    def test_parse_address_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            protocol.parse_address("no-port-here")
+        with pytest.raises(ValueError):
+            protocol.parse_address("host:notaport")
+
+
+class TestJobTable:
+    def test_bounded_admission(self):
+        table = JobTable(queue_limit=2)
+        table.admit()
+        table.admit()
+        with pytest.raises(QueueFullError):
+            table.admit()
+
+    def test_release_frees_capacity(self):
+        table = JobTable(queue_limit=1)
+        job = table.admit()
+        table.release(job)
+        table.admit()  # does not raise
+
+    def test_terminal_jobs_bypass_capacity(self):
+        table = JobTable(queue_limit=1)
+        table.admit()
+        table.add_terminal()  # cache hits never count against the queue
+
+    def test_job_ids_unique(self):
+        table = JobTable(queue_limit=10)
+        ids = {table.admit().id for _ in range(5)}
+        assert len(ids) == 5
+
+
+class TestCanonicalOptions:
+    def test_defaults_match_explicit(self):
+        from repro.core import SweepOptions
+
+        assert canonical_options(None) == canonical_options({})
+        assert canonical_options(None) == canonical_options(SweepOptions())
+
+    def test_option_changes_key(self, adder_pair):
+        from repro.aig.aiger import read_aag
+
+        a = read_aag(io.StringIO(adder_pair[0]))
+        b = read_aag(io.StringIO(adder_pair[1]))
+        assert cache_key(a, b) != cache_key(a, b, {"sim_words": 9})
+        assert cache_key(a, b) == cache_key(b, a)
+
+
+class TestProofCache:
+    def _decided_doc(self, adder_pair):
+        response = execute_job({
+            "aag_a": adder_pair[0], "aag_b": adder_pair[1],
+        })
+        assert response["ok"]
+        return response["result"]
+
+    def test_store_and_lookup(self, tmp_path, adder_pair):
+        cache = ProofCache(str(tmp_path / "c"))
+        doc = self._decided_doc(adder_pair)
+        assert cache.lookup("00deadbeef") is None
+        assert cache.store("00deadbeef", doc) is True
+        assert cache.lookup("00deadbeef") == doc
+        assert "00deadbeef" in cache
+        assert cache.keys() == ["00deadbeef"]
+
+    def test_store_is_idempotent(self, tmp_path, adder_pair):
+        cache = ProofCache(str(tmp_path / "c"))
+        doc = self._decided_doc(adder_pair)
+        assert cache.store("00aa", doc) is True
+        assert cache.store("00aa", doc) is False
+        assert len(cache) == 1
+
+    def test_refuses_undecided(self, tmp_path):
+        cache = ProofCache(str(tmp_path / "c"))
+        with pytest.raises(ValueError):
+            cache.store("00bb", {"equivalent": None})
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path, adder_pair):
+        cache = ProofCache(str(tmp_path / "c"))
+        cache.store("00cc", self._decided_doc(adder_pair))
+        with open(cache.result_path("00cc"), "w") as handle:
+            handle.write("{truncated")
+        assert cache.lookup("00cc") is None
+
+    def test_recorder_counts(self, tmp_path, adder_pair):
+        recorder = Recorder()
+        cache = ProofCache(str(tmp_path / "c"), recorder=recorder)
+        cache.lookup("00dd")
+        cache.store("00dd", self._decided_doc(adder_pair))
+        cache.lookup("00dd")
+        assert recorder.counter("cache/misses") == 1
+        assert recorder.counter("cache/hits") == 1
+        assert recorder.counter("cache/stores") == 1
+
+
+class TestExecuteJob:
+    def test_bad_aiger_is_structured_error(self):
+        response = execute_job({"aag_a": "garbage", "aag_b": "junk"})
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad-input"
+
+    def test_unknown_option_is_structured_error(self, adder_pair):
+        response = execute_job({
+            "aag_a": adder_pair[0], "aag_b": adder_pair[1],
+            "options": {"warp_factor": 9},
+        })
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad-input"
+
+    def test_budget_exhaustion_is_undecided(self, big_pair):
+        response = execute_job({
+            "aag_a": big_pair[0], "aag_b": big_pair[1],
+            "time_limit": 0.0,
+        })
+        assert response["ok"] is True
+        assert response["verdict"] == "undecided"
+        assert response["stats"]["budget"]["exhausted"] == "time"
+
+    def test_in_worker_certify(self, adder_pair):
+        response = execute_job({
+            "aag_a": adder_pair[0], "aag_b": adder_pair[1],
+            "certify": True,
+        })
+        assert response["ok"] is True
+        assert "service/certify" in response["stats"]["phases"]
+
+
+class TestServerEndToEnd:
+    def test_ping(self, server):
+        with ServiceClient(server.address) as client:
+            response = client.ping()
+        assert response["ok"] is True
+        assert response["protocol"] == "repro-service/1"
+
+    def test_check_round_trip_and_cache_hit(self, server, adder_pair):
+        with ServiceClient(server.address) as client:
+            # Miss: solved by the worker, certificate certifies locally.
+            result, response = client.check(*adder_pair)
+            assert response["verdict"] == "equivalent"
+            assert response["cached"] is False
+            certify(result)
+            worker_stats = validate_report(response["worker_stats"])
+            assert any(
+                name.startswith("solver/") or "sweep" in name
+                for name in worker_stats["phases"]
+            )
+            # Hit: same certificate, no solver ran.
+            result2, response2 = client.check(*adder_pair)
+            assert response2["cached"] is True
+            assert response2["worker_stats"] is None
+            job_stats = validate_report(response2["job_stats"])
+            assert set(job_stats["phases"]) == {"cache/lookup"}
+            assert response2["result"] == response["result"]
+            certify(result2)
+
+    def test_symmetric_query_hits(self, server, adder_pair):
+        with ServiceClient(server.address) as client:
+            client.check(*adder_pair)
+            submitted = client.submit(adder_pair[1], adder_pair[0])
+            assert submitted["cached"] is True
+            stats = client.stats()
+        assert stats["counters"]["service/cache-hits"] >= 1
+
+    def test_bad_input_is_structured(self, server, adder_pair):
+        with ServiceClient(server.address) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit("not an aiger file", adder_pair[0])
+        assert excinfo.value.code == "bad-input"
+
+    def test_interface_mismatch_is_structured(self, server, adder_pair):
+        small = aag_text(ripple_carry_adder(2))
+        with ServiceClient(server.address) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(adder_pair[0], small)
+        assert excinfo.value.code == "bad-input"
+
+    def test_unknown_job_is_structured(self, server):
+        with ServiceClient(server.address) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.status("j999999")
+        assert excinfo.value.code == "unknown-job"
+
+    def test_budget_exhaustion_round_trip(self, server, big_pair):
+        with ServiceClient(server.address) as client:
+            submitted = client.submit(*big_pair, time_limit=0.0)
+            response = client.result(submitted["job"], wait=True)
+        assert response["verdict"] == "undecided"
+        assert response["worker_stats"]["budget"]["exhausted"] == "time"
+
+    def test_undecided_is_not_cached(self, server, big_pair):
+        with ServiceClient(server.address) as client:
+            first = client.submit(*big_pair, time_limit=0.0)
+            client.result(first["job"], wait=True)
+            second = client.submit(*big_pair, time_limit=0.0)
+            assert second["cached"] is False
+            client.result(second["job"], wait=True)
+
+    def test_stats_verb_is_valid_report(self, server):
+        with ServiceClient(server.address) as client:
+            report = validate_report(client.stats())
+        assert report["meta"]["tool"] == "repro-serve"
+
+
+class TestQueueLimits:
+    def test_queue_full_is_structured(self, tmp_path, adder_pair, big_pair):
+        server = CecServer(
+            str(tmp_path / "q.sock"), workers=0, queue_limit=1,
+        )
+        server.start()
+        try:
+            with ServiceClient(server.address) as client:
+                slow = client.submit(*big_pair, time_limit=2.0)
+                with pytest.raises(ServiceError) as excinfo:
+                    client.submit(*adder_pair)
+                assert excinfo.value.code == "queue-full"
+                # The slow job still completes normally.
+                response = client.result(slow["job"], wait=True)
+                assert response["state"] == "done"
+                stats = client.stats()
+                assert stats["counters"]["service/queue-rejects"] == 1
+        finally:
+            server.close()
+
+    def test_cancel_queued_job(self, tmp_path, big_pair, adder_pair):
+        server = CecServer(
+            str(tmp_path / "c.sock"), workers=0, queue_limit=4,
+        )
+        server.start()
+        try:
+            with ServiceClient(server.address) as client:
+                slow = client.submit(*big_pair, time_limit=2.0)
+                queued = client.submit(*adder_pair)
+                cancelled = client.cancel(queued["job"])
+                if cancelled["cancelled"]:
+                    status = client.status(queued["job"])
+                    assert status["state"] == "cancelled"
+                    with pytest.raises(ServiceError) as excinfo:
+                        client.result(queued["job"], wait=True)
+                    assert excinfo.value.code == "cancelled"
+                client.result(slow["job"], wait=True)
+        finally:
+            server.close()
+
+
+class TestTcpAndProcessPool:
+    def test_tcp_with_process_pool(self, adder_pair):
+        server = CecServer("127.0.0.1:0", workers=2)
+        server.start()
+        try:
+            with ServiceClient(server.address) as client:
+                result, response = client.check(*adder_pair)
+            assert response["verdict"] == "equivalent"
+            certify(result)
+        finally:
+            server.close()
+
+
+class TestRecorderThreadSafety:
+    def test_concurrent_mutation_is_consistent(self):
+        recorder = Recorder()
+        rounds = 500
+        threads = 8
+
+        def hammer(index):
+            for _ in range(rounds):
+                recorder.count("service/jobs-submitted")
+                recorder.add_time("service/job", 0.001)
+                recorder.gauge("service/queue-depth", index)
+                with recorder.phase("cache/lookup"):
+                    pass
+
+        workers = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        report = validate_report(recorder.report())
+        expected = rounds * threads
+        assert report["counters"]["service/jobs-submitted"] == expected
+        assert report["phases"]["service/job"]["count"] == expected
+        assert report["phases"]["cache/lookup"]["count"] == expected
+
+    def test_phase_stacks_are_thread_local(self):
+        recorder = Recorder()
+        seen = []
+        barrier = threading.Barrier(2)
+
+        def outer(name):
+            with recorder.phase(name):
+                barrier.wait(timeout=5)
+                with recorder.phase("inner"):
+                    pass
+            seen.append(name)
+
+        a = threading.Thread(
+            target=outer, args=("service/check",), daemon=True
+        )
+        b = threading.Thread(
+            target=outer, args=("service/certify",), daemon=True
+        )
+        a.start()
+        b.start()
+        a.join()
+        b.join()
+        phases = recorder.report()["phases"]
+        # Each thread's inner phase nests under its own outer phase.
+        assert "service/check/inner" in phases
+        assert "service/certify/inner" in phases
+        assert "service/check/certify" not in phases
+        assert sorted(seen) == ["service/certify", "service/check"]
+
+
+class TestResultDocumentFromWire:
+    def test_wire_document_round_trips(self, server, adder_pair):
+        with ServiceClient(server.address) as client:
+            _, response = client.check(*adder_pair)
+        rebuilt = result_from_dict(response["result"])
+        assert result_to_dict(rebuilt) == response["result"]

@@ -1,0 +1,127 @@
+"""Canonical structural hashing of AIGs (the service cache key)."""
+
+from repro.aig import AIG, lit_not, node_digests, pair_key, structural_hash
+from repro.circuits import kogge_stone_adder, ripple_carry_adder
+from repro.transforms import restructure
+
+
+def and_chain_forward(n):
+    """x1 & x2 & ... built left to right."""
+    aig = AIG()
+    lits = [aig.add_input() for _ in range(n)]
+    acc = lits[0]
+    for lit in lits[1:]:
+        acc = aig.add_and(acc, lit)
+    aig.add_output(acc)
+    return aig
+
+
+def and_chain_operands_swapped(n):
+    """Same function, AND operands given in the opposite order."""
+    aig = AIG()
+    lits = [aig.add_input() for _ in range(n)]
+    acc = lits[0]
+    for lit in lits[1:]:
+        acc = aig.add_and(lit, acc)
+    aig.add_output(acc)
+    return aig
+
+
+def and_chain_complemented(n):
+    """The chain with its output complemented."""
+    aig = AIG()
+    lits = [aig.add_input() for _ in range(n)]
+    acc = lits[0]
+    for lit in lits[1:]:
+        acc = aig.add_and(acc, lit)
+    aig.add_output(lit_not(acc))
+    return aig
+
+
+class TestStructuralHash:
+    def test_stable_across_copies(self):
+        aig = ripple_carry_adder(4)
+        assert structural_hash(aig) == structural_hash(aig.copy())
+
+    def test_hex_digest_shape(self):
+        digest = structural_hash(ripple_carry_adder(2))
+        assert len(digest) == 64
+        int(digest, 16)  # hex
+
+    def test_invariant_to_operand_order(self):
+        assert structural_hash(and_chain_forward(5)) == structural_hash(
+            and_chain_operands_swapped(5)
+        )
+
+    def test_invariant_to_names(self):
+        plain = AIG()
+        acc = plain.add_and(plain.add_input(), plain.add_input())
+        plain.add_output(acc)
+        named = AIG()
+        acc = named.add_and(
+            named.add_input(name="a"), named.add_input(name="b")
+        )
+        named.add_output(acc, name="y")
+        assert structural_hash(plain) == structural_hash(named)
+
+    def test_sensitive_to_structure(self):
+        assert structural_hash(ripple_carry_adder(4)) != structural_hash(
+            kogge_stone_adder(4)
+        )
+
+    def test_sensitive_to_output_complement(self):
+        assert structural_hash(and_chain_forward(3)) != structural_hash(
+            and_chain_complemented(3)
+        )
+
+    def test_sensitive_to_output_order(self):
+        a = AIG()
+        x = a.add_input()
+        y = a.add_input()
+        a.add_output(x)
+        a.add_output(y)
+        b = AIG()
+        x = b.add_input()
+        y = b.add_input()
+        b.add_output(y)
+        b.add_output(x)
+        assert structural_hash(a) != structural_hash(b)
+
+    def test_sensitive_to_extra_inputs(self):
+        a = and_chain_forward(3)
+        b = AIG()
+        lits = [b.add_input() for _ in range(4)]  # one unused input
+        b.add_output(b.add_and(b.add_and(lits[0], lits[1]), lits[2]))
+        assert structural_hash(a) != structural_hash(b)
+
+    def test_restructured_circuit_differs(self):
+        # restructure changes the AND tree shape; the hash is
+        # structural, not functional, so it must notice.
+        aig = ripple_carry_adder(5)
+        other = restructure(aig, seed=7)
+        assert structural_hash(aig) != structural_hash(other)
+
+    def test_node_digests_cover_every_var(self):
+        aig = ripple_carry_adder(3)
+        digests = node_digests(aig)
+        assert len(digests) == aig.num_vars
+        assert all(len(d) == 16 for d in digests)
+        assert len(set(digests)) == len(digests)  # no collisions here
+
+
+class TestPairKey:
+    def test_symmetric(self):
+        a = ripple_carry_adder(4)
+        b = kogge_stone_adder(4)
+        assert pair_key(a, b) == pair_key(b, a)
+
+    def test_salt_separates(self):
+        a = ripple_carry_adder(4)
+        b = kogge_stone_adder(4)
+        assert pair_key(a, b) != pair_key(a, b, salt="other-options")
+
+    def test_distinct_pairs_distinct_keys(self):
+        a = ripple_carry_adder(4)
+        b = kogge_stone_adder(4)
+        c = ripple_carry_adder(5)
+        assert pair_key(a, b) != pair_key(a, c)
