@@ -173,6 +173,17 @@ def main(argv=None):
     return code
 
 
+def _to_aag_text(aig):
+    """Serialize *aig* as ASCII AIGER text for the service wire."""
+    import io
+
+    from .aig.aiger import write_aag
+
+    buffer = io.StringIO()
+    write_aag(aig, buffer)
+    return buffer.getvalue()
+
+
 def _run_remote(args):
     """Route the check through a running repro-serve (``--server``)."""
     from .core.serialize import result_from_dict
@@ -192,12 +203,13 @@ def _run_remote(args):
             file=sys.stderr,
         )
         return EXIT_INVALID_INPUT
+    # Parse locally via read_auto (which handles binary .aig too) and
+    # re-emit canonical ASCII AIGER for the wire, so --server accepts
+    # exactly the same inputs as a local run.
     try:
-        with open(args.file_a) as handle:
-            aag_a = handle.read()
-        with open(args.file_b) as handle:
-            aag_b = handle.read()
-    except OSError as exc:
+        aag_a = _to_aag_text(read_auto(args.file_a))
+        aag_b = _to_aag_text(read_auto(args.file_b))
+    except (OSError, ValueError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return EXIT_INVALID_INPUT
     try:

@@ -7,11 +7,15 @@ heartbeat lines streamed during a blocking ``result`` wait are handed
 to the caller's ``on_update`` hook as they arrive, which is how the
 CLI surfaces live per-job telemetry.
 
-Transient transport failures (connection refused while the server is
-still binding, a dropped connection) are retried with exponential
-backoff up to ``retries`` times; protocol-level failures (``ok: false``
-responses) are never retried — they are answers, raised as
-:class:`ServiceError` with the server's stable error code.
+Transient *connect* failures (connection refused while the server is
+still binding) are retried with exponential backoff up to ``retries``
+times. Failures after the request may have been written (a dropped
+connection, a read timeout) are never retried — the server may already
+be executing the request, and re-sending a non-idempotent verb like
+``submit`` would duplicate solver work. Protocol-level failures
+(``ok: false`` responses) are likewise never retried — they are
+answers, raised as :class:`ServiceError` with the server's stable
+error code.
 """
 
 import socket
@@ -112,8 +116,13 @@ class ServiceClient:
 
         Non-final (heartbeat) responses are passed to *on_update* and
         never returned. Raises :class:`ServiceError` on an ``ok: false``
-        final response and ``OSError`` when the transport fails after
-        all retries.
+        final response and ``OSError`` when the transport fails.
+
+        Only *connect* failures are retried: once any request bytes may
+        have been written, a transport failure (e.g. a read timeout) is
+        raised immediately, because the server may already be executing
+        the request and re-sending a non-idempotent verb such as
+        ``submit`` would duplicate solver work.
         """
         last_error = None
         delay = self.backoff
@@ -121,13 +130,18 @@ class ServiceClient:
             if attempt:
                 time.sleep(delay)
                 delay *= 2
-            try:
-                if self._sock is None:
+            if self._sock is None:
+                try:
                     self._connect()
+                except OSError as exc:
+                    last_error = exc
+                    self.close()
+                    continue
+            try:
                 return self._exchange(message, on_update)
-            except OSError as exc:
-                last_error = exc
+            except OSError:
                 self.close()
+                raise
         raise last_error
 
     def _exchange(self, message, on_update):

@@ -9,6 +9,7 @@ response, never a crash), and is the single synchronization point
 between handler threads and the worker pool's completion callbacks.
 """
 
+import collections
 import itertools
 import threading
 import time
@@ -125,13 +126,27 @@ class JobTable:
         queue_limit: maximum number of *non-terminal* jobs (queued or
             running, across the whole pool). ``admit`` raises
             :class:`QueueFullError` beyond it.
+        retain_terminal: how many terminal jobs (with their full result
+            documents) to keep for late ``status``/``result`` queries.
+            Older terminal jobs are evicted so a persistent server's
+            memory stays bounded over its lifetime; querying an evicted
+            job answers ``unknown job``. Non-terminal jobs are never
+            evicted.
     """
 
-    def __init__(self, queue_limit=32):
+    #: Default number of finished jobs retained for late queries.
+    DEFAULT_RETAIN_TERMINAL = 256
+
+    def __init__(self, queue_limit=32, retain_terminal=None):
         self.queue_limit = queue_limit
+        self.retain_terminal = (
+            self.DEFAULT_RETAIN_TERMINAL
+            if retain_terminal is None else retain_terminal
+        )
         self._lock = threading.Lock()
         self._jobs = {}
         self._pending = 0
+        self._terminal_order = collections.deque()
         self._ids = itertools.count(1)
 
     def new_job_id(self):
@@ -167,6 +182,19 @@ class JobTable:
         with self._lock:
             if self._pending > 0:
                 self._pending -= 1
+
+    def note_terminal(self, job):
+        """Record that *job* reached a terminal state; evict the oldest
+        terminal jobs beyond ``retain_terminal`` so the table (and the
+        result payloads it holds) stays bounded on a long-lived server.
+        """
+        with self._lock:
+            self._terminal_order.append(job.id)
+            while len(self._terminal_order) > self.retain_terminal:
+                old_id = self._terminal_order.popleft()
+                old = self._jobs.get(old_id)
+                if old is not None and old.is_terminal:
+                    del self._jobs[old_id]
 
     def get(self, job_id):
         """The job registered under *job_id*, or ``None``."""

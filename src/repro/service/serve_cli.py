@@ -14,6 +14,7 @@ throughput) to ``--stats-json`` when given.
 import argparse
 import signal
 import sys
+import threading
 
 from .. import __version__
 from ..exit_codes import EXIT_INVALID_INPUT, EXIT_OK
@@ -49,6 +50,11 @@ def build_parser():
         help="proof-cache directory (omit to disable caching)",
     )
     parser.add_argument(
+        "--retain-jobs", type=int, default=None, metavar="N",
+        help="finished jobs kept in memory for late status/result "
+        "queries before eviction (default 256)",
+    )
+    parser.add_argument(
         "--time-limit", type=float, default=None, metavar="SECONDS",
         help="default per-job wall-clock budget",
     )
@@ -71,6 +77,9 @@ def main(argv=None):
     if args.queue_limit < 1:
         print("repro-serve: --queue-limit must be >= 1", file=sys.stderr)
         return EXIT_INVALID_INPUT
+    if args.retain_jobs is not None and args.retain_jobs < 0:
+        print("repro-serve: --retain-jobs must be >= 0", file=sys.stderr)
+        return EXIT_INVALID_INPUT
     recorder = Recorder()
     try:
         server = CecServer(
@@ -81,13 +90,17 @@ def main(argv=None):
             default_time_limit=args.time_limit,
             default_conflict_limit=args.conflict_limit,
             recorder=recorder,
+            retain_jobs=args.retain_jobs,
         )
     except (ValueError, OSError) as exc:
         print("repro-serve: %s" % exc, file=sys.stderr)
         return EXIT_INVALID_INPUT
 
     def _stop(signum, frame):
-        server.shutdown()
+        # The handler runs on the main thread, which is inside
+        # serve_forever(); BaseServer.shutdown() blocks until
+        # serve_forever returns, so calling it here would deadlock.
+        threading.Thread(target=server.shutdown, daemon=True).start()
 
     signal.signal(signal.SIGINT, _stop)
     signal.signal(signal.SIGTERM, _stop)

@@ -22,6 +22,7 @@ telemetry served by the ``stats`` verb.
 import io
 import os
 import socketserver
+import sys
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
@@ -100,6 +101,9 @@ class CecServer:
         poll_interval: heartbeat period for blocked ``result`` waits.
         recorder: server-level :class:`Recorder` (one is created when
             omitted); serves the ``stats`` verb.
+        retain_jobs: terminal jobs kept for late ``status``/``result``
+            queries before eviction (bounds server memory; defaults to
+            :attr:`JobTable.DEFAULT_RETAIN_TERMINAL`).
     """
 
     def __init__(
@@ -112,10 +116,13 @@ class CecServer:
         default_conflict_limit=None,
         poll_interval=DEFAULT_POLL_INTERVAL,
         recorder=None,
+        retain_jobs=None,
     ):
         self.family, self.target = protocol.parse_address(address)
         self.workers = workers
-        self.jobs = JobTable(queue_limit=queue_limit)
+        self.jobs = JobTable(
+            queue_limit=queue_limit, retain_terminal=retain_jobs
+        )
         self.recorder = recorder if recorder is not None else Recorder()
         self.recorder.meta.setdefault("tool", "repro-serve")
         self.recorder.meta["address"] = protocol.format_address(
@@ -266,6 +273,7 @@ class CecServer:
                     cached=True,
                 )
                 self._note_job_done(job)
+                self.jobs.note_terminal(job)
                 return protocol.ok_response(
                     "submit", job=job.id, state=job.state, cached=True,
                     verdict=job.verdict,
@@ -300,6 +308,7 @@ class CecServer:
         except RuntimeError as exc:  # pool already shut down
             self.jobs.release(job)
             job.fail(protocol.ERR_SHUTTING_DOWN, str(exc))
+            self.jobs.note_terminal(job)
             return protocol.error_response(
                 protocol.ERR_SHUTTING_DOWN, str(exc), verb="submit",
             )
@@ -313,7 +322,21 @@ class CecServer:
         )
 
     def _on_job_finished(self, job, future):
+        # Runs as a Future done-callback: any exception escaping here is
+        # swallowed by the executor, so the try/finally guarantees the
+        # job always reaches a terminal state (otherwise result --wait
+        # clients would heartbeat forever).
         self.jobs.release(job)
+        try:
+            self._finalize_job(job, future)
+        finally:
+            if not job.is_terminal:
+                job.fail(protocol.ERR_WORKER_FAILED,
+                         "internal error while finalizing the job")
+                self.recorder.count("service/jobs-failed")
+            self.jobs.note_terminal(job)
+
+    def _finalize_job(self, job, future):
         if future.cancelled():
             job.fail(protocol.ERR_CANCELLED, "job was cancelled",
                      cancelled=True)
@@ -334,12 +357,19 @@ class CecServer:
             return
         # Store before marking the job terminal: a client that sees the
         # result and immediately re-submits must find the cache entry.
+        # A cache failure is an operational problem, not a job failure:
+        # the verdict is still valid and must still be delivered.
         if (self.cache is not None and job.key is not None
                 and response["result"].get("equivalent") is not None):
-            self.cache.store(
-                job.key, response["result"],
-                meta={"job": job.id, "verdict": response["verdict"]},
-            )
+            try:
+                self.cache.store(
+                    job.key, response["result"],
+                    meta={"job": job.id, "verdict": response["verdict"]},
+                )
+            except OSError as store_exc:
+                self.recorder.count("service/cache-store-failures")
+                print("repro-serve: cache store failed for job %s: %s"
+                      % (job.id, store_exc), file=sys.stderr)
         job.finish(
             response["verdict"], response["result"],
             worker_stats=response.get("stats"), cached=False,

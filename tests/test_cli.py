@@ -104,3 +104,39 @@ class TestBddSweepEngine:
         file_a, _, bad = circuit_files
         assert main([file_a, bad, "--engine", "bddsweep"]) == 1
         assert "counterexample" in capsys.readouterr().out
+
+
+class TestServerPassthrough:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        from repro.service import CecServer
+
+        instance = CecServer(str(tmp_path / "cli.sock"), workers=0)
+        instance.start()
+        yield instance
+        instance.close()
+
+    def test_binary_aig_input_is_supported(
+        self, server, circuit_files, capsys
+    ):
+        # file_b is binary AIGER: --server must accept exactly the
+        # same inputs as a local run (read_auto + re-emit as text).
+        file_a, file_b, _ = circuit_files
+        assert main(
+            [file_a, file_b, "--server", server.address, "--quiet"]
+        ) == 0
+
+    def test_not_equivalent_over_server(
+        self, server, circuit_files, capsys
+    ):
+        file_a, _, bad = circuit_files
+        assert main(
+            [file_a, bad, "--server", server.address, "--quiet"]
+        ) == 1
+
+    def test_missing_file_is_invalid_input(self, server, capsys):
+        assert main(
+            ["/nonexistent/a.aag", "/nonexistent/b.aag",
+             "--server", server.address]
+        ) == 3
+        assert "error:" in capsys.readouterr().err

@@ -1,7 +1,14 @@
 """The persistent CEC service: protocol, cache, jobs, server, client."""
 
 import io
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
 import threading
+import time
 
 import pytest
 
@@ -111,6 +118,28 @@ class TestJobTable:
         table = JobTable(queue_limit=10)
         ids = {table.admit().id for _ in range(5)}
         assert len(ids) == 5
+
+    def test_terminal_eviction_bounds_table(self):
+        table = JobTable(queue_limit=10, retain_terminal=2)
+        jobs = [table.admit() for _ in range(4)]
+        for job in jobs:
+            table.release(job)
+            job.finish("equivalent", {"equivalent": True})
+            table.note_terminal(job)
+        assert len(table) == 2
+        assert table.get(jobs[0].id) is None
+        assert table.get(jobs[1].id) is None
+        assert table.get(jobs[3].id) is jobs[3]
+
+    def test_non_terminal_jobs_survive_eviction_pressure(self):
+        table = JobTable(queue_limit=10, retain_terminal=1)
+        live = table.admit()
+        for _ in range(3):
+            job = table.admit()
+            table.release(job)
+            job.finish("equivalent", {"equivalent": True})
+            table.note_terminal(job)
+        assert table.get(live.id) is live
 
 
 class TestCanonicalOptions:
@@ -323,6 +352,140 @@ class TestQueueLimits:
                 client.result(slow["job"], wait=True)
         finally:
             server.close()
+
+
+class TestServerResilience:
+    def test_cache_store_failure_still_finishes_job(
+        self, server, adder_pair, monkeypatch
+    ):
+        def broken_store(key, result, meta=None):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(server.cache, "store", broken_store)
+        with ServiceClient(server.address) as client:
+            # The job must still reach a terminal state with its
+            # verdict and certificate; the cache failure is an
+            # operational counter, not a job failure.
+            result, response = client.check(*adder_pair)
+            assert response["state"] == "done"
+            assert response["verdict"] == "equivalent"
+            certify(result)
+            stats = client.stats()
+        assert stats["counters"]["service/cache-store-failures"] == 1
+
+    def test_terminal_jobs_evicted_end_to_end(self, tmp_path, adder_pair):
+        server = CecServer(
+            str(tmp_path / "e.sock"), workers=0, retain_jobs=1,
+        )
+        server.start()
+        try:
+            with ServiceClient(server.address) as client:
+                first = client.submit(*adder_pair)
+                client.result(first["job"], wait=True)
+                second = client.submit(adder_pair[1], adder_pair[0])
+                client.result(second["job"], wait=True)
+                # Eviction happens in the second job's completion
+                # callback, which may lag the result response briefly.
+                deadline = time.time() + 5.0
+                while True:
+                    try:
+                        client.status(first["job"])
+                    except ServiceError as exc:
+                        assert exc.code == "unknown-job"
+                        break
+                    assert time.time() < deadline, (
+                        "old terminal job was never evicted"
+                    )
+                    time.sleep(0.02)
+                assert client.status(second["job"])["state"] == "done"
+        finally:
+            server.close()
+
+
+class TestClientRetrySemantics:
+    def test_no_retry_after_request_sent(self):
+        accepted = []
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(5)
+
+        def serve(listener=listener):
+            while True:
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return
+                accepted.append(conn)
+                # Read some request bytes, then drop the connection
+                # without answering — the request may already be
+                # executing server-side.
+                try:
+                    conn.recv(1)
+                    conn.close()
+                except OSError:
+                    pass
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        host, port = listener.getsockname()
+        client = ServiceClient(
+            "%s:%d" % (host, port),
+            timeout=2.0, retries=3, backoff=0.01,
+        )
+        try:
+            with pytest.raises(OSError):
+                client.ping()
+        finally:
+            client.close()
+            listener.close()
+        # The request was written once, so it must not be re-sent.
+        assert len(accepted) == 1
+
+    def test_connect_failures_exhaust_retries(self):
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here any more
+        client = ServiceClient(
+            "127.0.0.1:%d" % port, retries=1, backoff=0.01,
+        )
+        with pytest.raises(OSError):
+            client.ping()
+
+
+class TestServeCliSignals:
+    def test_sigterm_shuts_down_cleanly(self, tmp_path):
+        sock_path = tmp_path / "sig.sock"
+        stats_path = tmp_path / "stats.json"
+        src_dir = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", "src")
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.serve_cli",
+             "--listen", str(sock_path), "--workers", "0",
+             "--stats-json", str(stats_path)],
+            env=env, stderr=subprocess.PIPE,
+        )
+        try:
+            client = ServiceClient(
+                str(sock_path), retries=30, backoff=0.1,
+            )
+            with client:
+                assert client.ping()["ok"] is True
+            proc.send_signal(signal.SIGTERM)
+            # Before the shutdown-via-thread fix this deadlocked:
+            # the signal handler called server.shutdown() on the same
+            # thread serve_forever was blocking.
+            returncode = proc.wait(timeout=15)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert returncode == 0
+        report = validate_report(json.loads(stats_path.read_text()))
+        assert report["meta"]["tool"] == "repro-serve"
 
 
 class TestTcpAndProcessPool:
