@@ -17,8 +17,17 @@ findings are sound rejections — :func:`repro.core.certify.certify` uses
 them as a fast pre-replay gate via ``lint=True`` — while a clean lint
 never substitutes for the full checker. Rule ids and the severity
 policy are catalogued in ``docs/static-analysis.md``.
+
+This package is also the home of the document-schema validators CI and
+tests reach for: ``repro-lint/1`` (here), plus re-exports of the
+``repro-stats/1``, ``repro-trace/1``, and ``repro-metrics/1``
+validators from :mod:`repro.instrument` so one import site covers
+every versioned JSON artifact the tools emit.
 """
 
+from ..instrument.metrics import validate_metrics_report
+from ..instrument.recorder import validate_report as validate_stats_report
+from ..instrument.tracing import validate_trace_report
 from .aig_lint import lint_aig, lint_encoding, lint_miter
 from .ast_rules import lint_file, lint_package, lint_source
 from .findings import (
@@ -49,4 +58,7 @@ __all__ = [
     "lint_source",
     "lint_tracecheck_file",
     "validate_lint_report",
+    "validate_metrics_report",
+    "validate_stats_report",
+    "validate_trace_report",
 ]

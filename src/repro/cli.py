@@ -119,6 +119,14 @@ def build_parser():
         help="append JSONL instrumentation events to PATH",
     )
     parser.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        help="record every phase as a span and write Chrome "
+        "trace-event JSON to PATH (loadable in Perfetto / "
+        "chrome://tracing); with --server, the stitched client/"
+        "server/worker trace",
+    )
+    parser.add_argument(
         "--time-limit",
         type=float,
         metavar="SECONDS",
@@ -158,6 +166,8 @@ def main(argv=None):
         "file_a": args.file_a,
         "file_b": args.file_b,
     })
+    if args.chrome_trace:
+        recorder.start_trace()
     budget = None
     if args.time_limit is not None or args.conflict_limit is not None:
         budget = Budget(
@@ -169,8 +179,23 @@ def main(argv=None):
     finally:
         if args.stats_json:
             recorder.write_json(args.stats_json, budget=budget)
+        if args.chrome_trace:
+            _write_chrome_trace(args.chrome_trace, recorder.trace_report())
         recorder.close()
     return code
+
+
+def _write_chrome_trace(path, trace_document):
+    """Export *trace_document* (repro-trace/1) as Chrome trace JSON."""
+    import json
+
+    from .instrument import to_chrome_trace
+
+    if trace_document is None:
+        return
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(trace_document), handle, sort_keys=True)
+        handle.write("\n")
 
 
 def _to_aag_text(aig):
@@ -217,17 +242,29 @@ def _run_remote(args):
     except ValueError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return EXIT_INVALID_INPUT
+    trace_recorder = Recorder() if args.chrome_trace else None
     try:
         with client:
-            submitted = client.submit(
-                aag_a, aag_b,
-                options={"sim_words": args.sim_words, "seed": args.seed,
-                         "proof": True},
-                time_limit=args.time_limit,
-                conflict_limit=args.conflict_limit,
-                lint=args.lint,
-            )
-            response = client.result(submitted["job"], wait=True)
+            if trace_recorder is not None:
+                result, response = client.check(
+                    aag_a, aag_b, recorder=trace_recorder,
+                    options={"sim_words": args.sim_words,
+                             "seed": args.seed, "proof": True},
+                    time_limit=args.time_limit,
+                    conflict_limit=args.conflict_limit,
+                    lint=args.lint,
+                )
+            else:
+                submitted = client.submit(
+                    aag_a, aag_b,
+                    options={"sim_words": args.sim_words,
+                             "seed": args.seed, "proof": True},
+                    time_limit=args.time_limit,
+                    conflict_limit=args.conflict_limit,
+                    lint=args.lint,
+                )
+                response = client.result(submitted["job"], wait=True)
+                result = result_from_dict(response["result"])
     except ServiceError as exc:
         print("error: server: %s" % exc, file=sys.stderr)
         return (EXIT_INVALID_INPUT if exc.code == "bad-input"
@@ -238,7 +275,8 @@ def _run_remote(args):
             file=sys.stderr,
         )
         return EXIT_INVALID_INPUT
-    result = result_from_dict(response["result"])
+    if args.chrome_trace:
+        _write_chrome_trace(args.chrome_trace, response.get("trace"))
     if not args.quiet and response.get("cached"):
         print("c served from proof cache (job %s)" % response.get("job"))
     if args.certify and result.equivalent:

@@ -21,15 +21,43 @@ free of instrumentation overhead when disabled.
 """
 
 from .budget import Budget, BudgetExhausted
+from .logs import JsonLogFormatter, configure_logging, get_logger
+from .metrics import (
+    METRICS_SCHEMA,
+    Histogram,
+    MetricsRegistry,
+    to_prometheus_text,
+    validate_metrics_report,
+)
 from .phases import PHASE_REGISTRY, is_registered
 from .recorder import NULL_RECORDER, Recorder, STATS_SCHEMA
+from .tracing import (
+    TRACE_SCHEMA,
+    TraceContext,
+    to_chrome_trace,
+    to_collapsed_stacks,
+    validate_trace_report,
+)
 
 __all__ = [
     "Budget",
     "BudgetExhausted",
+    "Histogram",
+    "JsonLogFormatter",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
     "NULL_RECORDER",
     "PHASE_REGISTRY",
     "Recorder",
     "STATS_SCHEMA",
+    "TRACE_SCHEMA",
+    "TraceContext",
+    "configure_logging",
+    "get_logger",
     "is_registered",
+    "to_chrome_trace",
+    "to_collapsed_stacks",
+    "to_prometheus_text",
+    "validate_metrics_report",
+    "validate_trace_report",
 ]

@@ -1,0 +1,140 @@
+"""Structured (JSON) logging on top of the stdlib ``logging`` module.
+
+The service processes log through ordinary ``logging`` loggers under
+the ``"repro"`` namespace; this module supplies the two pieces the
+stdlib does not:
+
+* :class:`JsonLogFormatter` — one JSON object per line, with a stable
+  core (``ts``, ``level``, ``logger``, ``message``) plus every field
+  passed via ``extra=``. Service code attaches ``job_id`` and
+  ``trace_id`` to each job-lifecycle line, so ``grep trace_id`` joins
+  the log stream with the ``repro-trace/1`` span stream for the same
+  request.
+* :func:`configure_logging` — the one-call setup behind
+  ``repro-serve --log-json`` / ``--log-level``: a single stderr handler
+  on the ``"repro"`` logger, idempotent (re-running replaces the
+  handler rather than stacking duplicates).
+
+Libraries never call :func:`configure_logging`; only CLI entry points
+do. An embedding application that configures ``logging`` itself gets
+the service's records through the normal propagation machinery.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import logging
+import sys
+from typing import Any, Dict, Optional, TextIO
+
+#: Root of the package's logger namespace.
+LOGGER_NAME = "repro"
+
+#: ``LogRecord`` attributes that are plumbing, not payload; anything
+#: else found on a record (i.e. passed via ``extra=``) is emitted.
+_RESERVED_RECORD_FIELDS = frozenset({
+    "args", "asctime", "created", "exc_info", "exc_text", "filename",
+    "funcName", "levelname", "levelno", "lineno", "message", "module",
+    "msecs", "msg", "name", "pathname", "process", "processName",
+    "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+})
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Format records as one sorted-key JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        document: Dict[str, Any] = {
+            "ts": datetime.datetime.fromtimestamp(
+                record.created, tz=datetime.timezone.utc
+            ).isoformat(timespec="microseconds").replace("+00:00", "Z"),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED_RECORD_FIELDS or key in document:
+                continue
+            if key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            document[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            document["exc"] = self.formatException(record.exc_info)
+        return json.dumps(document, sort_keys=True)
+
+
+class PlainLogFormatter(logging.Formatter):
+    """Human-oriented single-line format with the extras appended.
+
+    ``repro-serve: message (job_id=j000001 trace_id=4bf9...)`` — the
+    same ``extra=`` fields the JSON formatter emits, so switching
+    ``--log-json`` on and off never loses information.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = "%s: %s" % (record.name, record.getMessage())
+        if record.levelno >= logging.WARNING:
+            message = "%s: %s" % (record.levelname.lower(), message)
+        extras = []
+        for key in sorted(record.__dict__):
+            if key in _RESERVED_RECORD_FIELDS or key.startswith("_"):
+                continue
+            extras.append("%s=%s" % (key, record.__dict__[key]))
+        if extras:
+            message += " (%s)" % " ".join(extras)
+        if record.exc_info and record.exc_info[0] is not None:
+            message += "\n" + self.formatException(record.exc_info)
+        return message
+
+
+def configure_logging(
+    json_logs: bool = False,
+    level: str = "info",
+    stream: Optional[TextIO] = None,
+) -> logging.Logger:
+    """Install one stderr handler on the ``"repro"`` logger.
+
+    Args:
+        json_logs: emit :class:`JsonLogFormatter` lines instead of the
+            plain format.
+        level: case-insensitive stdlib level name (``"debug"``,
+            ``"info"``, ``"warning"``, ``"error"``).
+        stream: destination (defaults to ``sys.stderr``; injectable for
+            tests).
+
+    Returns the configured logger. Idempotent: an existing handler
+    installed by a previous call is replaced, never duplicated.
+
+    Raises:
+        ValueError: on an unknown level name.
+    """
+    numeric_level = logging.getLevelName(level.upper())
+    if not isinstance(numeric_level, int):
+        raise ValueError("unknown log level %r" % level)
+    logger = logging.getLogger(LOGGER_NAME)
+    handler = logging.StreamHandler(
+        stream if stream is not None else sys.stderr
+    )
+    handler.setFormatter(
+        JsonLogFormatter() if json_logs else PlainLogFormatter()
+    )
+    handler.set_name("repro-configured")
+    for existing in list(logger.handlers):
+        if existing.get_name() == "repro-configured":
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.setLevel(numeric_level)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the package namespace (``repro.<name>``)."""
+    if name == LOGGER_NAME or name.startswith(LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(LOGGER_NAME + "." + name)

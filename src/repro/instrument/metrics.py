@@ -1,0 +1,391 @@
+"""Fixed-bucket histograms and a mergeable metrics registry.
+
+The :class:`Recorder` answers "how long did phase X take *this run*";
+the :class:`MetricsRegistry` answers the distributional questions a
+long-lived service gets asked — p50/p99 job latency, queue-wait spread,
+how heavy the solver workload per job is. Histograms use **fixed
+buckets** (Prometheus-style cumulative-on-export counters) so that:
+
+* observation is O(log buckets) with no per-sample storage — safe for a
+  server that lives for weeks;
+* two histograms with the same bucket bounds **merge by addition**,
+  which is how per-worker-process observations fold into the server's
+  registry (:meth:`MetricsRegistry.merge_report`);
+* quantiles are estimated the same way ``histogram_quantile`` does it:
+  linear interpolation inside the bucket holding the target rank.
+
+Everything serializes to the ``repro-metrics/1`` schema::
+
+    {
+      "schema": "repro-metrics/1",
+      "histograms": {
+        "service/job-seconds": {
+          "unit": "seconds",
+          "buckets": [0.001, 0.005, ...],      # finite upper bounds
+          "counts":  [0, 3, ...],              # len(buckets)+1, +Inf last
+          "count": 17, "sum": 4.21,
+          "p50": 0.11, "p90": 0.52, "p99": 1.8
+        }
+      }
+    }
+
+:func:`to_prometheus_text` renders a metrics document (plus, optionally,
+the counters and numeric gauges of a ``repro-stats/1`` report) in the
+Prometheus text exposition format served by ``repro-serve``'s
+``/metrics`` endpoint and ``metrics`` protocol verb.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+METRICS_SCHEMA = "repro-metrics/1"
+
+#: Default bounds for latency-shaped observations (seconds).
+TIME_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+#: Default bounds for count-shaped observations (conflicts, clauses).
+COUNT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+    2500.0, 5000.0, 10000.0, 25000.0, 50000.0, 100000.0, 250000.0,
+    500000.0, 1000000.0,
+)
+
+#: Quantiles published in reports.
+REPORT_QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50), ("p90", 0.90), ("p99", 0.99),
+)
+
+
+class Histogram:
+    """One fixed-bucket histogram (not thread-safe on its own; the
+    registry serializes access).
+
+    Args:
+        name: metric name (``/``-separated like phase names).
+        buckets: strictly increasing finite upper bounds; an implicit
+            ``+Inf`` bucket is always appended.
+        unit: unit suffix for Prometheus rendering (``"seconds"``,
+            ``"clauses"``, ...).
+    """
+
+    __slots__ = ("name", "unit", "buckets", "counts", "count", "sum")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float], unit: str = "",
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram %r needs at least one bucket" % name)
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ValueError(
+                "histogram %r bounds must be strictly increasing" % name
+            )
+        self.name = name
+        self.unit = unit
+        self.buckets = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect.bisect_left(self.buckets, float(value))] += 1
+        self.count += 1
+        self.sum += float(value)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other*'s observations into this histogram.
+
+        Raises:
+            ValueError: when the bucket bounds differ — silently
+                re-bucketing would fabricate data.
+        """
+        if other.buckets != self.buckets:
+            raise ValueError(
+                "cannot merge histogram %r: bucket bounds differ"
+                % self.name
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.count += other.count
+        self.sum += other.sum
+
+    def quantile(self, q: float) -> float:
+        """Estimated value at quantile *q* (0..1).
+
+        Linear interpolation within the bucket containing the target
+        rank, Prometheus ``histogram_quantile`` style; observations in
+        the ``+Inf`` bucket answer the largest finite bound. Returns
+        0.0 for an empty histogram.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index >= len(self.buckets):
+                    return self.buckets[-1]
+                lower = self.buckets[index - 1] if index else 0.0
+                upper = self.buckets[index]
+                within = (rank - (cumulative - bucket_count)) / bucket_count
+                return lower + (upper - lower) * min(max(within, 0.0), 1.0)
+        return self.buckets[-1]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The histogram's block in a ``repro-metrics/1`` document."""
+        block: Dict[str, Any] = {
+            "unit": self.unit,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+        for label, q in REPORT_QUANTILES:
+            block[label] = self.quantile(q)
+        return block
+
+
+class MetricsRegistry:
+    """Thread-safe, mergeable collection of named histograms.
+
+    A process observes into its own registry; registries from other
+    processes arrive as ``repro-metrics/1`` documents and fold in via
+    :meth:`merge_report` — this is how ``repro-serve`` aggregates its
+    worker pool into one exposition.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._histograms: Dict[str, Histogram] = {}
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        unit: str = "",
+    ) -> Histogram:
+        """Get or create the histogram *name*.
+
+        The first caller fixes the bounds (default
+        :data:`TIME_BUCKETS`); later callers get the existing
+        instrument regardless of arguments.
+        """
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = Histogram(
+                    name, buckets if buckets is not None else TIME_BUCKETS,
+                    unit=unit,
+                )
+                self._histograms[name] = hist
+            return hist
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Optional[Sequence[float]] = None,
+        unit: str = "",
+    ) -> None:
+        """Record one observation into histogram *name* (auto-created)."""
+        hist = self.histogram(name, buckets=buckets, unit=unit)
+        with self._lock:
+            hist.observe(value)
+
+    def report(self) -> Dict[str, Any]:
+        """Serialize to a ``repro-metrics/1`` document."""
+        with self._lock:
+            return {
+                "schema": METRICS_SCHEMA,
+                "histograms": {
+                    name: hist.as_dict()
+                    for name, hist in sorted(self._histograms.items())
+                },
+            }
+
+    def merge_report(self, document: Any) -> None:
+        """Fold a ``repro-metrics/1`` document into this registry.
+
+        Unknown histograms are adopted with the document's bounds;
+        known ones must have matching bounds (``ValueError`` otherwise,
+        see :meth:`Histogram.merge`).
+        """
+        validate_metrics_report(document)
+        for name, block in document["histograms"].items():
+            incoming = Histogram(
+                name, block["buckets"], unit=str(block.get("unit", "")),
+            )
+            incoming.counts = [int(c) for c in block["counts"]]
+            incoming.count = int(block["count"])
+            incoming.sum = float(block["sum"])
+            with self._lock:
+                existing = self._histograms.get(name)
+                if existing is None:
+                    self._histograms[name] = incoming
+                else:
+                    existing.merge(incoming)
+
+    def quantile_gauges(self) -> Dict[str, float]:
+        """``{"<name>/p50": value, ...}`` for every histogram.
+
+        The server copies these into its ``repro-stats/1`` gauges so
+        the plain ``stats`` report carries the latency percentiles.
+        """
+        gauges: Dict[str, float] = {}
+        with self._lock:
+            for name, hist in self._histograms.items():
+                if not hist.count:
+                    continue
+                for label, q in REPORT_QUANTILES:
+                    gauges["%s/%s" % (name, label)] = hist.quantile(q)
+        return gauges
+
+
+def validate_metrics_report(document: Any) -> Dict[str, Any]:
+    """Check *document* against the ``repro-metrics/1`` schema.
+
+    Raises ``ValueError`` with the first problem found; returns the
+    document unchanged when valid.
+    """
+    if not isinstance(document, dict):
+        raise ValueError("metrics document must be a dict")
+    if document.get("schema") != METRICS_SCHEMA:
+        raise ValueError("bad schema tag %r" % (document.get("schema"),))
+    histograms = document.get("histograms")
+    if not isinstance(histograms, dict):
+        raise ValueError("histograms must be a dict")
+    for name, block in histograms.items():
+        if not isinstance(block, dict):
+            raise ValueError("histogram %r must be a dict" % name)
+        for key in ("buckets", "counts", "count", "sum"):
+            if key not in block:
+                raise ValueError("histogram %r missing key %r" % (name, key))
+        buckets = block["buckets"]
+        counts = block["counts"]
+        if not isinstance(buckets, list) or not buckets:
+            raise ValueError("histogram %r has no buckets" % name)
+        if any(b >= c for b, c in zip(buckets, buckets[1:])):
+            raise ValueError(
+                "histogram %r bounds must be strictly increasing" % name
+            )
+        if not isinstance(counts, list) or len(counts) != len(buckets) + 1:
+            raise ValueError(
+                "histogram %r needs len(buckets)+1 counts" % name
+            )
+        if any((not isinstance(c, int)) or c < 0 for c in counts):
+            raise ValueError(
+                "histogram %r counts must be non-negative ints" % name
+            )
+        if block["count"] != sum(counts):
+            raise ValueError(
+                "histogram %r count %r != sum of bucket counts %d"
+                % (name, block["count"], sum(counts))
+            )
+    return document
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+
+def prometheus_name(name: str, suffix: str = "") -> str:
+    """A ``repro-stats``/``repro-metrics`` name as a Prometheus metric.
+
+    ``service/job-seconds`` becomes ``repro_service_job_seconds``;
+    *suffix* (``"total"``, ``"bucket"``...) is appended with ``_``.
+    """
+    base = "repro_" + "".join(
+        ch if ch.isalnum() else "_" for ch in name
+    ).strip("_")
+    while "__" in base:
+        base = base.replace("__", "_")
+    return base + ("_" + suffix if suffix else "")
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return "%d" % int(value)
+    return repr(float(value))
+
+
+def to_prometheus_text(
+    metrics_document: Dict[str, Any],
+    stats_report: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Render metrics (plus optional stats counters/gauges) for scraping.
+
+    Histograms become standard Prometheus histograms with cumulative
+    ``_bucket{le="..."}`` series, ``_sum`` and ``_count``. When a
+    ``repro-stats/1`` *stats_report* is given, its counters are
+    rendered as ``..._total`` counters and its numeric gauges as
+    gauges (non-numeric gauges such as verdict strings are skipped —
+    Prometheus samples are numbers).
+    """
+    validate_metrics_report(metrics_document)
+    lines: List[str] = []
+    for name, block in sorted(metrics_document["histograms"].items()):
+        metric = prometheus_name(name)
+        lines.append("# HELP %s repro histogram %s" % (metric, name))
+        lines.append("# TYPE %s histogram" % metric)
+        cumulative = 0
+        for bound, count in zip(block["buckets"], block["counts"]):
+            cumulative += count
+            lines.append('%s_bucket{le="%s"} %d'
+                         % (metric, _format_value(float(bound)), cumulative))
+        cumulative += block["counts"][-1]
+        lines.append('%s_bucket{le="+Inf"} %d' % (metric, cumulative))
+        lines.append("%s_sum %s" % (metric, _format_value(block["sum"])))
+        lines.append("%s_count %d" % (metric, block["count"]))
+    if stats_report is not None:
+        counters: Dict[str, int] = stats_report.get("counters", {})
+        for name, value in sorted(counters.items()):
+            metric = prometheus_name(name, "total")
+            lines.append("# TYPE %s counter" % metric)
+            lines.append("%s %d" % (metric, value))
+        gauges: Dict[str, Any] = stats_report.get("gauges", {})
+        for name, value in sorted(gauges.items()):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            metric = prometheus_name(name)
+            lines.append("# TYPE %s gauge" % metric)
+            lines.append("%s %s" % (metric, _format_value(float(value))))
+    return "\n".join(lines) + "\n"
+
+
+def observe_stats_workload(
+    registry: MetricsRegistry, stats_report: Dict[str, Any],
+) -> None:
+    """Fold one run's workload counters into distribution histograms.
+
+    One completed job's ``repro-stats/1`` report contributes a single
+    observation per workload metric — solver conflicts and proof
+    clauses — so the histograms answer "how heavy is a typical job",
+    not "how many conflicts total" (the counters already do that).
+    """
+    counters = stats_report.get("counters", {})
+    if "solver/conflicts" in counters:
+        registry.observe(
+            "solver/conflicts", float(counters["solver/conflicts"]),
+            buckets=COUNT_BUCKETS, unit="conflicts",
+        )
+    gauges = stats_report.get("gauges", {})
+    clauses: Any = gauges.get("proof/clauses", counters.get("proof/clauses"))
+    if isinstance(clauses, (int, float)) and not isinstance(clauses, bool):
+        registry.observe(
+            "proof/clauses", float(clauses),
+            buckets=COUNT_BUCKETS, unit="clauses",
+        )
+
+
+def iter_histogram_names(document: Dict[str, Any]) -> Iterable[str]:
+    """The histogram names present in a ``repro-metrics/1`` document."""
+    return sorted(document.get("histograms", {}))

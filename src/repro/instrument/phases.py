@@ -59,8 +59,11 @@ PHASE_REGISTRY: FrozenSet[str] = frozenset({
     "service/check",
     "service/certify",
     "service/trim",
+    "service/queue-wait",
     "cache/lookup",
     "cache/store",
+    # service client (one span/timer around a submitted request)
+    "client/request",
 })
 
 

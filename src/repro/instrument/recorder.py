@@ -32,10 +32,18 @@ enforces this across ``src/repro``.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from contextlib import contextmanager
 from typing import IO, Any, Callable, Dict, Iterator, List, Optional
+
+from .tracing import (
+    Span,
+    TraceContext,
+    make_trace_document,
+    new_span_id,
+)
 
 STATS_SCHEMA = "repro-stats/1"
 
@@ -74,6 +82,12 @@ class Recorder:
         self._trace_path = trace_path
         self._trace_file: Optional[IO[str]] = None
         self.meta: Dict[str, Any] = {}
+        # Distributed-tracing state; inert until start_trace() is
+        # called, so untraced recorders pay nothing beyond one None
+        # check per phase entry.
+        self._trace_ctx: Optional[TraceContext] = None
+        self._spans: List[Span] = []
+        self._wall: Callable[[], float] = time.time
 
     @property
     def _stack(self) -> List[str]:
@@ -81,6 +95,14 @@ class Recorder:
         if stack is None:
             stack = []
             self._local.stack = stack
+        return stack
+
+    @property
+    def _span_stack(self) -> List[str]:
+        stack: Optional[List[str]] = getattr(self._local, "spans", None)
+        if stack is None:
+            stack = []
+            self._local.spans = stack
         return stack
 
     # ------------------------------------------------------------------
@@ -94,15 +116,36 @@ class Recorder:
 
     @contextmanager
     def phase(self, name: str) -> Iterator["Recorder"]:
-        """Time a phase; nested phases get ``outer/inner`` names."""
+        """Time a phase; nested phases get ``outer/inner`` names.
+
+        When a trace has been started (:meth:`start_trace`), every
+        phase additionally records one span carrying the trace context:
+        its parent is the enclosing phase's span in this thread, or the
+        propagated remote parent at the top of the stack.
+        """
         full = self._qualify(name)
         self._stack.append(full)
+        ctx = self._trace_ctx
+        span_id = ""
+        parent_id: Optional[str] = None
+        wall_start = 0.0
+        if ctx is not None:
+            span_id = new_span_id()
+            span_stack = self._span_stack
+            parent_id = span_stack[-1] if span_stack else ctx.parent_id
+            span_stack.append(span_id)
+            wall_start = self._wall()
         start = self._clock()
         try:
             yield self
         finally:
             elapsed = self._clock() - start
             self._stack.pop()
+            if ctx is not None:
+                self._span_stack.pop()
+                self._append_span(
+                    full, wall_start, elapsed, span_id, parent_id
+                )
             self.add_time(full, elapsed)
 
     def add_time(self, name: str, seconds: float, count: int = 1) -> None:
@@ -119,6 +162,112 @@ class Recorder:
         """Accumulated seconds of phase *name* (0.0 when never entered)."""
         cell = self._phases.get(name)
         return cell[0] if cell else 0.0
+
+    # ------------------------------------------------------------------
+    # Tracing (spans)
+    # ------------------------------------------------------------------
+
+    def start_trace(
+        self,
+        context: Optional[TraceContext] = None,
+        process: Optional[str] = None,
+        wall: Callable[[], float] = time.time,
+    ) -> TraceContext:
+        """Begin recording spans for every subsequent :meth:`phase`.
+
+        Args:
+            context: propagated :class:`TraceContext` (a fresh root
+                trace is started when omitted). Top-level phases parent
+                under ``context.parent_id``.
+            process: process label stamped on every span (defaults to
+                ``meta["tool"]`` at span-creation time).
+            wall: wall-clock source for span start timestamps
+                (injectable for tests; spans from different processes
+                share the epoch timeline).
+
+        Returns the active context. Tracing is opt-in and idempotent:
+        calling again replaces the context but keeps recorded spans.
+        """
+        with self._lock:
+            self._trace_ctx = context if context is not None \
+                else TraceContext.new()
+            if process is not None:
+                self.meta.setdefault("tool", process)
+            self._wall = wall
+            return self._trace_ctx
+
+    @property
+    def trace_context(self) -> Optional[TraceContext]:
+        """The active trace context (``None`` when not tracing)."""
+        return self._trace_ctx
+
+    def _append_span(
+        self,
+        name: str,
+        wall_start: float,
+        duration: float,
+        span_id: str,
+        parent_id: Optional[str],
+        **attrs: Any,
+    ) -> None:
+        ctx = self._trace_ctx
+        if ctx is None:
+            return
+        span: Span = {
+            "trace_id": ctx.trace_id,
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "name": name,
+            "ts": wall_start,
+            "dur": duration,
+            "pid": os.getpid(),
+            "process": str(self.meta.get("tool", "")) or "repro",
+            "thread": threading.current_thread().name,
+        }
+        if attrs:
+            span.update(attrs)
+        with self._lock:
+            self._spans.append(span)
+
+    def add_span(
+        self,
+        name: str,
+        seconds: float,
+        ts: Optional[float] = None,
+        span_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        **attrs: Any,
+    ) -> Optional[str]:
+        """Record one explicit span (events not shaped like a ``with``).
+
+        Used for retrospective intervals such as the service's
+        queue-wait, where start and end are observed from bookkeeping
+        timestamps rather than by wrapping code. No phase time is
+        charged — pair with :meth:`add_time` when the interval should
+        also appear in the stats report. Returns the span id (``None``
+        when no trace is active).
+        """
+        if self._trace_ctx is None:
+            return None
+        sid = span_id if span_id is not None else new_span_id()
+        self._append_span(
+            name,
+            ts if ts is not None else self._wall() - seconds,
+            seconds, sid, parent_id, **attrs,
+        )
+        return sid
+
+    def spans(self) -> List[Span]:
+        """Snapshot of the recorded spans (order of completion)."""
+        with self._lock:
+            return list(self._spans)
+
+    def trace_report(self) -> Optional[Dict[str, Any]]:
+        """The ``repro-trace/1`` document, or ``None`` when not tracing."""
+        ctx = self._trace_ctx
+        if ctx is None:
+            return None
+        return make_trace_document(ctx.trace_id, self.spans())
 
     # ------------------------------------------------------------------
     # Counters and gauges
@@ -170,17 +319,45 @@ class Recorder:
     def report(self, budget: Optional[Any] = None) -> Dict[str, Any]:
         """Serialize to the stable ``repro-stats/1`` dict schema.
 
+        Each phase cell carries ``seconds`` (inclusive of nested
+        phases), ``count``, and ``self_seconds`` — the inclusive time
+        minus the time of the phase's direct children in the ``/``
+        hierarchy, so summing ``self_seconds`` over a subtree never
+        double-counts (the flamegraph export weighs frames by it).
+
         Args:
             budget: optional :class:`~repro.instrument.budget.Budget`
                 whose status is embedded under the ``"budget"`` key
                 (``None`` there when no budget was in force).
         """
         with self._lock:
+            # Attribute each phase's time to its nearest recorded
+            # ancestor: the longest proper "/"-prefix present in the
+            # table. Nested phase names may add several segments at
+            # once ("cec/sweep" entering "sweep/sat" records
+            # "cec/sweep/sweep/sat"), so the literal one-segment parent
+            # often does not exist as a phase of its own.
+            child_seconds: Dict[str, float] = {}
+            for name, cell in self._phases.items():
+                parts = name.split("/")
+                for cut in range(len(parts) - 1, 0, -1):
+                    prefix = "/".join(parts[:cut])
+                    if prefix in self._phases:
+                        child_seconds[prefix] = (
+                            child_seconds.get(prefix, 0.0) + cell[0]
+                        )
+                        break
             return {
                 "schema": STATS_SCHEMA,
                 "elapsed_seconds": self._clock() - self._start,
                 "phases": {
-                    name: {"seconds": cell[0], "count": cell[1]}
+                    name: {
+                        "seconds": cell[0],
+                        "count": cell[1],
+                        "self_seconds": max(
+                            0.0, cell[0] - child_seconds.get(name, 0.0)
+                        ),
+                    }
                     for name, cell in sorted(self._phases.items())
                 },
                 "counters": dict(sorted(self._counters.items())),
@@ -188,6 +365,21 @@ class Recorder:
                 "budget": budget.as_dict() if budget is not None else None,
                 "meta": dict(self.meta),
             }
+
+    def merge_report(self, report: Dict[str, Any]) -> None:
+        """Fold another ``repro-stats/1`` report's phases and counters
+        into this recorder.
+
+        Used by the service front end to aggregate its worker
+        processes' per-job reports into the server-level stats, so
+        ``service``-scoped telemetry is not under-counted when the
+        solving happens out of process. Gauges are last-write-wins and
+        run-specific, so they are deliberately not merged.
+        """
+        for name, cell in report.get("phases", {}).items():
+            self.add_time(name, cell["seconds"], count=cell["count"])
+        for name, value in report.get("counters", {}).items():
+            self.count(name, value)
 
     def write_json(self, path: str, budget: Optional[Any] = None) -> None:
         """Write :meth:`report` to *path* as indented JSON."""
@@ -225,6 +417,27 @@ class _NullRecorder(Recorder):
     def event(self, kind: str, **fields: Any) -> None:
         pass
 
+    def start_trace(
+        self,
+        context: Optional[TraceContext] = None,
+        process: Optional[str] = None,
+        wall: Callable[[], float] = time.time,
+    ) -> TraceContext:
+        # Hand back a context so callers can propagate it, but record
+        # nothing: the null recorder stays free of per-phase work.
+        return context if context is not None else TraceContext.new()
+
+    def add_span(
+        self,
+        name: str,
+        seconds: float,
+        ts: Optional[float] = None,
+        span_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        **attrs: Any,
+    ) -> Optional[str]:
+        return None
+
 
 NULL_RECORDER = _NullRecorder()
 
@@ -246,10 +459,19 @@ def validate_report(report: Any) -> Dict[str, Any]:
     if not isinstance(report["elapsed_seconds"], (int, float)):
         raise ValueError("elapsed_seconds must be a number")
     for name, cell in report["phases"].items():
-        if set(cell) != {"seconds", "count"}:
+        # self_seconds is optional so pre-existing reports stay valid;
+        # when present it must be a sane exclusive-time value.
+        if not {"seconds", "count"} <= set(cell) \
+                or not set(cell) <= {"seconds", "count", "self_seconds"}:
             raise ValueError("phase %r must have seconds+count" % name)
         if cell["seconds"] < 0 or cell["count"] < 0:
             raise ValueError("phase %r has negative fields" % name)
+        if "self_seconds" in cell and not (
+            0 <= cell["self_seconds"] <= cell["seconds"] + 1e-9
+        ):
+            raise ValueError(
+                "phase %r self_seconds outside [0, seconds]" % name
+            )
     for name, value in report["counters"].items():
         if not isinstance(value, int) or value < 0:
             raise ValueError("counter %r must be a non-negative int" % name)

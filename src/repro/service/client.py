@@ -22,6 +22,11 @@ import socket
 import time
 
 from ..core.serialize import result_from_dict
+from ..instrument.tracing import (
+    TraceContext,
+    merge_trace_documents,
+    new_span_id,
+)
 from . import protocol
 
 DEFAULT_TIMEOUT = 60.0
@@ -177,11 +182,17 @@ class ServiceClient:
         certify=False,
         lint=False,
         trim=True,
+        trace=None,
     ):
         """Submit one check (AIGER texts); returns the submit response.
 
         The response carries ``job`` (the id) and ``cached`` (True when
         the answer was served from the proof cache without running).
+
+        *trace* (a :class:`~repro.instrument.tracing.TraceContext` or
+        its wire mapping) threads this client's trace through the
+        server and its workers; the job's ``result`` response then
+        carries the stitched ``repro-trace/1`` document.
         """
         message = {
             "verb": "submit",
@@ -197,6 +208,10 @@ class ServiceClient:
             message["time_limit"] = time_limit
         if conflict_limit is not None:
             message["conflict_limit"] = conflict_limit
+        if trace is not None:
+            if isinstance(trace, TraceContext):
+                trace = trace.to_wire()
+            message["trace"] = trace
         return self.request(message)
 
     def status(self, job_id):
@@ -218,6 +233,11 @@ class ServiceClient:
         """Server-level ``repro-stats/1`` report."""
         return self.request({"verb": "stats"})["stats"]
 
+    def metrics(self):
+        """Server metrics: ``(repro-metrics/1 doc, prometheus_text)``."""
+        response = self.request({"verb": "metrics"})
+        return response["metrics"], response.get("prometheus", "")
+
     def shutdown(self):
         """Ask the server to stop serving."""
         return self.request({"verb": "shutdown"})
@@ -226,16 +246,44 @@ class ServiceClient:
     # High-level
     # ------------------------------------------------------------------
 
-    def check(self, aag_a, aag_b, on_update=None, **submit_kwargs):
+    def check(self, aag_a, aag_b, on_update=None, recorder=None,
+              **submit_kwargs):
         """Submit, wait, and decode: the one-call equivalence check.
 
         Returns ``(result, response)`` where *result* is a rebuilt
         :class:`~repro.core.cec.CecResult` (certifiable client-side)
         and *response* the final wire response (``cached``,
         ``job_stats``, ``worker_stats``...).
+
+        With an enabled *recorder*, the whole round trip is traced: a
+        ``client/request`` span is recorded locally, the trace context
+        rides the submit request, and the server's stitched trace comes
+        back merged with the client span under one trace id in
+        ``response["trace"]``.
         """
+        traced = recorder is not None and recorder.enabled
+        if traced:
+            context = recorder.start_trace()
+            request_span = new_span_id()
+            submit_kwargs.setdefault("trace", {
+                "trace_id": context.trace_id, "parent_id": request_span,
+            })
+            start = time.time()
         submitted = self.submit(aag_a, aag_b, **submit_kwargs)
         response = self.result(
             submitted["job"], wait=True, on_update=on_update
         )
+        if traced:
+            elapsed = time.time() - start
+            recorder.add_time("client/request", elapsed)
+            recorder.add_span(
+                "client/request", elapsed, ts=start,
+                span_id=request_span, parent_id=context.parent_id,
+                job=submitted.get("job"),
+            )
+            local = recorder.trace_report()
+            server_trace = response.get("trace")
+            if isinstance(server_trace, dict):
+                local = merge_trace_documents(local, server_trace)
+            response["trace"] = local
         return result_from_dict(response["result"]), response

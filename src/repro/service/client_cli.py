@@ -29,6 +29,7 @@ from ..exit_codes import (
     EXIT_OK,
     EXIT_UNDECIDED,
 )
+from ..instrument import Recorder, to_chrome_trace
 from .client import ServiceClient, ServiceError
 
 
@@ -88,6 +89,16 @@ def build_parser():
         "--stats-json", metavar="PATH", default=None,
         help="with --wait: write the job's stats blocks here",
     )
+    submit.add_argument(
+        "--trace-json", metavar="PATH", default=None,
+        help="with --wait: write the job's stitched repro-trace/1 "
+        "document here",
+    )
+    submit.add_argument(
+        "--trace-chrome", metavar="PATH", default=None,
+        help="with --wait: write the trace as Chrome trace-event JSON "
+        "(loadable in Perfetto / chrome://tracing)",
+    )
 
     status = sub.add_parser("status", help="query a job's state")
     status.add_argument("job", help="job id from submit")
@@ -105,11 +116,26 @@ def build_parser():
         "--stats-json", metavar="PATH", default=None,
         help="write the job's stats blocks here",
     )
+    result.add_argument(
+        "--trace-json", metavar="PATH", default=None,
+        help="write the job's repro-trace/1 document here",
+    )
+    result.add_argument(
+        "--trace-chrome", metavar="PATH", default=None,
+        help="write the trace as Chrome trace-event JSON",
+    )
 
     cancel = sub.add_parser("cancel", help="cancel a queued job")
     cancel.add_argument("job", help="job id from submit")
 
     sub.add_parser("stats", help="print the server's stats report")
+    metrics = sub.add_parser(
+        "metrics", help="print the server's metrics (Prometheus text)",
+    )
+    metrics.add_argument(
+        "--json", action="store_true", dest="metrics_json",
+        help="print the repro-metrics/1 document instead",
+    )
     sub.add_parser("shutdown", help="stop the server")
     return parser
 
@@ -143,6 +169,23 @@ def _write_stats(path, response):
             handle, indent=2, sort_keys=True,
         )
         handle.write("\n")
+
+
+def _write_trace_outputs(trace_json, trace_chrome, response):
+    trace = response.get("trace")
+    if trace is None:
+        if trace_json or trace_chrome:
+            print("repro-client: no trace on this result",
+                  file=sys.stderr)
+        return
+    if trace_json:
+        with open(trace_json, "w") as handle:
+            json.dump(trace, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if trace_chrome:
+        with open(trace_chrome, "w") as handle:
+            json.dump(to_chrome_trace(trace), handle, sort_keys=True)
+            handle.write("\n")
 
 
 def _finish(response, certify_local, stats_json):
@@ -216,6 +259,25 @@ def _run(client, args):
         except (OSError, ValueError) as exc:
             print("repro-client: %s" % exc, file=sys.stderr)
             return EXIT_INVALID_INPUT
+        traced = bool(args.trace_json or args.trace_chrome)
+        if traced and not args.wait:
+            print("repro-client: --trace-json/--trace-chrome require "
+                  "--wait", file=sys.stderr)
+            return EXIT_INVALID_INPUT
+        if traced:
+            # check() opens a client-side trace, threads it through the
+            # server, and merges the stitched trace into the response.
+            _, response = client.check(
+                aag_a, aag_b, on_update=_print_heartbeat,
+                recorder=Recorder(), options=options,
+                time_limit=args.time_limit,
+                conflict_limit=args.conflict_limit,
+                certify=args.certify,
+            )
+            _write_trace_outputs(
+                args.trace_json, args.trace_chrome, response
+            )
+            return _finish(response, args.certify_local, args.stats_json)
         submitted = client.submit(
             aag_a, aag_b, options=options,
             time_limit=args.time_limit,
@@ -244,6 +306,9 @@ def _run(client, args):
             args.job, wait=args.wait, timeout=args.wait_timeout,
             on_update=_print_heartbeat,
         )
+        _write_trace_outputs(
+            args.trace_json, args.trace_chrome, response
+        )
         if response.get("state") not in ("done",):
             print(json.dumps(
                 {key: response.get(key) for key in (
@@ -260,6 +325,13 @@ def _run(client, args):
         return EXIT_OK if response.get("cancelled") else EXIT_NEGATIVE
     if args.command == "stats":
         print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        return EXIT_OK
+    if args.command == "metrics":
+        document, prometheus = client.metrics()
+        if args.metrics_json:
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            sys.stdout.write(prometheus)
         return EXIT_OK
     # shutdown
     client.shutdown()

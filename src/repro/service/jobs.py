@@ -52,6 +52,13 @@ class Job:
             job (cache lookup, queue wait, dispatch); on a cache hit
             this is the only stats block, and it records no solver
             phases.
+        trace: the stitched ``repro-trace/1`` document once terminal
+            (server-side spans plus the worker's), or None when the
+            server records no spans for the job.
+        recorder: the per-job server-side recorder; owned by the
+            server, which uses it to assemble ``job_stats``/``trace``.
+        span_id: span id of the job's root ``service/job`` span — the
+            parent the worker's top-level phases attach under.
     """
 
     def __init__(self, job_id, key=None):
@@ -64,6 +71,10 @@ class Job:
         self.error = None
         self.worker_stats = None
         self.job_stats = None
+        self.trace = None
+        self.recorder = None
+        self.span_id = None
+        self.trace_parent = None
         self.future = None
         self.submitted_at = time.time()
         self.started_at = None
@@ -106,6 +117,12 @@ class Job:
         """Wall time from submission to completion (or now)."""
         end = self.finished_at if self.finished_at is not None else time.time()
         return end - self.submitted_at
+
+    def queue_wait_seconds(self):
+        """Wall time the job spent admitted but not yet executing."""
+        if self.started_at is None:
+            return 0.0
+        return max(0.0, self.started_at - self.submitted_at)
 
     def snapshot(self):
         """JSON-compatible status block (no result payload)."""

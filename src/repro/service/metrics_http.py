@@ -1,0 +1,97 @@
+"""Prometheus scrape endpoint for ``repro-serve``.
+
+A deliberately tiny sidecar: one stdlib ``ThreadingHTTPServer`` on its
+own port, serving
+
+* ``GET /metrics`` — the server's ``repro-metrics/1`` histograms plus
+  its ``repro-stats/1`` counters and numeric gauges, rendered by
+  :func:`repro.instrument.metrics.to_prometheus_text` (text exposition
+  format version 0.0.4);
+* ``GET /healthz`` — ``200 ok`` liveness for probes.
+
+The main ``repro-service/1`` protocol stays the single source of truth
+— Unix-socket deployments without this endpoint get the identical
+payload from the ``metrics`` protocol verb. The endpoint is read-only
+and never touches the job table, so a misbehaving scraper cannot
+disturb the service.
+"""
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    def do_GET(self):
+        if self.path.split("?", 1)[0] == "/metrics":
+            try:
+                body = self.server.render_metrics().encode("utf-8")
+            except Exception as exc:  # a scrape must answer, never hang
+                self._respond(500, "text/plain; charset=utf-8",
+                              ("metrics rendering failed: %s\n" % exc)
+                              .encode("utf-8"))
+                return
+            self._respond(200, PROMETHEUS_CONTENT_TYPE, body)
+        elif self.path.split("?", 1)[0] == "/healthz":
+            self._respond(200, "text/plain; charset=utf-8", b"ok\n")
+        else:
+            self._respond(404, "text/plain; charset=utf-8",
+                          b"not found (try /metrics)\n")
+
+    def _respond(self, status, content_type, body):
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):
+        # Scrapes every few seconds would flood stderr; the service's
+        # structured logs cover the interesting events.
+        pass
+
+
+class MetricsHTTPServer:
+    """Threaded ``/metrics`` endpoint bound to ``(host, port)``.
+
+    Args:
+        host: bind address.
+        port: TCP port (0 picks a free one; see :attr:`port`).
+        render: zero-argument callable returning the Prometheus text
+            body (called per scrape, under the caller's locks).
+    """
+
+    def __init__(self, host, port, render):
+        self._http = ThreadingHTTPServer((host, port), _MetricsHandler)
+        self._http.daemon_threads = True
+        self._http.render_metrics = render
+        self._thread = None
+
+    @property
+    def port(self):
+        """The bound TCP port (useful with port 0)."""
+        return self._http.server_address[1]
+
+    @property
+    def address(self):
+        """``host:port`` of the bound endpoint."""
+        host, port = self._http.server_address[:2]
+        return "%s:%d" % (host, port)
+
+    def start(self):
+        """Serve scrapes on a daemon thread; returns self."""
+        self._thread = threading.Thread(
+            target=self._http.serve_forever,
+            name="repro-serve-metrics", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self):
+        """Stop serving and release the socket (idempotent)."""
+        if self._thread is not None:
+            self._http.shutdown()
+            self._thread = None
+        self._http.server_close()

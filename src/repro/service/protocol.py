@@ -16,8 +16,18 @@ response lines on the same connection:
   request by dropping the connection unless the line limit is exceeded.
 
 Verbs: ``ping``, ``submit``, ``status``, ``result``, ``cancel``,
-``stats``, ``shutdown``. The full field-by-field description lives in
-``docs/service.md``.
+``stats``, ``metrics``, ``shutdown``. The full field-by-field
+description lives in ``docs/service.md``.
+
+Observability riders (all optional, all additive to
+``repro-service/1``): a ``submit`` request may carry a ``trace``
+mapping (``trace_id`` + optional ``parent_id``, see
+:class:`repro.instrument.tracing.TraceContext`) that the server
+propagates through the queue and the worker pool so one job yields one
+stitched ``repro-trace/1`` document, returned on the job's ``result``
+response as ``trace``. The ``metrics`` verb answers with the server's
+``repro-metrics/1`` document and its Prometheus text rendering (the
+same payload the optional ``/metrics`` HTTP endpoint serves).
 """
 
 import json
@@ -32,7 +42,8 @@ PROTOCOL_SCHEMA = "repro-service/1"
 MAX_LINE_BYTES = 256 * 1024 * 1024
 
 VERBS = frozenset({
-    "ping", "submit", "status", "result", "cancel", "stats", "shutdown",
+    "ping", "submit", "status", "result", "cancel", "stats", "metrics",
+    "shutdown",
 })
 
 # Stable error codes.

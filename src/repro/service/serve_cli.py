@@ -18,8 +18,10 @@ import threading
 
 from .. import __version__
 from ..exit_codes import EXIT_INVALID_INPUT, EXIT_OK
-from ..instrument import Recorder
+from ..instrument import Recorder, configure_logging, get_logger
 from .server import CecServer
+
+log = get_logger("service.serve")
 
 
 def build_parser():
@@ -66,11 +68,26 @@ def build_parser():
         "--stats-json", metavar="PATH", default=None,
         help="write the server's repro-stats/1 report here on exit",
     )
+    parser.add_argument(
+        "--metrics", metavar="ADDR", default=None,
+        help="serve a Prometheus /metrics endpoint on this host:port "
+        "(port 0 picks a free one; omit to disable)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON log lines instead of plain text",
+    )
+    parser.add_argument(
+        "--log-level", default="info", metavar="LEVEL",
+        choices=("debug", "info", "warning", "error"),
+        help="log verbosity (default %(default)s)",
+    )
     return parser
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    configure_logging(json_logs=args.log_json, level=args.log_level)
     if args.workers < 0:
         print("repro-serve: --workers must be >= 0", file=sys.stderr)
         return EXIT_INVALID_INPUT
@@ -91,6 +108,7 @@ def main(argv=None):
             default_conflict_limit=args.conflict_limit,
             recorder=recorder,
             retain_jobs=args.retain_jobs,
+            metrics_address=args.metrics,
         )
     except (ValueError, OSError) as exc:
         print("repro-serve: %s" % exc, file=sys.stderr)
@@ -104,9 +122,13 @@ def main(argv=None):
 
     signal.signal(signal.SIGINT, _stop)
     signal.signal(signal.SIGTERM, _stop)
-    print("repro-serve %s listening on %s (workers=%d, cache=%s)"
-          % (__version__, server.address, args.workers,
-             args.cache or "off"), file=sys.stderr)
+    log.info(
+        "repro-serve %s listening on %s (workers=%d, cache=%s)",
+        __version__, server.address, args.workers, args.cache or "off",
+    )
+    if server.metrics_address is not None:
+        log.info("metrics endpoint on http://%s/metrics",
+                 server.metrics_address)
     try:
         server.serve_forever()
     finally:

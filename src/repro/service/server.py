@@ -22,20 +22,24 @@ telemetry served by the ``stats`` verb.
 import io
 import os
 import socketserver
-import sys
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from .. import __version__
 from ..aig.aiger import AigerError, read_aag
-from ..instrument import Recorder
+from ..instrument import MetricsRegistry, Recorder, TraceContext, get_logger
+from ..instrument.metrics import TIME_BUCKETS, to_prometheus_text
+from ..instrument.tracing import merge_trace_documents, new_span_id
 from . import protocol
 from .cache import ProofCache, cache_key
 from .jobs import DONE, QUEUED, JobTable, QueueFullError
+from .metrics_http import MetricsHTTPServer
 from .worker import build_options, execute_job
 
 #: Heartbeat interval while a ``result --wait`` request is blocked.
 DEFAULT_POLL_INTERVAL = 0.25
+
+log = get_logger("service.server")
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -104,6 +108,9 @@ class CecServer:
         retain_jobs: terminal jobs kept for late ``status``/``result``
             queries before eviction (bounds server memory; defaults to
             :attr:`JobTable.DEFAULT_RETAIN_TERMINAL`).
+        metrics_address: optional ``host:port`` for the Prometheus
+            ``/metrics`` HTTP endpoint (``None`` disables it; the
+            ``metrics`` protocol verb works either way).
     """
 
     def __init__(
@@ -117,6 +124,7 @@ class CecServer:
         poll_interval=DEFAULT_POLL_INTERVAL,
         recorder=None,
         retain_jobs=None,
+        metrics_address=None,
     ):
         self.family, self.target = protocol.parse_address(address)
         self.workers = workers
@@ -149,6 +157,21 @@ class CecServer:
             self._server = _ThreadingTCPServer(self.target, _Handler)
         self._server.cec_server = self
         self.recorder.gauge("service/workers", max(workers, 1))
+        # Cross-process metrics: the server's own registry plus every
+        # worker report folded in as jobs finish.
+        self.metrics = MetricsRegistry()
+        self._metrics_http = None
+        if metrics_address is not None:
+            family, target = protocol.parse_address(metrics_address)
+            if family != "tcp":
+                raise ValueError(
+                    "metrics endpoint needs host:port, got %r"
+                    % metrics_address
+                )
+            host, port = target
+            self._metrics_http = MetricsHTTPServer(
+                host, port, self.prometheus_text
+            ).start()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -184,11 +207,31 @@ class CecServer:
         self._executor.shutdown(wait=False)
 
     def close(self):
-        """Release sockets and the worker pool."""
+        """Release sockets and the worker pool (synchronously).
+
+        :meth:`shutdown` leaves the executor winding down on its
+        manager thread so the shutdown verb never blocks a handler;
+        here the pool must be reaped before returning — its manager
+        thread and GC finalizers release pipe fds asynchronously, and
+        letting them run past ``close()`` lets those closes race the
+        fds of whatever server is created next (observed as a fresh
+        listener dying before its first ``accept``).
+        """
         self.shutdown()
+        self._executor.shutdown(wait=True)
         self._server.server_close()
+        if self._metrics_http is not None:
+            self._metrics_http.close()
+            self._metrics_http = None
         if self.family == "unix" and os.path.exists(self.target):
             os.unlink(self.target)
+
+    @property
+    def metrics_address(self):
+        """``host:port`` of the /metrics endpoint (None when disabled)."""
+        if self._metrics_http is None:
+            return None
+        return self._metrics_http.address
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -203,7 +246,7 @@ class CecServer:
                 "unknown verb %r" % (verb,), verb=verb,
             ))
             return False
-        if self._shutting_down and verb not in ("ping", "stats"):
+        if self._shutting_down and verb not in ("ping", "stats", "metrics"):
             send(protocol.error_response(
                 protocol.ERR_SHUTTING_DOWN, "server is shutting down",
                 verb=verb,
@@ -227,6 +270,12 @@ class CecServer:
         if verb == "stats":
             send(protocol.ok_response("stats", stats=self.stats_report()))
             return False
+        if verb == "metrics":
+            send(protocol.ok_response(
+                "metrics", metrics=self.metrics.report(),
+                prometheus=self.prometheus_text(),
+            ))
+            return False
         # shutdown: acknowledge, then stop the server from another
         # thread (shutdown() must not run on a handler thread that
         # serve_forever is waiting on).
@@ -240,7 +289,18 @@ class CecServer:
 
     def _handle_submit(self, request):
         self.recorder.count("service/jobs-submitted")
+        # Trace context: adopt the client's when present and
+        # well-formed, otherwise degrade to a fresh trace — a malformed
+        # header must never fail the job. All server-side spans of this
+        # job hang under one root "service/job" span whose id is minted
+        # here and propagated to the worker.
+        context, propagated = TraceContext.from_wire(request.get("trace"))
+        if "trace" in request and not propagated:
+            self.recorder.count("service/trace-degraded")
+        job_span_id = new_span_id()
         job_recorder = Recorder()
+        job_recorder.meta["tool"] = "repro-serve"
+        job_recorder.start_trace(context.child(job_span_id))
         try:
             aig_a = read_aag(io.StringIO(request["aag_a"]))
             aig_b = read_aag(io.StringIO(request["aag_b"]))
@@ -264,10 +324,24 @@ class CecServer:
         if self.cache is not None:
             with job_recorder.phase("cache/lookup"):
                 cached = self.cache.lookup(key)
+            self.metrics.observe(
+                "cache/lookup-seconds",
+                job_recorder.phase_seconds("cache/lookup"),
+                buckets=TIME_BUCKETS, unit="seconds",
+            )
             if cached is not None:
                 self.recorder.count("service/cache-hits")
                 job = self.jobs.add_terminal(key=key)
-                job.job_stats = job_recorder.report()
+                job.recorder = job_recorder
+                job.span_id = job_span_id
+                job.trace_parent = context.parent_id
+                # Observability is assembled BEFORE finish(): finish
+                # sets the terminal event a blocked `result --wait`
+                # handler wakes on, and that response must already see
+                # job.trace / job.job_stats.
+                self._assemble_job_telemetry(
+                    job, verdict=_verdict_of(cached), cached=True,
+                )
                 job.finish(
                     _verdict_of(cached), cached, worker_stats=None,
                     cached=True,
@@ -287,6 +361,9 @@ class CecServer:
                 protocol.ERR_QUEUE_FULL, str(exc), verb="submit",
                 queue_limit=self.jobs.queue_limit,
             )
+        job.recorder = job_recorder
+        job.span_id = job_span_id
+        job.trace_parent = context.parent_id
         job.job_stats = job_recorder.report()
         payload = {
             "aag_a": request["aag_a"],
@@ -301,6 +378,9 @@ class CecServer:
             "certify": bool(request.get("certify")),
             "lint": bool(request.get("lint")),
             "trim": bool(request.get("trim", True)),
+            # Worker-side phases become spans of the same trace,
+            # parented under this job's root span.
+            "trace": context.child(job_span_id).to_wire(),
         }
         job.mark_running()
         try:
@@ -314,6 +394,11 @@ class CecServer:
             )
         job.future.add_done_callback(
             lambda future, job=job: self._on_job_finished(job, future)
+        )
+        log.info(
+            "job %s admitted (queue depth %d)",
+            job.id, self.jobs.pending(),
+            extra={"job_id": job.id, "trace_id": context.trace_id},
         )
         self.recorder.gauge("service/queue-depth", self.jobs.pending())
         return protocol.ok_response(
@@ -335,6 +420,14 @@ class CecServer:
                          "internal error while finalizing the job")
                 self.recorder.count("service/jobs-failed")
             self.jobs.note_terminal(job)
+            if job.state != DONE:
+                error = job.error or {}
+                log.warning(
+                    "job %s %s: %s", job.id, job.state,
+                    error.get("message", "no detail"),
+                    extra={"job_id": job.id,
+                           "trace_id": _trace_id_of(job)},
+                )
 
     def _finalize_job(self, job, future):
         if future.cancelled():
@@ -355,6 +448,21 @@ class CecServer:
                      error.get("message", "worker reported failure"))
             self.recorder.count("service/jobs-failed")
             return
+        # Fold the worker's telemetry into the server-wide aggregates:
+        # phase timings and counters into the stats report, histogram
+        # observations into the cross-process metrics registry.
+        worker_stats = response.get("stats")
+        if isinstance(worker_stats, dict):
+            try:
+                self.recorder.merge_report(worker_stats)
+            except (KeyError, TypeError, ValueError):
+                self.recorder.count("service/stats-merge-failures")
+        worker_metrics = response.get("metrics")
+        if isinstance(worker_metrics, dict):
+            try:
+                self.metrics.merge_report(worker_metrics)
+            except (KeyError, TypeError, ValueError):
+                self.recorder.count("service/metrics-merge-failures")
         # Store before marking the job terminal: a client that sees the
         # result and immediately re-submits must find the cache entry.
         # A cache failure is an operational problem, not a job failure:
@@ -362,25 +470,87 @@ class CecServer:
         if (self.cache is not None and job.key is not None
                 and response["result"].get("equivalent") is not None):
             try:
-                self.cache.store(
-                    job.key, response["result"],
-                    meta={"job": job.id, "verdict": response["verdict"]},
-                )
+                with job.recorder.phase("cache/store"):
+                    self.cache.store(
+                        job.key, response["result"],
+                        meta={"job": job.id,
+                              "verdict": response["verdict"]},
+                    )
             except OSError as store_exc:
                 self.recorder.count("service/cache-store-failures")
-                print("repro-serve: cache store failed for job %s: %s"
-                      % (job.id, store_exc), file=sys.stderr)
+                log.warning(
+                    "cache store failed for job %s: %s",
+                    job.id, store_exc,
+                    extra={"job_id": job.id,
+                           "trace_id": _trace_id_of(job)},
+                )
+        # Observability is assembled BEFORE finish() (see the cache-hit
+        # path): the terminal event must only fire once job.trace and
+        # job.job_stats are in place for waiting result handlers.
+        self._assemble_job_telemetry(
+            job, verdict=response["verdict"], cached=False,
+            worker_trace=response.get("trace"),
+        )
         job.finish(
             response["verdict"], response["result"],
-            worker_stats=response.get("stats"), cached=False,
+            worker_stats=worker_stats, cached=False,
         )
         self._note_job_done(job)
+
+    def _assemble_job_telemetry(
+        self, job, verdict, cached, worker_trace=None,
+    ):
+        """Record the job's spans, stats block, and latency metrics.
+
+        Must run before :meth:`Job.finish`: the result handlers read
+        ``job.trace``/``job.job_stats`` as soon as the terminal event
+        fires.
+        """
+        self.metrics.observe(
+            "service/job-seconds", job.elapsed_seconds(),
+            buckets=TIME_BUCKETS, unit="seconds",
+        )
+        recorder = job.recorder
+        if recorder is None:
+            return
+        if job.started_at is not None:
+            wait = job.queue_wait_seconds()
+            self.metrics.observe(
+                "service/queue-wait-seconds", wait,
+                buckets=TIME_BUCKETS, unit="seconds",
+            )
+            recorder.add_time("service/queue-wait", wait)
+            self.recorder.add_time("service/queue-wait", wait)
+            recorder.add_span(
+                "service/queue-wait", wait, ts=job.submitted_at,
+                parent_id=job.span_id, job=job.id,
+            )
+        # The job's root span covers submission to completion and
+        # carries the id every other server/worker span parents under.
+        recorder.add_span(
+            "service/job", job.elapsed_seconds(), ts=job.submitted_at,
+            span_id=job.span_id, parent_id=job.trace_parent,
+            job=job.id, cached=cached, verdict=verdict,
+        )
+        job.job_stats = recorder.report()
+        trace = recorder.trace_report()
+        if isinstance(worker_trace, dict):
+            try:
+                trace = merge_trace_documents(trace, worker_trace)
+            except (KeyError, TypeError, ValueError):
+                self.recorder.count("service/trace-merge-failures")
+        job.trace = trace
 
     def _note_job_done(self, job):
         self.recorder.count("service/jobs-completed")
         self.recorder.count("service/verdict-%s" % job.verdict)
         self.recorder.add_time("service/job", job.elapsed_seconds())
         self.recorder.gauge("service/queue-depth", self.jobs.pending())
+        log.info(
+            "job %s done verdict=%s cached=%s elapsed=%.3fs",
+            job.id, job.verdict, job.cached, job.elapsed_seconds(),
+            extra={"job_id": job.id, "trace_id": _trace_id_of(job)},
+        )
 
     # ------------------------------------------------------------------
     # status / result / cancel
@@ -433,7 +603,7 @@ class CecServer:
             send(protocol.ok_response(
                 "result", result=job.result,
                 worker_stats=job.worker_stats, job_stats=job.job_stats,
-                **job.snapshot(),
+                trace=job.trace, **job.snapshot(),
             ))
         else:
             error = job.error or {}
@@ -481,8 +651,25 @@ class CecServer:
                 "service/jobs-per-second", completed / seconds
             )
         self.recorder.gauge("service/queue-depth", self.jobs.pending())
+        # Latency quantiles from the cross-process histograms, e.g.
+        # "service/job-seconds/p50" — refreshed on every stats request.
+        for name, value in self.metrics.quantile_gauges().items():
+            self.recorder.gauge(name, value)
         self.recorder.meta["version"] = __version__
         return self.recorder.report()
+
+    def prometheus_text(self):
+        """Prometheus text rendering of metrics + stats (the `/metrics`
+        body and the ``metrics`` verb's ``prometheus`` field)."""
+        return to_prometheus_text(
+            self.metrics.report(), stats_report=self.stats_report()
+        )
+
+
+def _trace_id_of(job):
+    recorder = getattr(job, "recorder", None)
+    context = recorder.trace_context if recorder is not None else None
+    return context.trace_id if context is not None else None
 
 
 def _verdict_of(result_doc):

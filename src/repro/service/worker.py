@@ -21,7 +21,8 @@ from ..core.cec import check_equivalence
 from ..core.certify import CertificationError, certify
 from ..core.fraig import SweepOptions
 from ..core.serialize import result_to_dict, verdict_name
-from ..instrument import Budget, Recorder
+from ..instrument import Budget, MetricsRegistry, Recorder, TraceContext
+from ..instrument.metrics import TIME_BUCKETS, observe_stats_workload
 from ..proof.trim import trim
 from .cache import OPTION_FIELDS
 from .protocol import ERR_BAD_INPUT, ERR_CERTIFY_FAILED
@@ -50,14 +51,25 @@ def execute_job(request):
     in the worker before answering), ``lint`` (with certify: lint
     fast-reject first), ``trim`` (default True: ship the trimmed proof).
 
+    An optional ``trace`` field (a :class:`TraceContext` wire mapping)
+    threads the submitting client's trace through the worker: every
+    phase the check runs — ``service/check`` down to the solver and
+    sweep phases — is recorded as a span of that trace, parented under
+    the server's job span. A missing or malformed mapping degrades to a
+    fresh trace; it never fails the job.
+
     Returns one of::
 
         {"ok": True, "verdict": ..., "result": <repro-cec-result/1>,
-         "stats": <repro-stats/1>}
+         "stats": <repro-stats/1>, "trace": <repro-trace/1>,
+         "metrics": <repro-metrics/1>}
         {"ok": False, "error": {"code": ..., "message": ...}}
     """
     recorder = Recorder()
     recorder.meta["tool"] = "repro-serve-worker"
+    context, _ = TraceContext.from_wire(request.get("trace"))
+    recorder.start_trace(context)
+    metrics = MetricsRegistry()
     try:
         aig_a = read_aag(io.StringIO(request["aag_a"]))
         aig_b = read_aag(io.StringIO(request["aag_b"]))
@@ -89,11 +101,19 @@ def execute_job(request):
         except CertificationError as exc:
             return _error(ERR_CERTIFY_FAILED, str(exc))
     result.stats = recorder.report(budget=budget)
+    metrics.observe(
+        "service/check-seconds",
+        recorder.phase_seconds("service/check"),
+        buckets=TIME_BUCKETS, unit="seconds",
+    )
+    observe_stats_workload(metrics, result.stats)
     return {
         "ok": True,
         "verdict": verdict_name(result.equivalent),
         "result": result_to_dict(result),
         "stats": result.stats,
+        "trace": recorder.trace_report(),
+        "metrics": metrics.report(),
     }
 
 

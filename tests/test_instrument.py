@@ -37,6 +37,7 @@ class TestRecorderPhases:
         assert rec.phase_seconds("solve") == pytest.approx(1.5)
         assert rec.report()["phases"]["solve"] == {
             "seconds": pytest.approx(1.5), "count": 3,
+            "self_seconds": pytest.approx(1.5),
         }
 
     def test_nested_phases_get_hierarchical_names(self):
@@ -69,7 +70,8 @@ class TestRecorderPhases:
         rec.add_time("solver/propagate", 0.75, count=128)
         rec.add_time("solver/propagate", 0.25, count=64)
         cell = rec.report()["phases"]["solver/propagate"]
-        assert cell == {"seconds": pytest.approx(1.0), "count": 192}
+        assert cell == {"seconds": pytest.approx(1.0), "count": 192,
+                        "self_seconds": pytest.approx(1.0)}
 
     def test_phase_seconds_defaults_to_zero(self):
         assert Recorder(clock=FakeClock()).phase_seconds("never") == 0.0

@@ -1,0 +1,115 @@
+"""Structured logging: JSON formatter, configuration, logger naming."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.instrument import JsonLogFormatter, configure_logging, get_logger
+from repro.instrument.logs import LOGGER_NAME, PlainLogFormatter
+
+
+def teardown_function(function):
+    # Leave no handlers behind for other tests.
+    logger = logging.getLogger(LOGGER_NAME)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    logger.propagate = True
+
+
+def _record(message="hello", level=logging.INFO, **extra):
+    record = logging.LogRecord(
+        "repro.test", level, __file__, 1, message, (), None,
+    )
+    for key, value in extra.items():
+        setattr(record, key, value)
+    return record
+
+
+class TestJsonFormatter:
+    def test_core_fields(self):
+        line = JsonLogFormatter().format(_record())
+        document = json.loads(line)
+        assert document["message"] == "hello"
+        assert document["level"] == "info"
+        assert document["logger"] == "repro.test"
+        assert document["ts"].endswith("Z")
+
+    def test_extras_are_emitted(self):
+        line = JsonLogFormatter().format(_record(
+            job_id="j000001", trace_id="a" * 32,
+        ))
+        document = json.loads(line)
+        assert document["job_id"] == "j000001"
+        assert document["trace_id"] == "a" * 32
+
+    def test_unserializable_extra_falls_back_to_repr(self):
+        line = JsonLogFormatter().format(_record(payload={1, 2}))
+        assert "payload" in json.loads(line)
+
+    def test_exception_is_included(self):
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            import sys
+            record = _record(level=logging.ERROR)
+            record.exc_info = sys.exc_info()
+        document = json.loads(JsonLogFormatter().format(record))
+        assert "boom" in document["exc"]
+
+
+class TestPlainFormatter:
+    def test_extras_appended(self):
+        line = PlainLogFormatter().format(_record(job_id="j000001"))
+        assert line == "repro.test: hello (job_id=j000001)"
+
+    def test_warning_prefixed_with_level(self):
+        line = PlainLogFormatter().format(
+            _record(level=logging.WARNING)
+        )
+        assert line.startswith("warning: repro.test: hello")
+
+
+class TestConfigureLogging:
+    def test_json_lines_reach_the_stream(self):
+        stream = io.StringIO()
+        configure_logging(json_logs=True, level="info", stream=stream)
+        get_logger("service.server").info(
+            "job %s done", "j000001", extra={"job_id": "j000001"},
+        )
+        document = json.loads(stream.getvalue())
+        assert document["message"] == "job j000001 done"
+        assert document["job_id"] == "j000001"
+        assert document["logger"] == "repro.service.server"
+
+    def test_idempotent_reconfiguration(self):
+        stream = io.StringIO()
+        configure_logging(stream=io.StringIO())
+        configure_logging(stream=stream)  # replaces, never stacks
+        logger = logging.getLogger(LOGGER_NAME)
+        named = [h for h in logger.handlers
+                 if h.get_name() == "repro-configured"]
+        assert len(named) == 1
+        get_logger("x").info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        configure_logging(level="warning", stream=stream)
+        get_logger("x").info("hidden")
+        get_logger("x").warning("shown")
+        assert "hidden" not in stream.getvalue()
+        assert "shown" in stream.getvalue()
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            configure_logging(level="loud")
+
+
+class TestGetLogger:
+    def test_prefixes_package_namespace(self):
+        assert get_logger("service.server").name == \
+            "repro.service.server"
+        assert get_logger("repro.x").name == "repro.x"
+        assert get_logger("repro").name == "repro"

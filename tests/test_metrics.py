@@ -1,0 +1,211 @@
+"""Histograms, the metrics registry, and the Prometheus renderer."""
+
+import pytest
+
+from repro.instrument import (
+    Histogram,
+    MetricsRegistry,
+    validate_metrics_report,
+    to_prometheus_text,
+)
+from repro.instrument.metrics import (
+    COUNT_BUCKETS,
+    METRICS_SCHEMA,
+    TIME_BUCKETS,
+    iter_histogram_names,
+    observe_stats_workload,
+    prometheus_name,
+)
+
+
+class TestHistogram:
+    def test_observe_places_values_in_buckets(self):
+        hist = Histogram("t", (1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1]
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(55.5)
+
+    def test_boundary_value_goes_to_its_bucket(self):
+        # le-style buckets: an observation equal to a bound belongs to
+        # that bound's bucket.
+        hist = Histogram("t", (1.0, 10.0))
+        hist.observe(1.0)
+        assert hist.counts == [1, 0, 0]
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("t", (1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("t", ())
+
+    def test_quantiles_interpolate(self):
+        hist = Histogram("t", (0.1, 0.25, 1.0, 5.0))
+        for value in (0.01, 0.2, 0.2, 3.0):
+            hist.observe(value)
+        assert hist.quantile(0.5) == pytest.approx(0.175)
+        assert hist.quantile(0.99) == pytest.approx(4.9, abs=0.2)
+        assert Histogram("t", (1.0,)).quantile(0.5) == 0.0
+
+    def test_infinite_bucket_answers_largest_bound(self):
+        hist = Histogram("t", (1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.quantile(0.5) == 2.0
+
+    def test_merge_adds_counts(self):
+        a = Histogram("t", (1.0, 10.0))
+        b = Histogram("t", (1.0, 10.0))
+        a.observe(0.5)
+        b.observe(5.0)
+        b.observe(50.0)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+
+    def test_merge_rejects_different_bounds(self):
+        a = Histogram("t", (1.0, 10.0))
+        b = Histogram("t", (1.0, 20.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_as_dict_carries_quantiles(self):
+        hist = Histogram("t", (1.0,), unit="seconds")
+        hist.observe(0.5)
+        block = hist.as_dict()
+        assert block["unit"] == "seconds"
+        assert set(block) >= {"buckets", "counts", "count", "sum",
+                              "p50", "p90", "p99"}
+
+
+class TestRegistry:
+    def test_report_validates(self):
+        registry = MetricsRegistry()
+        registry.observe("service/job-seconds", 0.2)
+        report = registry.report()
+        assert validate_metrics_report(report) is report
+        assert report["schema"] == METRICS_SCHEMA
+        assert list(iter_histogram_names(report)) == [
+            "service/job-seconds",
+        ]
+
+    def test_first_caller_fixes_buckets(self):
+        registry = MetricsRegistry()
+        registry.observe("x", 3.0, buckets=(1.0, 10.0))
+        registry.observe("x", 5.0, buckets=(99.0,))  # ignored
+        assert registry.histogram("x").buckets == (1.0, 10.0)
+
+    def test_merge_report_round_trip(self):
+        worker = MetricsRegistry()
+        worker.observe("service/job-seconds", 0.2)
+        worker.observe("service/job-seconds", 0.4)
+        server = MetricsRegistry()
+        server.observe("service/job-seconds", 0.1)
+        server.merge_report(worker.report())
+        hist = server.histogram("service/job-seconds")
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(0.7)
+
+    def test_merge_report_adopts_unknown_histograms(self):
+        worker = MetricsRegistry()
+        worker.observe("solver/conflicts", 12.0, buckets=COUNT_BUCKETS)
+        server = MetricsRegistry()
+        server.merge_report(worker.report())
+        assert server.histogram("solver/conflicts").count == 1
+
+    def test_merge_report_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge_report({"schema": "nope"})
+
+    def test_quantile_gauges(self):
+        registry = MetricsRegistry()
+        registry.observe("service/job-seconds", 0.2)
+        gauges = registry.quantile_gauges()
+        assert set(gauges) == {
+            "service/job-seconds/p50",
+            "service/job-seconds/p90",
+            "service/job-seconds/p99",
+        }
+        assert all(v > 0 for v in gauges.values())
+        # Empty histograms publish nothing.
+        empty = MetricsRegistry()
+        empty.histogram("idle")
+        assert empty.quantile_gauges() == {}
+
+
+class TestValidation:
+    def _valid(self):
+        registry = MetricsRegistry()
+        registry.observe("x", 1.0, buckets=(1.0, 2.0))
+        return registry.report()
+
+    @pytest.mark.parametrize("mutate", [
+        lambda d: d.pop("schema"),
+        lambda d: d.__setitem__("histograms", []),
+        lambda d: d["histograms"]["x"].pop("counts"),
+        lambda d: d["histograms"]["x"].__setitem__("buckets", []),
+        lambda d: d["histograms"]["x"].__setitem__(
+            "buckets", [2.0, 1.0]),
+        lambda d: d["histograms"]["x"].__setitem__("counts", [1]),
+        lambda d: d["histograms"]["x"].__setitem__("count", 99),
+        lambda d: d["histograms"]["x"]["counts"].__setitem__(0, -1),
+    ])
+    def test_rejects_malformed(self, mutate):
+        document = self._valid()
+        mutate(document)
+        with pytest.raises(ValueError):
+            validate_metrics_report(document)
+
+
+class TestPrometheus:
+    def test_name_sanitization(self):
+        assert prometheus_name("service/job-seconds") == \
+            "repro_service_job_seconds"
+        assert prometheus_name("cache/lookup-seconds", "bucket") == \
+            "repro_cache_lookup_seconds_bucket"
+
+    def test_histogram_rendering_is_cumulative(self):
+        registry = MetricsRegistry()
+        for value in (0.5, 5.0, 50.0):
+            registry.observe("x", value, buckets=(1.0, 10.0))
+        text = to_prometheus_text(registry.report())
+        assert '# TYPE repro_x histogram' in text
+        assert 'repro_x_bucket{le="1"} 1' in text
+        assert 'repro_x_bucket{le="10"} 2' in text
+        assert 'repro_x_bucket{le="+Inf"} 3' in text
+        assert "repro_x_count 3" in text
+        assert text.endswith("\n")
+
+    def test_stats_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.observe("x", 1.0, buckets=(1.0,))
+        stats = {
+            "counters": {"service/jobs-completed": 7},
+            "gauges": {
+                "service/hit-rate": 0.5,
+                "service/verdict": "equivalent",  # non-numeric: skipped
+                "service/flag": True,             # bool: skipped
+            },
+        }
+        text = to_prometheus_text(registry.report(), stats_report=stats)
+        assert "repro_service_jobs_completed_total 7" in text
+        assert "repro_service_hit_rate 0.5" in text
+        assert "verdict" not in text
+        assert "repro_service_flag" not in text
+
+    def test_workload_observation(self):
+        registry = MetricsRegistry()
+        observe_stats_workload(registry, {
+            "counters": {"solver/conflicts": 42},
+            "gauges": {"proof/clauses": 1000},
+        })
+        report = registry.report()
+        assert report["histograms"]["solver/conflicts"]["count"] == 1
+        assert report["histograms"]["proof/clauses"]["count"] == 1
+        # A report without workload counters contributes nothing.
+        observe_stats_workload(registry, {"counters": {}, "gauges": {}})
+        assert registry.histogram("solver/conflicts").count == 1
+
+    def test_default_bucket_tables_are_increasing(self):
+        for table in (TIME_BUCKETS, COUNT_BUCKETS):
+            assert all(a < b for a, b in zip(table, table[1:]))

@@ -1,0 +1,231 @@
+"""Observability through the service: traces, metrics, structured logs.
+
+The acceptance path of the tracing subsystem: one submitted job must
+yield ONE stitched trace — client request span, server queue-wait and
+cache spans, worker solve phases — under a single trace id, in both
+in-process (``--workers 0``) and multiprocess worker modes.
+"""
+
+import io
+import json
+import urllib.request
+
+import pytest
+
+from repro.aig.aiger import write_aag
+from repro.circuits import kogge_stone_adder, ripple_carry_adder
+from repro.instrument import (
+    Recorder,
+    to_chrome_trace,
+    validate_metrics_report,
+    validate_trace_report,
+)
+from repro.instrument.recorder import validate_report
+from repro.service import CecServer, ServiceClient
+from repro.service.worker import execute_job
+
+
+def aag_text(aig):
+    buffer = io.StringIO()
+    write_aag(aig, buffer)
+    return buffer.getvalue()
+
+
+@pytest.fixture(scope="module")
+def adder_pair():
+    return (
+        aag_text(ripple_carry_adder(4)), aag_text(kogge_stone_adder(4))
+    )
+
+
+@pytest.fixture()
+def server(tmp_path):
+    instance = CecServer(
+        str(tmp_path / "cec.sock"), workers=0,
+        cache_dir=str(tmp_path / "cache"),
+    )
+    instance.start()
+    yield instance
+    instance.close()
+
+
+def _span_names(trace):
+    return [span["name"] for span in trace["spans"]]
+
+
+def _assert_stitched(trace):
+    """One trace id; client -> job -> worker parentage all linked."""
+    validate_trace_report(trace)
+    assert len({span["trace_id"] for span in trace["spans"]}) == 1
+    spans = {span["name"]: span for span in trace["spans"]}
+    request = spans["client/request"]
+    job = spans["service/job"]
+    check = spans["service/check"]
+    assert request["parent_id"] is None
+    assert job["parent_id"] == request["span_id"]
+    assert check["parent_id"] == job["span_id"]
+    assert spans["service/queue-wait"]["parent_id"] == job["span_id"]
+    assert spans["cache/store"]["parent_id"] == job["span_id"]
+
+
+class TestTracePropagation:
+    def test_one_stitched_trace_in_process(self, server, adder_pair):
+        with ServiceClient(server.address) as client:
+            _, response = client.check(
+                *adder_pair, recorder=Recorder()
+            )
+        _assert_stitched(response["trace"])
+        # The stitched trace exports to valid Chrome trace JSON.
+        chrome = to_chrome_trace(response["trace"])
+        assert any(e["ph"] == "X" for e in chrome["traceEvents"])
+        json.dumps(chrome)
+
+    def test_one_stitched_trace_multiprocess(self, tmp_path, adder_pair):
+        instance = CecServer(
+            str(tmp_path / "mp.sock"), workers=1,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        instance.start()
+        try:
+            with ServiceClient(instance.address) as client:
+                _, response = client.check(
+                    *adder_pair, recorder=Recorder()
+                )
+            trace = response["trace"]
+            _assert_stitched(trace)
+            # The worker spans really crossed a process boundary.
+            pids = {span["pid"] for span in trace["spans"]}
+            assert len(pids) >= 2
+        finally:
+            instance.close()
+
+    def test_cache_hit_trace_has_no_worker_spans(
+        self, server, adder_pair,
+    ):
+        with ServiceClient(server.address) as client:
+            client.check(*adder_pair, recorder=Recorder())
+            _, warm = client.check(*adder_pair, recorder=Recorder())
+        assert warm["cached"]
+        names = _span_names(warm["trace"])
+        assert "cache/lookup" in names
+        assert "service/job" in names
+        assert "service/check" not in names
+        assert "service/queue-wait" not in names
+
+    def test_untraced_submit_yields_server_side_trace(
+        self, server, adder_pair,
+    ):
+        # No client trace: the server still records its own spans
+        # under a fresh trace id.
+        with ServiceClient(server.address) as client:
+            submitted = client.submit(*adder_pair)
+            response = client.result(submitted["job"], wait=True)
+        trace = response["trace"]
+        validate_trace_report(trace)
+        assert "service/job" in _span_names(trace)
+
+    def test_malformed_trace_header_degrades_never_errors(
+        self, server, adder_pair,
+    ):
+        with ServiceClient(server.address) as client:
+            submitted = client.submit(
+                *adder_pair, trace={"trace_id": "NOT-HEX"},
+            )
+            response = client.result(submitted["job"], wait=True)
+        assert response["verdict"] == "equivalent"
+        trace = response["trace"]
+        validate_trace_report(trace)
+        assert trace["trace_id"] != "NOT-HEX"
+        assert server.recorder.counter("service/trace-degraded") == 1
+
+    def test_worker_degrades_on_malformed_trace(self, adder_pair):
+        request = {
+            "aag_a": adder_pair[0], "aag_b": adder_pair[1],
+            "trace": "garbage",
+        }
+        response = execute_job(request)
+        assert response["ok"]
+        validate_trace_report(response["trace"])
+
+
+class TestMetricsSurface:
+    def test_metrics_verb(self, server, adder_pair):
+        with ServiceClient(server.address) as client:
+            client.check(*adder_pair, recorder=Recorder())
+            document, prometheus = client.metrics()
+        validate_metrics_report(document)
+        histograms = document["histograms"]
+        assert "service/job-seconds" in histograms
+        assert "service/queue-wait-seconds" in histograms
+        assert "cache/lookup-seconds" in histograms
+        # Worker-side observations folded in (satellite: cross-process
+        # registry).
+        assert "service/check-seconds" in histograms
+        assert "solver/conflicts" in histograms
+        assert histograms["service/job-seconds"]["count"] == 1
+        assert "repro_service_job_seconds_bucket" in prometheus
+        assert 'le="+Inf"' in prometheus
+
+    def test_http_metrics_endpoint(self, tmp_path, adder_pair):
+        instance = CecServer(
+            str(tmp_path / "cec.sock"), workers=0,
+            cache_dir=str(tmp_path / "cache"),
+            metrics_address="127.0.0.1:0",
+        )
+        instance.start()
+        try:
+            with ServiceClient(instance.address) as client:
+                client.check(*adder_pair, recorder=Recorder())
+            base = "http://%s" % instance.metrics_address
+            body = urllib.request.urlopen(base + "/metrics").read()
+            text = body.decode("utf-8")
+            assert "repro_service_job_seconds_bucket" in text
+            assert "repro_service_jobs_completed_total 1" in text
+            health = urllib.request.urlopen(base + "/healthz").read()
+            assert health == b"ok\n"
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(base + "/nope")
+        finally:
+            instance.close()
+
+    def test_metrics_endpoint_requires_tcp(self, tmp_path):
+        with pytest.raises(ValueError):
+            CecServer(
+                str(tmp_path / "cec.sock"), workers=0,
+                metrics_address=str(tmp_path / "metrics.sock"),
+            )
+
+    def test_stats_report_carries_quantile_gauges(
+        self, server, adder_pair,
+    ):
+        with ServiceClient(server.address) as client:
+            client.check(*adder_pair, recorder=Recorder())
+            stats = client.stats()
+        validate_report(stats)
+        assert stats["gauges"]["service/job-seconds/p50"] > 0
+        assert "service/job-seconds/p99" in stats["gauges"]
+
+    def test_worker_stats_folded_into_server_stats(
+        self, server, adder_pair,
+    ):
+        # Satellite: --stats-json (the server's stats report) includes
+        # the worker pool's phases and counters via merge_report.
+        with ServiceClient(server.address) as client:
+            client.check(*adder_pair, recorder=Recorder())
+            stats = client.stats()
+        assert "service/check" in stats["phases"]
+        assert stats["counters"]["sweep/sat_calls"] > 0
+        assert stats["counters"]["solver/conflicts"] >= 0
+        assert "service/queue-wait" in stats["phases"]
+
+
+class TestJobStatsSchema:
+    def test_job_stats_phase_cells_carry_self_seconds(
+        self, server, adder_pair,
+    ):
+        with ServiceClient(server.address) as client:
+            _, response = client.check(*adder_pair)
+        for report in (response["job_stats"], response["worker_stats"]):
+            validate_report(report)
+            for cell in report["phases"].values():
+                assert "self_seconds" in cell

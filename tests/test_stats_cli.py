@@ -1,0 +1,159 @@
+"""The repro-stats CLI: show, diff, aggregate, flamegraph, chrome."""
+
+import json
+
+import pytest
+
+from repro.exit_codes import EXIT_INVALID_INPUT, EXIT_OK
+from repro.instrument import Recorder
+from repro.instrument.recorder import validate_report
+from repro.instrument.stats_cli import main, stats_collapsed_stacks
+from repro.instrument.tracing import make_trace_document, new_span_id
+
+
+def _stats_file(tmp_path, name, phases, counters=None):
+    recorder = Recorder()
+    for phase_name, seconds in phases.items():
+        recorder.add_time(phase_name, seconds)
+    for counter_name, value in (counters or {}).items():
+        recorder.count(counter_name, value)
+    path = tmp_path / name
+    recorder.write_json(str(path))
+    return str(path)
+
+
+def _trace_file(tmp_path, name="trace.json"):
+    root_id = new_span_id()
+    spans = [
+        {
+            "trace_id": "a" * 32, "span_id": root_id,
+            "parent_id": None, "name": "service/job",
+            "ts": 0.0, "dur": 1.0, "pid": 1, "process": "repro-serve",
+            "thread": "MainThread",
+        },
+        {
+            "trace_id": "a" * 32, "span_id": new_span_id(),
+            "parent_id": root_id, "name": "service/check",
+            "ts": 0.2, "dur": 0.5, "pid": 2, "process": "worker",
+            "thread": "MainThread",
+        },
+    ]
+    path = tmp_path / name
+    path.write_text(
+        json.dumps(make_trace_document("a" * 32, spans))
+    )
+    return str(path)
+
+
+class TestShow:
+    def test_prints_phases_and_counters(self, tmp_path, capsys):
+        path = _stats_file(
+            tmp_path, "s.json",
+            {"cec/sweep": 1.5, "cec/sweep/sweep/sat": 1.0},
+            counters={"solver/conflicts": 42},
+        )
+        assert main(["show", path]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "cec/sweep" in out
+        assert "solver/conflicts = 42" in out
+
+    def test_top_limits_rows(self, tmp_path, capsys):
+        path = _stats_file(
+            tmp_path, "s.json", {"a": 3.0, "b": 2.0, "c": 1.0},
+        )
+        assert main(["show", path, "--top", "1"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "a" in out and "  c  " not in out
+
+    def test_rejects_malformed_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "nope"}')
+        assert main(["show", str(path)]) == EXIT_INVALID_INPUT
+        assert "not a valid" in capsys.readouterr().err
+
+    def test_rejects_missing_file(self, tmp_path):
+        assert main(["show", str(tmp_path / "absent.json")]) == \
+            EXIT_INVALID_INPUT
+
+
+class TestDiff:
+    def test_reports_deltas(self, tmp_path, capsys):
+        old = _stats_file(tmp_path, "old.json", {"cec/sweep": 1.0},
+                          counters={"solver/conflicts": 10})
+        new = _stats_file(tmp_path, "new.json", {"cec/sweep": 2.0},
+                          counters={"solver/conflicts": 15})
+        assert main(["diff", old, new]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "+100.0%" in out
+        assert "10 -> 15" in out
+
+    def test_threshold_hides_noise(self, tmp_path, capsys):
+        old = _stats_file(tmp_path, "old.json", {"cec/sweep": 1.0})
+        new = _stats_file(tmp_path, "new.json", {"cec/sweep": 1.001})
+        assert main(["diff", old, new, "--threshold", "0.1"]) == EXIT_OK
+        assert "no differences" in capsys.readouterr().out
+
+
+class TestAggregate:
+    def test_sums_phases_and_counters(self, tmp_path, capsys):
+        a = _stats_file(tmp_path, "a.json", {"cec/sweep": 1.0},
+                        counters={"solver/conflicts": 10})
+        b = _stats_file(tmp_path, "b.json", {"cec/sweep": 2.0},
+                        counters={"solver/conflicts": 5})
+        out_path = tmp_path / "merged.json"
+        assert main(["aggregate", a, b, "-o", str(out_path)]) == EXIT_OK
+        merged = json.loads(out_path.read_text())
+        validate_report(merged)
+        assert merged["phases"]["cec/sweep"]["seconds"] == \
+            pytest.approx(3.0)
+        assert merged["phases"]["cec/sweep"]["count"] == 2
+        assert merged["counters"]["solver/conflicts"] == 15
+        assert merged["meta"]["aggregated_from"] == [a, b]
+
+
+class TestFlamegraph:
+    def test_from_trace_document(self, tmp_path, capsys):
+        path = _trace_file(tmp_path)
+        assert main(["flamegraph", path]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "service/job;service/check 500000" in out
+        assert "service/job 500000" in out
+
+    def test_from_stats_report_uses_self_seconds(self, tmp_path):
+        path = _stats_file(
+            tmp_path, "s.json",
+            {"cec/sweep": 1.5, "cec/sweep/sweep/sat": 1.0},
+        )
+        report = json.loads(open(path).read())
+        lines = stats_collapsed_stacks(report)
+        weights = dict(
+            (line.rsplit(" ", 1)[0], int(line.rsplit(" ", 1)[1]))
+            for line in lines
+        )
+        # Parent weighted by self time only: 1.5 - 1.0 nested.
+        assert weights["cec;sweep"] == 500000
+        assert weights["cec;sweep;sweep;sat"] == 1000000
+
+    def test_output_file(self, tmp_path):
+        path = _trace_file(tmp_path)
+        out_path = tmp_path / "stacks.txt"
+        assert main(["flamegraph", path, "-o", str(out_path)]) == EXIT_OK
+        assert "service/job" in out_path.read_text()
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"schema": "mystery/9"}')
+        assert main(["flamegraph", str(path)]) == EXIT_INVALID_INPUT
+
+
+class TestChrome:
+    def test_emits_trace_events(self, tmp_path):
+        path = _trace_file(tmp_path)
+        out_path = tmp_path / "chrome.json"
+        assert main(["chrome", path, "-o", str(out_path)]) == EXIT_OK
+        chrome = json.loads(out_path.read_text())
+        assert any(e["ph"] == "X" for e in chrome["traceEvents"])
+
+    def test_rejects_stats_file(self, tmp_path):
+        path = _stats_file(tmp_path, "s.json", {"cec/sweep": 1.0})
+        assert main(["chrome", path]) == EXIT_INVALID_INPUT

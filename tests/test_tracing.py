@@ -1,0 +1,237 @@
+"""Distributed tracing: context propagation, spans, exporters."""
+
+import json
+
+import pytest
+
+from repro.instrument import (
+    Recorder,
+    NULL_RECORDER,
+    TraceContext,
+    to_chrome_trace,
+    to_collapsed_stacks,
+    validate_trace_report,
+)
+from repro.instrument.tracing import (
+    make_trace_document,
+    merge_trace_documents,
+    new_span_id,
+    new_trace_id,
+    span_self_seconds,
+)
+
+
+class TestTraceContext:
+    def test_new_ids_are_well_formed(self):
+        context = TraceContext.new()
+        assert len(context.trace_id) == 32
+        assert context.parent_id is None
+        assert len(new_span_id()) == 16
+        assert len(new_trace_id()) == 32
+
+    def test_wire_round_trip(self):
+        context = TraceContext(new_trace_id(), new_span_id())
+        parsed, propagated = TraceContext.from_wire(context.to_wire())
+        assert propagated
+        assert parsed.trace_id == context.trace_id
+        assert parsed.parent_id == context.parent_id
+
+    def test_root_wire_omits_parent(self):
+        wire = TraceContext.new().to_wire()
+        assert "parent_id" not in wire
+
+    def test_child_keeps_trace_id(self):
+        context = TraceContext.new()
+        child = context.child("00f067aa0ba902b7")
+        assert child.trace_id == context.trace_id
+        assert child.parent_id == "00f067aa0ba902b7"
+
+    @pytest.mark.parametrize("wire", [
+        None,
+        "not a mapping",
+        42,
+        {},
+        {"trace_id": "UPPERCASE-NOT-HEX-123456789abcdef"},
+        {"trace_id": "short"},
+        {"trace_id": 123},
+        {"trace_id": "a" * 32, "parent_id": "xyz"},
+        {"trace_id": "a" * 32, "parent_id": 7},
+    ])
+    def test_malformed_wire_degrades_to_fresh_trace(self, wire):
+        context, propagated = TraceContext.from_wire(wire)
+        assert not propagated
+        assert len(context.trace_id) == 32
+        assert context.parent_id is None
+
+
+class TestRecorderSpans:
+    def test_no_spans_without_start_trace(self):
+        recorder = Recorder()
+        with recorder.phase("cec/miter"):
+            pass
+        assert recorder.spans() == []
+        assert recorder.trace_report() is None
+
+    def test_phase_records_span_with_context(self):
+        recorder = Recorder()
+        context = recorder.start_trace()
+        with recorder.phase("cec/miter"):
+            pass
+        (span,) = recorder.spans()
+        assert span["trace_id"] == context.trace_id
+        assert span["name"] == "cec/miter"
+        assert span["parent_id"] is None
+        assert span["dur"] >= 0
+
+    def test_nested_phases_parent_correctly(self):
+        recorder = Recorder()
+        recorder.start_trace()
+        with recorder.phase("cec/sweep"):
+            with recorder.phase("sweep/sat"):
+                pass
+        inner, outer = recorder.spans()  # completion order
+        assert inner["name"] == "cec/sweep/sweep/sat"
+        assert outer["name"] == "cec/sweep"
+        assert inner["parent_id"] == outer["span_id"]
+
+    def test_propagated_parent_applies_to_top_level(self):
+        recorder = Recorder()
+        parent = new_span_id()
+        recorder.start_trace(TraceContext(new_trace_id(), parent))
+        with recorder.phase("service/check"):
+            pass
+        (span,) = recorder.spans()
+        assert span["parent_id"] == parent
+
+    def test_add_span_explicit_interval(self):
+        recorder = Recorder()
+        recorder.start_trace()
+        sid = recorder.add_span(
+            "service/queue-wait", 0.5, ts=100.0, job="j000001",
+        )
+        (span,) = recorder.spans()
+        assert span["span_id"] == sid
+        assert span["ts"] == 100.0
+        assert span["dur"] == 0.5
+        assert span["job"] == "j000001"
+
+    def test_add_span_without_trace_returns_none(self):
+        assert Recorder().add_span("service/job", 1.0) is None
+
+    def test_null_recorder_records_nothing(self):
+        context = NULL_RECORDER.start_trace()
+        assert len(context.trace_id) == 32
+        with NULL_RECORDER.phase("cec/miter"):
+            pass
+        assert NULL_RECORDER.add_span("service/job", 1.0) is None
+        assert NULL_RECORDER.spans() == []
+
+    def test_trace_report_validates(self):
+        recorder = Recorder()
+        recorder.start_trace()
+        with recorder.phase("cec/miter"):
+            pass
+        report = recorder.trace_report()
+        assert validate_trace_report(report) is report
+
+
+def _doc(spans):
+    trace_id = spans[0]["trace_id"] if spans else new_trace_id()
+    return make_trace_document(trace_id, spans)
+
+
+def _span(name, ts, dur, span_id=None, parent_id=None, trace_id=None,
+          **extra):
+    span = {
+        "trace_id": trace_id or ("a" * 32),
+        "span_id": span_id or new_span_id(),
+        "parent_id": parent_id,
+        "name": name,
+        "ts": ts,
+        "dur": dur,
+        "pid": 1,
+        "process": "test",
+        "thread": "MainThread",
+    }
+    span.update(extra)
+    return span
+
+
+class TestDocuments:
+    def test_spans_sorted_by_start(self):
+        doc = _doc([_span("b", 2.0, 0.1), _span("a", 1.0, 0.1)])
+        assert [s["name"] for s in doc["spans"]] == ["a", "b"]
+
+    def test_merge_keeps_base_trace_id(self):
+        base = _doc([_span("a", 1.0, 0.1)])
+        other = make_trace_document("b" * 32, [
+            _span("b", 2.0, 0.1, trace_id="b" * 32),
+        ])
+        merged = merge_trace_documents(base, other, None)
+        assert merged["trace_id"] == base["trace_id"]
+        assert len(merged["spans"]) == 2
+
+    @pytest.mark.parametrize("mutate", [
+        lambda d: d.pop("schema"),
+        lambda d: d.__setitem__("trace_id", "nope"),
+        lambda d: d.__setitem__("spans", "nope"),
+        lambda d: d["spans"][0].pop("span_id"),
+        lambda d: d["spans"][0].__setitem__("dur", -1.0),
+        lambda d: d["spans"][0].__setitem__("name", ""),
+        lambda d: d["spans"][0].__setitem__("parent_id", "ZZZ"),
+    ])
+    def test_validate_rejects_malformed(self, mutate):
+        doc = _doc([_span("a", 1.0, 0.1)])
+        mutate(doc)
+        with pytest.raises(ValueError):
+            validate_trace_report(doc)
+
+
+class TestExporters:
+    def test_chrome_trace_events(self):
+        root = _span("service/job", 10.0, 1.0)
+        child = _span("service/check", 10.2, 0.5,
+                      parent_id=root["span_id"])
+        chrome = to_chrome_trace(_doc([root, child]))
+        complete = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in chrome["traceEvents"] if e["ph"] == "M"]
+        assert len(complete) == 2
+        assert {e["name"] for e in meta} >= {"process_name",
+                                             "thread_name"}
+        # Timestamps are microseconds relative to the earliest span.
+        by_name = {e["name"]: e for e in complete}
+        assert by_name["service/job"]["ts"] == 0.0
+        assert by_name["service/check"]["ts"] == pytest.approx(2e5)
+        assert by_name["service/check"]["dur"] == pytest.approx(5e5)
+        json.dumps(chrome)  # must be serializable as-is
+
+    def test_self_seconds_subtracts_children(self):
+        root = _span("root", 0.0, 1.0)
+        child = _span("child", 0.1, 0.4, parent_id=root["span_id"])
+        selfs = span_self_seconds(_doc([root, child]))
+        assert selfs[root["span_id"]] == pytest.approx(0.6)
+        assert selfs[child["span_id"]] == pytest.approx(0.4)
+
+    def test_self_seconds_clamps_negative(self):
+        root = _span("root", 0.0, 0.1)
+        child = _span("child", 0.0, 0.4, parent_id=root["span_id"])
+        selfs = span_self_seconds(_doc([root, child]))
+        assert selfs[root["span_id"]] == 0.0
+
+    def test_collapsed_stacks(self):
+        root = _span("service/job", 0.0, 1.0)
+        child = _span("service/check", 0.1, 0.4,
+                      parent_id=root["span_id"])
+        lines = to_collapsed_stacks(_doc([root, child]))
+        weights = dict(
+            (line.rsplit(" ", 1)[0], int(line.rsplit(" ", 1)[1]))
+            for line in lines
+        )
+        assert weights["service/job"] == 600000
+        assert weights["service/job;service/check"] == 400000
+
+    def test_collapsed_stacks_orphan_roots_itself(self):
+        orphan = _span("worker/phase", 0.0, 0.25,
+                       parent_id=new_span_id())
+        (line,) = to_collapsed_stacks(_doc([orphan]))
+        assert line == "worker/phase 250000"
