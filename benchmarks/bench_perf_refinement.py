@@ -15,9 +15,12 @@ batched path must do at least 3x fewer passes at an identical verdict.
 
 Experiment 2 (parallel check): replay a synthetic wide resolution proof
 (>= 50k clauses in full mode) sequentially and with ``jobs`` worker
-processes, asserting identical results. The wall-clock speedup is
-recorded honestly; it is only asserted to exceed 1.0 on multi-CPU hosts
-(fork/IPC overhead makes parallel replay strictly slower on one CPU).
+processes over the shared clause arena, asserting identical results.
+On a multi-CPU host the warm-pool wall-clock speedup is recorded (and
+asserted: never slower than 1.1x sequential, and >= 1.5x for the
+full-size proof); on a single-CPU host the checker falls back to
+sequential replay by design, and the document says so
+(``"mode": "fallback"``) instead of publishing a fake speedup.
 
 The JSON written by ``--out`` embeds the batched sweep's and the
 parallel check's ``repro-stats/1`` reports so CI can validate them.
@@ -34,7 +37,8 @@ from repro.core.cec import check_equivalence
 from repro.core.fraig import SweepOptions
 from repro.instrument import Recorder
 from repro.instrument.recorder import validate_report
-from repro.proof import ProofStore, check_proof
+from repro.proof import ProofStore, check_proof, close_checker_pool, \
+    resolve_jobs
 
 CEX_NEIGHBORS = 4  # each refinement simulates the cex plus 4 neighbours
 REFINE_MODES = [("legacy", 0), ("batched", 1), ("deferred4", 4)]
@@ -123,40 +127,73 @@ def synthetic_proof(blocks, width=8):
 
 
 def parallel_check_benchmark(small=False):
-    """Replay one proof sequentially and in parallel; compare verdicts."""
+    """Replay one proof sequentially and in parallel; compare verdicts.
+
+    The measurement is honest about the machine it ran on: ``jobs`` is
+    the *request*, ``workers`` what ``resolve_jobs`` clamped it to, and
+    a run where fewer than two CPUs (or workers) are available is
+    labelled ``"mode": "fallback"`` with *no* ``speedup`` key — a
+    single-CPU box replays sequentially by design, and publishing a
+    "parallel" number for it is how the 0.405x baseline happened. The
+    timed parallel run uses a warm pool (the service steady state);
+    pool startup is recorded separately as ``parallel_cold_seconds``.
+    """
     blocks = 500 if small else 3000
     jobs = 2 if small else 4
     store, axioms = synthetic_proof(blocks)
+    cpus = os.cpu_count() or 1
+    workers = resolve_jobs(jobs)
+    parallel_mode = cpus >= 2 and workers >= 2
     start = time.perf_counter()
     seq = check_proof(store, axioms=axioms)
     seq_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    cold = check_proof(store, axioms=axioms, jobs=jobs)
+    cold_seconds = time.perf_counter() - start
     recorder = Recorder()
     start = time.perf_counter()
     par = check_proof(store, axioms=axioms, recorder=recorder, jobs=jobs)
     par_seconds = time.perf_counter() - start
+    close_checker_pool()
     for attr in (
         "num_axioms", "num_derived", "num_resolutions", "empty_clause_id"
     ):
         assert getattr(seq, attr) == getattr(par, attr), attr
+        assert getattr(seq, attr) == getattr(cold, attr), attr
     report = recorder.report()
     validate_report(report)
-    cpus = os.cpu_count() or 1
-    speedup = seq_seconds / max(par_seconds, 1e-9)
-    if not small and cpus > 1:
-        assert speedup > 1.0, (
-            "parallel replay slower than sequential on %d CPUs "
-            "(%.3fs vs %.3fs)" % (cpus, par_seconds, seq_seconds)
-        )
-    return {
+    document = {
         "clauses": len(store),
         "resolutions": seq.num_resolutions,
         "jobs": jobs,
         "cpus": cpus,
+        "workers": workers,
         "sequential_seconds": round(seq_seconds, 4),
+        "parallel_cold_seconds": round(cold_seconds, 4),
         "parallel_seconds": round(par_seconds, 4),
-        "speedup": round(speedup, 3),
         "stats": report,
     }
+    if not parallel_mode:
+        document["mode"] = "fallback"
+        document["fallback"] = report["gauges"].get(
+            "check/parallel_fallback", "cpus"
+        )
+        return document
+    document["mode"] = "parallel"
+    speedup = seq_seconds / max(par_seconds, 1e-9)
+    document["speedup"] = round(speedup, 3)
+    # Guard the 0.405x regression class on any multi-CPU runner; the
+    # full-size proof must additionally hit the acceptance target.
+    assert par_seconds <= 1.1 * seq_seconds, (
+        "parallel replay slower than 1.1x sequential on %d CPUs "
+        "(%.3fs vs %.3fs)" % (cpus, par_seconds, seq_seconds)
+    )
+    if not small:
+        assert speedup >= 1.5, (
+            "jobs=%d on %d CPUs only reached %.2fx (%.3fs vs %.3fs)"
+            % (jobs, cpus, speedup, par_seconds, seq_seconds)
+        )
+    return document
 
 
 def run(small=False):
@@ -230,19 +267,34 @@ def main(argv=None):
             refinement["runs"]["batched"]["refinements"],
         )
     )
-    print(
-        "parallel check: %d clauses, %d resolutions, jobs=%d on %d CPUs: "
-        "%.3fs vs %.3fs sequential (%.2fx)"
-        % (
-            parallel["clauses"],
-            parallel["resolutions"],
-            parallel["jobs"],
-            parallel["cpus"],
-            parallel["parallel_seconds"],
-            parallel["sequential_seconds"],
-            parallel["speedup"],
+    if parallel["mode"] == "parallel":
+        print(
+            "parallel check: %d clauses, %d resolutions, jobs=%d "
+            "(workers=%d) on %d CPUs: %.3fs vs %.3fs sequential (%.2fx)"
+            % (
+                parallel["clauses"],
+                parallel["resolutions"],
+                parallel["jobs"],
+                parallel["workers"],
+                parallel["cpus"],
+                parallel["parallel_seconds"],
+                parallel["sequential_seconds"],
+                parallel["speedup"],
+            )
         )
-    )
+    else:
+        print(
+            "parallel check: %d clauses on %d CPUs: sequential fallback "
+            "(%s); jobs=%d request replayed in %.3fs vs %.3fs sequential"
+            % (
+                parallel["clauses"],
+                parallel["cpus"],
+                parallel["fallback"],
+                parallel["jobs"],
+                parallel["parallel_seconds"],
+                parallel["sequential_seconds"],
+            )
+        )
     if args.out:
         with open(args.out, "w") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)

@@ -62,8 +62,10 @@ def build_parser():
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="replay derivation chunks across N worker processes "
-        "(0 = one per CPU; default: sequential). Parallel and "
-        "sequential modes accept/reject exactly the same proofs",
+        "(0 = one per CPU; default: sequential). Requests are clamped "
+        "to the CPUs available; single-CPU hosts replay sequentially. "
+        "Parallel and sequential modes accept/reject exactly the same "
+        "proofs",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="no statistics output"

@@ -82,7 +82,9 @@ def build_parser():
         default=None,
         metavar="N",
         help="with --certify, replay the proof across N worker "
-        "processes (0 = one per CPU; default: sequential)",
+        "processes (0 = one per CPU; default: sequential). Requests "
+        "are clamped to the CPUs available, and single-CPU hosts "
+        "replay sequentially rather than fork uselessly",
     )
     parser.add_argument(
         "--sim-words",

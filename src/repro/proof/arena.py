@@ -1,0 +1,381 @@
+"""Flat shared-memory clause arena for cross-process proof checking.
+
+The parallel checker used to rebuild three per-id Python lists (clause
+tuples, kind strings, chain lists) on *every* call and ship them to the
+workers by fork copy-on-write or, worse, by pickling them once per
+worker. This module replaces that state with a single packed block of
+``array`` data — literals, clause offsets, kind codes, and flattened
+chains — published once through :mod:`multiprocessing.shared_memory`.
+Fork and spawn pools share one code path: workers attach to the block
+by name, copy the packed arrays into local ``array`` objects (a few
+``memcpy``-speed ``frombytes`` calls), detach immediately, and replay
+their chunks against the local copy, materializing clause tuples only
+as chains reference them (memoized per worker).
+
+The division of labour is deliberate: workers replay only *derived*
+clauses — the actual parallel work. Axiom membership against the
+reference CNF and the empty-clause scan are O(n) dictionary work the
+parent performs itself (through the same shared
+:func:`~repro.proof.checker.check_clause` unit, so error messages stay
+byte-identical), overlapped with the workers' replay. This keeps the
+reference-axiom set out of the arena entirely instead of having every
+worker re-materialize it.
+
+Layout (all sections 8-byte aligned, offsets derived from the header)::
+
+    header          q[8]   magic, n, len(lits), len(chain_data), 0...
+    kinds           b[n]   0 = axiom, 1 = derived, 2 = derived w/o chain
+    offsets         q[n+1] clause i literals live at lits[off[i]:off[i+1]]
+    lits            i[...] all clause literals, concatenated
+    chain_offsets   q[n+1] clause i chain ints at chain[coff[i]:coff[i+1]]
+    chain_data      i[...] per derived clause: first_id, pivot, id, ...
+
+A proof whose content cannot be packed into 32-bit ints (or whose kind
+strings fall outside axiom/derived) raises :class:`ArenaUnsupported`;
+the caller degrades to the sequential checker, which reports the exact
+defect. This keeps the arena a pure transport: it never changes which
+proofs are accepted.
+
+The creating process owns the segment: :meth:`ClauseArena.close`
+unlinks it (idempotent, and the parallel checker calls it in a
+``finally``). Workers attach momentarily via :func:`attach_view`; on
+Pythons where attaching registers with the ``resource_tracker`` (3.12
+and earlier) the attach is immediately unregistered, so a worker's exit
+can neither unlink a live segment nor spam leak warnings at shutdown.
+"""
+
+from __future__ import annotations
+
+from array import array
+from itertools import accumulate, chain as _chain_iter
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from .store import AXIOM, DERIVED, Clause, ProofStore
+
+#: The five packed proof arrays: kinds, offsets, lits, chain offsets,
+#: chain data.
+_PackedArrays = Tuple[
+    "array[int]", "array[int]", "array[int]", "array[int]", "array[int]",
+]
+
+_MAGIC = 0x41524E41  # "ARNA"
+
+#: Kind codes stored in the arena.
+KIND_AXIOM = 0
+KIND_DERIVED = 1
+KIND_DERIVED_NO_CHAIN = 2
+
+#: Names of arena segments this process created and has not closed yet.
+#: Purely diagnostic: tests assert it drains to empty so an error path
+#: can never leak a shared-memory segment.
+_OPEN_ARENAS: Set[str] = set()
+
+
+class ArenaUnsupported(Exception):
+    """The proof cannot be packed (exotic kinds, non-int chain data,
+    literals outside 32 bits). Callers fall back to sequential replay,
+    which produces the authoritative error for such stores."""
+
+
+def open_arenas() -> Set[str]:
+    """Names of arena segments currently open in this process."""
+    return set(_OPEN_ARENAS)
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + 7) & ~7
+
+
+def _layout(
+    n: int, lits_len: int, chain_len: int,
+) -> Tuple[List[Tuple[int, str, int]], int]:
+    """Section table ``[(byte_offset, typecode, count), ...]`` + total
+    size, computed identically by the builder and by attaching workers.
+    """
+    sections = [
+        ("q", 8),          # header
+        ("b", n),          # kinds
+        ("q", n + 1),      # offsets
+        ("i", lits_len),   # lits
+        ("q", n + 1),      # chain offsets
+        ("i", chain_len),  # chain data
+    ]
+    table: List[Tuple[int, str, int]] = []
+    cursor = 0
+    for typecode, count in sections:
+        cursor = _aligned(cursor)
+        table.append((cursor, typecode, count))
+        cursor += count * array(typecode).itemsize
+    return table, _aligned(max(cursor, 8))
+
+
+def _kind_code(kind: str, chain: Optional[Any]) -> int:
+    if kind == AXIOM:
+        return KIND_AXIOM
+    if kind == DERIVED:
+        return KIND_DERIVED if chain is not None else KIND_DERIVED_NO_CHAIN
+    raise ArenaUnsupported("unknown clause kind %r" % (kind,))
+
+
+def _flat_chain(code: int, chain: Any) -> Any:
+    """One derived chain flattened to ``[first, pivot, id, ...]``.
+
+    ``list += tuple`` splices each step at C speed; the length check
+    afterwards is what enforces the two-ints-per-step shape (a step of
+    the wrong arity would change the total).
+    """
+    if code != KIND_DERIVED:
+        return ()
+    flat = [chain[0]]
+    for step in chain[1:]:
+        flat += step
+    if len(flat) != 2 * len(chain) - 1:
+        raise ArenaUnsupported(
+            "chain steps are not (pivot, id) pairs: %r" % (chain,)
+        )
+    return flat
+
+
+def _pack_store(
+    store: ProofStore,
+) -> Tuple[_PackedArrays, Optional[int]]:
+    """Flatten a :class:`ProofStore` into the five proof arrays plus
+    the first empty-clause id (computed here because corrupted stores
+    under test bypass the store's own cached counters).
+
+    Raises:
+        ArenaUnsupported: on content the packed form cannot represent.
+    """
+    clauses, kinds, chains = store.tables()
+    try:
+        # array-from-list beats array-from-iterator measurably (the
+        # constructor preallocates), and everything feeding the lists
+        # runs at C speed.
+        kind_codes = array("b", map(_kind_code, kinds, chains))
+        offsets = array("q", accumulate(map(len, clauses), initial=0))
+        lits = array("i", list(_chain_iter.from_iterable(clauses)))
+        flats = list(map(_flat_chain, kind_codes, chains))
+        chain_offsets = array("q", accumulate(map(len, flats), initial=0))
+        chain_data = array("i", list(_chain_iter.from_iterable(flats)))
+    except ArenaUnsupported:
+        raise
+    except (TypeError, ValueError, OverflowError, IndexError) as exc:
+        raise ArenaUnsupported("proof content is not packable: %s" % exc)
+    empty_id = next(
+        (i for i, clause in enumerate(clauses) if not clause), None
+    )
+    return (kind_codes, offsets, lits, chain_offsets, chain_data), empty_id
+
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment without claiming ownership of it.
+
+    Python registers *attaching* processes with the resource tracker up
+    to 3.12 (only 3.13 grew ``track=False``), which makes a worker's
+    exit warn about — and under spawn, try to unlink — segments the
+    creating process owns (CPython gh-82300). Sending an *unregister*
+    instead would be just as wrong under fork, where parent and workers
+    share one tracker: it would cancel the creator's legitimate entry.
+    So: attach untracked where supported, and otherwise suppress the
+    registration itself for the duration of the attach (workers are
+    single-threaded, so the swap cannot race).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    def _no_register(*args: object, **kwargs: object) -> None:
+        return None
+
+    original_register = resource_tracker.register
+    setattr(resource_tracker, "register", _no_register)
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        setattr(resource_tracker, "register", original_register)
+
+
+class ClauseArena:
+    """Owner-side handle of one published proof arena.
+
+    Built with :meth:`build`, shared by name (:attr:`name`), destroyed
+    with :meth:`close`. Usable as a context manager; ``close`` is
+    idempotent and must run even on error paths — the parallel checker
+    wraps the whole replay in ``try/finally`` around it.
+
+    Attributes:
+        name: shared-memory segment name workers attach by.
+        num_clauses / num_axioms / num_derived: proof shape, counted
+            from the packed kind codes.
+        empty_id: id of the first empty clause, or ``None`` (scanned
+            at pack time, exactly like the sequential checker's pass).
+        kind_codes: the packed per-id kind codes; the parent uses them
+            to drive its axiom sweep without touching worker state.
+        nbytes: total segment size.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        kind_codes: "array[int]",
+        empty_id: Optional[int],
+    ) -> None:
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self.name = shm.name
+        self.kind_codes = kind_codes
+        self.num_clauses = len(kind_codes)
+        self.num_axioms = kind_codes.count(KIND_AXIOM)
+        self.num_derived = self.num_clauses - self.num_axioms
+        self.empty_id = empty_id
+        self.nbytes = shm.size
+        _OPEN_ARENAS.add(self.name)
+
+    @classmethod
+    def build(cls, store: ProofStore) -> "ClauseArena":
+        """Pack *store* into a fresh shared-memory segment.
+
+        Raises:
+            ArenaUnsupported: when the proof content cannot be packed;
+                the caller should check sequentially instead.
+            OSError: when shared memory cannot be allocated.
+        """
+        arrays, empty_id = _pack_store(store)
+        kind_codes, offsets, lits, chain_offsets, chain_data = arrays
+        n = len(store)
+        table, total = _layout(n, len(lits), len(chain_data))
+        header = array("q", [
+            _MAGIC, n, len(lits), len(chain_data), 0, 0, 0, 0,
+        ])
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        try:
+            payload = (header, kind_codes, offsets, lits, chain_offsets,
+                       chain_data)
+            for (offset, _, _), arr in zip(table, payload):
+                raw = arr.tobytes()
+                shm.buf[offset:offset + len(raw)] = raw
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        return cls(shm, kind_codes, empty_id)
+
+    def close(self) -> None:
+        """Release and unlink the segment (idempotent)."""
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        _OPEN_ARENAS.discard(self.name)
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "ClauseArena":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class ArenaView:
+    """Worker-side copy of a published arena.
+
+    Attaching copies the packed sections into local ``array`` objects
+    and detaches immediately, so a view holds no shared-memory mapping:
+    the parent may unlink the segment the moment the last chunk result
+    has been consumed, and worker-side cleanup is plain garbage
+    collection. Clause tuples are materialized lazily and memoized —
+    chains reference the same antecedents many times, and the memo
+    turns every repeat into a dictionary hit.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        shm = _attach_shm(name)
+        try:
+            buf = shm.buf
+            header = buf[:64].cast("q")
+            try:
+                if header[0] != _MAGIC:
+                    raise ValueError(
+                        "segment %s is not a clause arena" % name
+                    )
+                n, lits_len, chain_len = header[1], header[2], header[3]
+            finally:
+                header.release()
+            table, _ = _layout(n, lits_len, chain_len)
+
+            def copy(index: int) -> "array[int]":
+                offset, typecode, count = table[index]
+                arr: "array[int]" = array(typecode)
+                itemsize = arr.itemsize
+                view = buf[offset:offset + count * itemsize]
+                try:
+                    arr.frombytes(view)
+                finally:
+                    view.release()
+                return arr
+
+            self.num_clauses = n
+            self.kinds = copy(1).tobytes()  # bytes: fastest per-id read
+            self._offsets = copy(2)
+            self._lits = copy(3)
+            self._chain_offsets = copy(4)
+            self._chain_data = copy(5)
+        finally:
+            shm.close()
+        self._clause_memo: Dict[int, Clause] = {}
+
+    def clause(self, clause_id: int) -> Clause:
+        """The clause tuple stored under *clause_id* (memoized)."""
+        memo = self._clause_memo
+        clause = memo.get(clause_id)
+        if clause is None:
+            clause = tuple(
+                self._lits[self._offsets[clause_id]:
+                           self._offsets[clause_id + 1]]
+            )
+            memo[clause_id] = clause
+        return clause
+
+    def kind(self, clause_id: int) -> str:
+        """``'axiom'`` or ``'derived'`` (as the checker expects)."""
+        return AXIOM if self.kinds[clause_id] == KIND_AXIOM else DERIVED
+
+    def chain(self, clause_id: int) -> Optional[List[Any]]:
+        """The derivation chain, rebuilt as ``[first, (pivot, id), ...]``
+        (``None`` for axioms and for derived clauses stored without a
+        chain — the checker rejects the latter exactly like the
+        sequential path)."""
+        if self.kinds[clause_id] != KIND_DERIVED:
+            return None
+        lo = self._chain_offsets[clause_id]
+        hi = self._chain_offsets[clause_id + 1]
+        data = self._chain_data
+        chain: List[Any] = [data[lo]]
+        for k in range(lo + 1, hi, 2):
+            chain.append((data[k], data[k + 1]))
+        return chain
+
+
+# Worker-side attach cache: a persistent pool serves many checks over
+# its lifetime, each with its own arena; workers keep exactly one view
+# alive (the current check's) and swap when a chunk names a new
+# segment. Views hold no shared-memory mapping, so the swap is a plain
+# rebind and the old copy is garbage.
+_CACHED_VIEW: Optional[ArenaView] = None
+
+
+def attach_view(name: str) -> ArenaView:
+    """The (cached) :class:`ArenaView` for segment *name*."""
+    global _CACHED_VIEW
+    view = _CACHED_VIEW
+    if view is not None and view.name == name:
+        return view
+    _CACHED_VIEW = ArenaView(name)
+    return _CACHED_VIEW

@@ -145,12 +145,14 @@ def check_proof(
             partial verdict, so exhaustion raises
             :class:`~repro.instrument.budget.BudgetExhausted` instead of
             returning.
-        jobs: when > 1, replay derivation chunks across a
-            ``multiprocessing`` pool of that many workers (``0`` means
-            one per CPU); see :mod:`repro.proof.parallel`. Accepts and
-            rejects exactly the same proofs as the sequential mode, with
-            the same error for the smallest failing clause id. ``None``
-            or ``1`` checks sequentially.
+        jobs: when > 1, replay derivation chunks on the persistent
+            checker pool over a shared clause arena (``0`` means one
+            per CPU); see :mod:`repro.proof.parallel`. The request is
+            clamped to the CPUs available, and single-CPU hosts replay
+            sequentially (the ``check/parallel_fallback`` gauge names
+            the reason). Accepts and rejects exactly the same proofs as
+            the sequential mode, with the same error for the smallest
+            failing clause id. ``None`` or ``1`` checks sequentially.
 
     Returns:
         A :class:`CheckResult`.

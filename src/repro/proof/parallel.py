@@ -1,29 +1,47 @@
-"""Parallel resolution-proof checking.
+"""Parallel resolution-proof checking over a shared clause arena.
 
 Replaying a derivation chain needs only the *stored* clauses of its
 antecedents — never the result of having validated them first — so every
 clause of a proof can be checked independently. This module exploits
-that: it topologically levelizes the proof's antecedent DAG (a sanity
-and statistics pass that also bounds the critical replay path), flattens
-the levels into a deterministic schedule, and farms fixed-size chunks of
-clause ids out to a ``multiprocessing`` pool.
+that: it packs the proof into a flat shared-memory clause arena
+(:mod:`repro.proof.arena`), splits the id space into contiguous chunks
+sized from the proof and the worker count, and replays the chunks on a
+*persistent* worker pool.
 
 Design points:
 
-* **Zero-copy workers where possible.** On platforms with ``fork`` the
-  proof arrays are published in a module global before the pool starts,
-  so workers inherit them copy-on-write and chunk dispatch ships only id
-  lists. Start methods without ``fork`` fall back to pickling the arrays
-  once per worker through the pool initializer.
+* **One flat arena, one code path.** The proof is packed once per check
+  into ``array`` data in a ``multiprocessing.shared_memory`` segment.
+  Workers attach by name, copy the packed arrays into local ``array``
+  objects, and detach — no per-call list rebuild, no copy-on-write page
+  faults, no per-worker pickling, identical behaviour under fork and
+  spawn start methods.
+* **Workers replay only derived clauses.** That is the actual parallel
+  work. Axiom membership against the reference CNF and the empty-clause
+  scan are cheap O(n) passes the parent runs itself — through the same
+  shared :func:`repro.proof.checker.check_clause` unit — *while* the
+  workers replay, so the reference-axiom set never crosses a process
+  boundary at all.
+* **Persistent workers.** :class:`CheckerPool` is created lazily on
+  first use and reused across checks (chunk dispatch ships only
+  ``(arena_name, lo, hi)``), so a service replaying proofs on its hot
+  path pays pool startup once per process, not once per proof. Close it
+  explicitly with :func:`close_checker_pool`; an ``atexit`` hook covers
+  the rest.
+* **Adaptive scheduling.** ``jobs`` is clamped to ``os.cpu_count()``;
+  a single-CPU host, a ``jobs`` request resolving to one worker, and
+  proofs below *min_clauses* all degrade to the sequential checker
+  (same verdict, honest ≈1.0x) with the reason in the
+  ``check/parallel_fallback`` gauge. Chunks are sized from
+  ``len(store) / workers`` instead of a fixed constant, so small pools
+  get few large chunks and large proofs still load-balance.
 * **Deterministic error reporting.** Workers never raise across the
   process boundary; each returns its smallest failing clause id (with
   the exact message the sequential checker would produce — both modes
-  share :func:`repro.proof.checker.check_clause`). The parent raises for
-  the globally smallest failing id, which is precisely the clause the
-  sequential checker would have stopped at.
-* **Sequential fallback.** Small proofs (below *min_clauses*), ``jobs``
-  resolving to one worker, and pool-creation failures all degrade to the
-  plain sequential checker — same verdict, just no speedup.
+  share :func:`repro.proof.checker.check_clause`). The parent merges
+  those with its own axiom-sweep verdict and raises for the globally
+  smallest failing id, which is precisely the clause the sequential
+  checker would have stopped at.
 
 The public entry point is :func:`check_proof_parallel`, normally reached
 through ``repro.proof.checker.check_proof(..., jobs=N)`` or the
@@ -32,79 +50,85 @@ through ``repro.proof.checker.check_proof(..., jobs=N)`` or the
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
+import threading
 import time
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Set, Tuple
 
+from .arena import ArenaUnsupported, ClauseArena, KIND_AXIOM, attach_view
 from .checker import CheckResult, check_clause, prepare_axioms
-from .store import AXIOM, ProofError, ProofStore
+from .store import AXIOM, DERIVED, Clause, ProofError, ProofStore
 from .trim import levelize
 
-# Proofs smaller than this replay sequentially: pool startup costs more
-# than the replay itself.
+# Proofs smaller than this replay sequentially: arena construction and
+# chunk dispatch cost more than the replay itself.
 DEFAULT_MIN_CLAUSES = 4096
 
-# Clause ids per dispatched chunk. Large enough that per-chunk dispatch
-# overhead is noise, small enough that a 50k-clause proof still spreads
-# over every worker.
-DEFAULT_CHUNK_SIZE = 2048
+# Floor for the adaptive chunk size: below this, per-chunk dispatch
+# overhead is no longer noise relative to the replay work.
+MIN_CHUNK_SIZE = 256
 
-# Worker-side proof arrays: (clauses, kinds, chains, allowed).
-# Published before the pool starts so fork-based workers inherit the
-# data without any pickling; spawn-based workers receive the same tuple
-# through _init_worker.
-_SHARED: Optional[Tuple[Any, Any, Any, Any]] = None
+# Target chunks per worker. A few chunks per worker absorbs skew in
+# per-clause replay cost without shrinking chunks into dispatch noise.
+CHUNKS_PER_WORKER = 4
 
-# One worker error: (clause_id, message, rule_id).
-_WorkerError = Tuple[int, str, Optional[str]]
-_ChunkResult = Tuple[Optional[_WorkerError], int, int, int, Optional[int]]
+# One worker error: (position, clause_id, message, rule_id). *position*
+# is the id the checking loop was at (what "smallest failing clause"
+# means); *clause_id* is what the ProofError itself carried, which can
+# be None — resolution-step errors from ``resolve`` don't know their
+# consumer. Keeping both reproduces the sequential exception exactly.
+_WorkerError = Tuple[int, Optional[int], str, Optional[str]]
+_ChunkResult = Tuple[Optional[_WorkerError], int]
+
+#: One dispatched chunk: (arena segment name, lo, hi).
+_ChunkTask = Tuple[str, int, int]
 
 
-def _init_worker(state: Tuple[Any, Any, Any, Any]) -> None:
-    global _SHARED
-    _SHARED = state
+def _check_chunk(task: _ChunkTask) -> _ChunkResult:
+    """Replay the derived clauses of one ``[lo, hi)`` id chunk.
 
-
-def _check_chunk(bounds: Tuple[int, int]) -> _ChunkResult:
-    """Validate one ``[lo, hi)`` chunk of ids against the shared arrays.
-
-    Returns ``(error, num_axioms, num_derived, num_resolutions,
-    empty_id)`` where *error* is ``None`` or ``(clause_id, message,
-    rule_id)`` for the smallest failing id in the chunk.
+    Returns ``(error, num_resolutions)`` where *error* is ``None`` or
+    ``(position, clause_id, message, rule_id)`` for the smallest
+    failing id in the chunk. Axioms are skipped — the parent validates
+    them.
     """
-    lo, hi = bounds
-    assert _SHARED is not None
-    clauses, kinds, chains, allowed = _SHARED
-    get_clause = clauses.__getitem__
-    num_axioms = 0
-    num_derived = 0
+    name, lo, hi = task
+    view = attach_view(name)
+    kinds = view.kinds
+    get_clause = view.clause
+    get_chain = view.chain
     num_resolutions = 0
-    empty_id = None
     for clause_id in range(lo, hi):
-        clause = clauses[clause_id]
-        kind = kinds[clause_id]
-        if kind == AXIOM:
-            num_axioms += 1
-        else:
-            num_derived += 1
+        if kinds[clause_id] == KIND_AXIOM:
+            continue
         try:
             num_resolutions += check_clause(
-                clause_id, clause, kind, chains[clause_id], get_clause,
-                allowed,
+                clause_id, get_clause(clause_id), DERIVED,
+                get_chain(clause_id), get_clause, None,
             )
         except ProofError as exc:
-            return (
-                (clause_id, str(exc), exc.rule_id),
-                num_axioms, num_derived, num_resolutions, empty_id,
-            )
-        if not clause and empty_id is None:
-            empty_id = clause_id
-    return None, num_axioms, num_derived, num_resolutions, empty_id
+            error = (clause_id, exc.clause_id, str(exc), exc.rule_id)
+            return error, num_resolutions
+    return None, num_resolutions
 
 
-def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalize a ``jobs`` request to a worker count (``0`` = per CPU)."""
+def resolve_jobs(jobs: Optional[int], cpus: Optional[int] = None) -> int:
+    """Normalize a ``jobs`` request to an *effective* worker count.
+
+    ``0`` means one worker per CPU; any explicit request is clamped to
+    the CPUs actually available (*cpus*, defaulting to
+    ``os.cpu_count()``) — forking more checker processes than cores
+    only adds scheduling overhead (the committed 0.405x "speedup" of
+    ``jobs=4`` on a 1-CPU runner was exactly this bug).
+    """
+    cpus = cpus if cpus is not None else (os.cpu_count() or 1)
+    return min(_requested_jobs(jobs), max(cpus, 1))
+
+
+def _requested_jobs(jobs: Optional[int]) -> int:
+    """The unclamped worker request (``0`` = per CPU)."""
     if jobs is None:
         return 1
     if jobs < 0:
@@ -114,7 +138,15 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def _chunk_schedule(store: ProofStore, chunk_size: int) -> List[Tuple[int, int]]:
+def _auto_chunk_size(num_clauses: int, workers: int) -> int:
+    """Chunk size from the proof and pool shape (see module docstring)."""
+    target = -(-num_clauses // (workers * CHUNKS_PER_WORKER))
+    return max(MIN_CHUNK_SIZE, target)
+
+
+def _chunk_schedule(
+    arena_name: str, num_clauses: int, chunk_size: int,
+) -> List[_ChunkTask]:
     """Deterministic chunk list over the proof's topological order.
 
     Insertion order *is* a topological order of the antecedent DAG (the
@@ -125,10 +157,140 @@ def _chunk_schedule(store: ProofStore, chunk_size: int) -> List[Tuple[int, int]]
     separately: its level count is the critical replay path, reported as
     the ``check/levels`` gauge on instrumented runs.
     """
-    size = len(store)
     return [
-        (lo, min(lo + chunk_size, size)) for lo in range(0, size, chunk_size)
+        (arena_name, lo, min(lo + chunk_size, num_clauses))
+        for lo in range(0, num_clauses, chunk_size)
     ]
+
+
+def _sweep_axioms(
+    store: ProofStore,
+    arena: ClauseArena,
+    allowed: Optional[Set[Clause]],
+    budget: Optional[Any],
+) -> Optional[_WorkerError]:
+    """Parent-side axiom membership sweep (runs while workers replay).
+
+    Validates every axiom through the shared :func:`check_clause` unit
+    and returns the smallest failing id as ``(position, clause_id,
+    message, rule_id)``, or ``None``. A later axiom cannot fail with a
+    smaller id, so the sweep stops at the first failure; the caller
+    still merges this with the workers' derived-clause verdicts before
+    raising.
+    """
+    if allowed is None:
+        return None
+    clauses = store.tables()[0]
+    get_clause = clauses.__getitem__
+    for clause_id, code in enumerate(arena.kind_codes):
+        if code != KIND_AXIOM:
+            continue
+        if budget is not None and clause_id % 256 == 0:
+            budget.check()
+        try:
+            check_clause(
+                clause_id, clauses[clause_id], AXIOM, None, get_clause,
+                allowed,
+            )
+        except ProofError as exc:
+            return (clause_id, exc.clause_id, str(exc), exc.rule_id)
+    return None
+
+
+class CheckerPool:
+    """A reusable pool of proof-checker worker processes.
+
+    Unlike the old pool-per-call design, a :class:`CheckerPool`
+    outlives individual checks: workers stay warm and successive proofs
+    reach them through fresh shared-memory arenas (workers cache one
+    copied arena view and swap it when a chunk names a new segment).
+    The module-level singleton behind :func:`get_checker_pool` is what
+    ``check_proof(jobs=N)`` uses; long-running processes (the service
+    worker path) thereby replay every cache-verify and certify proof
+    without re-forking.
+
+    Args:
+        processes: worker process count (already clamped by the
+            caller).
+        context: optional ``multiprocessing`` context; defaults to
+            ``fork`` where available (cheapest startup) and the
+            platform default elsewhere. Both behave identically — all
+            proof state travels through the arena.
+    """
+
+    def __init__(self, processes: int, context: Optional[Any] = None) -> None:
+        if context is None:
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            else:
+                context = multiprocessing.get_context()
+        self.processes = processes
+        self.checks_served = 0
+        self._pool = context.Pool(processes=processes)
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def imap_unordered(
+        self, func: Any, tasks: Iterable[Any],
+    ) -> Iterator[Any]:
+        """Dispatch *tasks* across the pool, yielding results as they
+        complete."""
+        if self._closed:
+            raise ValueError("checker pool is closed")
+        self.checks_served += 1
+        return self._pool.imap_unordered(func, tasks)
+
+    def close(self) -> None:
+        """Terminate the workers and reap them (idempotent).
+
+        Termination (rather than a graceful drain) is safe here: chunk
+        checking is pure — workers hold no state worth flushing beyond
+        their copied arena view, and the owning check unlinks the
+        segment itself.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.terminate()
+        self._pool.join()
+
+
+_POOL: Optional[CheckerPool] = None
+_POOL_LOCK = threading.Lock()
+
+
+def get_checker_pool(workers: int) -> CheckerPool:
+    """The shared :class:`CheckerPool`, created lazily.
+
+    An existing pool is reused when it is alive and at least *workers*
+    wide; a wider request replaces it. The pool persists until
+    :func:`close_checker_pool` (called automatically at interpreter
+    exit).
+    """
+    global _POOL
+    with _POOL_LOCK:
+        pool = _POOL
+        if pool is not None and (pool.closed or pool.processes < workers):
+            pool.close()
+            pool = _POOL = None
+        if pool is None:
+            pool = _POOL = CheckerPool(workers)
+        return pool
+
+
+def close_checker_pool() -> None:
+    """Shut down the shared checker pool (safe to call repeatedly)."""
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is not None:
+            _POOL.close()
+            _POOL = None
+
+
+atexit.register(close_checker_pool)
 
 
 def check_proof_parallel(
@@ -138,8 +300,9 @@ def check_proof_parallel(
     recorder: Optional[Any] = None,
     budget: Optional[Any] = None,
     jobs: Optional[int] = 0,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: Optional[int] = None,
     min_clauses: int = DEFAULT_MIN_CLAUSES,
+    pool: Optional[CheckerPool] = None,
 ) -> CheckResult:
     """Verify *store* like ``check_proof``, replaying chunks in parallel.
 
@@ -155,21 +318,31 @@ def check_proof_parallel(
         recorder: optional recorder; the pool replay is charged to
             ``check/parallel-replay`` and the worker/level/chunk shape
             lands in ``check/*`` gauges.
-        budget: optional budget, consulted as chunk results arrive.
-        jobs: worker processes (``0`` = one per CPU, ``None``/``1`` =
-            sequential).
-        chunk_size: clause ids per dispatched chunk.
+        budget: optional budget, consulted during the parent's axiom
+            sweep, as chunk results arrive, and once more after the
+            final chunk.
+        jobs: worker processes (``0`` = one per CPU; clamped to the
+            CPUs available; ``None``/``1`` = sequential).
+        chunk_size: clause ids per dispatched chunk (``None`` = sized
+            from ``len(store)`` and the effective worker count).
         min_clauses: proofs smaller than this replay sequentially.
+        pool: optional externally-owned :class:`CheckerPool`; by
+            default the shared module pool is used (and left running
+            for the next check).
 
     Returns:
         A :class:`~repro.proof.checker.CheckResult`.
     """
     from .checker import check_proof  # late import: two-way module pair
 
-    workers = resolve_jobs(jobs)
+    cpus = os.cpu_count() or 1
+    requested = _requested_jobs(jobs)
+    workers = min(requested, max(cpus, 1))
     fallback = None
-    if workers <= 1:
+    if requested <= 1:
         fallback = "jobs"
+    elif cpus < 2:
+        fallback = "cpus"
     elif len(store) < min_clauses:
         fallback = "small_proof"
     if fallback is not None:
@@ -182,63 +355,67 @@ def check_proof_parallel(
 
     instrumented = recorder is not None and recorder.enabled
     start = time.perf_counter() if instrumented else 0.0
-    allowed = prepare_axioms(axioms)
-    chunks = _chunk_schedule(store, chunk_size)
-    num_levels = len(levelize(store)) if instrumented else None
-    state = (
-        [store.clause(i) for i in store.ids()],
-        [store.kind(i) for i in store.ids()],
-        [store.chain(i) for i in store.ids()],
-        allowed,
-    )
 
-    global _SHARED
-    try:
-        if "fork" in multiprocessing.get_all_start_methods():
-            context = multiprocessing.get_context("fork")
-            _SHARED = state
-            pool = context.Pool(processes=workers)
-        else:
-            context = multiprocessing.get_context()
-            pool = context.Pool(
-                processes=workers, initializer=_init_worker,
-                initargs=(state,),
-            )
-    except (OSError, ValueError) as exc:
-        _SHARED = None
+    def sequential(reason: str) -> CheckResult:
         if recorder is not None and recorder.enabled:
-            recorder.gauge("check/parallel_fallback", "pool: %s" % exc)
+            recorder.gauge("check/parallel_fallback", reason)
         return check_proof(
             store, axioms=axioms, require_empty=require_empty,
             recorder=recorder, budget=budget,
         )
 
-    errors: List[_WorkerError] = []
-    num_axioms = 0
-    num_derived = 0
-    num_resolutions = 0
-    empty_id: Optional[int] = None
     try:
-        with pool:
-            for result in pool.imap_unordered(_check_chunk, chunks):
-                if budget is not None:
-                    budget.check()
-                error, axs, der, res, empty = result
-                if error is not None:
-                    errors.append(error)
-                num_axioms += axs
-                num_derived += der
-                num_resolutions += res
-                if empty is not None and (empty_id is None or empty < empty_id):
-                    empty_id = empty
+        arena = ClauseArena.build(store)
+    except ArenaUnsupported as exc:
+        # Unpackable content: the sequential checker is authoritative
+        # (and produces the exact error for genuinely corrupt stores).
+        return sequential("arena: %s" % exc)
+    except OSError as exc:
+        return sequential("arena: %s" % exc)
+
+    errors: List[_WorkerError] = []
+    num_resolutions = 0
+    try:
+        if chunk_size is None:
+            chunk_size = _auto_chunk_size(len(store), workers)
+        chunks = _chunk_schedule(arena.name, len(store), chunk_size)
+        try:
+            if pool is None:
+                pool = get_checker_pool(workers)
+            results = pool.imap_unordered(_check_chunk, chunks)
+        except (OSError, ValueError) as exc:
+            # Pool creation failed or the shared pool was closed from
+            # under us: the sequential checker still settles the proof.
+            return sequential("pool: %s" % exc)
+        # The workers are replaying now; overlap the parent-side O(n)
+        # passes (axiom-set normalization and membership, DAG shape)
+        # with them.
+        allowed = prepare_axioms(axioms)
+        axiom_error = _sweep_axioms(store, arena, allowed, budget)
+        if axiom_error is not None:
+            errors.append(axiom_error)
+        num_levels = len(levelize(store)) if instrumented else None
+        for result in results:
+            if budget is not None:
+                budget.check()
+            error, res = result
+            if error is not None:
+                errors.append(error)
+            num_resolutions += res
+        if budget is not None:
+            # The per-result checks above run *before* each chunk is
+            # folded in; this final check catches a budget that expired
+            # while the last chunk was replaying.
+            budget.check()
     finally:
-        _SHARED = None
+        arena.close()
 
     if errors:
-        clause_id, message, rule_id = min(
+        _, clause_id, message, rule_id = min(
             errors, key=lambda error: error[0]
         )
         raise ProofError(message, clause_id=clause_id, rule_id=rule_id)
+    empty_id = arena.empty_id
     if require_empty and empty_id is None:
         raise ProofError(
             "proof does not derive the empty clause",
@@ -254,4 +431,9 @@ def check_proof_parallel(
         recorder.gauge("check/jobs", workers)
         recorder.gauge("check/levels", num_levels)
         recorder.gauge("check/chunks", len(chunks))
-    return CheckResult(num_axioms, num_derived, num_resolutions, empty_id)
+        recorder.gauge("check/chunk_size", chunk_size)
+        recorder.gauge("check/arena_bytes", arena.nbytes)
+        recorder.gauge("check/pool_checks", pool.checks_served)
+    return CheckResult(
+        arena.num_axioms, arena.num_derived, num_resolutions, empty_id,
+    )

@@ -30,6 +30,7 @@ from ..aig.aiger import AigerError, read_aag
 from ..instrument import MetricsRegistry, Recorder, TraceContext, get_logger
 from ..instrument.metrics import TIME_BUCKETS, to_prometheus_text
 from ..instrument.tracing import merge_trace_documents, new_span_id
+from ..proof.parallel import close_checker_pool
 from . import protocol
 from .cache import ProofCache, cache_key
 from .jobs import DONE, QUEUED, JobTable, QueueFullError
@@ -219,6 +220,11 @@ class CecServer:
         """
         self.shutdown()
         self._executor.shutdown(wait=True)
+        # In-process workers (``--workers 0``) run certify — and hence
+        # the persistent checker pool — in this process; reap it with
+        # the rest of the pools (no-op when no check ever went
+        # parallel, and subprocess workers reap their own at exit).
+        close_checker_pool()
         self._server.server_close()
         if self._metrics_http is not None:
             self._metrics_http.close()
@@ -377,6 +383,7 @@ class CecServer:
             ),
             "certify": bool(request.get("certify")),
             "lint": bool(request.get("lint")),
+            "jobs": request.get("jobs"),
             "trim": bool(request.get("trim", True)),
             # Worker-side phases become spans of the same trace,
             # parented under this job's root span.

@@ -3,22 +3,46 @@
 The contract under test: ``check_proof(jobs=N)`` accepts and rejects
 exactly the same proofs as the sequential checker, reporting the same
 error (message and clause id) for the smallest failing clause.
+
+``jobs`` requests are clamped to the CPUs actually available, so the
+tests that exercise the *real* parallel path (arena + worker pool)
+force a multi-CPU view via the ``four_cpus`` fixture — otherwise a
+single-CPU CI runner would silently test only the fallback.
 """
+
+import os
 
 import pytest
 
+from proof_corpus import CORRUPTIONS, corrupted
 from repro.circuits import kogge_stone_adder, ripple_carry_adder
 from repro.core.cec import check_equivalence
 from repro.instrument import Budget, BudgetExhausted, Recorder
 from repro.proof import (
     AXIOM,
+    ArenaUnsupported,
+    CheckerPool,
+    ClauseArena,
     ProofError,
     ProofStore,
     check_proof,
     check_proof_parallel,
     levelize,
 )
+from repro.proof.arena import ArenaView, open_arenas
 from repro.proof.parallel import resolve_jobs
+
+
+@pytest.fixture
+def four_cpus(monkeypatch):
+    """Pretend the machine has four CPUs so ``jobs`` is not clamped."""
+    monkeypatch.setattr(os, "cpu_count", lambda: 4)
+
+
+@pytest.fixture
+def one_cpu(monkeypatch):
+    """Pretend the machine has one CPU to force the cpus fallback."""
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
 
 
 def synthetic_refutation(blocks, width=4):
@@ -82,6 +106,7 @@ def parallel(store, **kwargs):
     return check_proof_parallel(store, **kwargs)
 
 
+@pytest.mark.usefixtures("four_cpus")
 class TestAgreementOnValidProofs:
     def test_synthetic_refutation(self):
         store, axioms = synthetic_refutation(40)
@@ -117,6 +142,7 @@ class TestAgreementOnValidProofs:
         assert result.empty_clause_id is None
 
 
+@pytest.mark.usefixtures("four_cpus")
 class TestAgreementOnInvalidProofs:
     def test_corrupted_chain_same_clause_id(self):
         store, _ = synthetic_refutation(40)
@@ -164,9 +190,129 @@ class TestAgreementOnInvalidProofs:
             parallel(store)
         assert str(seq_err.value) == str(par_err.value)
 
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_corrupted_corpus_differential(self, name):
+        """Every corpus mutation is judged identically by both modes,
+        through the arena path (message, clause id, and rule id)."""
+        store, cnf, _ = corrupted(name)
+        try:
+            check_proof(store, axioms=cnf)
+            seq_outcome = None
+        except ProofError as exc:
+            seq_outcome = (exc.clause_id, str(exc), exc.rule_id)
+        try:
+            parallel(store, axioms=cnf, chunk_size=4)
+            par_outcome = None
+        except ProofError as exc:
+            par_outcome = (exc.clause_id, str(exc), exc.rule_id)
+        assert seq_outcome == par_outcome
+        assert seq_outcome is not None  # every mutation must be caught
+        assert open_arenas() == set()
+
+
+@pytest.mark.usefixtures("four_cpus")
+class TestArena:
+    def test_view_round_trips_the_store(self):
+        store, _ = synthetic_refutation(3)
+        arena = ClauseArena.build(store)
+        try:
+            view = ArenaView(arena.name)
+            assert view.num_clauses == len(store)
+            for clause_id in store.ids():
+                assert view.clause(clause_id) == store.clause(clause_id)
+                assert view.kind(clause_id) == store.kind(clause_id)
+                assert view.chain(clause_id) == store.chain(clause_id)
+        finally:
+            arena.close()
+
+    def test_counts_and_empty_id_match_sequential(self):
+        store, axioms = synthetic_refutation(3)
+        seq = check_proof(store, axioms=axioms)
+        arena = ClauseArena.build(store)
+        try:
+            assert arena.num_axioms == seq.num_axioms
+            assert arena.num_derived == seq.num_derived
+            assert arena.empty_id == seq.empty_clause_id
+        finally:
+            arena.close()
+
+    def test_close_unlinks_the_segment(self):
+        store, _ = synthetic_refutation(3)
+        arena = ClauseArena.build(store)
+        name = arena.name
+        assert name in open_arenas()
+        arena.close()
+        arena.close()  # idempotent
+        assert open_arenas() == set()
+        with pytest.raises(FileNotFoundError):
+            ArenaView(name)
+
+    def test_error_path_unlinks_the_segment(self):
+        store, _ = synthetic_refutation(40)
+        bad = corrupt_clause(store, first_derived_after(store, 10))
+        with pytest.raises(ProofError):
+            parallel(bad)
+        assert open_arenas() == set()
+
+    def test_unpackable_store_raises_arena_unsupported(self):
+        store = ProofStore()
+        a = store.add_axiom([2 ** 40, 1])
+        b = store.add_axiom([-(2 ** 40)])
+        store.add_derived([1], [a, (2 ** 40, b)])
+        with pytest.raises(ArenaUnsupported):
+            ClauseArena.build(store)
+
+    def test_unpackable_store_falls_back_to_sequential(self):
+        store = ProofStore()
+        a = store.add_axiom([2 ** 40, 1])
+        b = store.add_axiom([-(2 ** 40)])
+        store.add_derived([1], [a, (2 ** 40, b)])
+        recorder = Recorder()
+        result = parallel(
+            store, require_empty=False, recorder=recorder,
+        )
+        assert result.num_derived == 1
+        fallback = recorder.report()["gauges"]["check/parallel_fallback"]
+        assert fallback.startswith("arena:")
+
+
+@pytest.mark.usefixtures("four_cpus")
+class TestCheckerPool:
+    def test_pool_reused_across_checks(self):
+        store, axioms = synthetic_refutation(40)
+        pool = CheckerPool(2)
+        try:
+            first = parallel(store, axioms=axioms, pool=pool)
+            second = parallel(store, axioms=axioms, pool=pool)
+            assert first.num_resolutions == second.num_resolutions
+            assert pool.checks_served == 2
+            assert not pool.closed
+        finally:
+            pool.close()
+        assert open_arenas() == set()
+
+    def test_closed_pool_falls_back_to_sequential(self):
+        store, axioms = synthetic_refutation(40)
+        pool = CheckerPool(2)
+        pool.close()
+        recorder = Recorder()
+        result = parallel(
+            store, axioms=axioms, pool=pool, recorder=recorder,
+        )
+        assert result.empty_clause_id is not None
+        fallback = recorder.report()["gauges"]["check/parallel_fallback"]
+        assert fallback.startswith("pool:")
+        assert open_arenas() == set()
+
+    def test_pool_close_is_idempotent(self):
+        pool = CheckerPool(2)
+        pool.close()
+        pool.close()
+        assert pool.closed
+
 
 class TestFallbacksAndPlumbing:
-    def test_small_proof_falls_back_to_sequential(self):
+    def test_small_proof_falls_back_to_sequential(self, four_cpus):
         store, axioms = synthetic_refutation(5)
         recorder = Recorder()
         result = check_proof_parallel(
@@ -186,7 +332,21 @@ class TestFallbacksAndPlumbing:
         )
         assert result.empty_clause_id is not None
 
-    def test_recorder_phases_and_gauges(self):
+    def test_single_cpu_falls_back(self, one_cpu):
+        """jobs=4 on a 1-CPU box must not fork: same verdict, honest
+        gauge — the committed 0.405x 'speedup' was this bug."""
+        store, axioms = synthetic_refutation(40)
+        recorder = Recorder()
+        result = check_proof_parallel(
+            store, axioms=axioms, jobs=4, recorder=recorder, min_clauses=1,
+        )
+        assert result.empty_clause_id is not None
+        report = recorder.report()
+        assert report["gauges"]["check/parallel_fallback"] == "cpus"
+        assert "check/replay" in report["phases"]
+        assert "check/parallel-replay" not in report["phases"]
+
+    def test_recorder_phases_and_gauges(self, four_cpus):
         store, axioms = synthetic_refutation(40)
         recorder = Recorder()
         parallel(store, axioms=axioms, recorder=recorder)
@@ -196,20 +356,30 @@ class TestFallbacksAndPlumbing:
         assert report["gauges"]["check/jobs"] == 2
         assert report["gauges"]["check/levels"] == len(levelize(store))
         assert report["gauges"]["check/chunks"] >= 2
+        assert report["gauges"]["check/arena_bytes"] > 0
+        assert report["gauges"]["check/pool_checks"] >= 1
 
-    def test_budget_exhaustion_raises(self):
+    def test_budget_exhaustion_raises(self, four_cpus):
         store, axioms = synthetic_refutation(40)
         budget = Budget(time_limit=0.0)
         with pytest.raises(BudgetExhausted):
             parallel(store, axioms=axioms, budget=budget)
+        assert open_arenas() == set()
 
-    def test_resolve_jobs(self):
-        assert resolve_jobs(None) == 1
-        assert resolve_jobs(1) == 1
-        assert resolve_jobs(3) == 3
-        assert resolve_jobs(0) >= 1
+    def test_resolve_jobs_clamps_to_cpus(self):
+        assert resolve_jobs(None, cpus=8) == 1
+        assert resolve_jobs(1, cpus=8) == 1
+        assert resolve_jobs(3, cpus=8) == 3
+        assert resolve_jobs(4, cpus=1) == 1
+        assert resolve_jobs(4, cpus=2) == 2
+        assert resolve_jobs(0, cpus=2) >= 1
         with pytest.raises(ValueError):
             resolve_jobs(-2)
+
+    def test_resolve_jobs_defaults_to_machine_cpus(self, four_cpus):
+        assert resolve_jobs(8) == 4
+        assert resolve_jobs(0) == 4
+        assert resolve_jobs(2) == 2
 
 
 class TestLevelize:

@@ -236,6 +236,26 @@ class TestExecuteJob:
         assert response["ok"] is True
         assert "service/certify" in response["stats"]["phases"]
 
+    def test_in_worker_certify_with_jobs(self, adder_pair):
+        """The submit ``jobs`` field reaches the proof replay (on a
+        small proof / few CPUs it degrades to the sequential fallback,
+        which is the point: the worker never forks uselessly)."""
+        response = execute_job({
+            "aag_a": adder_pair[0], "aag_b": adder_pair[1],
+            "certify": True, "jobs": 2,
+        })
+        assert response["ok"] is True
+        assert "service/certify" in response["stats"]["phases"]
+
+    def test_certify_jobs_must_be_an_int(self, adder_pair):
+        response = execute_job({
+            "aag_a": adder_pair[0], "aag_b": adder_pair[1],
+            "certify": True, "jobs": "many",
+        })
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad-input"
+        assert "jobs" in response["error"]["message"]
+
 
 class TestServerEndToEnd:
     def test_ping(self, server):
