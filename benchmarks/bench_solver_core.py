@@ -1,0 +1,333 @@
+"""Solver-core benchmark: flat-arena solver vs. the reference solver.
+
+Runs the rewritten cache-conscious core (``repro.sat.solver.Solver``)
+and the retained pre-rewrite implementation
+(``repro.sat.reference.ReferenceSolver``) over deterministic workloads
+and records honest wall-clock ratios plus the trajectory-invariant
+solver statistics::
+
+    PYTHONPATH=src python benchmarks/bench_solver_core.py --out BENCH_solver.json
+    PYTHONPATH=src python benchmarks/bench_solver_core.py --small --out /tmp/b.json
+    PYTHONPATH=src python benchmarks/bench_solver_core.py --profile /tmp/solver.pstats
+
+Workloads (all seeded/committed, no randomness):
+
+* ``load_add24`` — ``add_clause`` throughput over the committed
+  ``examples/data/add24_miter.cnf`` (1880 clauses).
+* ``solve_add24`` — the committed adder-miter UNSAT solve without proof
+  logging; the per-run ``SolverStats`` are deterministic and asserted
+  identical between the two solvers *and* against the committed
+  baseline (any trajectory break shows up as a count change here).
+* ``solve_add24_proof`` — the same solve with resolution logging and
+  trimming; the trimmed tracecheck text must be byte-identical between
+  the two solvers.
+* ``scan_migration`` — synthetic long-clause watch-migration cascade
+  (overlapping 60-literal windows falsified by an implication chain),
+  stressing the clause-body scan.
+* ``cec_rca16_ks16`` — end-to-end ``check_equivalence`` on the
+  committed rca-vs-ks adder pair, with the sweep's solver class swapped
+  for the reference implementation on the baseline run.
+
+Every workload asserts identical verdicts and identical ``SolverStats``
+between the two solvers. The JSON document records per-workload wall
+times, speedups, and core throughput (propagations/sec,
+conflicts/sec). CI replays the small configuration and checks the
+deterministic counts exactly and the throughput within a loose band
+(runner speeds differ; trajectory counts do not).
+
+``--profile`` is the cProfile harness the hot-path work is driven by:
+it runs the ``solve_add24`` workload under ``cProfile`` and dumps a
+``pstats`` file for ``python -m pstats`` / ``snakeviz``-style digging.
+"""
+
+import argparse
+import cProfile
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.circuits import kogge_stone_adder, ripple_carry_adder
+from repro.cnf.dimacs import read_dimacs
+from repro.core.cec import check_equivalence
+import repro.core.fraig as _fraig
+from repro.proof import ProofStore
+from repro.proof.tracecheck import dumps_tracecheck
+from repro.proof.trim import trim
+from repro.sat.reference import ReferenceSolver
+from repro.sat.solver import SAT, UNSAT, Solver
+
+ADD24_CNF = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "examples", "data", "add24_miter.cnf",
+)
+
+# Committed trajectory fingerprint of the add24 solve: both solver
+# implementations must reproduce these exact counts on every machine.
+ADD24_STATS = {
+    "decisions": 3889,
+    "propagations": 130770,
+    "conflicts": 1581,
+    "restarts": 9,
+    "learned": 1580,
+    "deleted": 783,
+}
+
+
+def _best(fn, repeats):
+    """Best-of-N wall time; returns (seconds, last_result)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _stats_dict(stats):
+    return {
+        "decisions": stats.decisions,
+        "propagations": stats.propagations,
+        "conflicts": stats.conflicts,
+        "restarts": stats.restarts,
+        "learned": stats.learned,
+        "deleted": stats.deleted,
+    }
+
+
+def _load_clauses(cls, clauses):
+    solver = cls()
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver
+
+
+def load_benchmark(cnf, repeats):
+    new_s, _ = _best(lambda: _load_clauses(Solver, cnf.clauses), repeats)
+    ref_s, _ = _best(
+        lambda: _load_clauses(ReferenceSolver, cnf.clauses), repeats
+    )
+    return {
+        "clauses": len(cnf.clauses),
+        "new_seconds": round(new_s, 4),
+        "ref_seconds": round(ref_s, 4),
+        "speedup": round(ref_s / new_s, 3),
+        "clauses_per_second": round(len(cnf.clauses) / new_s),
+    }
+
+
+def _solve_add24(cls, cnf):
+    solver = _load_clauses(cls, cnf.clauses)
+    start = time.perf_counter()
+    result = solver.solve()
+    elapsed = time.perf_counter() - start
+    assert result.status is UNSAT
+    return elapsed, solver.stats
+
+
+def solve_benchmark(cnf, repeats):
+    def run(cls):
+        best = None
+        stats = None
+        for _ in range(repeats):
+            elapsed, st = _solve_add24(cls, cnf)
+            if best is None or elapsed < best:
+                best, stats = elapsed, st
+        return best, stats
+
+    new_s, new_stats = run(Solver)
+    ref_s, ref_stats = run(ReferenceSolver)
+    new_d, ref_d = _stats_dict(new_stats), _stats_dict(ref_stats)
+    assert new_d == ref_d, "trajectory diverged: %r vs %r" % (new_d, ref_d)
+    assert new_d == ADD24_STATS, \
+        "trajectory drifted from committed baseline: %r" % (new_d,)
+    return {
+        "stats": new_d,
+        "new_seconds": round(new_s, 4),
+        "ref_seconds": round(ref_s, 4),
+        "speedup": round(ref_s / new_s, 3),
+        "propagations_per_second": round(new_d["propagations"] / new_s),
+        "conflicts_per_second": round(new_d["conflicts"] / new_s),
+    }
+
+
+def _solve_with_proof(cls, cnf):
+    store = ProofStore()
+    solver = cls(proof=store)
+    solver.ensure_vars(cnf.num_vars)
+    alive = True
+    for clause in cnf.clauses:
+        if not solver.add_clause(clause):
+            alive = False
+            break
+    if alive:
+        result = solver.solve()
+        assert result.status is UNSAT
+    trimmed, _ = trim(store)
+    return dumps_tracecheck(trimmed), solver.stats
+
+
+def proof_benchmark(cnf, repeats):
+    new_s, (new_text, new_stats) = _best(
+        lambda: _solve_with_proof(Solver, cnf), repeats
+    )
+    ref_s, (ref_text, ref_stats) = _best(
+        lambda: _solve_with_proof(ReferenceSolver, cnf), repeats
+    )
+    assert new_text == ref_text, "trimmed proofs are not byte-identical"
+    assert _stats_dict(new_stats) == _stats_dict(ref_stats)
+    return {
+        "proof_bytes": len(new_text),
+        "proof_identical": True,
+        "new_seconds": round(new_s, 4),
+        "ref_seconds": round(ref_s, 4),
+        "speedup": round(ref_s / new_s, 3),
+    }
+
+
+def _scan_instance(cls, n, window):
+    solver = cls()
+    for i in range(1, n):
+        solver.add_clause([i, -(i + 1)])
+    extra = n + 1
+    for j in range(1, n - window):
+        solver.add_clause(list(range(j, j + window)) + [extra, extra + 1])
+        extra += 2
+    return solver
+
+
+def _scan_solve(cls, n, window):
+    solver = _scan_instance(cls, n, window)
+    start = time.perf_counter()
+    result = solver.solve(assumptions=[-1])
+    elapsed = time.perf_counter() - start
+    assert result.status is SAT
+    return elapsed, solver.stats
+
+
+def scan_benchmark(repeats, small):
+    n, window = (1200, 40) if small else (2400, 60)
+
+    def run(cls):
+        best = None
+        stats = None
+        for _ in range(repeats):
+            elapsed, st = _scan_solve(cls, n, window)
+            if best is None or elapsed < best:
+                best, stats = elapsed, st
+        return best, stats
+
+    new_s, new_stats = run(Solver)
+    ref_s, ref_stats = run(ReferenceSolver)
+    assert _stats_dict(new_stats) == _stats_dict(ref_stats)
+    return {
+        "vars": n,
+        "window": window,
+        "stats": _stats_dict(new_stats),
+        "new_seconds": round(new_s, 4),
+        "ref_seconds": round(ref_s, 4),
+        "speedup": round(ref_s / new_s, 3),
+    }
+
+
+def cec_benchmark(repeats, small):
+    width = 8 if small else 16
+    aig_a = ripple_carry_adder(width)
+    aig_b = kogge_stone_adder(width)
+
+    def run():
+        result = check_equivalence(aig_a, aig_b)
+        assert result.equivalent is True
+        return result
+
+    new_s, _ = _best(run, repeats)
+    original = _fraig.Solver
+    _fraig.Solver = ReferenceSolver
+    try:
+        ref_s, _ = _best(run, repeats)
+    finally:
+        _fraig.Solver = original
+    return {
+        "pair": "rca%d-vs-ks%d" % (width, width),
+        "new_seconds": round(new_s, 4),
+        "ref_seconds": round(ref_s, 4),
+        "speedup": round(ref_s / new_s, 3),
+    }
+
+
+def run_benchmark(small=False, repeats=None):
+    if repeats is None:
+        repeats = 3 if small else 5
+    cnf = read_dimacs(ADD24_CNF)
+    workloads = {
+        "load_add24": load_benchmark(cnf, repeats),
+        "solve_add24": solve_benchmark(cnf, repeats),
+        "solve_add24_proof": proof_benchmark(cnf, max(2, repeats - 2)),
+        "scan_migration": scan_benchmark(repeats, small),
+        "cec_rca16_ks16": cec_benchmark(repeats, small),
+    }
+    # Honest floor: the rewrite must never be slower than the reference
+    # core on any workload (beyond timer noise), and the structured
+    # workloads must show a real win. 2x wall-clock is *not* asserted:
+    # the reference solver already used __slots__ records and
+    # per-literal watch lists, so both cores sit near the CPython
+    # bytecode-dispatch floor (see docs/performance.md).
+    for name, data in workloads.items():
+        assert data["speedup"] >= 0.90, (name, data)
+    assert workloads["load_add24"]["speedup"] >= 1.10, workloads
+    # 0.95 not 1.0: best-of-N on a noisy shared runner can jitter a few
+    # percent; a real regression lands far below this.
+    assert workloads["solve_add24"]["speedup"] >= 0.95, workloads
+    return {
+        "bench": "solver_core",
+        "mode": "small" if small else "full",
+        "python": platform.python_version(),
+        "repeats": repeats,
+        "workloads": workloads,
+    }
+
+
+def run_profile(path):
+    """cProfile harness over the add24 solve (the committed hot path)."""
+    cnf = read_dimacs(ADD24_CNF)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _solve_add24(Solver, cnf)
+    profiler.disable()
+    profiler.dump_stats(path)
+    import pstats
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(12)
+    print("profile written to %s" % path)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--small", action="store_true",
+                        help="CI configuration: fewer repeats, smaller "
+                             "synthetic workloads")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--out", help="write the JSON document here")
+    parser.add_argument("--profile", metavar="PATH",
+                        help="run the cProfile harness instead of the "
+                             "benchmark and dump pstats to PATH")
+    args = parser.parse_args(argv)
+    if args.profile:
+        run_profile(args.profile)
+        return 0
+    document = run_benchmark(small=args.small, repeats=args.repeats)
+    text = json.dumps(document, indent=1, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,7 +52,16 @@ class Simulator:
         return self._mask_cache
 
     def add_random_patterns(self, count):
-        """Append *count* uniformly random input patterns and re-simulate."""
+        """Append *count* uniformly random input patterns and re-simulate.
+
+        ``count == 0`` is a no-op: no RNG draw, no resimulation pass,
+        ``num_resimulations`` stays put (mirroring the empty-batch
+        behavior of :meth:`add_patterns`).
+        """
+        if count < 0:
+            raise ValueError("pattern count must be non-negative")
+        if count == 0:
+            return
         for idx in range(self.aig.num_inputs):
             self._patterns[idx] |= self._rng.getrandbits(count) << self._num_bits
         self._num_bits += count

@@ -24,7 +24,7 @@ from .exit_codes import (
     EXIT_OK,
     EXIT_UNDECIDED,
 )
-from .instrument import Budget, Recorder
+from .instrument import Budget, Recorder, maybe_profile
 from .proof.drup import write_drup
 from .proof.stats import proof_stats
 from .proof.trim import trim
@@ -129,6 +129,12 @@ def build_parser():
         "server/worker trace",
     )
     parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="profile the local run with cProfile and dump pstats data "
+        "to PATH (see docs/instrumentation.md)",
+    )
+    parser.add_argument(
         "--time-limit",
         type=float,
         metavar="SECONDS",
@@ -176,7 +182,8 @@ def main(argv=None):
             time_limit=args.time_limit, conflict_limit=args.conflict_limit
         )
     try:
-        code = _dispatch(aig_a, aig_b, args, recorder, budget)
+        with maybe_profile(args.profile):
+            code = _dispatch(aig_a, aig_b, args, recorder, budget)
         recorder.meta["exit_code"] = code
     finally:
         if args.stats_json:

@@ -30,6 +30,7 @@ from .metrics import (
     validate_metrics_report,
 )
 from .phases import PHASE_REGISTRY, is_registered
+from .profiling import maybe_profile
 from .recorder import NULL_RECORDER, Recorder, STATS_SCHEMA
 from .tracing import (
     TRACE_SCHEMA,
@@ -55,6 +56,7 @@ __all__ = [
     "configure_logging",
     "get_logger",
     "is_registered",
+    "maybe_profile",
     "to_chrome_trace",
     "to_collapsed_stacks",
     "to_prometheus_text",

@@ -1,0 +1,40 @@
+"""cProfile capture for the CLIs (``--profile PATH``).
+
+The hot-path work on this codebase is profile-driven: every perf PR
+starts from a ``pstats`` dump, not a guess. ``maybe_profile`` wraps a
+CLI run in a :class:`cProfile.Profile` when a path is given and is a
+no-op otherwise, so the flag costs nothing when unused::
+
+    with maybe_profile(args.profile):
+        code = run(...)
+
+Inspect the dump with the standard tooling::
+
+    python -m pstats out.pstats        # interactive: sort cumtime, stats 20
+    python -c "import pstats; pstats.Stats('out.pstats').sort_stats('tottime').print_stats(15)"
+"""
+
+import cProfile
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["maybe_profile"]
+
+
+@contextmanager
+def maybe_profile(path: Optional[str]) -> Iterator[Optional[cProfile.Profile]]:
+    """Profile the enclosed block into *path*; no-op when *path* is falsy.
+
+    The ``pstats`` dump is written even when the block raises, so a
+    crashing run still leaves its profile behind for diagnosis.
+    """
+    if not path:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)

@@ -1,11 +1,13 @@
 """CDCL SAT solving with resolution-proof logging."""
 
+from .reference import ReferenceSolver
 from .solver import SAT, UNKNOWN, UNSAT, SolveResult, Solver, SolverStats, luby
 
 __all__ = [
     "SAT",
     "UNKNOWN",
     "UNSAT",
+    "ReferenceSolver",
     "SolveResult",
     "Solver",
     "SolverStats",

@@ -1,16 +1,49 @@
-"""A CDCL SAT solver with resolution-proof logging.
+"""A cache-conscious CDCL SAT solver with resolution-proof logging.
 
 The solver follows the MiniSat architecture: two-watched-literal
 propagation, first-UIP conflict analysis with (locally) minimized learned
 clauses, VSIDS branching with phase saving, Luby restarts, and activity-
-based learned-clause deletion. Literals are DIMACS integers.
+based learned-clause deletion.  The public interface speaks DIMACS
+integers; internally the core runs on flat integer storage:
 
-What distinguishes it is *proof logging*: when constructed with a
+* **Clause arena.**  All clauses live in one flat integer sequence
+  (``self._arena``).  A clause is addressed by its *ref* — the offset of
+  its header word ``(size << 1) | learnt`` — with the literals in the
+  following ``size`` slots.  ``self._clauses`` / ``self._learnts`` are
+  offset tables into the arena; activity and proof ids are sidecar dicts
+  keyed by ref.  Deleting a clause just abandons its words; the arena is
+  compacted (with an order-preserving ref remap) once half of it is
+  garbage.
+* **Internal literals.**  Literal ``v`` is encoded as ``v << 1`` and
+  ``-v`` as ``(v << 1) | 1`` — the same packing the old solver used for
+  watch-list *indices*, now used end to end.  Negation is ``lit ^ 1``,
+  the variable is ``lit >> 1``, and ``self._lit_val[lit]`` gives the
+  literal's value (1/-1/0) in one subscript, replacing a sign branch plus
+  ``abs()`` per lookup on the hottest line of ``_propagate``.
+* **Blocker-literal watches.**  Watch lists are flat pair sequences
+  ``[ref0, blocker0, ref1, blocker1, ...]``.  The blocker is a literal of
+  the clause (normally the other watched literal); when it is already
+  true the clause is satisfied and propagation can keep the watch after
+  at most two arena reads, never touching the clause body.  Lists are
+  compacted in place with a read/write cursor pair instead of rebuilding
+  a ``keep`` list per visited literal.
+
+The arena layout changes none of the solver's decisions: watch-list
+order, literal order inside clauses, bump order and tie-breaks replicate
+the reference implementation (:mod:`repro.sat.reference`) exactly, so
+search trajectories — and therefore emitted resolution proofs — are
+bit-identical.  The blocker fast path fires only when the blocker is
+*still one of the two watched literals* and replays the same slot swap
+the full path would have performed; a plain MiniSat stale-tolerant
+blocker would keep watches the reference solver moves and diverge.  See
+docs/performance.md for the measured effect.
+
+What distinguishes the solver is *proof logging*: when constructed with a
 :class:`~repro.proof.store.ProofStore`, every original clause is registered
 as an axiom and every learned clause is registered together with the
 trivial resolution chain that conflict analysis performed to produce it.
 Final-conflict analysis under assumptions likewise emits a derived clause
-over the negated assumptions. A refuted instance therefore leaves behind a
+over the negated assumptions.  A refuted instance therefore leaves behind a
 complete, independently checkable resolution refutation; an instance
 refuted *under assumptions* leaves a derived clause usable as a premise by
 later solving episodes — the mechanism the equivalence-checking engine
@@ -30,20 +63,7 @@ SAT = True
 UNSAT = False
 UNKNOWN = None
 
-
-class _Clause:
-    """Internal clause record."""
-
-    __slots__ = ("lits", "learnt", "activity", "proof_id")
-
-    def __init__(self, lits, learnt, proof_id):
-        self.lits = lits
-        self.learnt = learnt
-        self.activity = 0.0
-        self.proof_id = proof_id
-
-    def __repr__(self):
-        return "_Clause(%r)" % (self.lits,)
+_NO_REASON = -1  # reason-table sentinel: decision / unassigned
 
 
 class SolverStats:
@@ -117,20 +137,25 @@ class Solver:
         self._clause_decay = clause_decay
 
         self.num_vars = 0
-        self._assign = [0]          # per var: 0 unknown, 1 true, -1 false
+        # Flat clause storage: header (size << 1 | learnt) + literal words.
+        self._arena = []
+        self._wasted = 0            # abandoned arena words (deleted clauses)
+        self._cla_act = {}          # ref -> learned-clause activity
+        self._proof_ids = {}        # ref -> proof-store clause id
+        self._lit_val = [0, 0]      # per internal lit: 1 true, -1 false, 0
         self._level = [0]           # per var: decision level of assignment
-        self._reason = [None]       # per var: _Clause or None
+        self._reason = [_NO_REASON]  # per var: clause ref or _NO_REASON
         self._phase = [False]       # per var: saved phase
         self._activity = [0.0]      # per var: VSIDS activity
-        self._watches = [[], []]    # per lit index: list of _Clause
-        self._trail = []
+        self._watches = [[], []]    # per internal lit: [ref, blocker, ...]
+        self._trail = []            # internal literals
         self._trail_lim = []        # trail positions of decisions
         self._qhead = 0
         self._heap = []             # lazy max-heap of (-activity, var)
         self._var_inc = 1.0
         self._cla_inc = 1.0
-        self._clauses = []          # problem clauses
-        self._learnts = []          # learned clauses
+        self._clauses = []          # problem clause refs
+        self._learnts = []          # learned clause refs
         self._unsat = False         # empty clause derived (global)
         self._unsat_proof_id = None
         self._seen = [False]
@@ -144,9 +169,10 @@ class Solver:
     def new_var(self):
         """Allocate a fresh variable and return its (positive) index."""
         self.num_vars += 1
-        self._assign.append(0)
+        self._lit_val.append(0)
+        self._lit_val.append(0)
         self._level.append(0)
-        self._reason.append(None)
+        self._reason.append(_NO_REASON)
         self._phase.append(False)
         self._activity.append(0.0)
         self._watches.append([])
@@ -162,13 +188,65 @@ class Solver:
 
     @staticmethod
     def _widx(lit):
-        # Watch-list index of a literal: positives at even slots.
+        # Internal encoding of a DIMACS literal: positives at even slots.
+        # (Also the watch-list index, as in the reference solver.)
         return (lit << 1) if lit > 0 else ((-lit << 1) | 1)
+
+    @staticmethod
+    def _dimacs(ilit):
+        # Internal literal back to DIMACS.
+        return -(ilit >> 1) if ilit & 1 else (ilit >> 1)
 
     def value(self, lit):
         """Current value of *lit*: 1 true, -1 false, 0 unassigned."""
-        val = self._assign[abs(lit)]
-        return val if lit > 0 else -val
+        return self._lit_val[
+            (lit << 1) if lit > 0 else ((-lit << 1) | 1)
+        ]
+
+    # -- arena helpers --------------------------------------------------
+
+    def _alloc(self, int_lits, learnt, proof_id):
+        """Append a clause to the arena; returns its ref."""
+        arena = self._arena
+        ref = len(arena)
+        arena.append((len(int_lits) << 1) | (1 if learnt else 0))
+        arena.extend(int_lits)
+        if proof_id is not None:
+            self._proof_ids[ref] = proof_id
+        return ref
+
+    def clause_size(self, ref):
+        """Number of literals of the clause at *ref*."""
+        return self._arena[ref] >> 1
+
+    def clause_is_learnt(self, ref):
+        """Whether the clause at *ref* is a learned clause."""
+        return bool(self._arena[ref] & 1)
+
+    def clause_lits(self, ref):
+        """DIMACS literals of the clause at *ref*, in arena order."""
+        size = self._arena[ref] >> 1
+        return [
+            -(l >> 1) if l & 1 else (l >> 1)
+            for l in self._arena[ref + 1:ref + 1 + size]
+        ]
+
+    def clause_proof_id(self, ref):
+        """Proof-store id of the clause at *ref* (None when not logging)."""
+        return self._proof_ids.get(ref)
+
+    def clause_refs(self):
+        """Refs of the live problem clauses, in insertion order."""
+        return list(self._clauses)
+
+    def clause_activity(self, ref):
+        """Learned-clause activity of the clause at *ref*."""
+        return self._cla_act.get(ref, 0.0)
+
+    def reason_ref(self, var):
+        """Clause ref that propagated *var*, or None for decisions."""
+        ref = self._reason[var]
+        return None if ref == _NO_REASON else ref
 
     def add_clause(self, lits, axiom=True, proof_id=None):
         """Add a problem clause.
@@ -190,50 +268,91 @@ class Solver:
         if any(-lit in unique for lit in unique):
             return True  # tautology: satisfied everywhere, skip
         clause = sorted(unique)
-        for lit in clause:
-            self.ensure_vars(abs(lit))
+        if clause:
+            # Sorted, so the extreme literals bound the variable range.
+            self.ensure_vars(max(clause[-1], -clause[0]))
         if self.proof is not None and proof_id is None:
             if not axiom:
                 raise ProofError("non-axiom clauses need an explicit proof_id")
             proof_id = self.proof.add_axiom(clause)
-        if self.decision_level():
+        if self._trail_lim:
             self.cancel_until(0)
         if not clause:
             self._unsat = True
             self._unsat_proof_id = proof_id
             return False
-        record = _Clause(list(clause), learnt=False, proof_id=proof_id)
+        lit_val = self._lit_val
+        int_lits = [
+            (lit << 1) if lit > 0 else ((-lit << 1) | 1) for lit in clause
+        ]
+        ref = self._alloc(int_lits, learnt=False, proof_id=proof_id)
+        if not self._trail and len(int_lits) >= 2:
+            # Nothing assigned yet (the bulk CNF-loading case): every
+            # literal is free, the clause is a plain two-watched clause.
+            self._install_watches(ref, int_lits)
+            self._clauses.append(ref)
+            return True
         # Count non-false literals at level 0 to classify the clause.
-        free = [lit for lit in clause if self.value(lit) >= 0]
-        satisfied = any(self.value(lit) == 1 for lit in clause)
+        free = []
+        satisfied = False
+        for l in int_lits:
+            v = lit_val[l]
+            if v >= 0:
+                free.append(l)
+                if v == 1:
+                    satisfied = True
         if satisfied or len(free) >= 2:
-            self._install_watches(record)
-            self._clauses.append(record)
+            self._install_watches(ref, int_lits)
+            self._clauses.append(ref)
             return True
         if len(free) == 1:
-            self._clauses.append(record)
-            self._install_watches(record)
-            self._enqueue(free[0], record)
+            self._clauses.append(ref)
+            self._install_watches(ref, int_lits)
+            self._enqueue_int(free[0], ref)
             return self._propagate_toplevel()
         # All literals false at level 0: immediate refutation.
-        self._record_level0_refutation(record)
+        self._record_level0_refutation(ref)
         return False
 
-    def _install_watches(self, record):
-        lits = record.lits
-        # Move two watchable literals to the front: prefer unassigned/true.
-        order = sorted(range(len(lits)), key=lambda i: self.value(lits[i]),
-                       reverse=True)
-        if len(order) >= 2:
+    def _install_watches(self, ref, lits):
+        arena = self._arena
+        lit_val = self._lit_val
+        size = len(lits)
+        if size >= 2:
+            vals = [lit_val[l] for l in lits]
+            if min(vals) == vals[0] == max(vals):
+                # All literals at the same value (typically all free):
+                # the stable sort below is the identity — skip it.
+                w0, w1 = lits[0], lits[1]
+                ws = self._watches[w0]
+                ws.append(ref)
+                ws.append(w1)
+                ws = self._watches[w1]
+                ws.append(ref)
+                ws.append(w0)
+                return
+            lits = list(lits)
+            # Move two watchable literals to the front: prefer
+            # unassigned/true (stable descending sort, as the reference
+            # solver does, so watch placement matches it exactly).
+            order = sorted(range(size), key=vals.__getitem__, reverse=True)
             i0, i1 = order[0], order[1]
             lits[0], lits[i0] = lits[i0], lits[0]
             if i1 == 0:
                 i1 = i0
             lits[1], lits[i1] = lits[i1], lits[1]
-            self._watches[self._widx(lits[0])].append(record)
-            self._watches[self._widx(lits[1])].append(record)
+            arena[ref + 1:ref + 1 + size] = lits
+            w0, w1 = lits[0], lits[1]
+            ws = self._watches[w0]
+            ws.append(ref)
+            ws.append(w1)
+            ws = self._watches[w1]
+            ws.append(ref)
+            ws.append(w0)
         else:
-            self._watches[self._widx(lits[0])].append(record)
+            ws = self._watches[lits[0]]
+            ws.append(ref)
+            ws.append(lits[0])
 
     def _propagate_toplevel(self):
         conflict = self._propagate()
@@ -264,85 +383,158 @@ class Solver:
         return len(self._trail_lim)
 
     def _enqueue(self, lit, reason):
-        var = abs(lit)
-        self._assign[var] = 1 if lit > 0 else -1
-        self._level[var] = self.decision_level()
-        self._reason[var] = reason
-        self._trail.append(lit)
+        """Assign DIMACS literal *lit* true (reason: clause ref or None)."""
+        self._enqueue_int(
+            (lit << 1) if lit > 0 else ((-lit << 1) | 1),
+            _NO_REASON if reason is None else reason,
+        )
+
+    def _enqueue_int(self, ilit, reason_ref):
+        lit_val = self._lit_val
+        lit_val[ilit] = 1
+        lit_val[ilit ^ 1] = -1
+        var = ilit >> 1
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason_ref
+        self._trail.append(ilit)
 
     def _new_decision_level(self):
         self._trail_lim.append(len(self._trail))
 
     def cancel_until(self, level):
         """Undo all assignments above *level*."""
-        if self.decision_level() <= level:
+        if len(self._trail_lim) <= level:
             return
+        trail = self._trail
+        lit_val = self._lit_val
+        phase = self._phase
+        reason = self._reason
+        activity = self._activity
+        heap = self._heap
+        push = heapq.heappush
         bound = self._trail_lim[level]
-        for pos in range(len(self._trail) - 1, bound - 1, -1):
-            lit = self._trail[pos]
-            var = abs(lit)
-            self._phase[var] = lit > 0
-            self._assign[var] = 0
-            self._reason[var] = None
-            heapq.heappush(self._heap, (-self._activity[var], var))
-        del self._trail[bound:]
+        # Per-variable state updates commute (each var appears once), and
+        # heap pops yield the strict (-activity, var) order regardless of
+        # push order, so forward iteration is trajectory-equivalent to the
+        # reference solver's reverse walk.
+        for ilit in trail[bound:]:
+            var = ilit >> 1
+            phase[var] = not (ilit & 1)
+            lit_val[ilit] = 0
+            lit_val[ilit ^ 1] = 0
+            reason[var] = _NO_REASON
+            push(heap, (-activity[var], var))
+        del trail[bound:]
         del self._trail_lim[level:]
-        self._qhead = len(self._trail)
+        self._qhead = len(trail)
 
     # ------------------------------------------------------------------
     # Propagation
     # ------------------------------------------------------------------
 
     def _propagate(self):
-        """Unit propagation; returns a conflicting _Clause or None."""
+        """Unit propagation; returns a conflicting clause ref or None.
+
+        The hot loop: per watch pair the blocker is checked first (one
+        ``_lit_val`` subscript); only a stale or non-true blocker touches
+        the clause body in the arena.  Compaction is two-phase: while no
+        watch has moved away, kept entries stay where they are (zero list
+        writes on the common all-kept traversal); the first relocation
+        switches to a write cursor *j* that slides the survivors down in
+        place.  The fast path fires only when the blocker is still one of
+        the two watched literals and performs the same slot0/slot1
+        normalization as the full path, keeping arena state — and hence
+        the search trajectory — identical to the reference solver's.
+        """
         trail = self._trail
+        tappend = trail.append
         watches = self._watches
-        assign = self._assign
-        while self._qhead < len(trail):
-            lit = trail[self._qhead]
-            self._qhead += 1
-            self.stats.propagations += 1
-            false_lit = -lit
-            widx = self._widx(false_lit)
-            watchers = watches[widx]
-            if not watchers:
+        lit_val = self._lit_val
+        arena = self._arena
+        level = self._level
+        reason = self._reason
+        dlevel = len(self._trail_lim)
+        stats = self.stats
+        qhead = qstart = self._qhead
+        while qhead < len(trail):
+            ilit = trail[qhead]
+            qhead += 1
+            false_lit = ilit ^ 1
+            ws = watches[false_lit]
+            if not ws:
                 continue
-            keep = []
-            conflict = None
-            idx = 0
-            count = len(watchers)
-            while idx < count:
-                record = watchers[idx]
-                idx += 1
-                lits = record.lits
-                if lits[0] == false_lit:
-                    lits[0], lits[1] = lits[1], lits[0]
-                first = lits[0]
-                val0 = assign[first] if first > 0 else -assign[-first]
+            j = -1  # write cursor; -1 while no entry has been dropped
+            for i in range(0, len(ws), 2):
+                ref = ws[i]
+                blocker = ws[i + 1]
+                if lit_val[blocker] == 1:
+                    first = arena[ref + 1]
+                    if first == blocker:
+                        if j >= 0:
+                            ws[j] = ref
+                            ws[j + 1] = blocker
+                            j += 2
+                        continue
+                    if arena[ref + 2] == blocker:
+                        # Reference behavior: slot0 (the false literal)
+                        # swaps with slot1 before the satisfied check.
+                        arena[ref + 1] = blocker
+                        arena[ref + 2] = first
+                        if j >= 0:
+                            ws[j] = ref
+                            ws[j + 1] = blocker
+                            j += 2
+                        continue
+                    # Stale blocker: fall through to the full path.
+                else:
+                    first = arena[ref + 1]
+                if first == false_lit:
+                    first = arena[ref + 2]
+                    arena[ref + 1] = first
+                    arena[ref + 2] = false_lit
+                val0 = lit_val[first]
                 if val0 == 1:
-                    keep.append(record)
+                    if j >= 0:
+                        ws[j] = ref
+                        ws[j + 1] = first
+                        j += 2
+                    else:
+                        ws[i + 1] = first  # refresh blocker in place
                     continue
-                moved = False
-                for pos in range(2, len(lits)):
-                    cand = lits[pos]
-                    val = assign[cand] if cand > 0 else -assign[-cand]
-                    if val != -1:
-                        lits[1], lits[pos] = lits[pos], lits[1]
-                        watches[self._widx(cand)].append(record)
-                        moved = True
+                for pos in range(ref + 3, ref + 1 + (arena[ref] >> 1)):
+                    cand = arena[pos]
+                    if lit_val[cand] != -1:
+                        arena[ref + 2] = cand
+                        arena[pos] = false_lit
+                        other = watches[cand]
+                        other.append(ref)
+                        other.append(first)
+                        if j < 0:
+                            j = i  # first relocation: compact from here
                         break
-                if moved:
-                    continue
-                keep.append(record)
-                if val0 == -1:
-                    conflict = record
-                    keep.extend(watchers[idx:])
-                    break
-                self._enqueue(first, record)
-            watches[widx] = keep
-            if conflict is not None:
-                self._qhead = len(trail)
-                return conflict
+                else:
+                    if j >= 0:
+                        ws[j] = ref
+                        ws[j + 1] = first
+                        j += 2
+                    else:
+                        ws[i + 1] = first
+                    if val0 == -1:
+                        if j >= 0:
+                            ws[j:] = ws[i + 2:]
+                        stats.propagations += qhead - qstart
+                        self._qhead = len(trail)
+                        return ref
+                    lit_val[first] = 1
+                    lit_val[first ^ 1] = -1
+                    var = first >> 1
+                    level[var] = dlevel
+                    reason[var] = ref
+                    tappend(first)
+            if j >= 0:
+                del ws[j:]
+        stats.propagations += qhead - qstart
+        self._qhead = qhead
         return None
 
     # ------------------------------------------------------------------
@@ -357,20 +549,22 @@ class Solver:
             self._var_inc *= 1e-100
         heapq.heappush(self._heap, (-self._activity[var], var))
 
-    def _bump_clause(self, record):
-        record.activity += self._cla_inc
-        if record.activity > 1e20:
-            for rec in self._learnts:
-                rec.activity *= 1e-20
+    def _bump_clause(self, ref):
+        cla_act = self._cla_act
+        act = cla_act.get(ref, 0.0) + self._cla_inc
+        cla_act[ref] = act
+        if act > 1e20:
+            for lref in self._learnts:
+                cla_act[lref] *= 1e-20
             self._cla_inc *= 1e-20
 
     def _analyze(self, conflict):
         """First-UIP conflict analysis with proof logging.
 
         Returns ``(learnt_lits, backtrack_level, chain)`` where
-        ``learnt_lits[0]`` is the asserting literal and *chain* is the
-        trivial resolution chain deriving the clause (or None when not
-        proof logging).
+        ``learnt_lits`` holds *internal* literals, ``learnt_lits[0]`` is
+        the asserting literal and *chain* is the trivial resolution chain
+        deriving the clause (or None when not proof logging).
 
         Level-0 literals are dropped from the learned clause, as usual in
         CDCL; to keep the logged chain exact, every dropped literal is
@@ -379,53 +573,69 @@ class Solver:
         """
         seen = self._seen
         level = self._level
-        current_level = self.decision_level()
+        arena = self._arena
+        trail = self._trail
+        reason = self._reason
+        activity = self._activity
+        heap = self._heap
+        push = heapq.heappush
+        var_inc = self._var_inc
+        current_level = len(self._trail_lim)
         logging = self.proof is not None
-        chain = [conflict.proof_id] if logging else None
+        proof_ids = self._proof_ids
+        chain = [proof_ids[conflict]] if logging else None
         zero_marked = set()
         learnt = []
         path_count = 0
-        resolvent = conflict
-        pos = len(self._trail) - 1
+        ref = conflict
+        pos = len(trail) - 1
         uip = None
         while True:
-            if resolvent.learnt:
-                self._bump_clause(resolvent)
-            start = 1 if resolvent is not conflict else 0
-            lits = resolvent.lits
-            for k in range(start, len(lits)):
-                lit = lits[k]
-                var = abs(lit)
+            if arena[ref] & 1:
+                self._bump_clause(ref)
+            start = 0 if ref == conflict else 1
+            for lit in arena[ref + 1 + start:ref + 1 + (arena[ref] >> 1)]:
+                var = lit >> 1
                 if seen[var]:
                     continue
-                if level[var] == 0:
+                lvl = level[var]
+                if lvl == 0:
                     zero_marked.add(var)
                     continue
                 seen[var] = True
-                self._bump_var(var)
-                if level[var] >= current_level:
+                # Inlined _bump_var (the rescale branch is cold).
+                act = activity[var] + var_inc
+                activity[var] = act
+                if act > 1e100:
+                    for v in range(1, self.num_vars + 1):
+                        activity[v] *= 1e-100
+                    var_inc *= 1e-100
+                    self._var_inc = var_inc
+                    act = activity[var]
+                push(heap, (-act, var))
+                if lvl >= current_level:
                     path_count += 1
                 else:
                     learnt.append(lit)
             # Pick the next trail literal to expand.
-            while not seen[abs(self._trail[pos])]:
+            while not seen[trail[pos] >> 1]:
                 pos -= 1
-            uip = self._trail[pos]
-            var = abs(uip)
+            uip = trail[pos]
+            var = uip >> 1
             seen[var] = False
             pos -= 1
             path_count -= 1
             if path_count == 0:
                 break
-            resolvent = self._reason[var]
+            ref = reason[var]
             if logging:
-                chain.append((var, resolvent.proof_id))
-        learnt_full = [-uip] + learnt
+                chain.append((var, proof_ids[ref]))
+        learnt_full = [uip ^ 1] + learnt
         learnt_full, chain = self._minimize(learnt_full, chain, zero_marked)
         if logging and zero_marked:
             self._eliminate_level0(zero_marked, chain)
         for lit in learnt_full:
-            seen[abs(lit)] = False
+            seen[lit >> 1] = False
         # Note: literals resolved away at the current level were already
         # unmarked during the walk; _minimize unmarks removed ones.
         if len(learnt_full) == 1:
@@ -434,10 +644,10 @@ class Solver:
             # Find the second-highest level and move its literal to slot 1.
             best = 1
             for k in range(2, len(learnt_full)):
-                if level[abs(learnt_full[k])] > level[abs(learnt_full[best])]:
+                if level[learnt_full[k] >> 1] > level[learnt_full[best] >> 1]:
                     best = k
             learnt_full[1], learnt_full[best] = learnt_full[best], learnt_full[1]
-            backtrack = level[abs(learnt_full[1])]
+            backtrack = level[learnt_full[1] >> 1]
         self._var_inc /= self._var_decay
         self._cla_inc /= self._clause_decay
         return learnt_full, backtrack, chain
@@ -454,28 +664,38 @@ class Solver:
         """
         level = self._level
         reason = self._reason
+        arena = self._arena
+        proof_ids = self._proof_ids
+        logging = chain is not None
         members = set(learnt)
         changed = True
         while changed:
             changed = False
             for k in range(len(learnt) - 1, 0, -1):
                 lit = learnt[k]
-                var = abs(lit)
-                rec = reason[var]
-                if rec is None:
+                var = lit >> 1
+                ref = reason[var]
+                if ref == _NO_REASON:
                     continue
-                others = [l for l in rec.lits if abs(l) != var]
-                if not all(l in members or level[abs(l)] == 0 for l in others):
+                body = arena[ref + 1:ref + 1 + (arena[ref] >> 1)]
+                redundant = True
+                for l in body:
+                    if (l >> 1 != var and l not in members
+                            and level[l >> 1] != 0):
+                        redundant = False
+                        break
+                if not redundant:
                     continue
                 members.discard(lit)
                 learnt.pop(k)
                 self.stats.minimized_literals += 1
                 self._seen[var] = False
-                if chain is not None:
-                    chain.append((var, rec.proof_id))
-                for l in others:
-                    if l not in members and level[abs(l)] == 0:
-                        zero_marked.add(abs(l))
+                if logging:
+                    chain.append((var, proof_ids[ref]))
+                for l in body:
+                    lv = l >> 1
+                    if lv != var and l not in members and level[lv] == 0:
+                        zero_marked.add(lv)
                 changed = True
         return learnt, chain
 
@@ -488,17 +708,18 @@ class Solver:
         variable's elimination step comes after every step that could have
         introduced its literal into the resolvent.
         """
+        arena = self._arena
         bound = self._trail_lim[0] if self._trail_lim else len(self._trail)
         for pos in range(bound - 1, -1, -1):
-            var = abs(self._trail[pos])
+            var = self._trail[pos] >> 1
             if var not in zero_marked:
                 continue
-            rec = self._reason[var]
-            if rec is None:
+            ref = self._reason[var]
+            if ref == _NO_REASON:
                 raise ProofError("level-0 variable %d has no reason" % var)
-            chain.append((var, rec.proof_id))
-            for lit in rec.lits:
-                lvar = abs(lit)
+            chain.append((var, self._proof_ids[ref]))
+            for lit in arena[ref + 1:ref + 1 + (arena[ref] >> 1)]:
+                lvar = lit >> 1
                 if lvar != var:
                     zero_marked.add(lvar)
 
@@ -506,51 +727,116 @@ class Solver:
     # Learned clauses
     # ------------------------------------------------------------------
 
-    def _record_learnt(self, lits, chain):
+    def _record_learnt(self, int_lits, chain):
         proof_id = None
         if self.proof is not None:
             if len(chain) == 1:
                 proof_id = chain[0]
             else:
-                proof_id = self.proof.add_derived(lits, chain)
-        record = _Clause(list(lits), learnt=True, proof_id=proof_id)
+                proof_id = self.proof.add_derived(
+                    [-(l >> 1) if l & 1 else (l >> 1) for l in int_lits],
+                    chain,
+                )
+        ref = self._alloc(int_lits, learnt=True, proof_id=proof_id)
         self.stats.learned += 1
-        if len(lits) >= 2:
-            self._learnts.append(record)
-            self._bump_clause(record)
-            self._watches[self._widx(lits[0])].append(record)
-            self._watches[self._widx(lits[1])].append(record)
-        self._enqueue(lits[0], record)
-        return record
+        if len(int_lits) >= 2:
+            self._learnts.append(ref)
+            self._bump_clause(ref)
+            w0, w1 = int_lits[0], int_lits[1]
+            ws = self._watches[w0]
+            ws.append(ref)
+            ws.append(w1)
+            ws = self._watches[w1]
+            ws.append(ref)
+            ws.append(w0)
+        self._enqueue_int(int_lits[0], ref)
+        return ref
 
     def _reduce_db(self):
         """Remove roughly half of the inactive, unlocked learned clauses."""
+        arena = self._arena
         learnts = self._learnts
-        learnts.sort(key=lambda rec: rec.activity)
+        learnts.sort(key=self._cla_act.__getitem__)
         locked = set()
+        reason = self._reason
         for var in range(1, self.num_vars + 1):
-            rec = self._reason[var]
-            if rec is not None and rec.learnt:
-                locked.add(id(rec))
+            ref = reason[var]
+            if ref != _NO_REASON and arena[ref] & 1:
+                locked.add(ref)
         keep = []
         to_delete = len(learnts) // 2
         deleted = 0
-        for pos, rec in enumerate(learnts):
-            if deleted < to_delete and id(rec) not in locked and len(rec.lits) > 2:
-                self._detach(rec)
+        for ref in learnts:
+            if (deleted < to_delete and ref not in locked
+                    and (arena[ref] >> 1) > 2):
+                self._detach(ref)
+                self._free(ref)
                 deleted += 1
             else:
-                keep.append(rec)
+                keep.append(ref)
         self._learnts = keep
         self.stats.deleted += deleted
+        if self._wasted * 2 > len(arena):
+            self._compact_arena()
 
-    def _detach(self, record):
-        for lit in record.lits[:2]:
-            watchers = self._watches[self._widx(lit)]
-            try:
-                watchers.remove(record)
-            except ValueError:
-                pass
+    def _detach(self, ref):
+        arena = self._arena
+        for ilit in (arena[ref + 1], arena[ref + 2]):
+            ws = self._watches[ilit]
+            for i in range(0, len(ws), 2):
+                if ws[i] == ref:
+                    del ws[i:i + 2]
+                    break
+
+    def _free(self, ref):
+        """Abandon the clause's arena words (reclaimed by compaction)."""
+        self._wasted += (self._arena[ref] >> 1) + 1
+        self._cla_act.pop(ref, None)
+        self._proof_ids.pop(ref, None)
+
+    def _compact_arena(self):
+        """Rebuild the arena without abandoned words.
+
+        Live refs are remapped everywhere they appear — clause/learnt
+        offset tables, reason table, watch pairs, sidecar dicts — with
+        every ordering preserved, so compaction never perturbs the search
+        trajectory.
+        """
+        arena = self._arena
+        new_arena = []
+        remap = {}
+
+        def move(ref):
+            if ref in remap:
+                return
+            new_ref = len(new_arena)
+            remap[ref] = new_ref
+            new_arena.extend(arena[ref:ref + 1 + (arena[ref] >> 1)])
+
+        for ref in self._clauses:
+            move(ref)
+        for ref in self._learnts:
+            move(ref)
+        for ref in self._reason:
+            if ref != _NO_REASON:
+                move(ref)  # unit learnts live only in the reason table
+        self._arena = new_arena
+        self._wasted = 0
+        self._clauses = [remap[ref] for ref in self._clauses]
+        self._learnts = [remap[ref] for ref in self._learnts]
+        self._reason = [
+            remap[ref] if ref != _NO_REASON else _NO_REASON
+            for ref in self._reason
+        ]
+        for ws in self._watches:
+            for i in range(0, len(ws), 2):
+                ws[i] = remap[ws[i]]
+        self._cla_act = {
+            remap[ref]: act for ref, act in self._cla_act.items()
+        }
+        self._proof_ids = {
+            remap[ref]: pid for ref, pid in self._proof_ids.items()
+        }
 
     # ------------------------------------------------------------------
     # Decisions
@@ -559,13 +845,13 @@ class Solver:
     def _pick_branch_var(self):
         heap = self._heap
         activity = self._activity
-        assign = self._assign
+        lit_val = self._lit_val
         while heap:
             neg_act, var = heapq.heappop(heap)
-            if assign[var] == 0 and -neg_act == activity[var]:
+            if lit_val[var << 1] == 0 and -neg_act == activity[var]:
                 return var
         for var in range(1, self.num_vars + 1):
-            if assign[var] == 0:
+            if lit_val[var << 1] == 0:
                 return var
         return None
 
@@ -573,50 +859,54 @@ class Solver:
     # Final-conflict analysis (assumptions)
     # ------------------------------------------------------------------
 
-    def _resolve_out(self, start_clause, keep):
+    def _resolve_out(self, start_ref, keep):
         """Resolve away every trail-assigned literal not selected by *keep*.
 
         Walks the trail backwards from the top, exactly like conflict
-        analysis but across all decision levels. Literals for which
+        analysis but across all decision levels. DIMACS literals for which
         ``keep(lit)`` is true (the negations of responsible assumptions)
         stay in the clause; decisions must all satisfy *keep*.
 
-        Returns ``(clause_lits, chain)``.
+        Returns ``(clause_lits, chain)`` with DIMACS literals.
         """
         seen = self._seen
+        arena = self._arena
+        lit_val = self._lit_val
         marked = []
         result = []
-        chain = [start_clause.proof_id] if self.proof is not None else None
+        logging = self.proof is not None
+        chain = [self._proof_ids[start_ref]] if logging else None
         # Mark only the *false* literals of the start clause: a true literal
         # (the propagated one, in final-conflict analysis) must survive into
         # the result rather than be resolved against its own reason.
-        for lit in start_clause.lits:
-            var = abs(lit)
-            if self.value(lit) == -1 and not seen[var]:
+        for lit in arena[start_ref + 1:start_ref + 1 + (arena[start_ref] >> 1)]:
+            var = lit >> 1
+            if lit_val[lit] == -1 and not seen[var]:
                 seen[var] = True
                 marked.append(var)
         # Walk the full trail top-down.
         for pos in range(len(self._trail) - 1, -1, -1):
             trail_lit = self._trail[pos]
-            var = abs(trail_lit)
+            var = trail_lit >> 1
             if not seen[var]:
                 continue
             seen[var] = False
-            reason = self._reason[var]
-            if reason is None:
+            ref = self._reason[var]
+            if ref == _NO_REASON:
                 # A decision (assumption): it must be kept.
-                if not keep(-trail_lit):
+                neg_dimacs = var if trail_lit & 1 else -var
+                if not keep(neg_dimacs):
                     self._clear_marks(marked)
                     raise ProofError(
                         "final analysis reached non-assumption decision %d"
-                        % trail_lit
+                        % (-neg_dimacs)
                     )
-                result.append(-trail_lit)
+                result.append(neg_dimacs)
                 continue
-            if self.proof is not None:
-                chain.append((var, reason.proof_id))
-            for lit in reason.lits:
-                lvar = abs(lit)
+            if logging:
+                chain.append((var, self._proof_ids[ref]))
+            for lit in arena[ref + 1:ref + 1 + (arena[ref] >> 1)]:
+                lvar = lit >> 1
                 if lvar != var and not seen[lvar]:
                     seen[lvar] = True
                     marked.append(lvar)
@@ -634,8 +924,8 @@ class Solver:
         negated assumptions.
         """
         var = abs(false_assumption_lit)
-        reason = self._reason[var]
-        if reason is None:
+        ref = self._reason[var]
+        if ref == _NO_REASON:
             # The opposite literal was itself placed as an assumption:
             # the assumption set is directly contradictory; no resolution
             # clause exists (it would be a tautology).
@@ -643,7 +933,7 @@ class Solver:
                 "directly contradictory assumptions on variable %d" % var
             )
         clause, chain = self._resolve_out(
-            reason, keep=lambda lit: -lit in assumption_set
+            ref, keep=lambda lit: -lit in assumption_set
         )
         # reason propagated -false_assumption_lit, which stays in the clause.
         clause = sorted(set(clause + [-false_assumption_lit]))
@@ -697,9 +987,13 @@ class Solver:
         timing = rec.enabled
         clock = time.perf_counter
         solve_start = clock() if timing else 0.0
-        conflicts_before = self.stats.conflicts
-        decisions_before = self.stats.decisions
-        propagations_before = self.stats.propagations
+        stats = self.stats
+        conflicts_before = stats.conflicts
+        decisions_before = stats.decisions
+        propagations_before = stats.propagations
+        restarts_before = stats.restarts
+        learned_before = stats.learned
+        deleted_before = stats.deleted
         try:
             return self._solve_loop(
                 assumptions, assumption_set, max_conflicts, budget,
@@ -716,15 +1010,27 @@ class Solver:
                 rec.add_time("solver/restart", restart_s)
                 rec.count(
                     "solver/conflicts",
-                    self.stats.conflicts - conflicts_before,
+                    stats.conflicts - conflicts_before,
                 )
                 rec.count(
                     "solver/decisions",
-                    self.stats.decisions - decisions_before,
+                    stats.decisions - decisions_before,
                 )
                 rec.count(
                     "solver/propagations",
-                    self.stats.propagations - propagations_before,
+                    stats.propagations - propagations_before,
+                )
+                rec.count(
+                    "solver/restarts",
+                    stats.restarts - restarts_before,
+                )
+                rec.count(
+                    "solver/learned",
+                    stats.learned - learned_before,
+                )
+                rec.count(
+                    "solver/deleted",
+                    stats.deleted - deleted_before,
                 )
 
     def _solve_loop(self, assumptions, assumption_set, max_conflicts,
@@ -758,7 +1064,7 @@ class Solver:
                 self.stats.conflicts += 1
                 total_conflicts += 1
                 conflicts_until_restart -= 1
-                if self.decision_level() == 0:
+                if not self._trail_lim:
                     self._record_level0_refutation(conflict)
                     flush()
                     return SolveResult(UNSAT, None, (), self._unsat_proof_id)
@@ -798,9 +1104,9 @@ class Solver:
                     self.cancel_until(0)
                 continue
             # Place pending assumptions as pseudo-decisions.
-            lit = None
-            while self.decision_level() < len(assumptions):
-                candidate = assumptions[self.decision_level()]
+            ilit = None
+            while len(self._trail_lim) < len(assumptions):
+                candidate = assumptions[len(self._trail_lim)]
                 val = self.value(candidate)
                 if val == 1:
                     self._new_decision_level()  # already true: dummy level
@@ -812,16 +1118,17 @@ class Solver:
                     self.cancel_until(0)
                     flush()
                     return SolveResult(UNSAT, None, tuple(clause), proof_id)
-                lit = candidate
+                ilit = (candidate << 1) if candidate > 0 \
+                    else ((-candidate << 1) | 1)
                 break
-            if lit is None:
+            if ilit is None:
                 var = self._pick_branch_var()
                 if var is None:
-                    model = list(self._assign)
+                    model = self._lit_val[0::2]
                     self.cancel_until(0)
                     flush()
                     return SolveResult(SAT, model, None, None)
-                lit = var if self._phase[var] else -var
+                ilit = (var << 1) if self._phase[var] else ((var << 1) | 1)
             self.stats.decisions += 1
             decisions_since_check += 1
             if budget is not None and decisions_since_check >= 256:
@@ -831,7 +1138,7 @@ class Solver:
                     flush()
                     return SolveResult(UNKNOWN, None, None, None)
             self._new_decision_level()
-            self._enqueue(lit, None)
+            self._enqueue_int(ilit, _NO_REASON)
 
 
 class SolveResult:

@@ -18,7 +18,7 @@ from . import __version__
 from .cnf.dimacs import DimacsError, read_dimacs
 from .exit_codes import EXIT_INVALID_INPUT, EXIT_SAT, EXIT_SAT_UNKNOWN, \
     EXIT_UNSAT
-from .instrument import Budget, Recorder
+from .instrument import Budget, Recorder, maybe_profile
 from .proof.checker import check_proof
 from .proof.drup import write_drup
 from .proof.stats import proof_stats
@@ -78,6 +78,10 @@ def build_parser():
         help="append JSONL instrumentation events to PATH",
     )
     parser.add_argument(
+        "--profile", metavar="PATH",
+        help="profile the run with cProfile and dump pstats data to PATH",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress the model/statistics"
     )
     return parser
@@ -103,7 +107,8 @@ def main(argv=None):
             else min(max_conflicts, args.conflict_limit)
         )
     try:
-        code = _run(cnf, args, recorder, budget, max_conflicts)
+        with maybe_profile(args.profile):
+            code = _run(cnf, args, recorder, budget, max_conflicts)
         recorder.meta["exit_code"] = code
     finally:
         if args.stats_json:

@@ -73,16 +73,17 @@ class TestUnitLearntReason:
         # lock and that was absent from _learnts.
         solver = self._force_unit_learnt()
         assert solver.stats.learned == 1
-        reason = solver._reason[1]
+        reason = solver.reason_ref(1)
         assert reason is not None
-        assert reason.learnt is True
+        assert solver.clause_is_learnt(reason) is True
 
     def test_unit_learnt_reason_carries_proof_id(self):
         store = ProofStore(validate=True)
         solver = self._force_unit_learnt(proof=store)
-        reason = solver._reason[1]
-        assert reason.proof_id is not None
-        assert store.clause(reason.proof_id) == (1,)
+        reason = solver.reason_ref(1)
+        proof_id = solver.clause_proof_id(reason)
+        assert proof_id is not None
+        assert store.clause(proof_id) == (1,)
 
     def test_unit_learning_under_proof_logging_replays(self):
         # Continue past the unit learnt to a refutation and replay the

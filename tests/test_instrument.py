@@ -92,6 +92,65 @@ class TestRecorderCountersGauges:
         assert rec.report()["gauges"]["proof/clauses"] == 7
 
 
+class TestSolverThroughputCounters:
+    """SolverStats surface as recorder counters (repro-stats / /metrics)."""
+
+    SOLVER_COUNTERS = (
+        "solver/conflicts", "solver/decisions", "solver/propagations",
+        "solver/restarts", "solver/learned", "solver/deleted",
+    )
+
+    @staticmethod
+    def _solved_recorder():
+        from repro.sat.solver import UNSAT, Solver
+
+        rec = Recorder()
+        solver = Solver(recorder=rec, restart_base=1)
+        var = lambda p, h: p * 5 + h + 1
+        for p in range(6):
+            solver.add_clause([var(p, h) for h in range(5)])
+        for h in range(5):
+            for p1 in range(6):
+                for p2 in range(p1 + 1, 6):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        assert solver.solve().status is UNSAT
+        return rec, solver
+
+    def test_all_solver_stats_recorded(self):
+        rec, solver = self._solved_recorder()
+        counters = rec.report()["counters"]
+        for name in self.SOLVER_COUNTERS:
+            assert name in counters, name
+        assert counters["solver/conflicts"] == solver.stats.conflicts
+        assert counters["solver/restarts"] == solver.stats.restarts
+        assert counters["solver/learned"] == solver.stats.learned
+        assert counters["solver/propagations"] == solver.stats.propagations
+        assert counters["solver/restarts"] > 0
+
+    def test_stats_cli_show_lists_throughput(self, tmp_path, capsys):
+        from repro.instrument.stats_cli import main as stats_main
+
+        rec, _ = self._solved_recorder()
+        path = str(tmp_path / "solver_counters.json")
+        rec.write_json(path)
+        assert stats_main(["show", path]) == 0
+        text = capsys.readouterr().out
+        for name in self.SOLVER_COUNTERS:
+            assert name in text, name
+
+    def test_prometheus_exposition_has_solver_totals(self):
+        from repro.instrument.metrics import MetricsRegistry, \
+            to_prometheus_text
+
+        rec, _ = self._solved_recorder()
+        text = to_prometheus_text(
+            MetricsRegistry().report(), stats_report=rec.report()
+        )
+        assert "repro_solver_restarts_total" in text
+        assert "repro_solver_propagations_total" in text
+        assert "repro_solver_conflicts_total" in text
+
+
 class TestRecorderTrace:
     def test_events_written_as_jsonl(self, tmp_path):
         path = tmp_path / "trace.jsonl"

@@ -95,6 +95,26 @@ class TestBatchAPI:
         assert sim.num_resimulations == passes
         assert sim.signatures == before
 
+    def test_add_random_patterns_zero_is_noop(self, tiny_aig):
+        sim = Simulator(tiny_aig, num_words=1, seed=7)
+        passes = sim.num_resimulations
+        before = list(sim.signatures)
+        sim.add_random_patterns(0)
+        assert sim.num_resimulations == passes
+        assert sim.signatures == before
+        assert sim.num_patterns == 64
+        # The RNG stream must be untouched: the next draw matches a
+        # simulator that never saw the zero-count call.
+        twin = Simulator(tiny_aig, num_words=1, seed=7)
+        sim.add_random_patterns(8)
+        twin.add_random_patterns(8)
+        assert sim.signatures == twin.signatures
+
+    def test_add_random_patterns_negative_raises(self, tiny_aig):
+        sim = Simulator(tiny_aig, num_words=1, seed=7)
+        with pytest.raises(ValueError):
+            sim.add_random_patterns(-1)
+
     def test_add_patterns_validates_arity(self, tiny_aig):
         sim = Simulator(tiny_aig, num_words=1)
         with pytest.raises(ValueError):

@@ -2,11 +2,8 @@
 
 import random
 
-import pytest
-
 from repro.proof import ProofStore, check_proof
 from repro.sat import SAT, UNSAT, Solver
-from repro.sat.solver import _Clause
 
 
 class TestVariableManagement:
@@ -113,8 +110,8 @@ class TestLearnedClauseDatabase:
         solver._max_learnts = 0
         self._hard_instance(solver)
         solver.solve()
-        for record in solver._learnts:
-            assert len(record.lits) >= 2
+        for ref in solver._learnts:
+            assert solver.clause_size(ref) >= 2
 
     def test_learned_count_matches_stats(self):
         store = ProofStore()
@@ -173,14 +170,63 @@ class TestActivityHeap:
         assert solver._pick_branch_var() == 4
 
 
-class TestClauseRecord:
-    def test_slots(self):
-        record = _Clause([1, 2], learnt=False, proof_id=None)
-        with pytest.raises(AttributeError):
-            record.extra = 1
+class TestClauseArena:
+    def test_accessors_roundtrip(self):
+        solver = Solver()
+        assert solver.add_clause([3, -1, 2])
+        ref = solver.clause_refs()[0]
+        assert solver.clause_size(ref) == 3
+        assert solver.clause_is_learnt(ref) is False
+        assert sorted(solver.clause_lits(ref)) == [-1, 2, 3]
+        assert solver.clause_proof_id(ref) is None
+        assert solver.clause_activity(ref) == 0.0
 
-    def test_repr(self):
-        assert "[1, 2]" in repr(_Clause([1, 2], learnt=True, proof_id=0))
+    def test_proof_id_registered(self):
+        store = ProofStore()
+        solver = Solver(proof=store)
+        assert solver.add_clause([1, 2])
+        ref = solver.clause_refs()[0]
+        assert solver.clause_proof_id(ref) is not None
+
+    def test_watches_are_flat_ref_blocker_pairs(self):
+        solver = Solver()
+        assert solver.add_clause([1, 2, 3])
+        ref = solver.clause_refs()[0]
+        w1 = solver._watches[Solver._widx(1)]
+        w2 = solver._watches[Solver._widx(2)]
+        # Each watch list interleaves (clause_ref, blocker_lit) and the
+        # two watches of a clause use each other as blockers.
+        assert w1 == [ref, Solver._widx(2)]
+        assert w2 == [ref, Solver._widx(1)]
+
+    def test_reason_ref_for_propagated_var(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1])
+        ref = solver.reason_ref(2)
+        assert ref is not None
+        assert sorted(solver.clause_lits(ref)) == [1, 2]
+        unit_ref = solver.reason_ref(1)
+        assert unit_ref is not None
+        assert solver.clause_lits(unit_ref) == [-1]
+
+    def test_arena_compaction_preserves_clauses(self):
+        solver = Solver()
+        solver._max_learnts = 0  # force clause deletion pressure
+        var = lambda p, h: p * 5 + h + 1
+        for p in range(6):
+            solver.add_clause([var(p, h) for h in range(5)])
+        for h in range(5):
+            for p1 in range(6):
+                for p2 in range(p1 + 1, 6):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        assert solver.solve().status is UNSAT
+        assert solver.stats.deleted > 0
+        solver._compact_arena()
+        for ref in solver.clause_refs():
+            lits = solver.clause_lits(ref)
+            assert len(lits) == solver.clause_size(ref)
+            assert all(lit != 0 for lit in lits)
 
 
 class TestProofIdsStability:
