@@ -1,6 +1,6 @@
 """Static analysis: proof/netlist linting and codebase rules.
 
-Three replay-free analysis passes plus one CLI (``repro-lint``):
+Five replay-free analysis passes plus one CLI (``repro-lint``):
 
 * :mod:`repro.analyze.proof_lint` — structural invariants of
   resolution proofs (stores, TraceCheck traces, DRUP files) checked
@@ -9,6 +9,11 @@ Three replay-free analysis passes plus one CLI (``repro-lint``):
   Tseitin-encoding schema validation.
 * :mod:`repro.analyze.ast_rules` — project-specific Python AST rules
   over the ``repro`` sources themselves.
+* :mod:`repro.analyze.concurrency` — concurrency-hazard rules for the
+  threads / process pools / shared-memory stack.
+* :mod:`repro.analyze.schema_drift` — drift between producers,
+  consumers, and the declarative schema registry
+  (:mod:`repro.analyze.schemas`).
 
 All passes emit :class:`~repro.analyze.findings.Finding` objects and
 aggregate into the ``repro-lint/1`` JSON schema
@@ -23,13 +28,18 @@ tests reach for: ``repro-lint/1`` (here), plus re-exports of the
 ``repro-stats/1``, ``repro-trace/1``, and ``repro-metrics/1``
 validators from :mod:`repro.instrument` so one import site covers
 every versioned JSON artifact the tools emit.
+
+Only :mod:`~repro.analyze.schemas` and
+:mod:`~repro.analyze.findings` load eagerly; everything else resolves
+lazily (PEP 562). That keeps this package a safe leaf dependency: low
+layers like :mod:`repro.instrument.recorder` import their schema tags
+from ``repro.analyze.schemas`` without dragging in — or cycling
+through — the analysis passes themselves.
 """
 
-from ..instrument.metrics import validate_metrics_report
-from ..instrument.recorder import validate_report as validate_stats_report
-from ..instrument.tracing import validate_trace_report
-from .aig_lint import lint_aig, lint_encoding, lint_miter
-from .ast_rules import lint_file, lint_package, lint_source
+from typing import TYPE_CHECKING, Any
+
+from . import schemas  # noqa: F401  (the eager leaf: schema registry)
 from .findings import (
     ERROR,
     INFO,
@@ -39,7 +49,32 @@ from .findings import (
     LintReport,
     validate_lint_report,
 )
-from .proof_lint import lint_drup_file, lint_proof, lint_tracecheck_file
+
+if TYPE_CHECKING:  # resolved lazily at runtime via __getattr__
+    from ..instrument.metrics import validate_metrics_report
+    from ..instrument.recorder import validate_report as validate_stats_report
+    from ..instrument.tracing import validate_trace_report
+    from .aig_lint import lint_aig, lint_encoding, lint_miter
+    from .ast_rules import lint_file, lint_package, lint_source
+    from .proof_lint import lint_drup_file, lint_proof, lint_tracecheck_file
+
+#: Lazy exports: public name -> (module, attribute).
+_LAZY = {
+    "lint_aig": (".aig_lint", "lint_aig"),
+    "lint_encoding": (".aig_lint", "lint_encoding"),
+    "lint_miter": (".aig_lint", "lint_miter"),
+    "lint_file": (".ast_rules", "lint_file"),
+    "lint_package": (".ast_rules", "lint_package"),
+    "lint_source": (".ast_rules", "lint_source"),
+    "lint_drup_file": (".proof_lint", "lint_drup_file"),
+    "lint_proof": (".proof_lint", "lint_proof"),
+    "lint_tracecheck_file": (".proof_lint", "lint_tracecheck_file"),
+    "validate_metrics_report": ("..instrument.metrics",
+                                "validate_metrics_report"),
+    "validate_stats_report": ("..instrument.recorder", "validate_report"),
+    "validate_trace_report": ("..instrument.tracing",
+                              "validate_trace_report"),
+}
 
 __all__ = [
     "ERROR",
@@ -57,8 +92,22 @@ __all__ = [
     "lint_proof",
     "lint_source",
     "lint_tracecheck_file",
+    "schemas",
     "validate_lint_report",
     "validate_metrics_report",
     "validate_stats_report",
     "validate_trace_report",
 ]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            "module %r has no attribute %r" % (__name__, name)
+        )
+    import importlib
+
+    module = importlib.import_module(module_name, __name__)
+    return getattr(module, attr)

@@ -29,6 +29,7 @@ from typing import List, Optional, Set
 
 from ..instrument.phases import PHASE_REGISTRY
 from .findings import ERROR, Finding
+from .pragmas import apply_waivers
 
 #: ProofStore attributes that only ``proof/store.py`` itself may touch.
 STORE_INTERNAL_ATTRS = frozenset({
@@ -89,7 +90,8 @@ def lint_source(source: str, filename: str) -> List[Finding]:
     if not filename.endswith("__init__.py"):
         findings.extend(_unused_imports(tree, filename))
     findings.sort(key=lambda finding: finding.line or 0)
-    return findings
+    kept, _ = apply_waivers(findings, source)
+    return kept
 
 
 def _is_self_access(node: ast.Attribute) -> bool:

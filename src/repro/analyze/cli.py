@@ -7,13 +7,18 @@ Run the static analysis passes over proofs, netlists, or the codebase::
     repro-lint aig a.aag b.aag
     repro-lint miter a.aag b.aag
     repro-lint code
+    repro-lint concurrency src/repro
+    repro-lint schema src/repro
 
 Every run prints its findings (one line each, ``[rule] severity:
 message``), a summary, and optionally writes the full ``repro-lint/1``
-JSON report with ``--json``.
+JSON report with ``--json``. ``code`` runs every codebase pass (AST
+rules, concurrency hazards, schema drift); ``concurrency`` and
+``schema`` run one pass alone.
 
-Exit codes: 0 = no error-severity findings, 1 = error findings,
-3 = invalid input (I/O or usage error).
+Exit codes follow :mod:`repro.exit_codes`: 0 = no error-severity
+findings, 1 = error findings, 3 = invalid input (I/O or usage error,
+including unparseable command lines).
 """
 
 from __future__ import annotations
@@ -99,9 +104,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     code = sub.add_parser(
         "code", parents=[common],
-        help="run the project AST rules over Python sources",
+        help="run every codebase pass (AST rules, concurrency hazards, "
+        "schema drift) over Python sources",
     )
     code.add_argument(
+        "path", nargs="?", default=None,
+        help="package directory (default: the installed repro package)",
+    )
+    concurrency = sub.add_parser(
+        "concurrency", parents=[common],
+        help="run the concurrency-hazard rules over Python sources",
+    )
+    concurrency.add_argument(
+        "path", nargs="?", default=None,
+        help="package directory (default: the installed repro package)",
+    )
+    schema = sub.add_parser(
+        "schema", parents=[common],
+        help="run the schema-drift rules against the declarative "
+        "registry (repro.analyze.schemas)",
+    )
+    schema.add_argument(
         "path", nargs="?", default=None,
         help="package directory (default: the installed repro package)",
     )
@@ -110,7 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point. Returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors and 0 on --help/--version;
+        # fold the former onto the repo-wide invalid-input code.
+        return EXIT_OK if not exc.code else EXIT_INVALID_INPUT
     report = LintReport()
     report.meta["tool"] = "repro-lint"
     report.meta["command"] = args.command
@@ -121,6 +149,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             _run_aig(args, report)
         elif args.command == "miter":
             _run_miter(args, report)
+        elif args.command == "concurrency":
+            _run_concurrency(args, report)
+        elif args.command == "schema":
+            _run_schema(args, report)
         else:
             _run_code(args, report)
     except (OSError, DimacsError, ValueError) as exc:
@@ -198,6 +230,29 @@ def _run_code(args: argparse.Namespace, report: LintReport) -> None:
     report.meta["path"] = args.path or "repro"
     report.extend(
         "code", lint_package(args.path), time.perf_counter() - start,
+    )
+    _run_concurrency(args, report)
+    _run_schema(args, report)
+
+
+def _run_concurrency(args: argparse.Namespace, report: LintReport) -> None:
+    from .concurrency import lint_package as lint_concurrency
+
+    start = time.perf_counter()
+    report.meta["path"] = args.path or "repro"
+    report.extend(
+        "concurrency", lint_concurrency(args.path),
+        time.perf_counter() - start,
+    )
+
+
+def _run_schema(args: argparse.Namespace, report: LintReport) -> None:
+    from .schema_drift import lint_package as lint_schema
+
+    start = time.perf_counter()
+    report.meta["path"] = args.path or "repro"
+    report.extend(
+        "schema", lint_schema(args.path), time.perf_counter() - start,
     )
 
 

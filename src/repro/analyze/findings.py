@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional
 
-LINT_SCHEMA = "repro-lint/1"
+from .schemas import LINT_SCHEMA as LINT_SCHEMA  # re-export (registry)
 
 ERROR = "error"
 WARNING = "warning"

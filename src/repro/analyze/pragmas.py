@@ -1,0 +1,78 @@
+"""Inline waiver pragmas for codebase lint rules.
+
+A finding anchored to a source line can be waived in place::
+
+    self._cursor = None  # repro-lint: ignore[concurrency.unguarded-mutation]
+
+The bracket takes a comma-separated list of rule ids; a bare
+``# repro-lint: ignore`` waives every rule on that line. Waivers are
+deliberately line-scoped and rule-explicit — a pragma is a reviewed
+claim that one specific hazard is a false positive (or is mitigated in
+a way the analysis cannot see), not a file-wide mute. Waived findings
+are dropped from the report; passes may record how many they dropped
+so a clean run still discloses its waivers.
+
+Only the *codebase* passes (:mod:`repro.analyze.ast_rules`,
+:mod:`repro.analyze.concurrency`, :mod:`repro.analyze.schema_drift`)
+honor pragmas; proof and netlist findings describe artifacts, not
+lines, and cannot be waived.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .findings import Finding
+
+#: Matches one pragma comment; group 1 is the bracket body (absent for
+#: the bare form).
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[([A-Za-z0-9_.,\s-]*)\])?"
+)
+
+#: Waiver entry meaning "every rule".
+ALL_RULES = "*"
+
+
+def parse_waivers(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule ids waived on them.
+
+    The bare form maps to ``{"*"}``. Pragmas inside string literals are
+    matched too — the scan is textual — which is harmless: a waiver
+    only ever *removes* findings, and only on its own line.
+    """
+    waivers: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        body = match.group(1)
+        if body is None:
+            waivers[lineno] = {ALL_RULES}
+        else:
+            rules = {part.strip() for part in body.split(",") if part.strip()}
+            waivers[lineno] = rules or {ALL_RULES}
+    return waivers
+
+
+def is_waived(finding: Finding, waivers: Dict[int, Set[str]]) -> bool:
+    """True when *finding* is covered by a pragma on its line."""
+    if finding.line is None:
+        return False
+    rules = waivers.get(finding.line)
+    if rules is None:
+        return False
+    return ALL_RULES in rules or finding.rule_id in rules
+
+
+def apply_waivers(
+    findings: Iterable[Finding], source: str,
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split *findings* into ``(kept, waived)`` under *source*'s pragmas."""
+    waivers = parse_waivers(source)
+    kept: List[Finding] = []
+    waived: List[Finding] = []
+    for finding in findings:
+        (waived if is_waived(finding, waivers) else kept).append(finding)
+    return kept, waived

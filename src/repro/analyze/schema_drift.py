@@ -1,0 +1,343 @@
+"""Static schema-drift analysis against the declarative registry.
+
+Every versioned document the tools emit (``repro-stats/1``,
+``repro-service/1``, ...) is declared once in
+:mod:`repro.analyze.schemas`. This pass diffs the source tree against
+that registry, so a producer growing a new response field, a consumer
+reading a key nobody writes, or a hand-typed version string can no
+longer drift silently — the exact failure mode that multiplies once
+multiple processes speak the protocol:
+
+* ``schema.inline-version`` — a registered version tag spelled as a
+  string literal outside the registry (import the constant instead).
+* ``schema.unknown-version`` — a ``repro-*/N``-shaped literal that is
+  not in the registry at all (typo or undeclared schema).
+* ``schema.undeclared-key`` — a document literal (a dict with a
+  ``"schema"`` key) or a service request/response carrying a key the
+  registry does not declare.
+* ``schema.missing-key`` — a fully-literal document (no ``**`` spread)
+  missing one of its schema's required keys.
+* ``schema.unknown-verb`` — a request literal or response builder
+  naming a verb outside the registry's vocabulary.
+* ``schema.dead-key`` — a declared key that no scanned module ever
+  mentions (warning: likely registry rot or a dropped consumer).
+
+The extraction is purely lexical (dict literals, ``x["key"]``
+subscripts, ``.get("key")`` calls, string constants); keys built
+dynamically or spread from ``**mapping`` are invisible to it, which is
+why ``schema.missing-key`` only fires on spread-free literals and
+``schema.dead-key`` is a warning. Inline
+``# repro-lint: ignore[rule-id]`` pragmas waive site-anchored findings
+(:mod:`repro.analyze.pragmas`).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from . import schemas as registry
+from .findings import ERROR, WARNING, Finding
+from .pragmas import apply_waivers
+from .schemas import SERVICE_REQUEST_KEYS, SERVICE_SCHEMA, SchemaSpec
+
+#: Exact shape of a version tag; prose mentioning a tag never matches.
+_TAG = re.compile(r"^repro-[a-z0-9-]+/[0-9]+$")
+
+#: Response-envelope builders whose keyword arguments become
+#: ``repro-service/1`` response fields.
+_RESPONSE_BUILDERS = frozenset({"ok_response", "error_response"})
+
+#: The registry module itself — the one place tags are defined.
+_REGISTRY_SUFFIX = os.path.join("analyze", "schemas.py")
+
+
+def lint_sources(
+    sources: Sequence[Tuple[str, str]],
+    specs: Optional[Dict[str, SchemaSpec]] = None,
+    dead_keys: bool = True,
+) -> List[Finding]:
+    """Run the drift rules over ``(filename, source)`` pairs.
+
+    Per-file findings honor pragmas; the cross-file ``schema.dead-key``
+    sweep runs over the whole batch when *dead_keys* is true (turn it
+    off for single-file scans, where "never read anywhere" is
+    meaningless). *specs* overrides the registry (tests inject
+    synthetic schemas).
+    """
+    if specs is None:
+        specs = registry.SCHEMAS
+    findings: List[Finding] = []
+    observed: Set[str] = set()
+    registry_label: Optional[str] = None
+    for filename, source in sources:
+        if filename.endswith(_REGISTRY_SUFFIX):
+            registry_label = filename
+            continue
+        findings.extend(_lint_one(filename, source, specs, observed))
+    if not dead_keys:
+        return findings
+    for spec in sorted(specs.values(), key=lambda s: s.tag):
+        for key in sorted(spec.keys):
+            if key not in observed:
+                findings.append(Finding(
+                    "schema.dead-key", WARNING,
+                    "key %r of %s is declared but never read or written "
+                    "by any scanned module" % (key, spec.tag),
+                    file=registry_label,
+                    data={"schema": spec.tag, "key": key},
+                ))
+    return findings
+
+
+def _lint_one(
+    filename: str,
+    source: str,
+    specs: Dict[str, SchemaSpec],
+    observed: Set[str],
+) -> List[Finding]:
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [Finding(
+            "code.syntax", ERROR, "cannot parse: %s" % exc,
+            file=filename, line=exc.lineno or 0,
+        )]
+    findings: List[Finding] = []
+    docstrings = _docstring_nodes(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            observed.add(node.value)
+            if node in docstrings:
+                continue
+            if _TAG.match(node.value):
+                findings.append(_version_finding(node, filename, specs))
+        elif isinstance(node, ast.Dict):
+            findings.extend(
+                _check_document_literal(node, filename, specs)
+            )
+            findings.extend(_check_request_literal(node, filename, specs))
+        elif isinstance(node, ast.Call):
+            _observe_reads(node, observed)
+            findings.extend(
+                _check_response_builder(node, filename, specs)
+            )
+        elif isinstance(node, ast.Subscript):
+            index = node.slice
+            if isinstance(index, ast.Constant) \
+                    and isinstance(index.value, str):
+                observed.add(index.value)
+    kept, _ = apply_waivers(findings, source)
+    return kept
+
+
+def _docstring_nodes(tree: ast.Module) -> Set[ast.AST]:
+    nodes: Set[ast.AST] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Module, ast.ClassDef,
+                                 ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        body = node.body
+        if (body and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)):
+            nodes.add(body[0].value)
+    return nodes
+
+
+def _version_finding(
+    node: ast.Constant, filename: str, specs: Dict[str, SchemaSpec],
+) -> Finding:
+    tag = node.value
+    if tag in specs:
+        return Finding(
+            "schema.inline-version", ERROR,
+            "version tag %r spelled inline — import the constant from "
+            "repro.analyze.schemas" % tag,
+            file=filename, line=node.lineno, data={"schema": tag},
+        )
+    return Finding(
+        "schema.unknown-version", ERROR,
+        "version tag %r matches no registered schema" % tag,
+        file=filename, line=node.lineno, data={"schema": tag},
+    )
+
+
+def _resolve_tag(node: ast.expr) -> Optional[str]:
+    """The schema tag an expression denotes, when statically known."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    name: Optional[str] = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is not None:
+        return registry.constant_tag(name)
+    return None
+
+
+def _literal_keys(node: ast.Dict) -> Tuple[Dict[str, ast.expr], bool]:
+    """Literal string keys of a dict, and whether every key is literal
+    (no ``**`` spread, no computed key)."""
+    keys: Dict[str, ast.expr] = {}
+    complete = True
+    for key, value in zip(node.keys, node.values):
+        if key is None:  # **spread
+            complete = False
+            continue
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            keys[key.value] = value
+        else:
+            complete = False
+    return keys, complete
+
+
+def _check_document_literal(
+    node: ast.Dict, filename: str, specs: Dict[str, SchemaSpec],
+) -> List[Finding]:
+    keys, complete = _literal_keys(node)
+    if "schema" not in keys:
+        return []
+    tag = _resolve_tag(keys["schema"])
+    if tag is None or tag not in specs:
+        # Unknown or unresolvable tags are the version rules' problem.
+        return []
+    spec = specs[tag]
+    findings: List[Finding] = []
+    for key in sorted(keys):
+        if key not in spec.keys:
+            findings.append(Finding(
+                "schema.undeclared-key", ERROR,
+                "key %r is not declared for %s" % (key, tag),
+                file=filename, line=node.lineno,
+                data={"schema": tag, "key": key},
+            ))
+    if complete:
+        missing = sorted(spec.required - set(keys))
+        if missing:
+            findings.append(Finding(
+                "schema.missing-key", ERROR,
+                "document literal for %s is missing required %s"
+                % (tag, ", ".join(repr(k) for k in missing)),
+                file=filename, line=node.lineno,
+                data={"schema": tag, "missing": missing},
+            ))
+    return findings
+
+
+def _check_request_literal(
+    node: ast.Dict, filename: str, specs: Dict[str, SchemaSpec],
+) -> List[Finding]:
+    spec = specs.get(SERVICE_SCHEMA)
+    if spec is None or not spec.verbs:
+        return []
+    keys, _ = _literal_keys(node)
+    if "verb" not in keys or "schema" in keys:
+        return []
+    findings: List[Finding] = []
+    verb = keys["verb"]
+    if isinstance(verb, ast.Constant) and isinstance(verb.value, str):
+        if verb.value not in spec.verbs:
+            findings.append(Finding(
+                "schema.unknown-verb", ERROR,
+                "verb %r is not in the %s vocabulary"
+                % (verb.value, spec.tag),
+                file=filename, line=node.lineno,
+                data={"verb": verb.value},
+            ))
+    for key in sorted(keys):
+        if key not in SERVICE_REQUEST_KEYS:
+            findings.append(Finding(
+                "schema.undeclared-key", ERROR,
+                "request key %r is not declared for %s" % (key, spec.tag),
+                file=filename, line=node.lineno,
+                data={"schema": spec.tag, "key": key},
+            ))
+    return findings
+
+
+def _check_response_builder(
+    node: ast.Call, filename: str, specs: Dict[str, SchemaSpec],
+) -> List[Finding]:
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    if name not in _RESPONSE_BUILDERS:
+        return []
+    spec = specs.get(SERVICE_SCHEMA)
+    if spec is None:
+        return []
+    findings: List[Finding] = []
+    if name == "ok_response" and node.args:
+        first = node.args[0]
+        if isinstance(first, ast.Constant) \
+                and isinstance(first.value, str) \
+                and first.value not in spec.verbs:
+            findings.append(Finding(
+                "schema.unknown-verb", ERROR,
+                "verb %r is not in the %s vocabulary"
+                % (first.value, spec.tag),
+                file=filename, line=node.lineno,
+                data={"verb": first.value},
+            ))
+    for keyword in node.keywords:
+        if keyword.arg is None:
+            continue
+        if keyword.arg not in spec.keys:
+            findings.append(Finding(
+                "schema.undeclared-key", ERROR,
+                "response field %r is not declared for %s"
+                % (keyword.arg, spec.tag),
+                file=filename, line=node.lineno,
+                data={"schema": spec.tag, "key": keyword.arg},
+            ))
+    return findings
+
+
+def _observe_reads(node: ast.Call, observed: Set[str]) -> None:
+    """Count ``.get("key")`` reads and builder keyword fields as key
+    usage for the dead-key sweep."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "get" and node.args:
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            observed.add(first.value)
+    for keyword in node.keywords:
+        if keyword.arg is not None:
+            observed.add(keyword.arg)
+
+
+# ---------------------------------------------------------------------------
+# Package walkers (mirroring repro.analyze.ast_rules)
+# ---------------------------------------------------------------------------
+
+
+def lint_file(path: str, label: Optional[str] = None) -> List[Finding]:
+    """Run the per-file drift rules over one file (no dead-key sweep)."""
+    with open(path) as handle:
+        source = handle.read()
+    return lint_sources([(label or path, source)], dead_keys=False)
+
+
+def lint_package(root: Optional[str] = None) -> List[Finding]:
+    """Run the drift rules (including the cross-file dead-key sweep)
+    over every ``.py`` file under *root* (default: the installed
+    ``repro`` package), with package-relative labels."""
+    if root is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    sources: List[Tuple[str, str]] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            label = os.path.relpath(path, os.path.dirname(root))
+            with open(path) as handle:
+                sources.append((label, handle.read()))
+    return lint_sources(sources)

@@ -33,7 +33,7 @@ from ..cnf.clause import CNF
 from ..proof.tracecheck import dumps_tracecheck, parse_tracecheck
 from .cec import CecResult
 
-RESULT_SCHEMA = "repro-cec-result/1"
+from ..analyze.schemas import RESULT_SCHEMA  # noqa: E402  (registry)
 
 
 class ResultFormatError(ValueError):

@@ -41,7 +41,7 @@ import bisect
 import threading
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-METRICS_SCHEMA = "repro-metrics/1"
+from ..analyze.schemas import METRICS_SCHEMA as METRICS_SCHEMA  # registry
 
 #: Default bounds for latency-shaped observations (seconds).
 TIME_BUCKETS: Tuple[float, ...] = (

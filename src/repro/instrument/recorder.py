@@ -45,7 +45,7 @@ from .tracing import (
     new_span_id,
 )
 
-STATS_SCHEMA = "repro-stats/1"
+from ..analyze.schemas import STATS_SCHEMA as STATS_SCHEMA  # registry
 
 
 class Recorder:

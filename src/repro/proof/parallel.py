@@ -227,33 +227,80 @@ class CheckerPool:
         self.processes = processes
         self.checks_served = 0
         self._pool = context.Pool(processes=processes)
+        self._lock = threading.Lock()
+        self._active = 0
         self._closed = False
+        self._terminated = False
 
     @property
     def closed(self) -> bool:
+        """True once :meth:`close` was called; new checks are refused.
+
+        The workers themselves may outlive this flag briefly: with
+        leases in flight, termination is deferred to the last
+        :meth:`release`.
+        """
         return self._closed
+
+    def acquire(self) -> None:
+        """Register one in-flight check; pairs with :meth:`release`.
+
+        While any lease is held, :meth:`close` defers terminating the
+        workers, so a concurrent "replace the shared pool with a wider
+        one" cannot kill a check that is mid-``imap_unordered`` (the
+        race behind the old sporadic non-ProofError crashes).
+
+        Raises:
+            ValueError: when the pool is already closed.
+        """
+        with self._lock:
+            if self._closed:
+                raise ValueError("checker pool is closed")
+            self._active += 1
+
+    def release(self) -> None:
+        """Drop one lease; the last one executes a deferred close."""
+        with self._lock:
+            if self._active > 0:
+                self._active -= 1
+            reap = self._closed and self._active == 0 \
+                and not self._terminated
+            if reap:
+                self._terminated = True
+        if reap:
+            self._terminate()
 
     def imap_unordered(
         self, func: Any, tasks: Iterable[Any],
     ) -> Iterator[Any]:
         """Dispatch *tasks* across the pool, yielding results as they
         complete."""
-        if self._closed:
-            raise ValueError("checker pool is closed")
-        self.checks_served += 1
+        with self._lock:
+            if self._closed:
+                raise ValueError("checker pool is closed")
+            self.checks_served += 1
         return self._pool.imap_unordered(func, tasks)
 
     def close(self) -> None:
-        """Terminate the workers and reap them (idempotent).
+        """Refuse new checks and reap the workers (idempotent).
 
         Termination (rather than a graceful drain) is safe here: chunk
         checking is pure — workers hold no state worth flushing beyond
         their copied arena view, and the owning check unlinks the
-        segment itself.
+        segment itself. With leases in flight the workers are kept
+        alive and the termination runs at the last :meth:`release`.
         """
-        if self._closed:
-            return
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            reap = self._active == 0 and not self._terminated
+            if reap:
+                self._terminated = True
+        if reap:
+            self._terminate()
+
+    def _terminate(self) -> None:
         self._pool.terminate()
         self._pool.join()
 
@@ -266,19 +313,37 @@ def get_checker_pool(workers: int) -> CheckerPool:
     """The shared :class:`CheckerPool`, created lazily.
 
     An existing pool is reused when it is alive and at least *workers*
-    wide; a wider request replaces it. The pool persists until
-    :func:`close_checker_pool` (called automatically at interpreter
-    exit).
+    wide; a wider request replaces it (checks still leased on the old
+    pool finish on its workers — see :meth:`CheckerPool.close`). The
+    pool persists until :func:`close_checker_pool` (called
+    automatically at interpreter exit).
     """
-    global _POOL
     with _POOL_LOCK:
-        pool = _POOL
-        if pool is not None and (pool.closed or pool.processes < workers):
-            pool.close()
-            pool = _POOL = None
-        if pool is None:
-            pool = _POOL = CheckerPool(workers)
+        return _shared_pool_locked(workers)
+
+
+def _lease_checker_pool(workers: int) -> CheckerPool:
+    """The shared pool with one lease already acquired, atomically.
+
+    Acquiring under ``_POOL_LOCK`` closes the window in which another
+    thread's wider request could close the pool between "get" and
+    "acquire".
+    """
+    with _POOL_LOCK:
+        pool = _shared_pool_locked(workers)
+        pool.acquire()
         return pool
+
+
+def _shared_pool_locked(workers: int) -> CheckerPool:
+    global _POOL
+    pool = _POOL
+    if pool is not None and (pool.closed or pool.processes < workers):
+        pool.close()
+        pool = _POOL = None
+    if pool is None:
+        pool = _POOL = CheckerPool(workers)
+    return pool
 
 
 def close_checker_pool() -> None:
@@ -375,13 +440,17 @@ def check_proof_parallel(
 
     errors: List[_WorkerError] = []
     num_resolutions = 0
+    leased = False
     try:
         if chunk_size is None:
             chunk_size = _auto_chunk_size(len(store), workers)
         chunks = _chunk_schedule(arena.name, len(store), chunk_size)
         try:
             if pool is None:
-                pool = get_checker_pool(workers)
+                pool = _lease_checker_pool(workers)
+            else:
+                pool.acquire()
+            leased = True
             results = pool.imap_unordered(_check_chunk, chunks)
         except (OSError, ValueError) as exc:
             # Pool creation failed or the shared pool was closed from
@@ -408,6 +477,8 @@ def check_proof_parallel(
             # while the last chunk was replaying.
             budget.check()
     finally:
+        if leased and pool is not None:
+            pool.release()
         arena.close()
 
     if errors:

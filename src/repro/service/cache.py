@@ -28,8 +28,7 @@ import os
 import tempfile
 
 from ..aig.structhash import pair_key
-
-CACHE_META_SCHEMA = "repro-cec-cache/1"
+from ..analyze.schemas import CACHE_META_SCHEMA
 
 #: SweepOptions fields that select the engine configuration and hence
 #: the artifact; they are folded into the cache key in canonical form.

@@ -33,18 +33,17 @@ same payload the optional ``/metrics`` HTTP endpoint serves).
 import json
 
 from .. import __version__
+from ..analyze.schemas import SERVICE_SCHEMA, SERVICE_VERBS
 
-PROTOCOL_SCHEMA = "repro-service/1"
+#: Historical alias of :data:`repro.analyze.schemas.SERVICE_SCHEMA`.
+PROTOCOL_SCHEMA = SERVICE_SCHEMA
 
 #: Hard per-line cap (requests embed whole AIGER texts and responses
 #: whole TraceCheck proofs; 256 MiB is far above any committed
 #: benchmark and protects the server from unbounded buffering).
 MAX_LINE_BYTES = 256 * 1024 * 1024
 
-VERBS = frozenset({
-    "ping", "submit", "status", "result", "cancel", "stats", "metrics",
-    "shutdown",
-})
+VERBS = frozenset(SERVICE_VERBS)
 
 # Stable error codes.
 ERR_INVALID_REQUEST = "invalid-request"  # malformed JSON / unknown verb

@@ -9,6 +9,11 @@ Examples::
 The server runs until SIGINT/SIGTERM or a client ``shutdown`` verb;
 on exit it writes its ``repro-stats/1`` report (jobs, hit rate,
 throughput) to ``--stats-json`` when given.
+
+``--self-lint`` runs the ``repro.analyze`` concurrency-hazard and
+schema-drift passes over the installed package before binding the
+socket and refuses to start on any unwaived finding — a cheap guard
+against deploying a build whose multi-process invariants have drifted.
 """
 
 import argparse
@@ -17,11 +22,35 @@ import sys
 import threading
 
 from .. import __version__
-from ..exit_codes import EXIT_INVALID_INPUT, EXIT_OK
+from ..exit_codes import EXIT_INVALID_INPUT, EXIT_NEGATIVE, EXIT_OK
 from ..instrument import Recorder, configure_logging, get_logger
 from .server import CecServer
 
 log = get_logger("service.serve")
+
+
+def _self_lint():
+    """Pre-flight: run the concurrency and schema-drift analyzers.
+
+    Lints the installed ``repro`` package (the code that is about to
+    serve requests, not the working tree) and returns ``EXIT_OK`` only
+    when both passes are clean of unwaived findings.
+    """
+    from ..analyze.concurrency import lint_package as lint_concurrency
+    from ..analyze.schema_drift import lint_package as lint_schema
+
+    findings = list(lint_concurrency()) + list(lint_schema())
+    for finding in findings:
+        log.warning("self-lint: %s", finding.render())
+    if findings:
+        print(
+            "repro-serve: self-lint found %d unwaived finding(s); "
+            "refusing to start" % len(findings),
+            file=sys.stderr,
+        )
+        return EXIT_NEGATIVE
+    log.info("self-lint: concurrency and schema passes clean")
+    return EXIT_OK
 
 
 def build_parser():
@@ -74,6 +103,12 @@ def build_parser():
         "(port 0 picks a free one; omit to disable)",
     )
     parser.add_argument(
+        "--self-lint", action="store_true",
+        help="run the concurrency-hazard and schema-drift analyzers "
+        "over the installed repro package before serving; refuse to "
+        "start on any unwaived finding",
+    )
+    parser.add_argument(
         "--log-json", action="store_true",
         help="emit structured JSON log lines instead of plain text",
     )
@@ -97,6 +132,10 @@ def main(argv=None):
     if args.retain_jobs is not None and args.retain_jobs < 0:
         print("repro-serve: --retain-jobs must be >= 0", file=sys.stderr)
         return EXIT_INVALID_INPUT
+    if args.self_lint:
+        code = _self_lint()
+        if code != EXIT_OK:
+            return code
     recorder = Recorder()
     try:
         server = CecServer(

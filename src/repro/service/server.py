@@ -43,6 +43,12 @@ DEFAULT_POLL_INTERVAL = 0.25
 log = get_logger("service.server")
 
 
+def _warm_worker():
+    """No-op warm-up task: forces the process pool to fork its workers
+    while the server is still single-threaded (see ``__init__``)."""
+    return os.getpid()
+
+
 class _Handler(socketserver.StreamRequestHandler):
     """One connection: read request lines, answer each in turn."""
 
@@ -145,9 +151,18 @@ class CecServer:
         self.default_conflict_limit = default_conflict_limit
         self.poll_interval = poll_interval
         self._shutting_down = False
+        self._serving = False
         self._lock = threading.Lock()
         if workers >= 1:
-            self._executor = ProcessPoolExecutor(max_workers=workers)
+            # A fork-start pool in a threaded server is safe only
+            # because the workers are all forked HERE, while this
+            # process is still single-threaded: the warm-up submit
+            # below forces the executor to launch every worker before
+            # the listener or any handler thread exists.
+            self._executor = ProcessPoolExecutor(  # repro-lint: ignore[concurrency.fork-after-thread]
+                max_workers=workers
+            )
+            self._executor.submit(_warm_worker).result()
         else:
             self._executor = ThreadPoolExecutor(max_workers=1)
         if self.family == "unix":
@@ -188,6 +203,10 @@ class CecServer:
 
     def serve_forever(self):
         """Serve until :meth:`shutdown` (blocking)."""
+        with self._lock:
+            if self._shutting_down:
+                return
+            self._serving = True
         self._server.serve_forever(poll_interval=self.poll_interval)
 
     def start(self):
@@ -204,7 +223,13 @@ class CecServer:
             if self._shutting_down:
                 return
             self._shutting_down = True
-        self._server.shutdown()
+            serving = self._serving
+        # socketserver's shutdown() handshakes with a *running*
+        # serve_forever loop; on a server that never served it would
+        # wait forever on the loop-exit event, so skip it — the flag
+        # above already keeps serve_forever() from starting late.
+        if serving:
+            self._server.shutdown()
         self._executor.shutdown(wait=False)
 
     def close(self):
@@ -226,9 +251,12 @@ class CecServer:
         # parallel, and subprocess workers reap their own at exit).
         close_checker_pool()
         self._server.server_close()
-        if self._metrics_http is not None:
-            self._metrics_http.close()
-            self._metrics_http = None
+        # Swap the endpoint out under the lock (close() may race a
+        # late metrics_address reader), then close it unlocked.
+        with self._lock:
+            metrics_http, self._metrics_http = self._metrics_http, None
+        if metrics_http is not None:
+            metrics_http.close()
         if self.family == "unix" and os.path.exists(self.target):
             os.unlink(self.target)
 

@@ -1,0 +1,359 @@
+"""Tests for the concurrency-hazard AST rules.
+
+Each known-bad fixture is the smallest snippet that trips exactly one
+rule; the paired clean fixture differs only in the guarded/owned
+detail, pinning down what the rule actually keys on.
+"""
+
+from repro.analyze.concurrency import lint_package, lint_source
+
+
+def hits(source, rule_id, filename="x.py"):
+    return [
+        f for f in lint_source(source, filename) if f.rule_id == rule_id
+    ]
+
+
+class TestUnguardedMutation:
+    RULE = "concurrency.unguarded-mutation"
+
+    def test_rebind_outside_lock_fires_once(self):
+        source = (
+            "import threading\n"
+            "\n"
+            "class Table:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._state = {}\n"
+            "\n"
+            "    def reset(self):\n"
+            "        self._state = {}\n"
+        )
+        findings = hits(source, self.RULE)
+        assert len(findings) == 1
+        assert findings[0].line == 9
+        assert "_state" in findings[0].message
+
+    def test_rebind_under_lock_is_clean(self):
+        source = (
+            "import threading\n"
+            "\n"
+            "class Table:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "\n"
+            "    def reset(self):\n"
+            "        with self._lock:\n"
+            "            self._state = {}\n"
+        )
+        assert hits(source, self.RULE) == []
+
+    def test_constructor_is_exempt(self):
+        source = (
+            "import threading\n"
+            "\n"
+            "class Table:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._state = {}\n"
+        )
+        assert hits(source, self.RULE) == []
+
+    def test_locked_suffix_documents_caller_held_lock(self):
+        source = (
+            "import threading\n"
+            "\n"
+            "class Table:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "\n"
+            "    def _reset_locked(self):\n"
+            "        self._state = {}\n"
+        )
+        assert hits(source, self.RULE) == []
+
+    def test_nested_def_leaves_lock_scope(self):
+        # The closure runs later, when the with-block's lock is long
+        # released: its writes are unguarded even though the def sits
+        # lexically inside `with self._lock`.
+        source = (
+            "import threading\n"
+            "\n"
+            "class Table:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "\n"
+            "    def reset(self):\n"
+            "        with self._lock:\n"
+            "            def later():\n"
+            "                self._state = {}\n"
+            "            return later\n"
+        )
+        assert len(hits(source, self.RULE)) == 1
+
+    def test_classes_without_locks_are_ignored(self):
+        source = (
+            "class Plain:\n"
+            "    def reset(self):\n"
+            "        self._state = {}\n"
+        )
+        assert hits(source, self.RULE) == []
+
+
+class TestBlockingUnderLock:
+    RULE = "concurrency.blocking-under-lock"
+
+    def test_zero_arg_get_under_lock_fires_once(self):
+        source = (
+            "def drain(lock, queue):\n"
+            "    with lock:\n"
+            "        return queue.get()\n"
+        )
+        findings = hits(source, self.RULE)
+        assert len(findings) == 1
+        assert "get()" in findings[0].message
+
+    def test_sleep_under_lock_fires_once(self):
+        source = (
+            "import time\n"
+            "\n"
+            "def hold(lock):\n"
+            "    with lock:\n"
+            "        time.sleep(1)\n"
+        )
+        assert len(hits(source, self.RULE)) == 1
+
+    def test_get_with_timeout_is_clean(self):
+        source = (
+            "def drain(lock, queue):\n"
+            "    with lock:\n"
+            "        return queue.get(timeout=1)\n"
+        )
+        assert hits(source, self.RULE) == []
+
+    def test_blocking_call_outside_lock_is_clean(self):
+        source = (
+            "def drain(lock, queue):\n"
+            "    item = queue.get()\n"
+            "    with lock:\n"
+            "        return item\n"
+        )
+        assert hits(source, self.RULE) == []
+
+    def test_nested_def_under_lock_is_clean(self):
+        # The nested function body runs after the lock is released.
+        source = (
+            "def make(lock, queue):\n"
+            "    with lock:\n"
+            "        def worker():\n"
+            "            return queue.get()\n"
+            "        return worker\n"
+        )
+        assert hits(source, self.RULE) == []
+
+
+class TestArenaLifecycle:
+    RULE = "concurrency.arena-lifecycle"
+
+    def test_leaked_attach_fires_once(self):
+        source = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "\n"
+            "def peek(name):\n"
+            "    shm = SharedMemory(name=name)\n"
+            "    size = shm.size\n"
+        )
+        findings = hits(source, self.RULE)
+        assert len(findings) == 1
+        assert "shm" in findings[0].message
+
+    def test_close_in_finally_is_clean(self):
+        source = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "\n"
+            "def peek(name):\n"
+            "    shm = SharedMemory(name=name)\n"
+            "    try:\n"
+            "        size = shm.size\n"
+            "    finally:\n"
+            "        shm.close()\n"
+            "    return size\n"
+        )
+        assert hits(source, self.RULE) == []
+
+    def test_returned_handle_transfers_ownership(self):
+        source = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "\n"
+            "def attach(name):\n"
+            "    shm = SharedMemory(name=name)\n"
+            "    return shm\n"
+        )
+        assert hits(source, self.RULE) == []
+
+    def test_handle_stored_on_object_transfers_ownership(self):
+        source = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "\n"
+            "def attach(owner, name):\n"
+            "    shm = SharedMemory(name=name)\n"
+            "    owner.arena = shm\n"
+        )
+        assert hits(source, self.RULE) == []
+
+
+class TestPoolShutdown:
+    RULE = "concurrency.pool-shutdown"
+
+    def test_local_pool_without_shutdown_fires_once(self):
+        source = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "\n"
+            "def start(work):\n"
+            "    pool = ProcessPoolExecutor(2)\n"
+            "    pool.submit(work)\n"
+        )
+        findings = hits(source, self.RULE)
+        assert len(findings) == 1
+        assert "ProcessPoolExecutor" in findings[0].message
+
+    def test_with_block_is_clean(self):
+        source = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "\n"
+            "def start(work):\n"
+            "    with ProcessPoolExecutor(2) as pool:\n"
+            "        pool.submit(work)\n"
+        )
+        assert hits(source, self.RULE) == []
+
+    def test_explicit_shutdown_is_clean(self):
+        source = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "\n"
+            "def start(work):\n"
+            "    pool = ProcessPoolExecutor(2)\n"
+            "    pool.submit(work)\n"
+            "    pool.shutdown()\n"
+        )
+        assert hits(source, self.RULE) == []
+
+    def test_class_attr_with_close_method_is_clean(self):
+        source = (
+            "from multiprocessing import Pool\n"
+            "\n"
+            "class Runner:\n"
+            "    def __init__(self):\n"
+            "        self._pool = Pool(2)\n"
+            "\n"
+            "    def close(self):\n"
+            "        self._pool.terminate()\n"
+        )
+        assert hits(source, self.RULE) == []
+
+    def test_atexit_hook_is_clean(self):
+        source = (
+            "import atexit\n"
+            "from multiprocessing import Pool\n"
+            "\n"
+            "pool = Pool(2)\n"
+            "atexit.register(pool.terminate)\n"
+        )
+        assert hits(source, self.RULE) == []
+
+
+class TestForkAfterThread:
+    RULE = "concurrency.fork-after-thread"
+
+    def test_threaded_module_with_fork_pool_fires_once(self):
+        source = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "from threading import Thread\n"
+            "\n"
+            "def serve(handler):\n"
+            "    Thread(target=handler).start()\n"
+            "    with ProcessPoolExecutor(2) as pool:\n"
+            "        pool.submit(handler)\n"
+        )
+        assert len(hits(source, self.RULE)) == 1
+
+    def test_spawn_context_is_clean(self):
+        source = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "from multiprocessing import get_context\n"
+            "from threading import Thread\n"
+            "\n"
+            "def serve(handler):\n"
+            "    Thread(target=handler).start()\n"
+            "    ctx = get_context('spawn')\n"
+            "    with ProcessPoolExecutor(2, mp_context=ctx) as pool:\n"
+            "        pool.submit(handler)\n"
+        )
+        assert hits(source, self.RULE) == []
+
+    def test_threadless_module_is_clean(self):
+        source = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "\n"
+            "def run(work):\n"
+            "    with ProcessPoolExecutor(2) as pool:\n"
+            "        pool.submit(work)\n"
+        )
+        assert hits(source, self.RULE) == []
+
+    def test_threading_mixin_counts_as_threads(self):
+        source = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "from socketserver import TCPServer, ThreadingMixIn\n"
+            "\n"
+            "class Server(ThreadingMixIn, TCPServer):\n"
+            "    pass\n"
+            "\n"
+            "def run(work):\n"
+            "    with ProcessPoolExecutor(2) as pool:\n"
+            "        pool.submit(work)\n"
+        )
+        assert len(hits(source, self.RULE)) == 1
+
+
+class TestPragmas:
+    def test_rule_scoped_pragma_waives(self):
+        source = (
+            "import threading\n"
+            "\n"
+            "class Table:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "\n"
+            "    def reset(self):\n"
+            "        self._state = {}"
+            "  # repro-lint: ignore[concurrency.unguarded-mutation]\n"
+        )
+        assert lint_source(source, "x.py") == []
+
+    def test_bare_pragma_waives_all_rules_on_line(self):
+        source = (
+            "def drain(lock, queue):\n"
+            "    with lock:\n"
+            "        return queue.get()  # repro-lint: ignore\n"
+        )
+        assert lint_source(source, "x.py") == []
+
+    def test_pragma_on_other_line_does_not_waive(self):
+        source = (
+            "# repro-lint: ignore[concurrency.blocking-under-lock]\n"
+            "def drain(lock, queue):\n"
+            "    with lock:\n"
+            "        return queue.get()\n"
+        )
+        assert len(lint_source(source, "x.py")) == 1
+
+
+class TestSyntaxAndGate:
+    def test_syntax_error_reported(self):
+        findings = lint_source("def broken(:\n", "bad.py")
+        assert [f.rule_id for f in findings] == ["code.syntax"]
+
+    def test_repro_package_is_clean(self):
+        findings = lint_package()
+        assert findings == [], [f.render() for f in findings]

@@ -101,6 +101,52 @@ class TestOtherCommands:
         assert lint_main(["code"]) == 0
         assert "repro-lint: 0 errors" in capsys.readouterr().out
 
+    def test_code_runs_all_codebase_passes(self, tmp_path, capsys):
+        report_path = tmp_path / "code.json"
+        assert lint_main(["code", "--json", str(report_path)]) == 0
+        with open(report_path) as handle:
+            report = json.load(handle)
+        validate_lint_report(report)
+        assert set(report["passes"]) == {"code", "concurrency", "schema"}
+
+    def test_concurrency_command_clean_tree(self, tmp_path, capsys):
+        report_path = tmp_path / "conc.json"
+        assert lint_main(
+            ["concurrency", "--json", str(report_path)]
+        ) == 0
+        with open(report_path) as handle:
+            report = json.load(handle)
+        validate_lint_report(report)
+        assert report["meta"]["command"] == "concurrency"
+        assert set(report["passes"]) == {"concurrency"}
+
+    def test_concurrency_command_finds_hazards(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "racy.py").write_text(
+            "import threading\n"
+            "\n"
+            "class Table:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "\n"
+            "    def reset(self):\n"
+            "        self._state = {}\n"
+        )
+        assert lint_main(["concurrency", str(pkg)]) == 1
+        assert "concurrency.unguarded-mutation" in capsys.readouterr().out
+
+    def test_schema_command_clean_tree(self, capsys):
+        assert lint_main(["schema"]) == 0
+        assert "repro-lint: 0 errors" in capsys.readouterr().out
+
+    def test_schema_command_finds_drift(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "drifty.py").write_text('TAG = "repro-stats/1"\n')
+        assert lint_main(["schema", str(pkg)]) == 1
+        assert "schema.inline-version" in capsys.readouterr().out
+
     def test_quiet_suppresses_non_errors(self, adder_files, capsys):
         file_a, file_b = adder_files
         lint_main(["aig", file_a, file_b])
@@ -109,6 +155,69 @@ class TestOtherCommands:
         quiet = capsys.readouterr().out
         assert len(quiet.splitlines()) <= len(loud.splitlines())
         assert "repro-lint:" in quiet
+
+
+class TestExitCodes:
+    """repro-lint's exit codes follow repro.exit_codes everywhere."""
+
+    def test_unknown_subcommand_exits_three(self, capsys):
+        assert lint_main(["bogus"]) == 3
+
+    def test_missing_subcommand_exits_three(self, capsys):
+        assert lint_main([]) == 3
+
+    def test_bad_flag_exits_three(self, capsys):
+        assert lint_main(["code", "--no-such-flag"]) == 3
+
+    def test_version_exits_zero(self, capsys):
+        assert lint_main(["--version"]) == 0
+        assert "repro-lint" in capsys.readouterr().out
+
+    def test_help_exits_zero(self, capsys):
+        assert lint_main(["--help"]) == 0
+
+
+class TestServeSelfLint:
+    """repro-serve --self-lint refuses to start on unwaived findings."""
+
+    def test_clean_tree_passes(self):
+        from repro.service import serve_cli
+
+        assert serve_cli._self_lint() == 0
+
+    def test_findings_refuse_start(self, monkeypatch, capsys):
+        from repro.analyze.findings import ERROR, Finding
+        from repro.service import serve_cli
+
+        fake = Finding(
+            "concurrency.pool-shutdown", ERROR, "synthetic hazard",
+            file="x.py", line=1,
+        )
+        monkeypatch.setattr(
+            "repro.analyze.concurrency.lint_package",
+            lambda root=None: [fake],
+        )
+        monkeypatch.setattr(
+            "repro.analyze.schema_drift.lint_package",
+            lambda root=None: [],
+        )
+        assert serve_cli._self_lint() == 1
+        assert "refusing to start" in capsys.readouterr().err
+
+    def test_serve_aborts_before_binding(self, monkeypatch):
+        from repro.service import serve_cli
+
+        # _self_lint failing must stop main() before CecServer exists.
+        monkeypatch.setattr(serve_cli, "_self_lint", lambda: 1)
+        monkeypatch.setattr(
+            serve_cli, "CecServer",
+            lambda *a, **k: (_ for _ in ()).throw(
+                AssertionError("server must not start")
+            ),
+        )
+        assert serve_cli.main(
+            ["--self-lint", "--listen", "127.0.0.1:0"]
+        ) == 1
 
 
 class TestCecLintFlag:

@@ -310,6 +310,49 @@ class TestCheckerPool:
         pool.close()
         assert pool.closed
 
+    def test_close_defers_to_inflight_lease(self):
+        # Replacing the shared pool with a wider one calls close() on
+        # the old pool; a check mid-imap must keep its workers until it
+        # releases its lease (the old race killed them under it).
+        pool = CheckerPool(2)
+        pool.acquire()
+        results = pool.imap_unordered(abs, [1, -2, 3])
+        pool.close()
+        assert pool.closed
+        assert sorted(results) == [1, 2, 3]  # workers still alive
+        pool.release()  # last lease out: deferred termination runs
+
+    def test_acquire_after_close_raises(self):
+        pool = CheckerPool(2)
+        pool.close()
+        with pytest.raises(ValueError):
+            pool.acquire()
+
+    def test_imap_after_close_raises_even_with_lease(self):
+        pool = CheckerPool(2)
+        pool.acquire()
+        pool.close()
+        try:
+            with pytest.raises(ValueError):
+                pool.imap_unordered(abs, [1])
+        finally:
+            pool.release()
+
+    def test_widening_shared_pool_spares_leased_checks(self):
+        from repro.proof import parallel as par
+
+        par.close_checker_pool()
+        try:
+            pool = par._lease_checker_pool(1)
+            results = pool.imap_unordered(abs, [4, -5])
+            wider = par.get_checker_pool(pool.processes + 1)
+            assert wider is not pool
+            assert pool.closed
+            assert sorted(results) == [4, 5]
+            pool.release()
+        finally:
+            par.close_checker_pool()
+
 
 class TestFallbacksAndPlumbing:
     def test_small_proof_falls_back_to_sequential(self, four_cpus):

@@ -520,6 +520,53 @@ class TestTcpAndProcessPool:
         finally:
             server.close()
 
+    def test_workers_forked_before_threads_start(self):
+        # The fork-start pool is only safe because __init__'s warm-up
+        # submit launches every worker while the server process is
+        # still single-threaded (concurrency.fork-after-thread).
+        server = CecServer("127.0.0.1:0", workers=2)
+        try:
+            processes = getattr(server._executor, "_processes", None)
+            if processes is not None:  # CPython implementation detail
+                assert len(processes) == 2
+        finally:
+            server.close()
+
+
+class TestServerClose:
+    def test_close_with_metrics_endpoint_is_idempotent(self):
+        server = CecServer(
+            "127.0.0.1:0", workers=0, metrics_address="127.0.0.1:0",
+        )
+        assert server.metrics_address is not None
+        server.close()
+        assert server.metrics_address is None
+        server.close()  # second close must be a no-op
+
+    def test_concurrent_close_and_metrics_reads(self):
+        # close() swaps self._metrics_http under the lock; hammering
+        # metrics_address from other threads while closing must never
+        # raise on a half-torn-down endpoint.
+        server = CecServer(
+            "127.0.0.1:0", workers=0, metrics_address="127.0.0.1:0",
+        )
+        errors = []
+
+        def read():
+            for _ in range(200):
+                try:
+                    server.metrics_address
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+        readers = [threading.Thread(target=read) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        server.close()
+        for thread in readers:
+            thread.join()
+        assert errors == []
+
 
 class TestRecorderThreadSafety:
     def test_concurrent_mutation_is_consistent(self):
