@@ -41,14 +41,25 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from . import schemas as registry
 from .findings import ERROR, WARNING, Finding
 from .pragmas import apply_waivers
-from .schemas import SERVICE_REQUEST_KEYS, SERVICE_SCHEMA, SchemaSpec
+from .schemas import (
+    FLEET_REQUEST_KEYS,
+    FLEET_SCHEMA,
+    SERVICE_REQUEST_KEYS,
+    SERVICE_SCHEMA,
+    SchemaSpec,
+)
 
 #: Exact shape of a version tag; prose mentioning a tag never matches.
 _TAG = re.compile(r"^repro-[a-z0-9-]+/[0-9]+$")
 
-#: Response-envelope builders whose keyword arguments become
-#: ``repro-service/1`` response fields.
-_RESPONSE_BUILDERS = frozenset({"ok_response", "error_response"})
+#: Response-envelope builders, mapped to the schema whose keys and verb
+#: vocabulary their keyword arguments / verb argument must honor.
+_RESPONSE_BUILDERS = {
+    "ok_response": SERVICE_SCHEMA,
+    "error_response": SERVICE_SCHEMA,
+    "fleet_response": FLEET_SCHEMA,
+    "fleet_error": FLEET_SCHEMA,
+}
 
 #: The registry module itself — the one place tags are defined.
 _REGISTRY_SUFFIX = os.path.join("analyze", "schemas.py")
@@ -231,30 +242,50 @@ def _check_document_literal(
 def _check_request_literal(
     node: ast.Dict, filename: str, specs: Dict[str, SchemaSpec],
 ) -> List[Finding]:
-    spec = specs.get(SERVICE_SCHEMA)
-    if spec is None or not spec.verbs:
+    service = specs.get(SERVICE_SCHEMA)
+    fleet = specs.get(FLEET_SCHEMA)
+    known_verbs: Set[str] = set()
+    for spec in (service, fleet):
+        if spec is not None:
+            known_verbs |= spec.verbs
+    if not known_verbs:
         return []
     keys, _ = _literal_keys(node)
     if "verb" not in keys or "schema" in keys:
         return []
     findings: List[Finding] = []
+    # The two protocols share one transport and one dispatcher; a
+    # literal verb selects which request-key vocabulary applies, an
+    # unresolvable verb expression falls back to the union.
+    allowed = SERVICE_REQUEST_KEYS | FLEET_REQUEST_KEYS
+    tag = service.tag if service is not None else FLEET_SCHEMA
     verb = keys["verb"]
     if isinstance(verb, ast.Constant) and isinstance(verb.value, str):
-        if verb.value not in spec.verbs:
+        if verb.value not in known_verbs:
             findings.append(Finding(
                 "schema.unknown-verb", ERROR,
                 "verb %r is not in the %s vocabulary"
-                % (verb.value, spec.tag),
+                % (verb.value, " or ".join(
+                    spec.tag for spec in (service, fleet)
+                    if spec is not None
+                )),
                 file=filename, line=node.lineno,
                 data={"verb": verb.value},
             ))
+            return findings
+        if fleet is not None and verb.value in fleet.verbs:
+            allowed = FLEET_REQUEST_KEYS
+            tag = fleet.tag
+        elif service is not None:
+            allowed = SERVICE_REQUEST_KEYS
+            tag = service.tag
     for key in sorted(keys):
-        if key not in SERVICE_REQUEST_KEYS:
+        if key not in allowed:
             findings.append(Finding(
                 "schema.undeclared-key", ERROR,
-                "request key %r is not declared for %s" % (key, spec.tag),
+                "request key %r is not declared for %s" % (key, tag),
                 file=filename, line=node.lineno,
-                data={"schema": spec.tag, "key": key},
+                data={"schema": tag, "key": key},
             ))
     return findings
 
@@ -266,13 +297,13 @@ def _check_response_builder(
     name = func.attr if isinstance(func, ast.Attribute) else (
         func.id if isinstance(func, ast.Name) else None
     )
-    if name not in _RESPONSE_BUILDERS:
+    if name is None or name not in _RESPONSE_BUILDERS:
         return []
-    spec = specs.get(SERVICE_SCHEMA)
+    spec = specs.get(_RESPONSE_BUILDERS[name])
     if spec is None:
         return []
     findings: List[Finding] = []
-    if name == "ok_response" and node.args:
+    if name in ("ok_response", "fleet_response") and node.args:
         first = node.args[0]
         if isinstance(first, ast.Constant) \
                 and isinstance(first.value, str) \

@@ -43,12 +43,22 @@ LINT_SCHEMA = "repro-lint/1"
 RESULT_SCHEMA = "repro-cec-result/1"
 #: Proof-cache entry metadata blocks.
 CACHE_META_SCHEMA = "repro-cec-cache/1"
+#: Fleet tier: the cross-shard proof-cache protocol spoken between the
+#: ``repro-router`` and its backend shards (and by ``repro-client
+#: cache``). Rides the same line-JSON transport as ``repro-service/1``;
+#: responses to fleet verbs carry this envelope tag.
+FLEET_SCHEMA = "repro-fleet/1"
 
 #: The service verb vocabulary, in documentation order.
 SERVICE_VERBS: Tuple[str, ...] = (
     "ping", "submit", "status", "result", "cancel", "stats", "metrics",
     "shutdown",
 )
+
+#: The fleet (cross-shard cache protocol) verb vocabulary: ``cache`` is
+#: the stats/probe verb, ``cache-get``/``cache-put`` move one
+#: content-addressed result document between shards.
+FLEET_VERBS: Tuple[str, ...] = ("cache", "cache-get", "cache-put")
 
 
 class SchemaSpec:
@@ -97,6 +107,15 @@ SERVICE_REQUEST_KEYS: FrozenSet[str] = frozenset({
     "certify", "lint", "jobs", "trim", "trace",
     # status / result / cancel
     "job", "wait", "timeout",
+})
+
+#: Request fields of the ``repro-fleet/1`` cache-protocol verbs. A
+#: fleet request is identified by its ``verb`` key exactly like a
+#: service request (same transport, same dispatcher).
+FLEET_REQUEST_KEYS: FrozenSet[str] = frozenset({
+    "verb",
+    # cache (probe) / cache-get / cache-put
+    "key", "result", "meta",
 })
 
 SCHEMAS: Dict[str, SchemaSpec] = {
@@ -156,6 +175,22 @@ SCHEMAS: Dict[str, SchemaSpec] = {
             optional=("job",),
             description="proof-cache entry metadata block",
         ),
+        SchemaSpec(
+            FLEET_SCHEMA,
+            # Same envelope shape as the service responses; fleet verbs
+            # answer under this tag (fleet_response/fleet_error).
+            required=("schema", "ok", "verb", "final"),
+            optional=(
+                "error",
+                # cache probe / cache-get / cache-put
+                "key", "found", "stored", "result", "meta",
+                # keyless cache (stats) answers
+                "entries", "hits", "misses", "stores",
+            ),
+            verbs=FLEET_VERBS,
+            description="cross-shard proof-cache protocol of the fleet "
+            "tier",
+        ),
     )
 }
 
@@ -171,6 +206,7 @@ SCHEMA_CONSTANTS: Dict[str, str] = {
     "LINT_SCHEMA": LINT_SCHEMA,
     "RESULT_SCHEMA": RESULT_SCHEMA,
     "CACHE_META_SCHEMA": CACHE_META_SCHEMA,
+    "FLEET_SCHEMA": FLEET_SCHEMA,
 }
 
 

@@ -1,0 +1,171 @@
+"""Consistent-hash ring mapping cache keys onto backend shards.
+
+The router places every shard on a 64-bit ring at ``replicas``
+pseudo-random points (blake2b of ``"<shard>#<index>"``) and routes a
+cache key to the owner of the first ring point at or after the key's
+own hash point, wrapping at the top. Two properties matter for the
+fleet:
+
+* **Determinism** — ring points are pure functions of the shard label
+  and the replica index, so two routers configured with the same shard
+  set (in any order), and the same router across restarts, route every
+  key identically. No coordination, no persisted state.
+* **Bounded movement** — removing a shard hands its arcs to the next
+  points on the ring and moves *no other key*; adding it back restores
+  the original mapping exactly. A modulo-N table would reshuffle
+  nearly everything on every membership change and empty the fleet's
+  per-shard proof caches each time a shard restarts.
+
+Shard labels are opaque strings; the router uses the shard's wire
+address so identity survives restarts by construction.
+"""
+
+import bisect
+import hashlib
+
+#: Ring points per shard. 64 keeps the expected occupancy imbalance of
+#: a small fleet within a few percent while membership changes stay
+#: O(replicas * shards * log) rebuilds.
+DEFAULT_REPLICAS = 64
+
+#: The ring is the space of 64-bit blake2b digests.
+RING_SIZE = 1 << 64
+
+
+def ring_point(label):
+    """The 64-bit ring position of *label* (stable across processes)."""
+    digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class HashRing:
+    """Consistent-hash ring over string shard labels.
+
+    Args:
+        shards: initial shard labels.
+        replicas: ring points per shard (fixed for the ring's life;
+            both sides of a restart must agree on it).
+    """
+
+    def __init__(self, shards=(), replicas=DEFAULT_REPLICAS):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1, got %r" % (replicas,))
+        self.replicas = replicas
+        self._members = set()
+        self._points = []
+        self._owners = []
+        for shard in shards:
+            self.add(shard)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def add(self, shard):
+        """Insert *shard* (idempotent); returns True when it was new."""
+        if shard in self._members:
+            return False
+        self._members.add(shard)
+        self._rebuild()
+        return True
+
+    def remove(self, shard):
+        """Drop *shard* (idempotent); returns True when it was present.
+
+        Only the removed shard's arcs change owner (bounded movement).
+        """
+        if shard not in self._members:
+            return False
+        self._members.discard(shard)
+        self._rebuild()
+        return True
+
+    def _rebuild(self):
+        pairs = []
+        for shard in self._members:
+            for index in range(self.replicas):
+                pairs.append((ring_point("%s#%d" % (shard, index)), shard))
+        # Sorting the (point, label) pairs makes a 64-bit point
+        # collision between two shards resolve the same way everywhere.
+        pairs.sort()
+        self._points = [point for point, _ in pairs]
+        self._owners = [shard for _, shard in pairs]
+
+    @property
+    def shards(self):
+        """The member labels, sorted (tuple)."""
+        return tuple(sorted(self._members))
+
+    def __contains__(self, shard):
+        return shard in self._members
+
+    def __len__(self):
+        return len(self._members)
+
+    def __bool__(self):
+        return bool(self._members)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _slot(self, key):
+        # Owner of a key is the first ring point >= the key's point
+        # (wrapping past the top of the ring to the first point).
+        point = ring_point("key:%s" % key)
+        index = bisect.bisect_left(self._points, point)
+        return index % len(self._points)
+
+    def route(self, key):
+        """The shard owning *key*.
+
+        Raises:
+            LookupError: when the ring has no members.
+        """
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        return self._owners[self._slot(key)]
+
+    def preference(self, key):
+        """All shards in failover order for *key* (home first).
+
+        Walking the ring clockwise from the key's slot and keeping the
+        first occurrence of each shard yields the same successor list
+        every shard failure would produce, so "next preferred shard"
+        and "owner after removal" agree by construction.
+        """
+        if not self._points:
+            return []
+        start = self._slot(key)
+        seen = set()
+        order = []
+        count = len(self._points)
+        for step in range(count):
+            shard = self._owners[(start + step) % count]
+            if shard not in seen:
+                seen.add(shard)
+                order.append(shard)
+        return order
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def occupancy(self):
+        """Fraction of the key space owned by each shard.
+
+        Sums the arc lengths ending at each shard's ring points;
+        values add up to 1.0. Feeds the router's ring-occupancy
+        gauges, where a badly skewed ring shows up as one shard's
+        fraction drifting far from ``1/len(ring)``.
+        """
+        if not self._points:
+            return {}
+        fractions = dict.fromkeys(self._members, 0)
+        previous = self._points[-1] - RING_SIZE
+        for point, owner in zip(self._points, self._owners):
+            fractions[owner] += point - previous
+            previous = point
+        return {
+            shard: arcs / RING_SIZE for shard, arcs in fractions.items()
+        }

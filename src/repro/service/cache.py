@@ -124,6 +124,19 @@ class ProofCache:
         except (OSError, ValueError):
             return None
 
+    def read_meta(self, key):
+        """The ``repro-cec-cache/1`` metadata block for *key*, or ``None``.
+
+        A metadata probe is the cheap half of an entry (verdict and
+        provenance, no proof text); the fleet's ``cache`` verb answers
+        key probes from it without shipping the result document.
+        """
+        try:
+            with open(self.meta_path(key)) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
     def store(self, key, result_doc, meta=None):
         """Persist a decided result document under *key*.
 

@@ -8,16 +8,20 @@ to the caller's ``on_update`` hook as they arrive, which is how the
 CLI surfaces live per-job telemetry.
 
 Transient *connect* failures (connection refused while the server is
-still binding) are retried with exponential backoff up to ``retries``
-times. Failures after the request may have been written (a dropped
-connection, a read timeout) are never retried — the server may already
-be executing the request, and re-sending a non-idempotent verb like
-``submit`` would duplicate solver work. Protocol-level failures
-(``ok: false`` responses) are likewise never retried — they are
-answers, raised as :class:`ServiceError` with the server's stable
-error code.
+still binding) are retried with exponentially capped **full-jitter**
+backoff up to ``retries`` times: each delay is drawn uniformly from
+``[0, min(backoff * 2**attempt, cap)]``, so a crowd of clients
+reconnecting to a recovering server spreads out instead of stampeding
+it in synchronized waves. Failures after the request may have been
+written (a dropped connection, a read timeout) are never retried — the
+server may already be executing the request, and re-sending a
+non-idempotent verb like ``submit`` would duplicate solver work.
+Protocol-level failures (``ok: false`` responses) are likewise never
+retried — they are answers, raised as :class:`ServiceError` with the
+server's stable error code.
 """
 
+import random
 import socket
 import time
 
@@ -32,6 +36,9 @@ from . import protocol
 DEFAULT_TIMEOUT = 60.0
 DEFAULT_RETRIES = 3
 DEFAULT_BACKOFF = 0.2
+#: Ceiling of any single retry delay (seconds); the jittered draw never
+#: exceeds it no matter how many attempts have failed.
+BACKOFF_CAP = 5.0
 
 
 class ServiceError(Exception):
@@ -60,7 +67,10 @@ class ServiceClient:
             waits keep the socket alive via server heartbeats, so this
             bounds silence, not job duration.
         retries: connection attempts per request before giving up.
-        backoff: initial retry delay, doubled per attempt.
+        backoff: base retry delay; attempt *n* sleeps a uniformly
+            random duration in ``[0, min(backoff * 2**(n-1),
+            BACKOFF_CAP)]`` (full jitter — no two clients share a
+            retry schedule).
 
     Usable as a context manager; :meth:`close` drops the socket.
     """
@@ -130,11 +140,9 @@ class ServiceClient:
         ``submit`` would duplicate solver work.
         """
         last_error = None
-        delay = self.backoff
         for attempt in range(self.retries + 1):
             if attempt:
-                time.sleep(delay)
-                delay *= 2
+                time.sleep(self.retry_delay(attempt))
             if self._sock is None:
                 try:
                     self._connect()
@@ -148,6 +156,17 @@ class ServiceClient:
                 self.close()
                 raise
         raise last_error
+
+    def retry_delay(self, attempt):
+        """The jittered backoff before connect attempt *attempt* (>= 1).
+
+        Full jitter: drawn uniformly from zero to the exponentially
+        growing (capped) ceiling. A fixed schedule would march every
+        waiting client back onto a recovering server in lockstep —
+        exactly the stampede the cap-and-jitter draw disperses.
+        """
+        ceiling = min(self.backoff * (2 ** (attempt - 1)), BACKOFF_CAP)
+        return random.uniform(0.0, ceiling)
 
     def _exchange(self, message, on_update):
         self._sock.sendall(protocol.encode(message))
@@ -248,6 +267,36 @@ class ServiceClient:
     def shutdown(self):
         """Ask the server to stop serving."""
         return self.request({"verb": "shutdown"})
+
+    # ------------------------------------------------------------------
+    # Cache verbs (repro-fleet/1)
+    # ------------------------------------------------------------------
+
+    def cache_stats(self):
+        """The server's proof-cache statistics (entry count, hits...)."""
+        return self.request({"verb": "cache"})
+
+    def cache_probe(self, key):
+        """Metadata probe for *key*: ``(found, meta)`` without the
+        result document (the cheap half of an entry)."""
+        response = self.request({"verb": "cache", "key": key})
+        return bool(response.get("found")), response.get("meta")
+
+    def cache_get(self, key):
+        """Fetch the content-addressed result document stored under
+        *key*, or ``None`` on a miss. Returns ``(result, meta)``."""
+        response = self.request({"verb": "cache-get", "key": key})
+        if not response.get("found"):
+            return None, None
+        return response.get("result"), response.get("meta")
+
+    def cache_put(self, key, result, meta=None):
+        """Install a result document under *key* (idempotent); True
+        when a new entry was written."""
+        message = {"verb": "cache-put", "key": key, "result": result}
+        if meta is not None:
+            message["meta"] = meta
+        return bool(self.request(message).get("stored"))
 
     # ------------------------------------------------------------------
     # High-level

@@ -134,6 +134,23 @@ def build_parser():
     cancel = sub.add_parser("cancel", help="cancel a queued job")
     cancel.add_argument("job", help="job id from submit")
 
+    cache = sub.add_parser(
+        "cache",
+        help="proof-cache statistics, or a direct key probe/fetch",
+    )
+    cache.add_argument(
+        "key", nargs="?", default=None,
+        help="cache key (pair_key hex) to probe; omit for statistics",
+    )
+    cache.add_argument(
+        "--get", metavar="PATH", default=None,
+        help="with KEY: fetch the stored result document to PATH",
+    )
+    cache.add_argument(
+        "--json", action="store_true", dest="cache_json",
+        help="print the raw response as JSON",
+    )
+
     sub.add_parser("stats", help="print the server's stats report")
     metrics = sub.add_parser(
         "metrics", help="print the server's metrics (Prometheus text)",
@@ -221,6 +238,50 @@ def _finish(response, certify_local, stats_json, jobs=None):
         return EXIT_NEGATIVE
     print("UNDECIDED%s" % cached)
     return EXIT_UNDECIDED
+
+
+def _run_cache(client, args):
+    """The ``cache`` subcommand: stats, key probe, or document fetch.
+
+    Speaks the same ``repro-fleet/1`` verbs the router's cross-shard
+    fetch uses, so what an operator sees here is exactly what a peer
+    shard would be served.
+    """
+    if args.key is None:
+        response = client.cache_stats()
+        if args.cache_json:
+            print(json.dumps(response, indent=2, sort_keys=True))
+        else:
+            print("entries=%d hits=%d misses=%d stores=%d" % (
+                response.get("entries", 0), response.get("hits", 0),
+                response.get("misses", 0), response.get("stores", 0),
+            ))
+        return EXIT_OK
+    if args.get:
+        result, meta = client.cache_get(args.key)
+        if result is None:
+            print("cache miss: %s" % args.key, file=sys.stderr)
+            return EXIT_NEGATIVE
+        with open(args.get, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("cache hit: %s (verdict %s) written to %s" % (
+            args.key, (meta or {}).get("verdict"), args.get,
+        ))
+        return EXIT_OK
+    found, meta = client.cache_probe(args.key)
+    if args.cache_json:
+        print(json.dumps(
+            {"key": args.key, "found": found, "meta": meta},
+            indent=2, sort_keys=True,
+        ))
+    elif found:
+        print("cache hit: %s (verdict %s)" % (
+            args.key, (meta or {}).get("verdict"),
+        ))
+    else:
+        print("cache miss: %s" % args.key)
+    return EXIT_OK if found else EXIT_NEGATIVE
 
 
 def main(argv=None):
@@ -336,6 +397,8 @@ def _run(client, args):
         print("cancelled" if response.get("cancelled")
               else "not cancelled (state: %s)" % response.get("state"))
         return EXIT_OK if response.get("cancelled") else EXIT_NEGATIVE
+    if args.command == "cache":
+        return _run_cache(client, args)
     if args.command == "stats":
         print(json.dumps(client.stats(), indent=2, sort_keys=True))
         return EXIT_OK

@@ -33,7 +33,12 @@ same payload the optional ``/metrics`` HTTP endpoint serves).
 import json
 
 from .. import __version__
-from ..analyze.schemas import SERVICE_SCHEMA, SERVICE_VERBS
+from ..analyze.schemas import (
+    FLEET_SCHEMA,
+    FLEET_VERBS as _FLEET_VERBS,
+    SERVICE_SCHEMA,
+    SERVICE_VERBS,
+)
 
 #: Historical alias of :data:`repro.analyze.schemas.SERVICE_SCHEMA`.
 PROTOCOL_SCHEMA = SERVICE_SCHEMA
@@ -45,6 +50,10 @@ MAX_LINE_BYTES = 256 * 1024 * 1024
 
 VERBS = frozenset(SERVICE_VERBS)
 
+#: The cross-shard cache-protocol verbs (``repro-fleet/1``), accepted
+#: by the same dispatcher on the same socket as the service verbs.
+FLEET_VERBS = frozenset(_FLEET_VERBS)
+
 # Stable error codes.
 ERR_INVALID_REQUEST = "invalid-request"  # malformed JSON / unknown verb
 ERR_BAD_INPUT = "bad-input"              # unparseable or incompatible AIGs
@@ -55,6 +64,9 @@ ERR_CANCELLED = "cancelled"              # job was cancelled before running
 ERR_SHUTTING_DOWN = "shutting-down"      # server is draining
 ERR_CERTIFY_FAILED = "certificate-invalid"  # server-side certify rejected
 ERR_TIMEOUT = "timeout"                  # result --wait timed out (job lives)
+ERR_NO_CACHE = "no-cache"                # cache verb on a cache-less server
+ERR_SHARD_DOWN = "shard-down"            # router: the job's shard is gone
+ERR_CACHE_STORE_FAILED = "cache-store-failed"  # cache-put hit a disk error
 
 
 class ProtocolError(Exception):
@@ -107,6 +119,28 @@ def error_response(code, message, verb=None, final=True, **fields):
     """Build a structured failure response envelope."""
     response = {
         "schema": PROTOCOL_SCHEMA,
+        "ok": False,
+        "verb": verb,
+        "final": final,
+        "error": {"code": code, "message": message},
+    }
+    response.update(fields)
+    return response
+
+
+def fleet_response(verb, final=True, **fields):
+    """Build a success response for a ``repro-fleet/1`` cache verb."""
+    response = {
+        "schema": FLEET_SCHEMA, "ok": True, "verb": verb, "final": final,
+    }
+    response.update(fields)
+    return response
+
+
+def fleet_error(code, message, verb=None, final=True, **fields):
+    """Build a structured failure response for a fleet cache verb."""
+    response = {
+        "schema": FLEET_SCHEMA,
         "ok": False,
         "verb": verb,
         "final": final,

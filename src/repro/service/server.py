@@ -274,17 +274,24 @@ class CecServer:
     def dispatch(self, request, send):
         """Answer one request via *send*; True ends the connection."""
         verb = request.get("verb")
-        if verb not in protocol.VERBS:
+        if verb not in protocol.VERBS and verb not in protocol.FLEET_VERBS:
             send(protocol.error_response(
                 protocol.ERR_INVALID_REQUEST,
                 "unknown verb %r" % (verb,), verb=verb,
             ))
             return False
-        if self._shutting_down and verb not in ("ping", "stats", "metrics"):
+        # Cache verbs stay answerable while draining: they touch only
+        # the on-disk cache, never the queue or the worker pool.
+        if self._shutting_down and verb not in (
+            "ping", "stats", "metrics",
+        ) and verb not in protocol.FLEET_VERBS:
             send(protocol.error_response(
                 protocol.ERR_SHUTTING_DOWN, "server is shutting down",
                 verb=verb,
             ))
+            return False
+        if verb in protocol.FLEET_VERBS:
+            send(self._handle_cache_verb(request, verb))
             return False
         if verb == "ping":
             send(protocol.ping_response())
@@ -666,6 +673,84 @@ class CecServer:
         return protocol.ok_response(
             "cancel", cancelled=cancelled, **job.snapshot(),
         )
+
+    # ------------------------------------------------------------------
+    # cache verbs (repro-fleet/1)
+    # ------------------------------------------------------------------
+
+    def _handle_cache_verb(self, request, verb):
+        """One ``repro-fleet/1`` cache-protocol request.
+
+        This is the single code path behind both the router's
+        cross-shard fetch and ``repro-client cache``: ``cache`` with no
+        key answers lookup/store statistics, ``cache`` with a key is a
+        metadata probe, ``cache-get`` ships the stored result document,
+        ``cache-put`` installs one received from a peer shard.
+        """
+        if self.cache is None:
+            return protocol.fleet_error(
+                protocol.ERR_NO_CACHE,
+                "server runs without a proof cache", verb=verb,
+            )
+        key = request.get("key")
+        if verb == "cache" and key is None:
+            return protocol.fleet_response(
+                "cache",
+                entries=len(self.cache.keys()),
+                hits=self.recorder.counter("cache/hits"),
+                misses=self.recorder.counter("cache/misses"),
+                stores=self.recorder.counter("cache/stores"),
+            )
+        if not isinstance(key, str) or not key:
+            return protocol.fleet_error(
+                protocol.ERR_INVALID_REQUEST,
+                "cache verbs need a string 'key'", verb=verb,
+            )
+        if verb == "cache":
+            self.recorder.count("service/cache-probes")
+            meta = self.cache.read_meta(key)
+            found = key in self.cache
+            return protocol.fleet_response(
+                "cache", key=key, found=found,
+                meta=meta if found else None,
+            )
+        if verb == "cache-get":
+            self.recorder.count("service/cache-remote-gets")
+            result = self.cache.lookup(key)
+            if result is None:
+                return protocol.fleet_response(
+                    "cache-get", key=key, found=False,
+                )
+            return protocol.fleet_response(
+                "cache-get", key=key, found=True, result=result,
+                meta=self.cache.read_meta(key),
+            )
+        # cache-put: install a peer's content-addressed result document.
+        result = request.get("result")
+        if not isinstance(result, dict):
+            return protocol.fleet_error(
+                protocol.ERR_BAD_INPUT,
+                "cache-put needs a 'result' document", verb=verb,
+            )
+        meta = request.get("meta")
+        if meta is not None and not isinstance(meta, dict):
+            return protocol.fleet_error(
+                protocol.ERR_BAD_INPUT,
+                "cache-put 'meta' must be a mapping", verb=verb,
+            )
+        try:
+            stored = self.cache.store(key, result, meta=meta)
+        except ValueError as exc:  # undecided results are never cached
+            return protocol.fleet_error(
+                protocol.ERR_BAD_INPUT, str(exc), verb=verb,
+            )
+        except OSError as exc:
+            self.recorder.count("service/cache-store-failures")
+            return protocol.fleet_error(
+                protocol.ERR_CACHE_STORE_FAILED, str(exc), verb=verb,
+            )
+        self.recorder.count("service/cache-remote-puts")
+        return protocol.fleet_response("cache-put", key=key, stored=stored)
 
     # ------------------------------------------------------------------
     # stats

@@ -117,6 +117,52 @@ class TestServiceRequests:
         assert lint_one(source) == []
 
 
+class TestFleetRequests:
+    """Router-side drift: the ``repro-fleet/1`` cache verbs."""
+
+    def test_unknown_cache_verb_fires_once(self):
+        source = "req = {'verb': 'cache-del', 'key': key}\n"
+        findings = hits(source, "schema.unknown-verb")
+        assert len(findings) == 1
+        assert "cache-del" in findings[0].message
+
+    def test_undeclared_fleet_request_key_fires_once(self):
+        # A cache probe carrying circuit payloads is a routing bug:
+        # only submit ships AIGs, the fleet verbs ship keys.
+        source = "req = {'verb': 'cache', 'aag_a': text}\n"
+        findings = hits(source, "schema.undeclared-key")
+        assert len(findings) == 1
+        assert "'aag_a'" in findings[0].message
+
+    def test_cache_get_request_is_clean(self):
+        source = "req = {'verb': 'cache-get', 'key': key}\n"
+        assert lint_one(source) == []
+
+    def test_cache_put_request_is_clean(self):
+        source = (
+            "req = {'verb': 'cache-put', 'key': key,"
+            " 'result': doc, 'meta': meta}\n"
+        )
+        assert lint_one(source) == []
+
+    def test_fleet_builder_undeclared_field_fires_once(self):
+        source = "resp = fleet_response('cache-get', bogus=1)\n"
+        findings = hits(source, "schema.undeclared-key")
+        assert len(findings) == 1
+        assert "bogus" in findings[0].message
+
+    def test_fleet_builder_unknown_verb_fires_once(self):
+        source = "resp = fleet_response('cache-del')\n"
+        assert len(hits(source, "schema.unknown-verb")) == 1
+
+    def test_fleet_builder_declared_fields_are_clean(self):
+        source = (
+            "resp = fleet_response('cache', key=key, found=True,"
+            " meta=meta)\n"
+        )
+        assert lint_one(source) == []
+
+
 class TestDeadKeys:
     SPECS = {
         "repro-test/1": schemas.SchemaSpec(

@@ -1,0 +1,116 @@
+"""Hash-ring determinism, rebalance, and occupancy tests."""
+
+import pytest
+
+from repro.fleet.ring import DEFAULT_REPLICAS, HashRing, ring_point
+
+SHARDS = ["10.0.0.1:7711", "10.0.0.2:7711", "10.0.0.3:7711"]
+
+
+def keys(count):
+    return ["%040x" % (1099511627776 * i + 17) for i in range(count)]
+
+
+class TestDeterminism:
+    def test_same_members_route_identically_across_instances(self):
+        # A router restart rebuilds the ring from configuration alone;
+        # every key must land where it did before.
+        first = HashRing(SHARDS)
+        second = HashRing(list(reversed(SHARDS)))
+        for key in keys(500):
+            assert first.route(key) == second.route(key)
+
+    def test_insertion_order_does_not_change_preference(self):
+        first = HashRing(SHARDS)
+        second = HashRing(list(reversed(SHARDS)))
+        for key in keys(100):
+            assert first.preference(key) == second.preference(key)
+
+    def test_ring_points_are_stable_values(self):
+        # blake2b of the label: process- and platform-independent.
+        assert ring_point("x") == ring_point("x")
+        assert ring_point("x") != ring_point("y")
+
+    def test_add_remove_add_restores_mapping(self):
+        ring = HashRing(SHARDS)
+        before = {key: ring.route(key) for key in keys(300)}
+        ring.remove(SHARDS[1])
+        ring.add(SHARDS[1])
+        assert before == {key: ring.route(key) for key in keys(300)}
+
+
+class TestRebalance:
+    def test_removal_moves_only_the_removed_shards_keys(self):
+        ring = HashRing(SHARDS)
+        sample = keys(1000)
+        before = {key: ring.route(key) for key in sample}
+        ring.remove(SHARDS[0])
+        for key in sample:
+            owner = ring.route(key)
+            if before[key] == SHARDS[0]:
+                assert owner != SHARDS[0]
+            else:
+                # Bounded movement: keys of surviving shards stay put.
+                assert owner == before[key]
+
+    def test_orphaned_keys_go_to_their_failover_successor(self):
+        ring = HashRing(SHARDS)
+        sample = keys(1000)
+        successors = {key: ring.preference(key) for key in sample}
+        ring.remove(SHARDS[2])
+        for key in sample:
+            expected = [
+                shard for shard in successors[key] if shard != SHARDS[2]
+            ][0]
+            assert ring.route(key) == expected
+
+    def test_addition_only_steals_keys_for_the_new_shard(self):
+        ring = HashRing(SHARDS[:2])
+        sample = keys(1000)
+        before = {key: ring.route(key) for key in sample}
+        ring.add(SHARDS[2])
+        moved = [
+            key for key in sample if ring.route(key) != before[key]
+        ]
+        assert moved, "a new shard must take some keys"
+        assert all(ring.route(key) == SHARDS[2] for key in moved)
+
+
+class TestShape:
+    def test_occupancy_sums_to_one_and_is_roughly_even(self):
+        ring = HashRing(SHARDS)
+        occupancy = ring.occupancy()
+        assert set(occupancy) == set(SHARDS)
+        assert sum(occupancy.values()) == pytest.approx(1.0)
+        for fraction in occupancy.values():
+            # 64 virtual nodes keep a 3-shard ring within loose bounds.
+            assert 0.05 < fraction < 0.8
+
+    def test_preference_lists_every_member_home_first(self):
+        ring = HashRing(SHARDS)
+        for key in keys(50):
+            order = ring.preference(key)
+            assert sorted(order) == sorted(SHARDS)
+            assert order[0] == ring.route(key)
+
+    def test_empty_ring_routes_nowhere(self):
+        ring = HashRing()
+        assert len(ring) == 0
+        assert not ring
+        assert ring.preference("00ff") == []
+        with pytest.raises(LookupError):
+            ring.route("00ff")
+
+    def test_membership_operations_are_idempotent(self):
+        ring = HashRing(SHARDS)
+        assert not ring.add(SHARDS[0])
+        assert ring.remove(SHARDS[0])
+        assert not ring.remove(SHARDS[0])
+        assert ring.add(SHARDS[0])
+        assert SHARDS[0] in ring
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(SHARDS, replicas=0)
+        assert HashRing(SHARDS, replicas=1).replicas == 1
+        assert HashRing(SHARDS).replicas == DEFAULT_REPLICAS

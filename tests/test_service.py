@@ -12,7 +12,7 @@ import time
 
 import pytest
 
-from repro.aig.aiger import write_aag
+from repro.aig.aiger import read_aag, write_aag
 from repro.circuits import kogge_stone_adder, ripple_carry_adder
 from repro.core.certify import certify
 from repro.core.serialize import result_from_dict, result_to_dict
@@ -333,6 +333,86 @@ class TestServerEndToEnd:
         assert report["meta"]["tool"] == "repro-serve"
 
 
+class TestCacheVerbs:
+    """The ``repro-fleet/1`` cache protocol on a single shard."""
+
+    @staticmethod
+    def _key(pair):
+        return cache_key(
+            read_aag(io.StringIO(pair[0])), read_aag(io.StringIO(pair[1]))
+        )
+
+    def test_stats_track_lookups_and_stores(self, server, adder_pair):
+        with ServiceClient(server.address) as client:
+            baseline = client.cache_stats()
+            assert baseline["entries"] == 0
+            client.check(*adder_pair)  # miss, solve, store
+            client.check(*adder_pair)  # hit
+            stats = client.cache_stats()
+        assert stats["entries"] == 1
+        assert stats["stores"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_probe_and_get_round_trip(self, server, adder_pair):
+        key = self._key(adder_pair)
+        with ServiceClient(server.address) as client:
+            found, meta = client.cache_probe(key)
+            assert (found, meta) == (False, None)
+            client.check(*adder_pair)
+            found, meta = client.cache_probe(key)
+            assert found is True
+            assert meta["verdict"] == "equivalent"
+            document, got_meta = client.cache_get(key)
+        assert got_meta["verdict"] == "equivalent"
+        rebuilt = result_from_dict(document)
+        assert rebuilt.equivalent is True
+        certify(rebuilt)
+
+    def test_get_miss_is_not_an_error(self, server):
+        with ServiceClient(server.address) as client:
+            assert client.cache_get("%040x" % 0xFEED) == (None, None)
+
+    def test_put_installs_a_peer_entry_idempotently(
+        self, server, adder_pair
+    ):
+        key = self._key(adder_pair)
+        with ServiceClient(server.address) as client:
+            client.check(*adder_pair)
+            document, meta = client.cache_get(key)
+            peer_key = "%040x" % 0xFEED
+            assert client.cache_put(peer_key, document, meta=meta) is True
+            assert client.cache_put(peer_key, document, meta=meta) is False
+            found, put_meta = client.cache_probe(peer_key)
+        assert found is True
+        assert put_meta["verdict"] == "equivalent"
+
+    def test_put_rejects_a_non_document(self, server):
+        with ServiceClient(server.address) as client:
+            with pytest.raises(ServiceError) as err:
+                client.request(
+                    {"verb": "cache-put", "key": "ab", "result": "nope"}
+                )
+        assert err.value.code == protocol.ERR_BAD_INPUT
+
+    def test_blank_key_is_invalid(self, server):
+        with ServiceClient(server.address) as client:
+            with pytest.raises(ServiceError) as err:
+                client.cache_get("")
+        assert err.value.code == protocol.ERR_INVALID_REQUEST
+
+    def test_cacheless_server_answers_err_no_cache(self, tmp_path):
+        bare = CecServer(str(tmp_path / "bare.sock"), workers=0)
+        bare.start()
+        try:
+            with ServiceClient(bare.address) as client:
+                with pytest.raises(ServiceError) as err:
+                    client.cache_stats()
+        finally:
+            bare.close()
+        assert err.value.code == protocol.ERR_NO_CACHE
+
+
 class TestQueueLimits:
     def test_queue_full_is_structured(self, tmp_path, adder_pair, big_pair):
         server = CecServer(
@@ -471,6 +551,49 @@ class TestClientRetrySemantics:
         )
         with pytest.raises(OSError):
             client.ping()
+
+
+class TestClientBackoff:
+    def test_retry_delay_is_full_jitter_with_cap(self, monkeypatch):
+        draws = []
+
+        def fake_uniform(low, high):
+            draws.append((low, high))
+            return 0.0
+
+        monkeypatch.setattr(
+            "repro.service.client.random.uniform", fake_uniform
+        )
+        client = ServiceClient("127.0.0.1:1", backoff=0.2)
+        for attempt in range(1, 7):
+            client.retry_delay(attempt)
+        assert all(low == 0.0 for low, _ in draws)
+        ceilings = [high for _, high in draws]
+        # Exponential doubling from the base, clamped at BACKOFF_CAP.
+        assert ceilings == pytest.approx([0.2, 0.4, 0.8, 1.6, 3.2, 5.0])
+
+    def test_connect_retries_ride_out_a_late_server(self, tmp_path):
+        # Regression: a server that comes up *after* the first connect
+        # attempt must be reached by the jittered retry loop rather
+        # than surfacing the initial refused connection.
+        sock_path = str(tmp_path / "late.sock")
+        holder = {}
+
+        def start_late():
+            time.sleep(0.3)
+            holder["server"] = CecServer(sock_path, workers=0)
+            holder["server"].start()
+
+        thread = threading.Thread(target=start_late)
+        thread.start()
+        try:
+            with ServiceClient(
+                sock_path, retries=60, backoff=0.05
+            ) as client:
+                assert client.ping()["ok"] is True
+        finally:
+            thread.join()
+            holder["server"].close()
 
 
 class TestServeCliSignals:
