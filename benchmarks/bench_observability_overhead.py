@@ -24,10 +24,12 @@ disabled overhead is established two ways:
   This is the asserted number: it is deterministic up to the
   microbenchmark, so it will not flake on a noisy CI box.
 * **wall clock A/B** — the same workload is timed under
-  ``NULL_RECORDER``, a default :class:`Recorder` (stats on), and a
-  tracing recorder (stats + spans), interleaved round-robin with the
-  minimum over rounds taken per configuration. Reported alongside so
-  the *enabled* cost stays visible in the committed document.
+  ``NULL_RECORDER``, a default :class:`Recorder` (stats on), a
+  tracing recorder (stats + spans), and a recorder with a
+  default-cadence :class:`ProgressTracker` attached (stats + live
+  heartbeats), interleaved round-robin with the minimum over rounds
+  taken per configuration. Reported alongside so the *enabled* cost
+  stays visible in the committed document.
 """
 
 import argparse
@@ -41,6 +43,7 @@ from repro.aig.aiger import write_aag
 from repro.circuits import kogge_stone_adder, ripple_carry_adder
 from repro.core.cec import check_equivalence
 from repro.instrument import NULL_RECORDER, Recorder
+from repro.instrument.progress import ProgressTracker
 
 MAX_DISABLED_OVERHEAD = 0.03
 
@@ -126,10 +129,22 @@ def _tracing_recorder():
     return recorder
 
 
+def _progress_recorder():
+    """Stats plus a default-cadence heartbeat tracker.
+
+    The sink discards documents so the benchmark prices the tracker's
+    tick/emit machinery itself, not JSON serialization of a consumer.
+    """
+    recorder = Recorder()
+    recorder.progress = ProgressTracker(lambda document: None)
+    return recorder
+
+
 CONFIGS = [
     ("disabled", lambda: NULL_RECORDER),
     ("stats", Recorder),
     ("tracing", _tracing_recorder),
+    ("progress", _progress_recorder),
 ]
 
 
@@ -184,6 +199,9 @@ def run(small=False, rounds=5):
             "tracing": round(
                 wall["tracing"] / wall["disabled"] - 1.0, 4
             ),
+            "progress": round(
+                wall["progress"] / wall["disabled"] - 1.0, 4
+            ),
         },
         "hook_calls_per_pass": hook_calls,
         "null_hook_ns": round(1e9 * hook_price, 1),
@@ -207,6 +225,8 @@ def test_observability_overhead_smoke():
              "%.2fx" % (wall["stats"] / wall["disabled"])],
             ["tracing (stats + spans)", wall["tracing"],
              "%.2fx" % (wall["tracing"] / wall["disabled"])],
+            ["progress (stats + heartbeats)", wall["progress"],
+             "%.2fx" % (wall["progress"] / wall["disabled"])],
         ],
         notes=[
             "disabled hook budget: %d calls x %.0f ns = %.4f%% of "
@@ -243,13 +263,16 @@ def main(argv=None):
     wall = document["wall_seconds"]
     print(
         "observability overhead (%s): disabled %.4fs, stats %.4fs "
-        "(+%.1f%%), tracing %.4fs (+%.1f%%); disabled hook budget "
-        "%.4f%% of runtime (< %.0f%% required)"
+        "(+%.1f%%), tracing %.4fs (+%.1f%%), progress %.4fs "
+        "(+%.1f%%); disabled hook budget %.4f%% of runtime "
+        "(< %.0f%% required)"
         % (
             document["mode"], wall["disabled"], wall["stats"],
             100 * document["overhead_vs_disabled"]["stats"],
             wall["tracing"],
             100 * document["overhead_vs_disabled"]["tracing"],
+            wall["progress"],
+            100 * document["overhead_vs_disabled"]["progress"],
             100 * document["disabled_overhead_fraction"],
             100 * document["max_disabled_overhead"],
         )

@@ -48,11 +48,17 @@ CACHE_META_SCHEMA = "repro-cec-cache/1"
 #: cache``). Rides the same line-JSON transport as ``repro-service/1``;
 #: responses to fleet verbs carry this envelope tag.
 FLEET_SCHEMA = "repro-fleet/1"
+#: Live progress heartbeats emitted by the solver/sweep hot path and
+#: forwarded through ``repro-serve`` on the ``progress`` verb.
+PROGRESS_SCHEMA = "repro-progress/1"
+#: Fleet observability snapshots produced by the ``repro-obs``
+#: aggregator (time-series summaries, SLO burn rates, tail samples).
+OBS_SCHEMA = "repro-obs/1"
 
 #: The service verb vocabulary, in documentation order.
 SERVICE_VERBS: Tuple[str, ...] = (
-    "ping", "submit", "status", "result", "cancel", "stats", "metrics",
-    "shutdown",
+    "ping", "submit", "status", "result", "cancel", "progress", "stats",
+    "metrics", "shutdown",
 )
 
 #: The fleet (cross-shard cache protocol) verb vocabulary: ``cache`` is
@@ -105,7 +111,7 @@ SERVICE_REQUEST_KEYS: FrozenSet[str] = frozenset({
     # submit
     "aag_a", "aag_b", "options", "time_limit", "conflict_limit",
     "certify", "lint", "jobs", "trim", "trace",
-    # status / result / cancel
+    # status / result / cancel / progress
     "job", "wait", "timeout",
 })
 
@@ -134,6 +140,8 @@ SCHEMAS: Dict[str, SchemaSpec] = {
                 "queue_limit", "elapsed_seconds", "cancelled",
                 # result payloads
                 "result", "worker_stats", "job_stats", "trace",
+                # progress (latest heartbeat / active-job listing)
+                "progress", "jobs",
                 # stats / metrics
                 "stats", "metrics", "prometheus",
             ),
@@ -176,6 +184,20 @@ SCHEMAS: Dict[str, SchemaSpec] = {
             description="proof-cache entry metadata block",
         ),
         SchemaSpec(
+            PROGRESS_SCHEMA,
+            required=("schema", "seq", "elapsed_seconds", "phase",
+                      "counters"),
+            optional=("deltas", "rates", "sweep", "budget_fraction",
+                      "eta_seconds", "job", "meta"),
+            description="live solver/sweep progress heartbeat",
+        ),
+        SchemaSpec(
+            OBS_SCHEMA,
+            required=("schema", "polls", "targets", "slos", "samples"),
+            optional=("series", "interval_seconds", "meta"),
+            description="fleet observability aggregator snapshot",
+        ),
+        SchemaSpec(
             FLEET_SCHEMA,
             # Same envelope shape as the service responses; fleet verbs
             # answer under this tag (fleet_response/fleet_error).
@@ -207,6 +229,8 @@ SCHEMA_CONSTANTS: Dict[str, str] = {
     "RESULT_SCHEMA": RESULT_SCHEMA,
     "CACHE_META_SCHEMA": CACHE_META_SCHEMA,
     "FLEET_SCHEMA": FLEET_SCHEMA,
+    "PROGRESS_SCHEMA": PROGRESS_SCHEMA,
+    "OBS_SCHEMA": OBS_SCHEMA,
 }
 
 

@@ -634,6 +634,14 @@ class SweepEngine:
         stats = self.stats
         rec = self.recorder
         timing = rec.enabled
+        # Live progress: observe-only updates at the top of each node's
+        # turn (attribute writes plus a countdown tick); disabled runs
+        # skip everything behind the one `progress is not None` check.
+        progress = rec.progress if timing else None
+        nodes_total = 0
+        if progress is not None:
+            progress.phase = "sweep"
+            nodes_total = len(self.aig.and_vars())
         clock = time.perf_counter
         start = clock()
         strash_s = sat_s = sim_s = 0.0
@@ -642,6 +650,15 @@ class SweepEngine:
             self._register_root(var)
         for var in self.aig.and_vars():
             stats.nodes_processed += 1
+            if progress is not None:
+                progress.update_sweep(
+                    wave=stats.refine_flushes,
+                    nodes_processed=stats.nodes_processed,
+                    nodes_total=nodes_total,
+                    classes=len(self._class_table),
+                    class_members=len(self._class_members),
+                )
+                progress.tick(self.solver.stats)
             t0 = clock() if timing else 0.0
             structural = self._try_structural(var)
             if timing:

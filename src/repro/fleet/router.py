@@ -45,7 +45,9 @@ import asyncio
 import collections
 import io
 import os
+import time
 
+from .. import __version__
 from ..aig.aiger import AigerError, read_aag
 from ..instrument import MetricsRegistry, Recorder, get_logger
 from ..instrument.metrics import TIME_BUCKETS, to_prometheus_text
@@ -149,6 +151,7 @@ class FleetRouter:
         self._health_task = None
         self._stopping = asyncio.Event()
         self._job_spans = collections.OrderedDict()
+        self._started_monotonic = time.monotonic()
         self._update_ring_gauges()
 
     # ------------------------------------------------------------------
@@ -311,6 +314,14 @@ class FleetRouter:
             return False
         if verb in ("status", "result", "cancel"):
             await self._forward_job_verb(request, verb, writer)
+            return False
+        if verb == "progress":
+            if isinstance(request.get("job"), str):
+                await self._forward_job_verb(request, verb, writer)
+            else:
+                await self._send(
+                    writer, await self._handle_progress_listing()
+                )
             return False
         if verb in protocol.FLEET_VERBS:
             await self._send(
@@ -531,8 +542,9 @@ class FleetRouter:
         return bool(response.get("found")), response.get("meta")
 
     async def _forward_job_verb(self, request, verb, writer):
-        """Forward ``status``/``result``/``cancel`` to the owning
-        shard, streaming heartbeats through and re-suffixing job ids.
+        """Forward ``status``/``result``/``cancel``/``progress`` to
+        the owning shard, streaming heartbeats through and
+        re-suffixing job ids.
 
         Job verbs are never re-routed: the job's state lives on one
         shard, and asking any other shard would invent an
@@ -586,6 +598,36 @@ class FleetRouter:
         if verb == "result":
             self._stitch_result_trace(routed, response)
         await self._send(writer, response)
+
+    async def _handle_progress_listing(self):
+        """Fleet-wide ``progress`` listing: every up shard's active and
+        recently finished jobs, ids re-suffixed with the owning shard,
+        plus the summed queue depth. A shard failing mid-poll is simply
+        absent from this round's listing — observation never blocks on
+        a sick shard."""
+        jobs = []
+        queue_depth = 0
+        for shard in self.shards.values():
+            if not shard.up:
+                continue
+            try:
+                response = await self._shard_request(
+                    shard, {"verb": "progress"},
+                )
+            except _TRANSPORT_ERRORS:
+                continue
+            if not response.get("ok"):
+                continue
+            for entry in response.get("jobs") or []:
+                entry = dict(entry)
+                self._rewrite_job(entry, shard)
+                jobs.append(entry)
+            depth = response.get("queue_depth")
+            if isinstance(depth, (int, float)):
+                queue_depth += int(depth)
+        return protocol.ok_response(
+            "progress", jobs=jobs, queue_depth=queue_depth,
+        )
 
     # ------------------------------------------------------------------
     # Trace stitching
@@ -775,7 +817,12 @@ class FleetRouter:
 
     def stats_report(self):
         """Router-level ``repro-stats/1`` report (counters, ring and
-        hit-rate gauges)."""
+        hit-rate gauges; uptime re-gauged per report so scrapes always
+        see a fresh value)."""
+        self.recorder.gauge(
+            "fleet/uptime-seconds",
+            time.monotonic() - self._started_monotonic,
+        )
         return self.recorder.report()
 
     def prometheus_text(self):
@@ -783,4 +830,7 @@ class FleetRouter:
         and gauges (thread-safe; called from the scrape thread)."""
         return to_prometheus_text(
             self.metrics.report(), self.stats_report(),
+            build_info={
+                "component": "repro-router", "version": __version__,
+            },
         )

@@ -31,7 +31,23 @@ from .metrics import (
 )
 from .phases import PHASE_REGISTRY, is_registered
 from .profiling import maybe_profile
+from .progress import (
+    PROGRESS_SCHEMA,
+    ProgressTracker,
+    estimate_eta_band,
+    format_heartbeat,
+    jsonl_sink,
+    latest_heartbeat,
+    read_heartbeats,
+    validate_progress,
+)
 from .recorder import NULL_RECORDER, Recorder, STATS_SCHEMA
+from .timeseries import (
+    RingSeries,
+    SLOTracker,
+    TailSampler,
+    TimeSeriesStore,
+)
 from .tracing import (
     TRACE_SCHEMA,
     TraceContext,
@@ -49,17 +65,29 @@ __all__ = [
     "MetricsRegistry",
     "NULL_RECORDER",
     "PHASE_REGISTRY",
+    "PROGRESS_SCHEMA",
+    "ProgressTracker",
     "Recorder",
+    "RingSeries",
+    "SLOTracker",
     "STATS_SCHEMA",
     "TRACE_SCHEMA",
+    "TailSampler",
+    "TimeSeriesStore",
     "TraceContext",
     "configure_logging",
+    "estimate_eta_band",
+    "format_heartbeat",
     "get_logger",
     "is_registered",
+    "jsonl_sink",
+    "latest_heartbeat",
     "maybe_profile",
+    "read_heartbeats",
     "to_chrome_trace",
     "to_collapsed_stacks",
     "to_prometheus_text",
     "validate_metrics_report",
+    "validate_progress",
     "validate_trace_report",
 ]

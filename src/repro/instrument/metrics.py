@@ -317,9 +317,17 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping (backslash, quote, newline)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def to_prometheus_text(
     metrics_document: Dict[str, Any],
     stats_report: Optional[Dict[str, Any]] = None,
+    build_info: Optional[Dict[str, str]] = None,
 ) -> str:
     """Render metrics (plus optional stats counters/gauges) for scraping.
 
@@ -328,10 +336,22 @@ def to_prometheus_text(
     ``repro-stats/1`` *stats_report* is given, its counters are
     rendered as ``..._total`` counters and its numeric gauges as
     gauges (non-numeric gauges such as verdict strings are skipped —
-    Prometheus samples are numbers).
+    Prometheus samples are numbers). A *build_info* mapping becomes
+    the conventional constant-1 ``repro_build_info`` gauge whose
+    labels carry the version/component strings.
     """
     validate_metrics_report(metrics_document)
     lines: List[str] = []
+    if build_info:
+        labels = ",".join(
+            '%s="%s"' % (key, _escape_label_value(str(value)))
+            for key, value in sorted(build_info.items())
+        )
+        lines.append(
+            "# HELP repro_build_info Build and version information."
+        )
+        lines.append("# TYPE repro_build_info gauge")
+        lines.append("repro_build_info{%s} 1" % labels)
     for name, block in sorted(metrics_document["histograms"].items()):
         metric = prometheus_name(name)
         lines.append("# HELP %s repro histogram %s" % (metric, name))

@@ -36,7 +36,16 @@ import os
 import threading
 import time
 from contextlib import contextmanager
-from typing import IO, Any, Callable, Dict, Iterator, List, Optional
+from typing import (
+    IO,
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+)
 
 from .tracing import (
     Span,
@@ -46,6 +55,9 @@ from .tracing import (
 )
 
 from ..analyze.schemas import STATS_SCHEMA as STATS_SCHEMA  # registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .progress import ProgressTracker
 
 
 class Recorder:
@@ -88,6 +100,10 @@ class Recorder:
         self._trace_ctx: Optional[TraceContext] = None
         self._spans: List[Span] = []
         self._wall: Callable[[], float] = time.time
+        # Optional live-progress tracker (repro.instrument.progress).
+        # The solver/sweep hot paths pick it up only when the recorder
+        # is enabled, so NULL_RECORDER runs never see heartbeats.
+        self.progress: Optional["ProgressTracker"] = None
 
     @property
     def _stack(self) -> List[str]:

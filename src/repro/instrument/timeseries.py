@@ -1,0 +1,281 @@
+"""Fixed-size in-memory time series, SLO burn rates, tail sampling.
+
+The fleet aggregator (:mod:`repro.obs`) needs history — every scrape
+of `/metrics` today is a point in time — but must never grow without
+bound inside a long-lived process. Everything here is bounded:
+
+* :class:`RingSeries` — a fixed-capacity ring buffer of
+  ``(timestamp, value)`` samples with Prometheus-style
+  ``increase_over`` / ``rate_over`` window queries that tolerate
+  counter resets (a restarted shard starts its counters at zero).
+* :class:`TimeSeriesStore` — a named collection of ring series.
+* :class:`SLOTracker` — one service-level objective (fraction of good
+  events) tracked over a fast and a slow window, reporting **burn
+  rates** (observed error rate divided by the error budget; a burn
+  rate of 1.0 spends the budget exactly on schedule) and alerting only
+  when *both* windows burn — the standard multi-window guard against
+  paging on a blip.
+* :class:`TailSampler` — bounded retention of interesting records:
+  errors and slow outliers are kept, fast successes are counted and
+  dropped. This is tail-based sampling in miniature.
+
+All classes take explicit timestamps so tests drive them with a fake
+clock; nothing here reads wall time on its own.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+#: Default samples retained per series: at the aggregator's default
+#: 2-second poll this is ~17 minutes of history per metric.
+DEFAULT_CAPACITY = 512
+
+#: Default multi-window SLO geometry (seconds).
+FAST_WINDOW = 300.0
+SLOW_WINDOW = 3600.0
+
+#: Burn-rate level at which a window counts as burning. 6x spends a
+#: month's error budget in ~5 days — urgent, not yet an emergency.
+BURN_ALERT_THRESHOLD = 6.0
+
+
+class RingSeries:
+    """Fixed-capacity ring buffer of ``(timestamp, value)`` samples."""
+
+    __slots__ = ("_samples",)
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=capacity)
+
+    @property
+    def capacity(self) -> int:
+        maxlen = self._samples.maxlen
+        assert maxlen is not None
+        return maxlen
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def append(self, timestamp: float, value: float) -> None:
+        """Record one sample; the oldest sample falls off when full."""
+        self._samples.append((timestamp, value))
+
+    def items(self) -> List[Tuple[float, float]]:
+        """All retained samples, oldest first."""
+        return list(self._samples)
+
+    def latest(self) -> Optional[Tuple[float, float]]:
+        """The newest sample, or ``None`` when empty."""
+        return self._samples[-1] if self._samples else None
+
+    def window(self, now: float, seconds: float) -> List[Tuple[float, float]]:
+        """Samples with ``timestamp >= now - seconds``, oldest first."""
+        cutoff = now - seconds
+        return [item for item in self._samples if item[0] >= cutoff]
+
+    def increase_over(self, now: float, seconds: float) -> Optional[float]:
+        """Total increase of a cumulative counter over the window.
+
+        Sums positive deltas between consecutive samples; a decrease is
+        a counter reset (process restart) and the post-reset value
+        counts as growth from zero. ``None`` with fewer than two
+        samples in the window (no increase is computable).
+        """
+        samples = self.window(now, seconds)
+        if len(samples) < 2:
+            return None
+        total = 0.0
+        previous = samples[0][1]
+        for _, value in samples[1:]:
+            delta = value - previous
+            total += delta if delta >= 0 else value
+            previous = value
+        return total
+
+    def rate_over(self, now: float, seconds: float) -> Optional[float]:
+        """Per-second increase over the window (``None`` when unknown)."""
+        samples = self.window(now, seconds)
+        if len(samples) < 2:
+            return None
+        span = samples[-1][0] - samples[0][0]
+        if span <= 0:
+            return None
+        increase = self.increase_over(now, seconds)
+        if increase is None:
+            return None
+        return increase / span
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact descriptive block for snapshots."""
+        if not self._samples:
+            return {"count": 0}
+        values = [value for _, value in self._samples]
+        return {
+            "count": len(values),
+            "min": min(values),
+            "max": max(values),
+            "mean": sum(values) / len(values),
+            "latest": values[-1],
+            "oldest_timestamp": self._samples[0][0],
+            "latest_timestamp": self._samples[-1][0],
+        }
+
+
+class TimeSeriesStore:
+    """Named :class:`RingSeries`, created on first write."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._capacity = capacity
+        self._series: Dict[str, RingSeries] = {}
+
+    def record(self, name: str, timestamp: float, value: float) -> None:
+        series = self._series.get(name)
+        if series is None:
+            series = RingSeries(self._capacity)
+            self._series[name] = series
+        series.append(timestamp, value)
+
+    def series(self, name: str) -> Optional[RingSeries]:
+        return self._series.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def summaries(self) -> Dict[str, Dict[str, Any]]:
+        """Per-series summary blocks, keyed by series name."""
+        return {
+            name: series.summary()
+            for name, series in sorted(self._series.items())
+        }
+
+
+class SLOTracker:
+    """One availability-style SLO fed with cumulative event counters.
+
+    Args:
+        name: objective label (``"availability"``, ``"latency"``).
+        objective: target fraction of good events (e.g. ``0.99``).
+        fast_window / slow_window: burn-rate windows in seconds.
+        burn_threshold: burn-rate level at which a window burns.
+        capacity: ring capacity for the underlying series.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        objective: float = 0.99,
+        fast_window: float = FAST_WINDOW,
+        slow_window: float = SLOW_WINDOW,
+        burn_threshold: float = BURN_ALERT_THRESHOLD,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if not 0.0 < objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        self.name = name
+        self.objective = objective
+        self.fast_window = fast_window
+        self.slow_window = slow_window
+        self.burn_threshold = burn_threshold
+        self._good = RingSeries(capacity)
+        self._total = RingSeries(capacity)
+
+    def record(self, timestamp: float, good: float, total: float) -> None:
+        """Record the *cumulative* good and total event counts."""
+        self._good.append(timestamp, good)
+        self._total.append(timestamp, total)
+
+    def burn_rate(self, now: float, window: float) -> Optional[float]:
+        """Observed error rate over the window, divided by the error
+        budget (``1 - objective``). ``None`` until two samples span the
+        window; ``0.0`` when no events happened in it."""
+        total = self._total.increase_over(now, window)
+        if total is None:
+            return None
+        if total <= 0:
+            return 0.0
+        good = self._good.increase_over(now, window) or 0.0
+        error_rate = max(0.0, total - good) / total
+        return error_rate / (1.0 - self.objective)
+
+    def status(self, now: float) -> Dict[str, Any]:
+        """Snapshot block: burn rates for both windows plus the alert
+        flag (both windows burning)."""
+        fast = self.burn_rate(now, self.fast_window)
+        slow = self.burn_rate(now, self.slow_window)
+        alerting = (
+            fast is not None and slow is not None
+            and fast >= self.burn_threshold
+            and slow >= self.burn_threshold
+        )
+        return {
+            "objective": self.objective,
+            "burn_rate_fast": fast,
+            "burn_rate_slow": slow,
+            "fast_window_seconds": self.fast_window,
+            "slow_window_seconds": self.slow_window,
+            "burn_threshold": self.burn_threshold,
+            "alerting": alerting,
+        }
+
+
+class TailSampler:
+    """Bounded retention of slow and failed records.
+
+    Fast successful records are counted and dropped; errors and
+    records at or over *slow_seconds* are kept (newest
+    :attr:`capacity` survive).
+    """
+
+    def __init__(self, slow_seconds: float = 1.0, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.slow_seconds = slow_seconds
+        self.capacity = capacity
+        self._kept: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self.offered = 0
+        self.dropped = 0
+
+    def offer(
+        self,
+        record: Dict[str, Any],
+        elapsed_seconds: float,
+        error: bool = False,
+    ) -> bool:
+        """Consider one record; returns True when it was retained."""
+        self.offered += 1
+        if error:
+            reason = "error"
+        elif elapsed_seconds >= self.slow_seconds:
+            reason = "slow"
+        else:
+            self.dropped += 1
+            return False
+        self._kept.append({
+            "record": record,
+            "elapsed_seconds": elapsed_seconds,
+            "error": error,
+            "kept_because": reason,
+        })
+        return True
+
+    @property
+    def kept(self) -> int:
+        return len(self._kept)
+
+    def samples(self) -> List[Dict[str, Any]]:
+        """Retained samples, oldest first."""
+        return list(self._kept)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "offered": self.offered,
+            "kept": len(self._kept),
+            "dropped": self.dropped,
+        }

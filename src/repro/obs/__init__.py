@@ -1,0 +1,29 @@
+"""Fleet observability plane: aggregator, exporter, dashboard.
+
+``repro.obs`` is the read-only companion to the service stack. The
+:class:`~repro.obs.aggregator.ObsAggregator` polls a router and its
+shards over the normal ``repro-service/1`` protocol (``stats``,
+``metrics``, ``progress``), folds what it sees into bounded in-memory
+time series (:mod:`repro.instrument.timeseries`), tracks SLO burn
+rates, tail-samples slow and failed jobs, and re-exports everything as
+one merged Prometheus exposition plus a ``repro-obs/1`` JSON snapshot.
+
+Two CLIs sit on top: ``repro-obs`` (headless aggregator/exporter, see
+:mod:`repro.obs.cli`) and ``repro-top`` (live terminal dashboard, see
+:mod:`repro.obs.top`). Both are strictly observational — they speak
+only read verbs and can never perturb a job.
+"""
+
+from .aggregator import (
+    DEFAULT_POLL_INTERVAL,
+    ObsAggregator,
+    ObsTarget,
+    validate_obs_snapshot,
+)
+
+__all__ = [
+    "DEFAULT_POLL_INTERVAL",
+    "ObsAggregator",
+    "ObsTarget",
+    "validate_obs_snapshot",
+]

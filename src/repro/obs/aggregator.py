@@ -1,0 +1,463 @@
+"""The fleet telemetry aggregator behind ``repro-obs``/``repro-top``.
+
+One :class:`ObsAggregator` owns a set of poll targets — a router and
+its shards — and on every :meth:`~ObsAggregator.poll_once`:
+
+* asks each target for ``stats`` (counters/gauges), ``metrics``
+  (histograms) and ``progress`` (live jobs with heartbeats) over a
+  fresh :class:`~repro.service.client.ServiceClient` connection;
+* appends every numeric counter and gauge to a fixed-capacity
+  :class:`~repro.instrument.timeseries.RingSeries`, so rates and
+  short-horizon history survive without unbounded growth;
+* feeds three :class:`~repro.instrument.timeseries.SLOTracker`
+  objectives — **availability** (completed vs failed jobs),
+  **latency** (jobs under the latency objective, from the merged
+  ``service/job-seconds`` histogram) and **polls** (scrape health);
+* tail-samples terminal jobs: failed and slow ones are retained (with
+  their stitched trace when fetchable), fast successes are counted
+  and dropped;
+* merges every shard's ``repro-metrics/1`` histograms into one
+  registry, re-exported by :meth:`~ObsAggregator.prometheus_text`
+  together with obs-level gauges and a ``repro-obs`` build-info line.
+
+A sick target never stalls a poll round: transport and protocol
+failures mark the target down for the round and the loop moves on.
+Everything here is observation — the aggregator speaks only read
+verbs and cannot perturb a job.
+"""
+
+import bisect
+import collections
+import time
+
+from .. import __version__
+from ..analyze.schemas import OBS_SCHEMA
+from ..instrument import MetricsRegistry, get_logger
+from ..instrument.metrics import to_prometheus_text
+from ..instrument.timeseries import (
+    DEFAULT_CAPACITY,
+    SLOTracker,
+    TailSampler,
+    TimeSeriesStore,
+)
+from ..service.client import ServiceClient, ServiceError
+
+log = get_logger("obs")
+
+#: Seconds between poll rounds (CLI default).
+DEFAULT_POLL_INTERVAL = 2.0
+#: Jobs at or under this latency count as "good" for the latency SLO.
+DEFAULT_LATENCY_SLO_SECONDS = 5.0
+DEFAULT_AVAILABILITY_OBJECTIVE = 0.99
+DEFAULT_LATENCY_OBJECTIVE = 0.95
+#: Poll-health objective: how many target scrapes may fail.
+DEFAULT_POLL_OBJECTIVE = 0.99
+#: Terminal jobs at or over this duration are tail-sampled as "slow".
+DEFAULT_SLOW_SAMPLE_SECONDS = 1.0
+#: Socket timeout for one poll request; a hung shard costs one round.
+DEFAULT_CLIENT_TIMEOUT = 10.0
+#: Terminal job ids remembered so a job is sampled exactly once.
+SEEN_TERMINAL_LIMIT = 4096
+
+#: Anything a poll round survives: transport failures, protocol
+#: refusals, and malformed payloads from a mid-upgrade shard.
+_POLL_ERRORS = (OSError, ServiceError, ValueError, KeyError, TypeError)
+
+
+class ObsTarget:
+    """One polled endpoint (a router or a shard) and its last readings."""
+
+    def __init__(self, name, address, role="shard"):
+        self.name = name
+        self.address = address
+        self.role = role
+        self.up = False
+        self.polls = 0
+        self.failures = 0
+        self.last_error = None
+        self.last_stats = None
+        self.last_metrics = None
+        self.last_jobs = []
+        self.last_queue_depth = 0
+        self.last_poll_seconds = None
+
+    def counters(self):
+        """The target's last-seen cumulative counters (may be stale
+        while the target is down — cumulative sums must not dip just
+        because a scrape failed)."""
+        if not isinstance(self.last_stats, dict):
+            return {}
+        counters = self.last_stats.get("counters")
+        return counters if isinstance(counters, dict) else {}
+
+    def gauges(self):
+        if not isinstance(self.last_stats, dict):
+            return {}
+        gauges = self.last_stats.get("gauges")
+        return gauges if isinstance(gauges, dict) else {}
+
+    def snapshot(self):
+        """JSON block for the ``repro-obs/1`` document."""
+        return {
+            "name": self.name,
+            "address": self.address,
+            "role": self.role,
+            "up": self.up,
+            "polls": self.polls,
+            "failures": self.failures,
+            "last_error": self.last_error,
+            "queue_depth": self.last_queue_depth,
+            "active_jobs": sum(
+                1 for entry in self.last_jobs
+                if entry.get("state") in ("queued", "running")
+            ),
+            "poll_seconds": self.last_poll_seconds,
+        }
+
+
+class ObsAggregator:
+    """Poll a fleet's endpoints; keep bounded series, SLOs, samples.
+
+    Args:
+        shards: ``(name, address)`` pairs for the backend shards.
+        routers: ``(name, address)`` pairs for routers (polled for
+            stats/metrics/queue depth; their job listings are *not*
+            tail-sampled — the owning shard's listing already is, and
+            sampling both would double-count every job).
+        interval_seconds: nominal poll cadence (recorded in snapshots;
+            the caller owns the actual sleep).
+        capacity: ring capacity per time series.
+        latency_slo_seconds: "good job" latency bound.
+        availability_objective / latency_objective / poll_objective:
+            SLO targets in (0, 1).
+        slow_sample_seconds: tail-sampler slow threshold.
+        fetch_traces: fetch the stitched trace of each *kept* finished
+            job (one extra read per retained sample).
+        client_timeout: socket timeout per poll request.
+        clock: time source (tests inject a fake one).
+    """
+
+    def __init__(
+        self,
+        shards,
+        routers=(),
+        interval_seconds=DEFAULT_POLL_INTERVAL,
+        capacity=DEFAULT_CAPACITY,
+        latency_slo_seconds=DEFAULT_LATENCY_SLO_SECONDS,
+        availability_objective=DEFAULT_AVAILABILITY_OBJECTIVE,
+        latency_objective=DEFAULT_LATENCY_OBJECTIVE,
+        poll_objective=DEFAULT_POLL_OBJECTIVE,
+        slow_sample_seconds=DEFAULT_SLOW_SAMPLE_SECONDS,
+        fetch_traces=True,
+        client_timeout=DEFAULT_CLIENT_TIMEOUT,
+        clock=time.time,
+    ):
+        self.targets = [
+            ObsTarget(name, address, role="router")
+            for name, address in routers
+        ] + [
+            ObsTarget(name, address, role="shard")
+            for name, address in shards
+        ]
+        if not self.targets:
+            raise ValueError("the aggregator needs at least one target")
+        names = [target.name for target in self.targets]
+        if len(set(names)) != len(names):
+            raise ValueError("target names must be unique: %r" % names)
+        self.interval_seconds = interval_seconds
+        self.latency_slo_seconds = latency_slo_seconds
+        self.fetch_traces = fetch_traces
+        self.client_timeout = client_timeout
+        self.series = TimeSeriesStore(capacity)
+        self.slos = {
+            "availability": SLOTracker(
+                "availability", objective=availability_objective,
+                capacity=capacity,
+            ),
+            "latency": SLOTracker(
+                "latency", objective=latency_objective, capacity=capacity,
+            ),
+            "polls": SLOTracker(
+                "polls", objective=poll_objective, capacity=capacity,
+            ),
+        }
+        self.sampler = TailSampler(slow_seconds=slow_sample_seconds)
+        self.polls = 0
+        self.poll_failures = 0
+        self._poll_good_total = 0
+        self._poll_total = 0
+        self._clock = clock
+        self._merged_doc = MetricsRegistry().report()
+        self._seen_terminal = set()
+        self._seen_order = collections.deque()
+
+    # ------------------------------------------------------------------
+    # Polling
+    # ------------------------------------------------------------------
+
+    def poll_once(self, now=None):
+        """One poll round over every target; returns the number of
+        targets that answered."""
+        now = self._clock() if now is None else now
+        self.polls += 1
+        merged = MetricsRegistry()
+        answered = 0
+        for target in self.targets:
+            target.polls += 1
+            started = time.monotonic()
+            try:
+                self._poll_target(target, merged, now)
+            except _POLL_ERRORS as exc:
+                target.up = False
+                target.failures += 1
+                target.last_error = "%s: %s" % (type(exc).__name__, exc)
+                self.poll_failures += 1
+                log.warning("poll of %s (%s) failed: %s",
+                            target.name, target.address, exc)
+                continue
+            finally:
+                target.last_poll_seconds = time.monotonic() - started
+            target.up = True
+            target.last_error = None
+            answered += 1
+        self._merged_doc = merged.report()
+        self._poll_good_total += answered
+        self._poll_total += len(self.targets)
+        self._feed_slos(now)
+        return answered
+
+    def _poll_target(self, target, merged, now):
+        with ServiceClient(
+            target.address, timeout=self.client_timeout, retries=0,
+        ) as client:
+            stats = client.stats()
+            target.last_stats = stats
+            metrics_doc, _ = client.metrics()
+            target.last_metrics = metrics_doc
+            try:
+                merged.merge_report(metrics_doc)
+            except ValueError as exc:
+                # Mismatched bucket layouts (a mid-upgrade shard) cost
+                # that shard's histograms this round, never the poll.
+                log.warning("metrics from %s not mergeable: %s",
+                            target.name, exc)
+            listing = client.progress()
+            target.last_jobs = list(listing.get("jobs") or [])
+            depth = listing.get("queue_depth")
+            target.last_queue_depth = (
+                int(depth) if isinstance(depth, (int, float)) else 0
+            )
+            self._record_target_series(target, now)
+            if target.role == "shard":
+                self._sample_terminal(target, client)
+
+    def _record_target_series(self, target, now):
+        prefix = target.name
+        self.series.record(
+            "%s/queue-depth" % prefix, now, float(target.last_queue_depth)
+        )
+        for name, value in target.counters().items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            self.series.record("%s/%s" % (prefix, name), now, float(value))
+        for name, value in target.gauges().items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            self.series.record("%s/%s" % (prefix, name), now, float(value))
+
+    def _sample_terminal(self, target, client):
+        """Offer newly finished jobs to the tail sampler (errors and
+        slow jobs survive; fast successes are counted and dropped)."""
+        for entry in target.last_jobs:
+            state = entry.get("state")
+            if state not in ("done", "failed", "cancelled"):
+                continue
+            key = (target.name, entry.get("job"))
+            if key in self._seen_terminal:
+                continue
+            self._remember_terminal(key)
+            elapsed = entry.get("elapsed_seconds")
+            if not isinstance(elapsed, (int, float)):
+                elapsed = 0.0
+            is_error = state != "done" or entry.get("error") is not None
+            entry = dict(entry)
+            entry["target"] = target.name
+            kept = self.sampler.offer(
+                entry, float(elapsed), error=is_error,
+            )
+            if kept and self.fetch_traces and state == "done":
+                try:
+                    response = client.result(entry["job"])
+                except _POLL_ERRORS:
+                    continue
+                trace = response.get("trace")
+                if trace is not None:
+                    entry["trace"] = trace
+
+    def _remember_terminal(self, key):
+        self._seen_terminal.add(key)
+        self._seen_order.append(key)
+        while len(self._seen_order) > SEEN_TERMINAL_LIMIT:
+            self._seen_terminal.discard(self._seen_order.popleft())
+
+    def _feed_slos(self, now):
+        completed = 0
+        failed = 0
+        for target in self.targets:
+            if target.role != "shard":
+                continue
+            counters = target.counters()
+            completed += int(counters.get("service/jobs-completed", 0))
+            failed += int(counters.get("service/jobs-failed", 0))
+        self.slos["availability"].record(
+            now, float(completed), float(completed + failed)
+        )
+        good, total = self._latency_counts()
+        self.slos["latency"].record(now, good, total)
+        self.slos["polls"].record(
+            now, float(self._poll_good_total), float(self._poll_total)
+        )
+
+    def _latency_counts(self):
+        """Cumulative ``(good, total)`` jobs from the merged
+        ``service/job-seconds`` histogram: good means at or under the
+        latency objective bound."""
+        block = self._merged_doc.get("histograms", {}).get(
+            "service/job-seconds"
+        )
+        if not block:
+            return 0.0, 0.0
+        buckets = block["buckets"]
+        counts = block["counts"]
+        index = bisect.bisect_right(buckets, self.latency_slo_seconds)
+        return float(sum(counts[:index])), float(block["count"])
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def fleet_jobs(self):
+        """Every shard's last job listing, newest poll first, each
+        entry annotated with its ``target`` (for the dashboard)."""
+        jobs = []
+        for target in self.targets:
+            if target.role != "shard":
+                continue
+            for entry in target.last_jobs:
+                entry = dict(entry)
+                entry["target"] = target.name
+                jobs.append(entry)
+        return jobs
+
+    def queue_depth(self):
+        """Summed queue depth across shard targets."""
+        return sum(
+            target.last_queue_depth for target in self.targets
+            if target.role == "shard"
+        )
+
+    def cache_hit_rate(self):
+        """Fleet-wide cache hit rate from summed shard counters, or
+        ``None`` before any lookup happened."""
+        hits = 0
+        misses = 0
+        for target in self.targets:
+            if target.role != "shard":
+                continue
+            counters = target.counters()
+            hits += int(counters.get("service/cache-hits", 0))
+            misses += int(counters.get("service/cache-misses", 0))
+        if hits + misses == 0:
+            return None
+        return hits / float(hits + misses)
+
+    def stats_like_report(self, now=None):
+        """Obs-level counters and gauges in ``repro-stats/1`` shape,
+        rendered into the merged exposition next to the shard data."""
+        now = self._clock() if now is None else now
+        gauges = {
+            "obs/targets-up": sum(1 for t in self.targets if t.up),
+            "obs/targets-configured": len(self.targets),
+            "obs/queue-depth": self.queue_depth(),
+            "obs/jobs-active": sum(
+                1 for entry in self.fleet_jobs()
+                if entry.get("state") in ("queued", "running")
+            ),
+            "obs/samples-kept": self.sampler.kept,
+            "obs/samples-dropped": self.sampler.dropped,
+        }
+        hit_rate = self.cache_hit_rate()
+        if hit_rate is not None:
+            gauges["obs/cache-hit-rate"] = hit_rate
+        for name, tracker in sorted(self.slos.items()):
+            status = tracker.status(now)
+            for window in ("fast", "slow"):
+                burn = status["burn_rate_%s" % window]
+                if burn is not None:
+                    gauges["obs/slo-%s-burn-%s" % (name, window)] = burn
+            gauges["obs/slo-%s-alerting" % name] = (
+                1 if status["alerting"] else 0
+            )
+        return {
+            "counters": {
+                "obs/polls": self.polls,
+                "obs/poll-failures": self.poll_failures,
+            },
+            "gauges": gauges,
+        }
+
+    def prometheus_text(self, now=None):
+        """The merged exposition: every shard's histograms folded
+        together, obs-level counters/gauges, and a ``repro-obs``
+        build-info line."""
+        return to_prometheus_text(
+            self._merged_doc, stats_report=self.stats_like_report(now),
+            build_info={"component": "repro-obs", "version": __version__},
+        )
+
+    def snapshot(self, now=None):
+        """The ``repro-obs/1`` document."""
+        now = self._clock() if now is None else now
+        samples = dict(self.sampler.stats())
+        samples["records"] = self.sampler.samples()
+        return {
+            "schema": OBS_SCHEMA,
+            "polls": self.polls,
+            "interval_seconds": self.interval_seconds,
+            "targets": [target.snapshot() for target in self.targets],
+            "slos": {
+                name: tracker.status(now)
+                for name, tracker in sorted(self.slos.items())
+            },
+            "samples": samples,
+            "series": self.series.summaries(),
+            "meta": {"tool": "repro-obs", "version": __version__},
+        }
+
+
+def validate_obs_snapshot(document):
+    """Check *document* against the ``repro-obs/1`` schema; raises
+    ``ValueError`` with the first problem, returns it when valid."""
+    if not isinstance(document, dict):
+        raise ValueError("obs snapshot must be a dict")
+    if document.get("schema") != OBS_SCHEMA:
+        raise ValueError("bad schema tag %r" % (document.get("schema"),))
+    for key, kind in (
+        ("polls", int), ("targets", list), ("slos", dict),
+        ("samples", dict),
+    ):
+        if not isinstance(document.get(key), kind):
+            raise ValueError(
+                "snapshot key %r must be %s" % (key, kind.__name__)
+            )
+    for entry in document["targets"]:
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise ValueError("each target block needs a 'name'")
+    for name, status in document["slos"].items():
+        if not isinstance(status, dict) or "alerting" not in status:
+            raise ValueError("SLO block %r needs an 'alerting' flag" % name)
+    samples = document["samples"]
+    for key in ("offered", "kept", "dropped"):
+        if not isinstance(samples.get(key), int):
+            raise ValueError("samples block needs integer %r" % key)
+    return document

@@ -1,0 +1,210 @@
+"""``repro-obs``: headless fleet telemetry aggregator and exporter.
+
+Examples::
+
+    repro-obs --router 127.0.0.1:7700 \\
+        --shard 127.0.0.1:7711 --shard 127.0.0.1:7712
+    repro-obs --shard 127.0.0.1:7711 --once \\
+        --snapshot-json obs.json --prometheus-out obs.prom
+    repro-obs --shard /tmp/cec.sock --listen 127.0.0.1:9309
+
+The aggregator polls every target's ``stats``/``metrics``/``progress``
+verbs each round, keeps bounded ring-buffer time series and SLO burn
+rates, and re-exports one merged Prometheus exposition — on
+``--listen`` as an HTTP ``/metrics`` endpoint, on ``--prometheus-out``
+as a file rewritten each round. ``--snapshot-json`` writes the
+``repro-obs/1`` document on exit (and each round while running).
+
+Targets may be bare addresses (named ``router0``/``shard0``... in
+order) or ``NAME=ADDR`` pairs.
+"""
+
+import argparse
+import json
+import signal
+import sys
+import time
+
+from .. import __version__
+from ..exit_codes import EXIT_INVALID_INPUT, EXIT_NEGATIVE, EXIT_OK
+from ..instrument import configure_logging, get_logger
+from ..service.metrics_http import MetricsHTTPServer
+from .aggregator import (
+    DEFAULT_POLL_INTERVAL,
+    ObsAggregator,
+    validate_obs_snapshot,
+)
+
+log = get_logger("obs.cli")
+
+
+def parse_targets(specs, default_prefix):
+    """``NAME=ADDR`` or bare ``ADDR`` specs into ``(name, address)``
+    pairs; bare addresses are named ``<prefix>0``, ``<prefix>1``..."""
+    pairs = []
+    for index, spec in enumerate(specs):
+        name, sep, address = spec.partition("=")
+        if sep and name:
+            pairs.append((name, address))
+        else:
+            pairs.append(("%s%d" % (default_prefix, index), spec))
+    return pairs
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Fleet telemetry aggregator: polls repro-serve and "
+        "repro-router endpoints, tracks time series and SLO burn "
+        "rates, re-exports one merged Prometheus exposition and a "
+        "repro-obs/1 snapshot.",
+    )
+    parser.add_argument(
+        "--version", action="version", version="%(prog)s " + __version__,
+    )
+    parser.add_argument(
+        "--shard", action="append", default=[], metavar="[NAME=]ADDR",
+        help="a repro-serve target (repeatable)",
+    )
+    parser.add_argument(
+        "--router", action="append", default=[], metavar="[NAME=]ADDR",
+        help="a repro-router target (repeatable; polled for "
+        "stats/metrics/queue depth, not tail-sampled)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=DEFAULT_POLL_INTERVAL,
+        metavar="SECONDS",
+        help="seconds between poll rounds (default %(default)s)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=0, metavar="N",
+        help="stop after N poll rounds (0 = run until interrupted)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="poll one round, write outputs, exit (same as --rounds 1)",
+    )
+    parser.add_argument(
+        "--latency-slo", type=float, default=None, metavar="SECONDS",
+        help="latency-SLO good-job bound (default 5.0)",
+    )
+    parser.add_argument(
+        "--snapshot-json", metavar="PATH", default=None,
+        help="write the repro-obs/1 snapshot here every round",
+    )
+    parser.add_argument(
+        "--prometheus-out", metavar="PATH", default=None,
+        help="rewrite the merged Prometheus exposition here every round",
+    )
+    parser.add_argument(
+        "--listen", metavar="ADDR", default=None,
+        help="serve the merged exposition on http://ADDR/metrics "
+        "(host:port; port 0 picks a free one)",
+    )
+    parser.add_argument(
+        "--no-traces", action="store_true",
+        help="do not fetch stitched traces for tail-sampled jobs",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON log lines instead of plain text",
+    )
+    parser.add_argument(
+        "--log-level", default="info", metavar="LEVEL",
+        choices=("debug", "info", "warning", "error"),
+        help="log verbosity (default %(default)s)",
+    )
+    return parser
+
+
+def build_aggregator(args):
+    """An :class:`ObsAggregator` from parsed CLI arguments."""
+    kwargs = {
+        "shards": parse_targets(args.shard, "shard"),
+        "routers": parse_targets(args.router, "router"),
+        "interval_seconds": args.interval,
+        "fetch_traces": not args.no_traces,
+    }
+    if args.latency_slo is not None:
+        kwargs["latency_slo_seconds"] = args.latency_slo
+    return ObsAggregator(**kwargs)
+
+
+def write_outputs(aggregator, args):
+    """Write the snapshot/exposition files configured by *args*."""
+    if args.snapshot_json:
+        snapshot = validate_obs_snapshot(aggregator.snapshot())
+        with open(args.snapshot_json, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.prometheus_out:
+        with open(args.prometheus_out, "w") as handle:
+            handle.write(aggregator.prometheus_text())
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    configure_logging(json_logs=args.log_json, level=args.log_level)
+    if not args.shard and not args.router:
+        print("repro-obs: need at least one --shard or --router",
+              file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    if args.interval <= 0:
+        print("repro-obs: --interval must be > 0", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    rounds = 1 if args.once else args.rounds
+    if rounds < 0:
+        print("repro-obs: --rounds must be >= 0", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    try:
+        aggregator = build_aggregator(args)
+    except ValueError as exc:
+        print("repro-obs: %s" % exc, file=sys.stderr)
+        return EXIT_INVALID_INPUT
+
+    stopping = []
+
+    def _stop(signum, frame):
+        stopping.append(signum)
+
+    signal.signal(signal.SIGINT, _stop)
+    signal.signal(signal.SIGTERM, _stop)
+
+    endpoint = None
+    if args.listen is not None:
+        host, _, port = args.listen.rpartition(":")
+        try:
+            endpoint = MetricsHTTPServer(
+                host or "127.0.0.1", int(port), aggregator.prometheus_text,
+            ).start()
+        except (OSError, ValueError) as exc:
+            print("repro-obs: cannot bind %s: %s" % (args.listen, exc),
+                  file=sys.stderr)
+            return EXIT_INVALID_INPUT
+        log.info("merged exposition on http://%s/metrics",
+                 endpoint.address)
+
+    answered = 0
+    completed = 0
+    try:
+        while not stopping:
+            answered = aggregator.poll_once()
+            completed += 1
+            log.info(
+                "poll %d: %d/%d targets answered, queue=%d",
+                completed, answered, len(aggregator.targets),
+                aggregator.queue_depth(),
+            )
+            write_outputs(aggregator, args)
+            if rounds and completed >= rounds:
+                break
+            time.sleep(args.interval)
+    finally:
+        if endpoint is not None:
+            endpoint.close()
+        write_outputs(aggregator, args)
+    return EXIT_OK if answered else EXIT_NEGATIVE
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,199 @@
+"""``repro-top``: live terminal dashboard over the fleet aggregator.
+
+Renders, once per poll round:
+
+* a header with targets up, summed queue depth, cache hit rate and
+  poll count;
+* one line per SLO with its fast/slow burn rates and alert flag;
+* one line per target (role, health, queue depth, active jobs);
+* the in-flight jobs across every shard, each with its live
+  ``repro-progress/1`` heartbeat rendered as a progress bar;
+* the newest tail-sampled slow/failed jobs.
+
+Runs under ``curses`` when a real terminal is attached; ``--plain``
+prints the same frames to stdout (and is the automatic fallback when
+stdout is not a TTY), ``--once`` renders a single frame and exits —
+both modes exist so CI and scripts can drive the dashboard headless.
+
+Rendering is a pure function of the aggregator
+(:func:`render_dashboard`), so tests assert on frames without a
+terminal.
+"""
+
+import sys
+import time
+
+from ..exit_codes import EXIT_INVALID_INPUT, EXIT_OK
+from ..instrument import configure_logging
+from ..instrument.progress import format_heartbeat, progress_bar
+from .cli import build_aggregator, write_outputs
+from .cli import build_parser as _build_obs_parser
+
+
+def _format_burn(value):
+    return "-" if value is None else "%.2f" % value
+
+
+def render_dashboard(aggregator, now=None, width=100, max_jobs=16):
+    """One dashboard frame as a list of lines (pure; no terminal)."""
+    now = time.time() if now is None else now
+    lines = []
+    up = sum(1 for target in aggregator.targets if target.up)
+    hit_rate = aggregator.cache_hit_rate()
+    lines.append(
+        "repro-top  %d/%d targets up  queue=%d  polls=%d  cache=%s" % (
+            up, len(aggregator.targets), aggregator.queue_depth(),
+            aggregator.polls,
+            "-" if hit_rate is None else "%.0f%%" % (100.0 * hit_rate),
+        )
+    )
+    for name, tracker in sorted(aggregator.slos.items()):
+        status = tracker.status(now)
+        lines.append(
+            "slo %-12s obj=%.2f%%  burn fast=%s slow=%s  %s" % (
+                name, 100.0 * status["objective"],
+                _format_burn(status["burn_rate_fast"]),
+                _format_burn(status["burn_rate_slow"]),
+                "ALERT" if status["alerting"] else "ok",
+            )
+        )
+    for target in aggregator.targets:
+        block = target.snapshot()
+        lines.append(
+            "%-6s %-10s %-4s queue=%-3d active=%-3d %s" % (
+                target.role, target.name,
+                "UP" if target.up else "DOWN",
+                block["queue_depth"], block["active_jobs"],
+                target.last_error or target.address,
+            )
+        )
+    in_flight = [
+        entry for entry in aggregator.fleet_jobs()
+        if entry.get("state") in ("queued", "running")
+    ]
+    lines.append("jobs in flight: %d" % len(in_flight))
+    for entry in in_flight[:max_jobs]:
+        progress = entry.get("progress")
+        if isinstance(progress, dict):
+            detail = format_heartbeat(progress)
+        else:
+            detail = "%-8s [%s] %.1fs" % (
+                entry.get("state"), progress_bar(None),
+                float(entry.get("elapsed_seconds") or 0.0),
+            )
+        lines.append("  %s @%s %s" % (
+            entry.get("job"), entry.get("target"), detail,
+        ))
+    if len(in_flight) > max_jobs:
+        lines.append("  ... and %d more" % (len(in_flight) - max_jobs))
+    samples = aggregator.sampler.samples()
+    stats = aggregator.sampler.stats()
+    lines.append(
+        "tail samples: kept=%d dropped=%d" % (
+            stats["kept"], stats["dropped"],
+        )
+    )
+    for sample in samples[-4:]:
+        record = sample.get("record") or {}
+        lines.append("  %s @%s %s %.2fs (%s)" % (
+            record.get("job"), record.get("target"),
+            record.get("state"), float(sample["elapsed_seconds"]),
+            sample["kept_because"],
+        ))
+    return [line[:width] for line in lines]
+
+
+def build_parser():
+    parser = _build_obs_parser()
+    parser.prog = "repro-top"
+    parser.description = (
+        "Live terminal dashboard over a CEC fleet: per-shard queue "
+        "depth, in-flight jobs with progress bars, cache hit rate, "
+        "and SLO burn status."
+    )
+    parser.add_argument(
+        "--plain", action="store_true",
+        help="print frames to stdout instead of the curses screen "
+        "(automatic when stdout is not a terminal)",
+    )
+    parser.add_argument(
+        "--width", type=int, default=100, metavar="COLS",
+        help="frame width in plain mode (default %(default)s)",
+    )
+    return parser
+
+
+def _run_plain(aggregator, args, rounds):
+    completed = 0
+    while True:
+        aggregator.poll_once()
+        completed += 1
+        for line in render_dashboard(aggregator, width=args.width):
+            print(line)
+        if rounds and completed >= rounds:
+            return EXIT_OK
+        print("")
+        sys.stdout.flush()
+        time.sleep(args.interval)
+
+
+def _run_curses(aggregator, args, rounds):
+    import curses
+
+    def loop(screen):
+        curses.curs_set(0)
+        screen.nodelay(True)
+        completed = 0
+        while True:
+            aggregator.poll_once()
+            completed += 1
+            height, width = screen.getmaxyx()
+            screen.erase()
+            lines = render_dashboard(aggregator, width=width - 1)
+            for row, line in enumerate(lines[: height - 1]):
+                screen.addstr(row, 0, line)
+            screen.refresh()
+            if rounds and completed >= rounds:
+                return
+            deadline = time.monotonic() + args.interval
+            while time.monotonic() < deadline:
+                key = screen.getch()
+                if key in (ord("q"), ord("Q")):
+                    return
+                time.sleep(0.05)
+
+    curses.wrapper(loop)
+    return EXIT_OK
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    configure_logging(json_logs=args.log_json, level="warning")
+    if not args.shard and not args.router:
+        print("repro-top: need at least one --shard or --router",
+              file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    if args.interval <= 0:
+        print("repro-top: --interval must be > 0", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    rounds = 1 if args.once else args.rounds
+    try:
+        aggregator = build_aggregator(args)
+    except ValueError as exc:
+        print("repro-top: %s" % exc, file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    plain = args.plain or not sys.stdout.isatty()
+    try:
+        if plain:
+            code = _run_plain(aggregator, args, rounds)
+        else:
+            code = _run_curses(aggregator, args, rounds)
+    except KeyboardInterrupt:
+        code = EXIT_OK
+    if args.snapshot_json or args.prometheus_out:
+        write_outputs(aggregator, args)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

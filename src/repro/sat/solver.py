@@ -985,6 +985,10 @@ class Solver:
         assumption_set = set(assumptions)
         rec = self.recorder
         timing = rec.enabled
+        # Live-progress tracker: attached to enabled recorders only.
+        # The tracker strictly observes the stats block, so the search
+        # trajectory (and the emitted proof) is identical either way.
+        progress = rec.progress if timing else None
         clock = time.perf_counter
         solve_start = clock() if timing else 0.0
         stats = self.stats
@@ -997,7 +1001,7 @@ class Solver:
         try:
             return self._solve_loop(
                 assumptions, assumption_set, max_conflicts, budget,
-                timing, clock,
+                timing, clock, progress,
             )
         finally:
             if timing:
@@ -1034,7 +1038,7 @@ class Solver:
                 )
 
     def _solve_loop(self, assumptions, assumption_set, max_conflicts,
-                    budget, timing, clock):
+                    budget, timing, clock, progress=None):
         """The CDCL search loop (split out of :meth:`solve` for timing)."""
         propagate_s = 0.0
         analyze_s = 0.0
@@ -1087,6 +1091,8 @@ class Solver:
                         self.cancel_until(0)
                         flush()
                         return SolveResult(UNKNOWN, None, None, None)
+                if progress is not None:
+                    progress.tick(self.stats)
                 if max_conflicts is not None and total_conflicts >= max_conflicts:
                     self.cancel_until(0)
                     flush()
@@ -1131,9 +1137,13 @@ class Solver:
                 ilit = (var << 1) if self._phase[var] else ((var << 1) | 1)
             self.stats.decisions += 1
             decisions_since_check += 1
-            if budget is not None and decisions_since_check >= 256:
+            if decisions_since_check >= 256 \
+                    and (budget is not None or progress is not None):
                 decisions_since_check = 0
-                if budget.exhausted_reason() is not None:
+                if progress is not None:
+                    progress.tick(self.stats)
+                if budget is not None \
+                        and budget.exhausted_reason() is not None:
                     self.cancel_until(0)
                     flush()
                     return SolveResult(UNKNOWN, None, None, None)

@@ -255,6 +255,17 @@ class ServiceClient:
         """Attempt to cancel a queued job."""
         return self.request({"verb": "cancel", "job": job_id})
 
+    def progress(self, job_id=None):
+        """Live progress: with *job_id*, that job's snapshot plus its
+        latest ``repro-progress/1`` heartbeat (``progress`` is None
+        until the worker's first emission); without, the server's
+        listing of active and recently finished jobs plus the current
+        queue depth."""
+        message = {"verb": "progress"}
+        if job_id is not None:
+            message["job"] = job_id
+        return self.request(message)
+
     def stats(self):
         """Server-level ``repro-stats/1`` report."""
         return self.request({"verb": "stats"})["stats"]

@@ -19,6 +19,7 @@ client before trusting the verdict.
 import argparse
 import json
 import sys
+import time
 
 from .. import __version__
 from ..core.certify import CertificationError, certify
@@ -30,6 +31,7 @@ from ..exit_codes import (
     EXIT_UNDECIDED,
 )
 from ..instrument import Recorder, to_chrome_trace
+from ..instrument.progress import format_heartbeat
 from .client import ServiceClient, ServiceError
 
 
@@ -108,6 +110,15 @@ def build_parser():
 
     status = sub.add_parser("status", help="query a job's state")
     status.add_argument("job", help="job id from submit")
+    status.add_argument(
+        "--follow", action="store_true",
+        help="stream live repro-progress/1 heartbeats until the job "
+        "is terminal (needs a server started with progress enabled)",
+    )
+    status.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="with --follow: poll cadence (default %(default)s)",
+    )
 
     result = sub.add_parser("result", help="fetch a job's result")
     result.add_argument("job", help="job id from submit")
@@ -174,10 +185,39 @@ def _parse_options(pairs):
 
 
 def _print_heartbeat(update):
+    progress = update.get("progress")
+    if isinstance(progress, dict):
+        print("... %s" % format_heartbeat(progress), file=sys.stderr)
+        return
     print("... job %s %s (%.1fs)" % (
         update.get("job"), update.get("state"),
         update.get("elapsed_seconds", 0.0),
     ), file=sys.stderr)
+
+
+def _follow_status(client, job_id, interval):
+    """``status --follow``: stream each new heartbeat until terminal.
+
+    Deduplicates on the heartbeat sequence number so a poll cadence
+    faster than the server's progress interval never repeats lines.
+    """
+    last_seq = None
+    while True:
+        response = client.progress(job_id)
+        progress = response.get("progress")
+        if isinstance(progress, dict) and progress.get("seq") != last_seq:
+            last_seq = progress.get("seq")
+            print(format_heartbeat(progress), file=sys.stderr)
+        if response.get("state") in ("done", "failed", "cancelled"):
+            print(json.dumps(
+                {key: response.get(key) for key in (
+                    "job", "state", "cached", "verdict", "error",
+                    "elapsed_seconds",
+                )},
+                indent=2, sort_keys=True,
+            ))
+            return EXIT_OK
+        time.sleep(interval)
 
 
 def _write_stats(path, response):
@@ -311,9 +351,11 @@ def main(argv=None):
 
 def _run(client, args):
     if args.command == "ping":
+        started = time.perf_counter()
         response = client.ping()
-        print("repro-serve %s (%s)" % (
-            response.get("version"), response.get("protocol"),
+        rtt_ms = (time.perf_counter() - started) * 1000.0
+        print("repro-serve %s (%s) rtt=%.2fms" % (
+            response.get("version"), response.get("protocol"), rtt_ms,
         ))
         return EXIT_OK
     if args.command == "submit":
@@ -366,6 +408,8 @@ def _run(client, args):
             response, args.certify_local, args.stats_json, jobs=args.jobs,
         )
     if args.command == "status":
+        if args.follow:
+            return _follow_status(client, args.job, args.interval)
         response = client.status(args.job)
         print(json.dumps(
             {key: response.get(key) for key in (

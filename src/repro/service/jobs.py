@@ -55,6 +55,12 @@ class Job:
         trace: the stitched ``repro-trace/1`` document once terminal
             (server-side spans plus the worker's), or None when the
             server records no spans for the job.
+        progress_path: heartbeat spool file the worker appends
+            ``repro-progress/1`` documents to while the job runs
+            (None when progress is disabled or the job was cached).
+        progress: the job's last observed heartbeat document; kept
+            after the spool file is harvested at completion so late
+            ``progress`` queries still see the final sample.
         recorder: the per-job server-side recorder; owned by the
             server, which uses it to assemble ``job_stats``/``trace``.
         span_id: span id of the job's root ``service/job`` span — the
@@ -75,6 +81,8 @@ class Job:
         self.recorder = None
         self.span_id = None
         self.trace_parent = None
+        self.progress_path = None
+        self.progress = None
         self.future = None
         self.submitted_at = time.time()
         self.started_at = None
@@ -217,6 +225,24 @@ class JobTable:
         """The job registered under *job_id*, or ``None``."""
         with self._lock:
             return self._jobs.get(job_id)
+
+    def active(self):
+        """All non-terminal jobs, in admission order."""
+        with self._lock:
+            return [
+                job for job in self._jobs.values() if not job.is_terminal
+            ]
+
+    def recent_terminal(self, limit=16):
+        """The newest *limit* terminal jobs still retained, oldest
+        first (the progress verb's listing includes them so pollers
+        observe completions they would otherwise race)."""
+        with self._lock:
+            ids = list(self._terminal_order)[-limit:] if limit > 0 else []
+            return [
+                self._jobs[job_id] for job_id in ids
+                if job_id in self._jobs
+            ]
 
     def pending(self):
         """Number of queued/running jobs."""

@@ -98,6 +98,12 @@ def build_parser():
         help="write the server's repro-stats/1 report here on exit",
     )
     parser.add_argument(
+        "--progress-interval", type=float, default=None, metavar="SECONDS",
+        help="cadence of live repro-progress/1 heartbeats written by "
+        "workers and served on the 'progress' verb (0 disables; "
+        "default 0.25)",
+    )
+    parser.add_argument(
         "--metrics", metavar="ADDR", default=None,
         help="serve a Prometheus /metrics endpoint on this host:port "
         "(port 0 picks a free one; omit to disable)",
@@ -132,6 +138,10 @@ def main(argv=None):
     if args.retain_jobs is not None and args.retain_jobs < 0:
         print("repro-serve: --retain-jobs must be >= 0", file=sys.stderr)
         return EXIT_INVALID_INPUT
+    if args.progress_interval is not None and args.progress_interval < 0:
+        print("repro-serve: --progress-interval must be >= 0",
+              file=sys.stderr)
+        return EXIT_INVALID_INPUT
     if args.self_lint:
         code = _self_lint()
         if code != EXIT_OK:
@@ -148,6 +158,7 @@ def main(argv=None):
             recorder=recorder,
             retain_jobs=args.retain_jobs,
             metrics_address=args.metrics,
+            progress_interval=args.progress_interval,
         )
     except (ValueError, OSError) as exc:
         print("repro-serve: %s" % exc, file=sys.stderr)

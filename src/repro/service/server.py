@@ -21,14 +21,22 @@ telemetry served by the ``stats`` verb.
 
 import io
 import os
+import shutil
 import socketserver
+import tempfile
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from .. import __version__
 from ..aig.aiger import AigerError, read_aag
 from ..instrument import MetricsRegistry, Recorder, TraceContext, get_logger
 from ..instrument.metrics import TIME_BUCKETS, to_prometheus_text
+from ..instrument.progress import (
+    DEFAULT_INTERVAL as DEFAULT_PROGRESS_INTERVAL,
+    latest_heartbeat,
+    remove_spool,
+)
 from ..instrument.tracing import merge_trace_documents, new_span_id
 from ..proof.parallel import close_checker_pool
 from . import protocol
@@ -118,6 +126,9 @@ class CecServer:
         metrics_address: optional ``host:port`` for the Prometheus
             ``/metrics`` HTTP endpoint (``None`` disables it; the
             ``metrics`` protocol verb works either way).
+        progress_interval: seconds between live progress heartbeats
+            from running workers (``None`` = the default ~0.25s;
+            ``0`` disables the progress plane entirely).
     """
 
     def __init__(
@@ -132,6 +143,7 @@ class CecServer:
         recorder=None,
         retain_jobs=None,
         metrics_address=None,
+        progress_interval=None,
     ):
         self.family, self.target = protocol.parse_address(address)
         self.workers = workers
@@ -150,6 +162,19 @@ class CecServer:
         self.default_time_limit = default_time_limit
         self.default_conflict_limit = default_conflict_limit
         self.poll_interval = poll_interval
+        self.progress_interval = (
+            DEFAULT_PROGRESS_INTERVAL
+            if progress_interval is None else float(progress_interval)
+        )
+        # Heartbeat spool: one JSONL file per running job, written by
+        # the worker process and tailed by the `progress` verb. A
+        # private tempdir (removed in close()) keeps the server free of
+        # any cross-job file naming discipline.
+        self._progress_dir = (
+            tempfile.mkdtemp(prefix="repro-progress-")
+            if self.progress_interval > 0 else None
+        )
+        self._started_monotonic = time.monotonic()
         self._shutting_down = False
         self._serving = False
         self._lock = threading.Lock()
@@ -257,6 +282,8 @@ class CecServer:
             metrics_http, self._metrics_http = self._metrics_http, None
         if metrics_http is not None:
             metrics_http.close()
+        if self._progress_dir is not None:
+            shutil.rmtree(self._progress_dir, ignore_errors=True)
         if self.family == "unix" and os.path.exists(self.target):
             os.unlink(self.target)
 
@@ -282,8 +309,10 @@ class CecServer:
             return False
         # Cache verbs stay answerable while draining: they touch only
         # the on-disk cache, never the queue or the worker pool.
+        # `progress` likewise only reads the job table, and a draining
+        # server's in-flight jobs are exactly the ones worth watching.
         if self._shutting_down and verb not in (
-            "ping", "stats", "metrics",
+            "ping", "stats", "metrics", "progress",
         ) and verb not in protocol.FLEET_VERBS:
             send(protocol.error_response(
                 protocol.ERR_SHUTTING_DOWN, "server is shutting down",
@@ -308,10 +337,18 @@ class CecServer:
         if verb == "cancel":
             send(self._handle_cancel(request))
             return False
+        if verb == "progress":
+            send(self._handle_progress(request))
+            return False
         if verb == "stats":
+            # Runtime gauges (queue depth, uptime) are refreshed on
+            # every stats/metrics read, not only on job transitions, so
+            # scrapes between jobs never see stale values.
+            self._refresh_runtime_gauges()
             send(protocol.ok_response("stats", stats=self.stats_report()))
             return False
         if verb == "metrics":
+            self._refresh_runtime_gauges()
             send(protocol.ok_response(
                 "metrics", metrics=self.metrics.report(),
                 prometheus=self.prometheus_text(),
@@ -406,6 +443,10 @@ class CecServer:
         job.span_id = job_span_id
         job.trace_parent = context.parent_id
         job.job_stats = job_recorder.report()
+        if self._progress_dir is not None:
+            job.progress_path = os.path.join(
+                self._progress_dir, "%s.jsonl" % job.id
+            )
         payload = {
             "aag_a": request["aag_a"],
             "aag_b": request["aag_b"],
@@ -423,6 +464,10 @@ class CecServer:
             # Worker-side phases become spans of the same trace,
             # parented under this job's root span.
             "trace": context.child(job_span_id).to_wire(),
+            # Live heartbeat spool (None disables progress in the
+            # worker).
+            "progress_path": job.progress_path,
+            "progress_interval": self.progress_interval,
         }
         job.mark_running()
         try:
@@ -457,6 +502,7 @@ class CecServer:
         try:
             self._finalize_job(job, future)
         finally:
+            self._harvest_progress(job)
             if not job.is_terminal:
                 job.fail(protocol.ERR_WORKER_FAILED,
                          "internal error while finalizing the job")
@@ -635,8 +681,12 @@ class CecServer:
                 return
             if job.wait(self.poll_interval):
                 break
+            # Heartbeats during a blocked wait carry the job's live
+            # progress document so `repro-client submit --wait` shows
+            # the search moving, not just "running".
             send(protocol.ok_response(
-                "result", final=False, **job.snapshot(),
+                "result", final=False,
+                progress=self._job_progress(job), **job.snapshot(),
             ))
         if not job.is_terminal:
             send(protocol.ok_response("result", **job.snapshot()))
@@ -654,6 +704,59 @@ class CecServer:
                 error.get("message", "job did not complete"),
                 verb="result", **job.snapshot(),
             ))
+
+    # ------------------------------------------------------------------
+    # progress (live heartbeats)
+    # ------------------------------------------------------------------
+
+    def _job_progress(self, job):
+        """The job's newest ``repro-progress/1`` heartbeat, or None."""
+        if job.progress is not None:
+            return job.progress
+        if job.progress_path is None:
+            return None
+        document = latest_heartbeat(job.progress_path)
+        if document is None:
+            return None
+        document["job"] = job.id
+        return document
+
+    def _harvest_progress(self, job):
+        """Cache the final heartbeat on the job and drop its spool."""
+        path = job.progress_path
+        if path is None:
+            return
+        document = latest_heartbeat(path)
+        if document is not None:
+            document["job"] = job.id
+            job.progress = document
+        remove_spool(path)
+        job.progress_path = None
+
+    def _handle_progress(self, request):
+        """The ``progress`` verb: one job's latest heartbeat, or —
+        without a ``job`` field — a listing of every active job (plus
+        the most recent completions) with their heartbeats."""
+        if request.get("job") is None:
+            jobs = []
+            for job in self.jobs.active():
+                entry = job.snapshot()
+                entry["progress"] = self._job_progress(job)
+                jobs.append(entry)
+            for job in self.jobs.recent_terminal():
+                entry = job.snapshot()
+                entry["progress"] = job.progress
+                jobs.append(entry)
+            return protocol.ok_response(
+                "progress", jobs=jobs, queue_depth=self.jobs.pending(),
+            )
+        job, error = self._get_job(request, "progress")
+        if error is not None:
+            return error
+        return protocol.ok_response(
+            "progress", progress=self._job_progress(job),
+            **job.snapshot(),
+        )
 
     def _handle_cancel(self, request):
         job, error = self._get_job(request, "cancel")
@@ -756,6 +859,17 @@ class CecServer:
     # stats
     # ------------------------------------------------------------------
 
+    def _refresh_runtime_gauges(self):
+        """Re-gauge point-in-time values that otherwise only change on
+        job transitions. Called from the stats/metrics verbs and from
+        :meth:`stats_report` so every scrape sees fresh values even
+        when no job has started or finished since the last one."""
+        self.recorder.gauge("service/queue-depth", self.jobs.pending())
+        self.recorder.gauge(
+            "service/uptime-seconds",
+            time.monotonic() - self._started_monotonic,
+        )
+
     def stats_report(self):
         """Server-level ``repro-stats/1`` report with derived gauges."""
         hits = self.recorder.counter("service/cache-hits")
@@ -770,7 +884,7 @@ class CecServer:
             self.recorder.gauge(
                 "service/jobs-per-second", completed / seconds
             )
-        self.recorder.gauge("service/queue-depth", self.jobs.pending())
+        self._refresh_runtime_gauges()
         # Latency quantiles from the cross-process histograms, e.g.
         # "service/job-seconds/p50" — refreshed on every stats request.
         for name, value in self.metrics.quantile_gauges().items():
@@ -782,7 +896,10 @@ class CecServer:
         """Prometheus text rendering of metrics + stats (the `/metrics`
         body and the ``metrics`` verb's ``prometheus`` field)."""
         return to_prometheus_text(
-            self.metrics.report(), stats_report=self.stats_report()
+            self.metrics.report(), stats_report=self.stats_report(),
+            build_info={
+                "component": "repro-serve", "version": __version__,
+            },
         )
 
 

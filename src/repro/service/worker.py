@@ -23,6 +23,11 @@ from ..core.fraig import SweepOptions
 from ..core.serialize import result_to_dict, verdict_name
 from ..instrument import Budget, MetricsRegistry, Recorder, TraceContext
 from ..instrument.metrics import TIME_BUCKETS, observe_stats_workload
+from ..instrument.progress import (
+    DEFAULT_INTERVAL,
+    ProgressTracker,
+    jsonl_sink,
+)
 from ..proof.trim import trim
 from .cache import OPTION_FIELDS
 from .protocol import ERR_BAD_INPUT, ERR_CERTIFY_FAILED
@@ -85,6 +90,19 @@ def execute_job(request):
     conflict_limit = request.get("conflict_limit")
     if time_limit is not None or conflict_limit is not None:
         budget = Budget(time_limit=time_limit, conflict_limit=conflict_limit)
+    # Live progress: the server hands each job a private spool path;
+    # the tracker appends one repro-progress/1 JSON line per heartbeat
+    # and the server's `progress` verb tails it. Strictly observational
+    # — the solver trajectory is identical with or without it.
+    progress_path = request.get("progress_path")
+    if progress_path:
+        interval = request.get("progress_interval") or DEFAULT_INTERVAL
+        recorder.progress = ProgressTracker(
+            jsonl_sink(progress_path),
+            interval_seconds=float(interval),
+            budget=budget,
+            meta={"tool": "repro-serve-worker"},
+        )
     try:
         with recorder.phase("service/check"):
             result = check_equivalence(

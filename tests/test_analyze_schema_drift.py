@@ -245,3 +245,85 @@ class TestRegistry:
     def test_repro_package_is_clean(self):
         findings = lint_package()
         assert findings == [], [f.render() for f in findings]
+
+
+class TestObservabilityDocuments:
+    """Known-bad fixtures for the PR-10 observability schemas: the
+    drift rules must gate ``repro-progress/1`` and ``repro-obs/1``
+    documents exactly like the older tags."""
+
+    def test_progress_undeclared_key_fires_once(self):
+        source = (
+            "from repro.analyze.schemas import PROGRESS_SCHEMA\n"
+            "\n"
+            "doc = {'schema': PROGRESS_SCHEMA, 'seq': 1,\n"
+            "       'elapsed_seconds': 0.5, 'phase': 'solve',\n"
+            "       'counters': {}, 'speedometer': 9000}\n"
+        )
+        findings = hits(source, "schema.undeclared-key")
+        assert len(findings) == 1
+        assert "'speedometer'" in findings[0].message
+
+    def test_progress_missing_counters_fires_once(self):
+        source = (
+            "from repro.analyze.schemas import PROGRESS_SCHEMA\n"
+            "\n"
+            "doc = {'schema': PROGRESS_SCHEMA, 'seq': 1,\n"
+            "       'elapsed_seconds': 0.5, 'phase': 'solve'}\n"
+        )
+        findings = hits(source, "schema.missing-key")
+        assert len(findings) == 1
+        assert "'counters'" in findings[0].message
+
+    def test_complete_progress_document_is_clean(self):
+        source = (
+            "from repro.analyze.schemas import PROGRESS_SCHEMA\n"
+            "\n"
+            "doc = {'schema': PROGRESS_SCHEMA, 'seq': 1,\n"
+            "       'elapsed_seconds': 0.5, 'phase': 'solve',\n"
+            "       'counters': {}, 'deltas': {}, 'rates': {},\n"
+            "       'eta_seconds': [1.0, 2.0]}\n"
+        )
+        assert lint_one(source) == []
+
+    def test_obs_undeclared_key_fires_once(self):
+        source = (
+            "from repro.analyze.schemas import OBS_SCHEMA\n"
+            "\n"
+            "doc = {'schema': OBS_SCHEMA, 'polls': 3, 'targets': [],\n"
+            "       'slos': {}, 'samples': {}, 'dashboards': []}\n"
+        )
+        findings = hits(source, "schema.undeclared-key")
+        assert len(findings) == 1
+        assert "'dashboards'" in findings[0].message
+
+    def test_obs_missing_slos_fires_once(self):
+        source = (
+            "from repro.analyze.schemas import OBS_SCHEMA\n"
+            "\n"
+            "doc = {'schema': OBS_SCHEMA, 'polls': 3, 'targets': [],\n"
+            "       'samples': {}}\n"
+        )
+        findings = hits(source, "schema.missing-key")
+        assert len(findings) == 1
+        assert "'slos'" in findings[0].message
+
+    def test_complete_obs_snapshot_is_clean(self):
+        source = (
+            "from repro.analyze.schemas import OBS_SCHEMA\n"
+            "\n"
+            "doc = {'schema': OBS_SCHEMA, 'polls': 3, 'targets': [],\n"
+            "       'slos': {}, 'samples': {}, 'series': {},\n"
+            "       'interval_seconds': 2.0, 'meta': {}}\n"
+        )
+        assert lint_one(source) == []
+
+    def test_inline_progress_tag_fires(self):
+        findings = hits(
+            'TAG = "repro-progress/1"\n', "schema.inline-version",
+        )
+        assert len(findings) == 1
+
+    def test_inline_obs_tag_fires(self):
+        findings = hits('TAG = "repro-obs/1"\n', "schema.inline-version")
+        assert len(findings) == 1

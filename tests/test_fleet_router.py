@@ -365,3 +365,37 @@ class TestTelemetry:
         # Shards keep serving after the router is gone.
         with ServiceClient(fleet.addresses[0]) as direct:
             assert direct.ping()["ok"]
+
+
+class TestProgress:
+    def test_progress_forwards_to_the_owning_shard(
+        self, fleet, adder_pair,
+    ):
+        with fleet.client() as client:
+            _, response = client.check(*adder_pair)
+            progress = client.progress(response["job"])
+        assert progress["job"] == response["job"]
+        assert progress["state"] == "done"
+        assert "progress" in progress
+
+    def test_progress_listing_merges_the_fleet(self, fleet, adder_pair):
+        with fleet.client() as client:
+            _, response = client.check(*adder_pair)
+            # The terminal listing is eventually consistent with the
+            # shard's done-callback; poll briefly.
+            for _ in range(100):
+                listing = client.progress()
+                jobs = {entry["job"] for entry in listing["jobs"]}
+                if response["job"] in jobs:
+                    break
+                fleet.call(asyncio.sleep(0.02))
+        assert response["job"] in jobs
+        assert all("@" in job_id for job_id in jobs)
+        assert isinstance(listing["queue_depth"], int)
+
+    def test_uptime_gauge_and_build_info(self, fleet):
+        report = fleet.router.stats_report()
+        assert report["gauges"]["fleet/uptime-seconds"] > 0.0
+        text = fleet.router.prometheus_text()
+        assert 'repro_build_info{component="repro-router"' in text
+        assert "repro_fleet_uptime_seconds" in text

@@ -40,6 +40,22 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("t", ())
 
+    def test_quantile_empty_histogram_is_zero(self):
+        hist = Histogram("t", (1.0, 2.0))
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 0.0
+
+    def test_quantile_single_bucket_interpolates_from_zero(self):
+        hist = Histogram("t", (4.0,))
+        hist.observe(1.0)
+        assert hist.quantile(0.5) == pytest.approx(2.0)
+        assert hist.quantile(1.0) == pytest.approx(4.0)
+
+    def test_quantile_single_bucket_overflow_answers_the_bound(self):
+        hist = Histogram("t", (4.0,))
+        hist.observe(10.0)  # lands in +Inf
+        assert hist.quantile(0.5) == 4.0
+
     def test_quantiles_interpolate(self):
         hist = Histogram("t", (0.1, 0.25, 1.0, 5.0))
         for value in (0.01, 0.2, 0.2, 3.0):
@@ -117,6 +133,30 @@ class TestRegistry:
         with pytest.raises(ValueError):
             MetricsRegistry().merge_report({"schema": "nope"})
 
+    def test_merge_report_rejects_mismatched_buckets(self):
+        server = MetricsRegistry()
+        server.observe("x", 1.0, buckets=(1.0, 10.0))
+        worker = MetricsRegistry()
+        worker.observe("x", 1.0, buckets=(2.0, 20.0))
+        with pytest.raises(ValueError):
+            server.merge_report(worker.report())
+        # The local histogram is untouched by the failed merge.
+        assert server.histogram("x").count == 1
+
+    def test_merge_report_adopts_unknown_layout_verbatim(self):
+        worker = MetricsRegistry()
+        worker.observe("weird", 3.0, buckets=(0.5, 3.5, 7.0),
+                       unit="things")
+        server = MetricsRegistry()
+        server.merge_report(worker.report())
+        hist = server.histogram("weird")
+        assert hist.buckets == (0.5, 3.5, 7.0)
+        assert hist.unit == "things"
+        assert hist.count == 1
+        # A second merge of the same layout folds by addition.
+        server.merge_report(worker.report())
+        assert server.histogram("weird").count == 2
+
     def test_quantile_gauges(self):
         registry = MetricsRegistry()
         registry.observe("service/job-seconds", 0.2)
@@ -192,6 +232,28 @@ class TestPrometheus:
         assert "repro_service_hit_rate 0.5" in text
         assert "verdict" not in text
         assert "repro_service_flag" not in text
+
+    def test_build_info_line(self):
+        registry = MetricsRegistry()
+        registry.observe("x", 1.0, buckets=(1.0,))
+        text = to_prometheus_text(
+            registry.report(),
+            build_info={"component": "repro-serve", "version": "9.9.9"},
+        )
+        assert "# TYPE repro_build_info gauge" in text
+        assert ('repro_build_info{component="repro-serve",'
+                'version="9.9.9"} 1') in text
+        # Omitted build info renders no such line.
+        assert "build_info" not in to_prometheus_text(registry.report())
+
+    def test_build_info_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.observe("x", 1.0, buckets=(1.0,))
+        text = to_prometheus_text(
+            registry.report(),
+            build_info={"note": 'a"b\\c\nd'},
+        )
+        assert 'note="a\\"b\\\\c\\nd"' in text
 
     def test_workload_observation(self):
         registry = MetricsRegistry()

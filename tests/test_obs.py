@@ -1,0 +1,228 @@
+"""The fleet observability plane: aggregator, exporter, dashboard.
+
+The integration half runs two real in-process ``CecServer`` instances
+on Unix sockets with progress enabled, drives jobs through one of
+them, and asserts that one ``poll_once`` round produces merged
+histograms, live SLO status, tail samples, a valid ``repro-obs/1``
+snapshot, and a renderable ``repro-top`` frame.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.aig.aiger import write_aag
+from repro.circuits import kogge_stone_adder, ripple_carry_adder
+from repro.obs import ObsAggregator, validate_obs_snapshot
+from repro.obs.aggregator import ObsTarget
+from repro.obs.cli import build_parser, parse_targets, write_outputs
+from repro.obs.top import render_dashboard
+from repro.service import CecServer, ServiceClient
+
+
+def aag_text(aig):
+    buffer = io.StringIO()
+    write_aag(aig, buffer)
+    return buffer.getvalue()
+
+
+@pytest.fixture()
+def shard_pair(tmp_path):
+    """Two live in-process servers with progress enabled."""
+    servers = []
+    for index in range(2):
+        server = CecServer(
+            str(tmp_path / ("shard%d.sock" % index)), workers=0,
+            cache_dir=str(tmp_path / ("cache%d" % index)),
+            progress_interval=0.001,
+        )
+        server.start()
+        servers.append(server)
+    yield servers
+    for server in servers:
+        server.close()
+
+
+class TestParseTargets:
+    def test_bare_addresses_are_named_in_order(self):
+        assert parse_targets(["a:1", "b:2"], "shard") == [
+            ("shard0", "a:1"), ("shard1", "b:2"),
+        ]
+
+    def test_name_equals_address(self):
+        assert parse_targets(["edge=host:9"], "shard") == [
+            ("edge", "host:9"),
+        ]
+
+
+class TestAggregatorUnits:
+    def test_needs_a_target(self):
+        with pytest.raises(ValueError):
+            ObsAggregator(shards=[])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            ObsAggregator(shards=[("s", "a:1"), ("s", "a:2")])
+
+    def test_down_target_is_survived(self):
+        aggregator = ObsAggregator(
+            shards=[("gone", "/nonexistent/path.sock")],
+        )
+        assert aggregator.poll_once(now=100.0) == 0
+        target = aggregator.targets[0]
+        assert target.up is False
+        assert target.failures == 1
+        assert target.last_error is not None
+        snapshot = validate_obs_snapshot(aggregator.snapshot(now=100.0))
+        assert snapshot["targets"][0]["up"] is False
+        # The poll-health SLO saw the failure.
+        aggregator.poll_once(now=101.0)
+        burn = aggregator.slos["polls"].burn_rate(101.0, 300.0)
+        assert burn is not None and burn > 0
+
+    def test_target_snapshot_shape(self):
+        block = ObsTarget("s0", "a:1").snapshot()
+        assert block["name"] == "s0"
+        assert block["role"] == "shard"
+        assert block["up"] is False
+        assert block["queue_depth"] == 0
+
+    def test_validate_rejects_malformed(self):
+        aggregator = ObsAggregator(shards=[("s", "a:1")])
+        good = aggregator.snapshot(now=0.0)
+        for mutate in (
+            lambda d: d.__setitem__("schema", "nope"),
+            lambda d: d.pop("slos"),
+            lambda d: d.__setitem__("targets", [{}]),
+            lambda d: d["samples"].pop("kept"),
+        ):
+            document = json.loads(json.dumps(good))
+            mutate(document)
+            with pytest.raises(ValueError):
+                validate_obs_snapshot(document)
+        with pytest.raises(ValueError):
+            validate_obs_snapshot("not a dict")
+
+
+class TestAggregatorIntegration:
+    def test_poll_merges_and_samples(self, shard_pair, tmp_path):
+        addresses = [server.address for server in shard_pair]
+        # Drive one equivalent check and one cache hit through shard 0.
+        aag_a = aag_text(ripple_carry_adder(6))
+        aag_b = aag_text(kogge_stone_adder(6))
+        with ServiceClient(addresses[0]) as client:
+            for _ in range(2):
+                submitted = client.submit(aag_a, aag_b)
+                client.result(submitted["job"], wait=True)
+        aggregator = ObsAggregator(
+            shards=[("s0", addresses[0]), ("s1", addresses[1])],
+            slow_sample_seconds=0.0,  # every terminal job is "slow"
+        )
+        assert aggregator.poll_once() == 2
+        assert all(target.up for target in aggregator.targets)
+
+        # Merged exposition: shard histograms + obs gauges + build info.
+        text = aggregator.prometheus_text()
+        assert 'repro_build_info{component="repro-obs"' in text
+        assert "repro_service_job_seconds_bucket" in text
+        assert "repro_obs_targets_up 2" in text
+        assert "repro_obs_polls_total 1" in text
+
+        # The finished jobs were tail-sampled (slow threshold 0).
+        assert aggregator.sampler.kept >= 1
+        sample = aggregator.sampler.samples()[0]
+        assert sample["record"]["target"] == "s0"
+        assert sample["kept_because"] == "slow"
+
+        # Availability SLO is fed with the shard's cumulative counters.
+        series = aggregator.series.series("s0/service/jobs-completed")
+        assert series is not None and series.latest()[1] >= 1.0
+
+        snapshot = validate_obs_snapshot(aggregator.snapshot())
+        assert snapshot["polls"] == 1
+        assert {t["name"] for t in snapshot["targets"]} == {"s0", "s1"}
+        assert snapshot["samples"]["kept"] >= 1
+        assert "availability" in snapshot["slos"]
+
+    def test_second_poll_computes_rates(self, shard_pair):
+        aggregator = ObsAggregator(
+            shards=[("s%d" % i, s.address)
+                    for i, s in enumerate(shard_pair)],
+        )
+        aggregator.poll_once(now=1000.0)
+        aggregator.poll_once(now=1002.0)
+        burn = aggregator.slos["polls"].burn_rate(1002.0, 300.0)
+        assert burn == 0.0  # every scrape answered
+
+    def test_dashboard_renders_live_fleet(self, shard_pair):
+        aggregator = ObsAggregator(
+            shards=[("s%d" % i, s.address)
+                    for i, s in enumerate(shard_pair)],
+        )
+        aggregator.poll_once()
+        lines = render_dashboard(aggregator, width=100)
+        frame = "\n".join(lines)
+        assert "2/2 targets up" in frame
+        assert "slo availability" in frame
+        assert "shard  s0" in frame
+        assert "jobs in flight:" in frame
+        assert "tail samples:" in frame
+        assert all(len(line) <= 100 for line in lines)
+
+    def test_write_outputs(self, shard_pair, tmp_path):
+        aggregator = ObsAggregator(
+            shards=[("s0", shard_pair[0].address)],
+        )
+        aggregator.poll_once()
+        args = build_parser().parse_args([
+            "--shard", shard_pair[0].address,
+            "--snapshot-json", str(tmp_path / "obs.json"),
+            "--prometheus-out", str(tmp_path / "obs.prom"),
+        ])
+        write_outputs(aggregator, args)
+        with open(tmp_path / "obs.json") as handle:
+            snapshot = json.load(handle)
+        validate_obs_snapshot(snapshot)
+        with open(tmp_path / "obs.prom") as handle:
+            assert "repro_build_info" in handle.read()
+
+
+class TestDashboardUnits:
+    def test_in_flight_jobs_render_heartbeats(self):
+        aggregator = ObsAggregator(shards=[("s0", "a:1")])
+        target = aggregator.targets[0]
+        target.up = True
+        target.last_queue_depth = 1
+        target.last_jobs = [
+            {
+                "job": "j000001", "state": "running",
+                "elapsed_seconds": 1.0,
+                "progress": {
+                    "schema": "repro-progress/1", "seq": 4,
+                    "phase": "solve", "elapsed_seconds": 0.9,
+                    "budget_fraction": 0.5,
+                    "counters": {"conflicts": 10, "decisions": 20,
+                                 "restarts": 0},
+                    "rates": {"conflicts": 11.0},
+                },
+            },
+            {"job": "j000002", "state": "queued", "elapsed_seconds": 0.1,
+             "progress": None},
+        ]
+        lines = render_dashboard(aggregator, now=0.0)
+        frame = "\n".join(lines)
+        assert "jobs in flight: 2" in frame
+        assert "j000001 @s0" in frame
+        assert "conflicts=10" in frame
+        assert "j000002 @s0 queued" in frame
+
+    def test_overflow_is_elided(self):
+        aggregator = ObsAggregator(shards=[("s0", "a:1")])
+        aggregator.targets[0].last_jobs = [
+            {"job": "j%06d" % i, "state": "running",
+             "elapsed_seconds": 0.0}
+            for i in range(20)
+        ]
+        lines = render_dashboard(aggregator, now=0.0, max_jobs=3)
+        assert any("and 17 more" in line for line in lines)

@@ -1,0 +1,162 @@
+"""Ring-buffer series, SLO burn rates, and the tail sampler."""
+
+import pytest
+
+from repro.instrument.timeseries import (
+    BURN_ALERT_THRESHOLD,
+    RingSeries,
+    SLOTracker,
+    TailSampler,
+    TimeSeriesStore,
+)
+
+
+class TestRingSeries:
+    def test_capacity_bounds_retention(self):
+        series = RingSeries(capacity=3)
+        for i in range(5):
+            series.append(float(i), float(i * 10))
+        assert len(series) == 3
+        assert series.items() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+        assert series.latest() == (4.0, 40.0)
+        assert series.capacity == 3
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RingSeries(capacity=0)
+
+    def test_window_filters_by_timestamp(self):
+        series = RingSeries()
+        for t in (0.0, 10.0, 20.0, 30.0):
+            series.append(t, t)
+        assert [t for t, _ in series.window(30.0, 15.0)] == [20.0, 30.0]
+
+    def test_increase_over_sums_positive_deltas(self):
+        series = RingSeries()
+        for t, v in ((0.0, 100.0), (10.0, 150.0), (20.0, 180.0)):
+            series.append(t, v)
+        assert series.increase_over(20.0, 100.0) == pytest.approx(80.0)
+
+    def test_increase_over_tolerates_counter_reset(self):
+        series = RingSeries()
+        # A restarted shard: counter drops from 150 to 5 then grows.
+        for t, v in ((0.0, 100.0), (10.0, 150.0), (20.0, 5.0),
+                     (30.0, 25.0)):
+            series.append(t, v)
+        # 50 (pre-reset) + 5 (restart growth from zero) + 20.
+        assert series.increase_over(30.0, 100.0) == pytest.approx(75.0)
+
+    def test_increase_needs_two_samples(self):
+        series = RingSeries()
+        assert series.increase_over(0.0, 10.0) is None
+        series.append(0.0, 1.0)
+        assert series.increase_over(0.0, 10.0) is None
+
+    def test_rate_over(self):
+        series = RingSeries()
+        series.append(0.0, 0.0)
+        series.append(10.0, 50.0)
+        assert series.rate_over(10.0, 100.0) == pytest.approx(5.0)
+        assert RingSeries().rate_over(0.0, 10.0) is None
+
+    def test_summary(self):
+        series = RingSeries()
+        assert series.summary() == {"count": 0}
+        series.append(1.0, 2.0)
+        series.append(2.0, 4.0)
+        summary = series.summary()
+        assert summary["count"] == 2
+        assert summary["min"] == 2.0 and summary["max"] == 4.0
+        assert summary["mean"] == pytest.approx(3.0)
+        assert summary["latest"] == 4.0
+
+
+class TestTimeSeriesStore:
+    def test_record_creates_series_on_first_write(self):
+        store = TimeSeriesStore(capacity=4)
+        store.record("a/x", 0.0, 1.0)
+        store.record("a/x", 1.0, 2.0)
+        store.record("b/y", 0.0, 9.0)
+        assert store.names() == ["a/x", "b/y"]
+        assert len(store) == 2
+        assert store.series("a/x").latest() == (1.0, 2.0)
+        assert store.series("missing") is None
+        assert store.summaries()["b/y"]["latest"] == 9.0
+
+
+class TestSLOTracker:
+    def test_burn_rate_is_error_rate_over_budget(self):
+        slo = SLOTracker("availability", objective=0.99)
+        slo.record(0.0, good=0.0, total=0.0)
+        # 90 good of 100: 10% errors against a 1% budget -> burn 10.
+        slo.record(100.0, good=90.0, total=100.0)
+        assert slo.burn_rate(100.0, 300.0) == pytest.approx(10.0)
+
+    def test_no_events_burns_nothing(self):
+        slo = SLOTracker("availability", objective=0.99)
+        slo.record(0.0, good=5.0, total=5.0)
+        slo.record(100.0, good=5.0, total=5.0)
+        assert slo.burn_rate(100.0, 300.0) == 0.0
+
+    def test_unknown_until_two_samples(self):
+        slo = SLOTracker("availability")
+        assert slo.burn_rate(0.0, 300.0) is None
+        slo.record(0.0, good=1.0, total=1.0)
+        assert slo.burn_rate(0.0, 300.0) is None
+
+    def test_alerts_only_when_both_windows_burn(self):
+        slo = SLOTracker(
+            "availability", objective=0.9, fast_window=100.0,
+            slow_window=1000.0,
+        )
+        # Old history: clean. Recent history: everything fails.
+        slo.record(0.0, good=0.0, total=0.0)
+        slo.record(900.0, good=1000.0, total=1000.0)
+        slo.record(950.0, good=1000.0, total=1100.0)
+        status = slo.status(1000.0)
+        assert status["burn_rate_fast"] == pytest.approx(10.0)
+        # Slow window: 100 errors of 1100 events -> ~0.9% -> burn ~0.9.
+        assert status["burn_rate_slow"] < BURN_ALERT_THRESHOLD
+        assert status["alerting"] is False
+        # Sustained failure: both windows burn.
+        slo.record(1450.0, good=1000.0, total=1600.0)
+        slo.record(1500.0, good=1000.0, total=2000.0)
+        assert slo.status(1500.0)["alerting"] is True
+
+    def test_objective_bounds(self):
+        with pytest.raises(ValueError):
+            SLOTracker("x", objective=1.0)
+        with pytest.raises(ValueError):
+            SLOTracker("x", objective=0.0)
+
+    def test_status_block_shape(self):
+        status = SLOTracker("x", objective=0.95).status(0.0)
+        assert status["objective"] == 0.95
+        assert status["burn_rate_fast"] is None
+        assert status["alerting"] is False
+        assert status["burn_threshold"] == BURN_ALERT_THRESHOLD
+
+
+class TestTailSampler:
+    def test_keeps_errors_and_slow_drops_fast(self):
+        sampler = TailSampler(slow_seconds=1.0, capacity=8)
+        assert sampler.offer({"job": "a"}, 0.1) is False
+        assert sampler.offer({"job": "b"}, 2.5) is True
+        assert sampler.offer({"job": "c"}, 0.1, error=True) is True
+        assert sampler.offered == 3
+        assert sampler.dropped == 1
+        assert sampler.kept == 2
+        reasons = [s["kept_because"] for s in sampler.samples()]
+        assert reasons == ["slow", "error"]
+        assert sampler.stats() == {"offered": 3, "kept": 2, "dropped": 1}
+
+    def test_retention_is_bounded(self):
+        sampler = TailSampler(slow_seconds=0.0, capacity=2)
+        for i in range(5):
+            sampler.offer({"job": i}, 1.0)
+        assert sampler.kept == 2
+        assert [s["record"]["job"] for s in sampler.samples()] == [3, 4]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TailSampler(capacity=0)
